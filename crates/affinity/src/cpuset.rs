@@ -1,0 +1,184 @@
+//! A small fixed-capacity CPU mask.
+
+/// Maximum number of logical CPUs representable in a [`CpuSet`].
+///
+/// 1024 matches the default `CPU_SETSIZE` of glibc and is far larger than any machine
+/// the paper or this reproduction targets.
+pub const MAX_CPUS: usize = 1024;
+
+const WORDS: usize = MAX_CPUS / 64;
+
+/// A set of logical CPU indices, used to express affinity masks.
+///
+/// The set is a plain bitmask with capacity [`MAX_CPUS`]; indices outside that range are
+/// rejected by [`CpuSet::insert`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct CpuSet {
+    bits: [u64; WORDS],
+}
+
+impl Default for CpuSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuSet {
+    /// Creates an empty CPU set.
+    pub const fn new() -> Self {
+        CpuSet { bits: [0; WORDS] }
+    }
+
+    /// Creates a set containing a single CPU.
+    pub fn single(cpu: usize) -> Self {
+        let mut s = Self::new();
+        s.insert(cpu);
+        s
+    }
+
+    /// Creates a set containing CPUs `0..n`.
+    pub fn first_n(n: usize) -> Self {
+        let mut s = Self::new();
+        for c in 0..n.min(MAX_CPUS) {
+            s.insert(c);
+        }
+        s
+    }
+
+    /// Adds a CPU to the set. Returns `true` if the index was in range.
+    pub fn insert(&mut self, cpu: usize) -> bool {
+        if cpu >= MAX_CPUS {
+            return false;
+        }
+        self.bits[cpu / 64] |= 1u64 << (cpu % 64);
+        true
+    }
+
+    /// Removes a CPU from the set.
+    pub fn remove(&mut self, cpu: usize) {
+        if cpu < MAX_CPUS {
+            self.bits[cpu / 64] &= !(1u64 << (cpu % 64));
+        }
+    }
+
+    /// Returns `true` if the CPU is in the set.
+    pub fn contains(&self, cpu: usize) -> bool {
+        cpu < MAX_CPUS && self.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
+    }
+
+    /// Number of CPUs in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no CPU is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the CPU indices in the set, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..MAX_CPUS).filter(move |&c| self.contains(c))
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &CpuSet) -> CpuSet {
+        let mut out = *self;
+        for (a, b) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
+        }
+        out
+    }
+
+    /// Intersection of two sets.
+    pub fn intersection(&self, other: &CpuSet) -> CpuSet {
+        let mut out = *self;
+        for (a, b) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *a &= *b;
+        }
+        out
+    }
+
+    /// Raw 64-bit words of the mask, least-significant CPU first.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+}
+
+impl std::fmt::Debug for CpuSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for CpuSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = CpuSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let s = CpuSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = CpuSet::new();
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(1023));
+        assert!(!s.insert(1024));
+        assert!(s.contains(0));
+        assert!(s.contains(63));
+        assert!(s.contains(64));
+        assert!(s.contains(1023));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn remove_clears_bit() {
+        let mut s = CpuSet::first_n(8);
+        assert_eq!(s.len(), 8);
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let s: CpuSet = [5usize, 1, 900, 64].into_iter().collect();
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![1, 5, 64, 900]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = CpuSet::first_n(4);
+        let b: CpuSet = [2usize, 3, 4, 5].into_iter().collect();
+        let u = a.union(&b);
+        let i = a.intersection(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn single() {
+        let s = CpuSet::single(17);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(17));
+    }
+}

@@ -1,0 +1,299 @@
+//! Machine topology model: sockets × cores.
+//!
+//! The tree barrier of the fine-grain scheduler is "tuned to the organisation of the
+//! evaluation machine" (paper §2): threads on the same socket are grouped under the same
+//! subtree so that most arrival/release traffic stays inside a socket.  To make that
+//! tuning testable without the paper's 4-socket machine, a [`Topology`] can either be
+//! detected from the running system or constructed synthetically.
+
+use crate::CpuSet;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a socket (package) in the machine.
+pub type SocketId = usize;
+/// Identifier of a logical core in the machine.
+pub type CoreId = usize;
+
+/// Error produced while constructing a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A synthetic topology was requested with zero sockets or zero cores per socket.
+    Empty,
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology must have at least one socket and one core"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// How worker threads are laid out over the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PinPolicy {
+    /// Do not pin threads at all.
+    None,
+    /// Fill sockets one at a time (thread *i* goes to core *i* in socket-major order).
+    /// This is the layout the paper uses (`KMP_AFFINITY=compact`-style, no hyper-threads).
+    Compact,
+    /// Round-robin threads over sockets (thread *i* goes to socket *i mod S*).
+    Scatter,
+}
+
+/// A description of the machine as a list of sockets, each holding a contiguous group of
+/// logical cores.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// `sockets[s]` is the list of core ids belonging to socket `s`.
+    sockets: Vec<Vec<CoreId>>,
+}
+
+impl Topology {
+    /// Builds a synthetic topology of `sockets × cores_per_socket` cores, numbered
+    /// socket-major (socket 0 holds cores `0..cores_per_socket`, and so on).
+    pub fn synthetic(sockets: usize, cores_per_socket: usize) -> Result<Self, TopologyError> {
+        if sockets == 0 || cores_per_socket == 0 {
+            return Err(TopologyError::Empty);
+        }
+        let sockets = (0..sockets)
+            .map(|s| (s * cores_per_socket..(s + 1) * cores_per_socket).collect())
+            .collect();
+        Ok(Topology { sockets })
+    }
+
+    /// The paper's evaluation machine: a 4-socket Intel Xeon E7-4860 v2 with 12 physical
+    /// cores per socket (48 cores, hyper-threads unused).
+    pub fn paper_machine() -> Self {
+        Self::synthetic(4, 12).expect("paper machine shape is non-empty")
+    }
+
+    /// Builds a single-socket topology with `cores` cores.
+    pub fn flat(cores: usize) -> Result<Self, TopologyError> {
+        Self::synthetic(1, cores)
+    }
+
+    /// Detects the topology of the running machine.
+    ///
+    /// On Linux this reads `/sys/devices/system/cpu/cpu*/topology/physical_package_id`;
+    /// if that is unavailable (or on other platforms) it falls back to a single socket
+    /// containing [`std::thread::available_parallelism`] cores.
+    pub fn detect() -> Self {
+        Self::detect_from_sysfs().unwrap_or_else(|| {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            Self::flat(n.max(1)).expect("n >= 1")
+        })
+    }
+
+    fn detect_from_sysfs() -> Option<Self> {
+        let mut by_socket: std::collections::BTreeMap<usize, Vec<CoreId>> =
+            std::collections::BTreeMap::new();
+        let entries = std::fs::read_dir("/sys/devices/system/cpu").ok()?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.starts_with("cpu") {
+                continue;
+            }
+            let Ok(cpu_id) = name[3..].parse::<usize>() else {
+                continue;
+            };
+            let pkg_path = entry.path().join("topology/physical_package_id");
+            let Ok(pkg) = std::fs::read_to_string(&pkg_path) else {
+                continue;
+            };
+            let Ok(pkg) = pkg.trim().parse::<usize>() else {
+                continue;
+            };
+            by_socket.entry(pkg).or_default().push(cpu_id);
+        }
+        if by_socket.is_empty() {
+            return None;
+        }
+        let mut sockets: Vec<Vec<CoreId>> = by_socket.into_values().collect();
+        for s in &mut sockets {
+            s.sort_unstable();
+        }
+        Some(Topology { sockets })
+    }
+
+    /// Number of sockets.
+    pub fn num_sockets(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Total number of logical cores.
+    pub fn num_cores(&self) -> usize {
+        self.sockets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of cores in the first socket (all sockets are assumed homogeneous for
+    /// tuning purposes; detection keeps the true per-socket lists).
+    pub fn cores_per_socket(&self) -> usize {
+        self.sockets.first().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// The core ids belonging to socket `s`.
+    pub fn socket_cores(&self, s: SocketId) -> &[CoreId] {
+        &self.sockets[s]
+    }
+
+    /// The socket a given core belongs to, if it exists in the topology.
+    pub fn socket_of(&self, core: CoreId) -> Option<SocketId> {
+        self.sockets.iter().position(|cores| cores.contains(&core))
+    }
+
+    /// Returns `true` if the two cores share a socket.
+    pub fn same_socket(&self, a: CoreId, b: CoreId) -> bool {
+        match (self.socket_of(a), self.socket_of(b)) {
+            (Some(sa), Some(sb)) => sa == sb,
+            _ => false,
+        }
+    }
+
+    /// Maps the logical worker index `worker` (0-based, `0..nthreads`) to the core it
+    /// should be pinned to under the given policy, or `None` for [`PinPolicy::None`].
+    pub fn core_for_worker(&self, worker: usize, policy: PinPolicy) -> Option<CoreId> {
+        let ncores = self.num_cores();
+        if ncores == 0 {
+            return None;
+        }
+        match policy {
+            PinPolicy::None => None,
+            PinPolicy::Compact => {
+                // Socket-major enumeration of cores, wrapping around when oversubscribed.
+                let flat: Vec<CoreId> = self.sockets.iter().flatten().copied().collect();
+                Some(flat[worker % flat.len()])
+            }
+            PinPolicy::Scatter => {
+                let s = worker % self.num_sockets();
+                let idx = (worker / self.num_sockets()) % self.sockets[s].len();
+                Some(self.sockets[s][idx])
+            }
+        }
+    }
+
+    /// The CPU set covering a whole socket.
+    pub fn socket_cpuset(&self, s: SocketId) -> CpuSet {
+        self.sockets[s].iter().copied().collect()
+    }
+
+    /// Suggested fan-in for the arrival (join) tree of the scheduler's barrier,
+    /// following the MCS recommendation of fan-in 4 but never exceeding the number of
+    /// cores per socket, so that each subtree stays socket-local.
+    pub fn suggested_arrival_fanin(&self) -> usize {
+        4usize.clamp(2, self.cores_per_socket().max(2))
+    }
+
+    /// Suggested fan-out for the wakeup (release) tree (MCS recommends 2, a binary
+    /// wakeup tree).
+    pub fn suggested_release_fanout(&self) -> usize {
+        2
+    }
+
+    /// Worker-index groups per socket for a team of `nthreads` threads laid out with
+    /// [`PinPolicy::Compact`]: `groups[s]` lists the worker indices whose core lives on
+    /// socket `s`.  Used to build socket-aware barrier trees.
+    pub fn worker_groups(&self, nthreads: usize) -> Vec<Vec<usize>> {
+        let cps = self.cores_per_socket().max(1);
+        let nsockets = self.num_sockets().max(1);
+        let mut groups = vec![Vec::new(); nsockets];
+        for w in 0..nthreads {
+            let s = (w / cps) % nsockets;
+            groups[s].push(w);
+        }
+        groups
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::detect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_rejects_empty() {
+        assert_eq!(Topology::synthetic(0, 4), Err(TopologyError::Empty));
+        assert_eq!(Topology::synthetic(4, 0), Err(TopologyError::Empty));
+    }
+
+    #[test]
+    fn synthetic_core_numbering_is_socket_major() {
+        let t = Topology::synthetic(2, 3).unwrap();
+        assert_eq!(t.socket_cores(0), &[0, 1, 2]);
+        assert_eq!(t.socket_cores(1), &[3, 4, 5]);
+        assert_eq!(t.socket_of(4), Some(1));
+        assert_eq!(t.socket_of(99), None);
+        assert!(t.same_socket(0, 2));
+        assert!(!t.same_socket(2, 3));
+    }
+
+    #[test]
+    fn compact_policy_fills_socket_first() {
+        let t = Topology::synthetic(2, 2).unwrap();
+        let cores: Vec<_> = (0..4)
+            .map(|w| t.core_for_worker(w, PinPolicy::Compact).unwrap())
+            .collect();
+        assert_eq!(cores, vec![0, 1, 2, 3]);
+        // Oversubscription wraps around.
+        assert_eq!(t.core_for_worker(4, PinPolicy::Compact), Some(0));
+    }
+
+    #[test]
+    fn scatter_policy_round_robins_sockets() {
+        let t = Topology::synthetic(2, 2).unwrap();
+        let cores: Vec<_> = (0..4)
+            .map(|w| t.core_for_worker(w, PinPolicy::Scatter).unwrap())
+            .collect();
+        assert_eq!(cores, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn none_policy_returns_none() {
+        let t = Topology::synthetic(1, 4).unwrap();
+        assert_eq!(t.core_for_worker(0, PinPolicy::None), None);
+    }
+
+    #[test]
+    fn worker_groups_cover_all_workers() {
+        let t = Topology::paper_machine();
+        let groups = t.worker_groups(48);
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().all(|g| g.len() == 12));
+        let mut all: Vec<usize> = groups.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..48).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn suggested_fanin_is_bounded() {
+        let t = Topology::paper_machine();
+        assert_eq!(t.suggested_arrival_fanin(), 4);
+        assert_eq!(t.suggested_release_fanout(), 2);
+        let small = Topology::flat(2).unwrap();
+        assert!(small.suggested_arrival_fanin() >= 2);
+    }
+
+    #[test]
+    fn socket_cpuset_contains_socket_cores() {
+        let t = Topology::synthetic(2, 3).unwrap();
+        let s1 = t.socket_cpuset(1);
+        assert_eq!(s1.iter().collect::<Vec<_>>(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn detect_does_not_panic() {
+        let t = Topology::detect();
+        assert!(t.num_cores() >= 1);
+        assert!(t.cores_per_socket() >= 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # parlo-analysis — measurement and analysis utilities
+//!
+//! Everything the evaluation harnesses need to turn raw timings into the numbers the
+//! paper reports:
+//!
+//! * [`amdahl`] — the paper's burden model `S = T / (d + T/P)` and its least-squares
+//!   fit (Table 1's `d` values);
+//! * [`stats`] — robust summary statistics and a small OLS helper;
+//! * [`timing`] — min-of-N / mean-of-N timing and repetition calibration;
+//! * [`Series`] — speedup-vs-threads series and ratios (Figures 2 and 3);
+//! * [`report`] — plain-text and CSV rendering of tables and series.
+
+#![warn(missing_docs)]
+
+pub mod amdahl;
+pub mod report;
+pub mod stats;
+pub mod timing;
+
+mod series;
+
+pub use amdahl::{fit_burden, model_speedup, BurdenFit, BurdenMeasurement};
+pub use report::{series_to_csv, series_to_text, Table};
+pub use series::Series;
+pub use stats::{geomean, linear_fit, quantile, summarize, Summary};
+pub use timing::{black_box, calibrate_reps, mean_time_of, min_time_of, time_once};

@@ -1,0 +1,98 @@
+//! Timing helpers for the benchmark harnesses.
+
+use std::time::{Duration, Instant};
+
+/// Times one invocation of `f`, returning its result and the elapsed wall-clock time.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Runs `f` `reps` times and returns the *minimum* elapsed time per invocation.
+/// The minimum is the conventional estimator for short deterministic kernels because
+/// every source of interference only ever adds time.
+pub fn min_time_of(reps: usize, mut f: impl FnMut()) -> Duration {
+    let reps = reps.max(1);
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    best
+}
+
+/// Runs `f` `reps` times and returns the mean elapsed time per invocation, measured
+/// around the whole batch (appropriate when a single invocation is too short to time).
+pub fn mean_time_of(reps: usize, mut f: impl FnMut()) -> Duration {
+    let reps = reps.max(1);
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed() / reps as u32
+}
+
+/// Picks a repetition count so that the whole measurement takes roughly
+/// `target` given one calibration invocation of `f`, clamped to `[min_reps, max_reps]`.
+pub fn calibrate_reps(
+    target: Duration,
+    min_reps: usize,
+    max_reps: usize,
+    mut f: impl FnMut(),
+) -> usize {
+    let (_, once) = time_once(|| f());
+    if once.is_zero() {
+        return max_reps;
+    }
+    let reps = (target.as_secs_f64() / once.as_secs_f64()).ceil() as usize;
+    reps.clamp(min_reps.max(1), max_reps.max(1))
+}
+
+/// Prevents the compiler from optimising away a computed value (stable `black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_result() {
+        let (v, d) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn min_time_is_not_larger_than_mean_time() {
+        let work = || {
+            let mut s = 0u64;
+            for i in 0..2000 {
+                s = s.wrapping_add(black_box(i));
+            }
+            black_box(s);
+        };
+        let min = min_time_of(20, work);
+        let mean = mean_time_of(20, work);
+        // Allow generous slack: on a noisy machine mean ≈ min, but min can never be
+        // meaningfully above the mean.
+        assert!(min <= mean * 3);
+    }
+
+    #[test]
+    fn calibrate_reps_is_clamped() {
+        let reps = calibrate_reps(Duration::from_millis(1), 3, 10, || {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert_eq!(reps, 3);
+        let reps = calibrate_reps(Duration::from_millis(5), 1, 7, || {});
+        assert!(reps >= 1 && reps <= 7);
+    }
+}

@@ -1,0 +1,107 @@
+//! Dissemination barrier.
+//!
+//! In round `r` (of `⌈log₂ P⌉` rounds) participant `i` signals participant
+//! `(i + 2^r) mod P` and waits for a signal from `(i − 2^r) mod P`.  No single location
+//! is written by more than one thread per round, and the critical path is logarithmic.
+//! Included for completeness of the barrier study (it is a classic alternative to the
+//! MCS tree the paper builds on) and used in the barrier micro-benchmarks.
+
+use crate::{Barrier, Epoch, WaitPolicy};
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Dissemination barrier for a fixed number of participants.
+#[derive(Debug)]
+pub struct DisseminationBarrier {
+    nthreads: usize,
+    rounds: usize,
+    /// `flags[i][r]` is the epoch up to which participant `i` has been signalled in
+    /// round `r`.
+    flags: Vec<Vec<CachePadded<AtomicU64>>>,
+    /// Per-participant episode counter (only participant `i` touches entry `i`).
+    episode: Vec<CachePadded<AtomicU64>>,
+    policy: WaitPolicy,
+}
+
+impl DisseminationBarrier {
+    /// Creates a dissemination barrier for `nthreads` participants.
+    pub fn new(nthreads: usize) -> Self {
+        Self::with_policy(nthreads, WaitPolicy::auto_for(nthreads))
+    }
+
+    /// Creates a dissemination barrier with an explicit wait policy.
+    pub fn with_policy(nthreads: usize, policy: WaitPolicy) -> Self {
+        assert!(nthreads > 0, "a barrier needs at least one participant");
+        let rounds = usize::BITS as usize - (nthreads - 1).leading_zeros() as usize;
+        let rounds = if nthreads == 1 { 0 } else { rounds };
+        DisseminationBarrier {
+            nthreads,
+            rounds,
+            flags: (0..nthreads)
+                .map(|_| (0..rounds).map(|_| CachePadded::new(AtomicU64::new(0))).collect())
+                .collect(),
+            episode: (0..nthreads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            policy,
+        }
+    }
+
+    /// Number of communication rounds per episode.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl Barrier for DisseminationBarrier {
+    fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn wait(&self, id: usize) {
+        let epoch: Epoch = self.episode[id].fetch_add(1, Ordering::Relaxed) + 1;
+        for r in 0..self.rounds {
+            let partner = (id + (1 << r)) % self.nthreads;
+            // Signal the partner for this round.
+            self.flags[partner][r].store(epoch, Ordering::Release);
+            // Wait to be signalled ourselves.
+            self.policy
+                .wait_until(|| self.flags[id][r].load(Ordering::Acquire) >= epoch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::harness::exercise;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_count() {
+        assert_eq!(DisseminationBarrier::new(1).rounds(), 0);
+        assert_eq!(DisseminationBarrier::new(2).rounds(), 1);
+        assert_eq!(DisseminationBarrier::new(3).rounds(), 2);
+        assert_eq!(DisseminationBarrier::new(4).rounds(), 2);
+        assert_eq!(DisseminationBarrier::new(5).rounds(), 3);
+        assert_eq!(DisseminationBarrier::new(48).rounds(), 6);
+    }
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = DisseminationBarrier::new(1);
+        for _ in 0..10 {
+            b.wait(0);
+        }
+    }
+
+    #[test]
+    fn stress_power_of_two() {
+        exercise(Arc::new(DisseminationBarrier::new(4)), 50);
+    }
+
+    #[test]
+    fn stress_non_power_of_two() {
+        exercise(Arc::new(DisseminationBarrier::new(5)), 50);
+    }
+}

@@ -1,0 +1,283 @@
+//! The half-barrier: the paper's core synchronization pattern.
+//!
+//! A parallel loop in the fine-grain scheduler executes exactly one *release* phase at
+//! the fork point (the master publishes the work and signals the workers; nobody waits
+//! for anybody at this point) and one *join* phase at the end of the loop (workers
+//! notify completion up the tree; the master does not acknowledge).  Together the two
+//! phases cost as much as **one** conventional barrier, compared to the two (or three,
+//! with reductions) full barriers of the baseline runtimes.
+//!
+//! [`HalfBarrier`] bundles the two phases and offers both a centralized and a tree
+//! flavor, matching the "fine-grain centralized" and "fine-grain tree" configurations of
+//! Table 1 in the paper.
+
+use crate::{CentralizedJoin, CentralizedRelease, Epoch, TreeJoin, TreeRelease, TreeShape, WaitPolicy};
+use parlo_affinity::Topology;
+
+/// Which data structure backs the two phases.
+#[derive(Debug)]
+enum Flavor {
+    Centralized {
+        release: CentralizedRelease,
+        join: CentralizedJoin,
+    },
+    Tree {
+        release: TreeRelease,
+        join: TreeJoin,
+    },
+}
+
+/// A half-barrier over `nthreads` participants (participant 0 is the master).
+///
+/// Per parallel loop the master calls [`HalfBarrier::release`] once and
+/// [`HalfBarrier::join`] once; each worker calls [`HalfBarrier::wait_release`] and
+/// [`HalfBarrier::arrive`] once.  Epochs must increase by one per loop.
+#[derive(Debug)]
+pub struct HalfBarrier {
+    nthreads: usize,
+    flavor: Flavor,
+}
+
+impl HalfBarrier {
+    /// Creates a centralized half-barrier (single release word + single join counter).
+    pub fn new_centralized(nthreads: usize) -> Self {
+        assert!(nthreads > 0, "a half-barrier needs at least one participant");
+        HalfBarrier {
+            nthreads,
+            flavor: Flavor::Centralized {
+                release: CentralizedRelease::new(),
+                join: CentralizedJoin::new(nthreads.saturating_sub(1)),
+            },
+        }
+    }
+
+    /// Creates a tree half-barrier over an explicit shape.
+    pub fn new_tree(shape: TreeShape) -> Self {
+        HalfBarrier {
+            nthreads: shape.len(),
+            flavor: Flavor::Tree {
+                release: TreeRelease::new(shape.clone()),
+                join: TreeJoin::new(shape),
+            },
+        }
+    }
+
+    /// Creates a tree half-barrier tuned to a machine topology (socket-local subtrees).
+    pub fn topology_aware(topology: &Topology, nthreads: usize) -> Self {
+        let shape =
+            TreeShape::topology_aware(topology, nthreads, topology.suggested_arrival_fanin());
+        Self::new_tree(shape)
+    }
+
+    /// Number of participants (master included).
+    pub fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Returns `true` if this is the tree flavor.
+    pub fn is_tree(&self) -> bool {
+        matches!(self.flavor, Flavor::Tree { .. })
+    }
+
+    /// The children of participant `id` in the join structure.  For the centralized
+    /// flavor the master's children are all workers and workers have none — this is the
+    /// set of views participant `id` is responsible for combining during a merged
+    /// reduction.
+    pub fn combine_children(&self, id: usize) -> Vec<usize> {
+        match &self.flavor {
+            Flavor::Centralized { .. } => {
+                if id == 0 {
+                    (1..self.nthreads).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            Flavor::Tree { join, .. } => join.shape().children(id).to_vec(),
+        }
+    }
+
+    // ----- master side -------------------------------------------------------------
+
+    /// Master: release phase of the fork "barrier".  Publishes `epoch` to the workers;
+    /// never waits.  Any data written before this call (the work descriptor) is visible
+    /// to workers that observe the epoch.
+    #[inline]
+    pub fn release(&self, epoch: Epoch) {
+        match &self.flavor {
+            Flavor::Centralized { release, .. } => release.signal(epoch),
+            Flavor::Tree { release, .. } => release.signal_root(epoch),
+        }
+    }
+
+    /// Master: join phase of the join "barrier".  Waits until every worker has arrived
+    /// for `epoch`, calling `on_child(worker)` once per direct child so partial
+    /// reduction views can be folded (tree flavor: only the master's subtree children;
+    /// centralized flavor: every worker, after all have arrived).
+    #[inline]
+    pub fn join<F: FnMut(usize)>(&self, epoch: Epoch, policy: &WaitPolicy, mut on_child: F) {
+        match &self.flavor {
+            Flavor::Centralized { join, .. } => {
+                join.wait_all(epoch, policy);
+                for w in 1..self.nthreads {
+                    on_child(w);
+                }
+            }
+            Flavor::Tree { join, .. } => join.arrive_and_combine(0, epoch, policy, on_child),
+        }
+    }
+
+    /// Master: non-blocking probe of the join phase.
+    #[inline]
+    pub fn poll_join(&self, epoch: Epoch) -> bool {
+        match &self.flavor {
+            Flavor::Centralized { join, .. } => join.poll_all(epoch),
+            Flavor::Tree { join, .. } => join.has_arrived(0, epoch),
+        }
+    }
+
+    // ----- worker side -------------------------------------------------------------
+
+    /// Worker `id`: wait until released for `epoch` (forwarding the release to tree
+    /// children where applicable).
+    #[inline]
+    pub fn wait_release(&self, id: usize, epoch: Epoch, policy: &WaitPolicy) {
+        debug_assert!(id > 0 && id < self.nthreads);
+        match &self.flavor {
+            Flavor::Centralized { release, .. } => release.wait(epoch, policy),
+            Flavor::Tree { release, .. } => release.wait_and_forward(id, epoch, policy),
+        }
+    }
+
+    /// Worker `id`: non-blocking release probe, used by the hybrid scheduler which
+    /// alternates a work-stealing attempt with this poll.  When it returns `true` the
+    /// caller must invoke [`HalfBarrier::forward_release`] before executing the loop.
+    #[inline]
+    pub fn poll_release(&self, id: usize, epoch: Epoch) -> bool {
+        match &self.flavor {
+            Flavor::Centralized { release, .. } => release.poll(epoch),
+            Flavor::Tree { release, .. } => release.poll(id, epoch),
+        }
+    }
+
+    /// Worker `id`: forward a release observed through [`HalfBarrier::poll_release`].
+    #[inline]
+    pub fn forward_release(&self, id: usize, epoch: Epoch) {
+        if let Flavor::Tree { release, .. } = &self.flavor {
+            release.forward(id, epoch);
+        }
+    }
+
+    /// Worker `id`: arrive for `epoch`, waiting for (and combining) any join-tree
+    /// children first.  `on_child(child)` is invoked once per direct child.
+    #[inline]
+    pub fn arrive<F: FnMut(usize)>(
+        &self,
+        id: usize,
+        epoch: Epoch,
+        policy: &WaitPolicy,
+        on_child: F,
+    ) {
+        debug_assert!(id > 0 && id < self.nthreads);
+        match &self.flavor {
+            Flavor::Centralized { join, .. } => {
+                let _ = on_child;
+                join.arrive();
+            }
+            Flavor::Tree { join, .. } => join.arrive_and_combine(id, epoch, policy, on_child),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn run_cycles(hb: Arc<HalfBarrier>, cycles: u64) {
+        let n = hb.num_threads();
+        let policy = WaitPolicy::oversubscribed();
+        let work = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for id in 1..n {
+            let hb = hb.clone();
+            let work = work.clone();
+            handles.push(std::thread::spawn(move || {
+                for epoch in 1..=cycles {
+                    hb.wait_release(id, epoch, &policy);
+                    work.fetch_add(1, Ordering::SeqCst);
+                    hb.arrive(id, epoch, &policy, |_| {});
+                }
+            }));
+        }
+        for epoch in 1..=cycles {
+            hb.release(epoch);
+            work.fetch_add(1, Ordering::SeqCst);
+            let mut combines = 0;
+            hb.join(epoch, &policy, |_| combines += 1);
+            assert_eq!(combines, hb.combine_children(0).len());
+            // After the join phase every participant has contributed for this epoch.
+            assert_eq!(work.load(Ordering::SeqCst) as u64, epoch * n as u64);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn centralized_cycles() {
+        run_cycles(Arc::new(HalfBarrier::new_centralized(4)), 50);
+    }
+
+    #[test]
+    fn tree_cycles() {
+        run_cycles(Arc::new(HalfBarrier::new_tree(TreeShape::uniform(4, 2))), 50);
+    }
+
+    #[test]
+    fn topology_aware_cycles() {
+        let topo = Topology::synthetic(2, 2).unwrap();
+        run_cycles(Arc::new(HalfBarrier::topology_aware(&topo, 4)), 50);
+    }
+
+    #[test]
+    fn single_participant() {
+        let hb = HalfBarrier::new_centralized(1);
+        let policy = WaitPolicy::default();
+        for epoch in 1..=10 {
+            hb.release(epoch);
+            hb.join(epoch, &policy, |_| panic!("no children expected"));
+        }
+    }
+
+    #[test]
+    fn combine_children_cover_all_workers_exactly_once() {
+        for hb in [
+            HalfBarrier::new_centralized(7),
+            HalfBarrier::new_tree(TreeShape::uniform(7, 2)),
+            HalfBarrier::topology_aware(&Topology::synthetic(2, 3).unwrap(), 7),
+        ] {
+            let mut all: Vec<usize> = (0..hb.num_threads())
+                .flat_map(|id| hb.combine_children(id))
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (1..7).collect::<Vec<_>>(), "every worker combined exactly once");
+        }
+    }
+
+    #[test]
+    fn poll_release_matches_wait_release() {
+        let hb = HalfBarrier::new_tree(TreeShape::uniform(3, 2));
+        assert!(!hb.poll_release(1, 1));
+        hb.release(1);
+        assert!(hb.poll_release(1, 1));
+        hb.forward_release(1, 1);
+        assert!(hb.poll_release(2, 1));
+    }
+
+    #[test]
+    fn is_tree_reports_flavor() {
+        assert!(!HalfBarrier::new_centralized(2).is_tree());
+        assert!(HalfBarrier::new_tree(TreeShape::uniform(2, 2)).is_tree());
+    }
+}

@@ -1,0 +1,94 @@
+//! Centralized sense-reversing barrier.
+//!
+//! The textbook shared-memory barrier: a single arrival counter plus a global sense
+//! flag whose polarity flips every episode.  Provided as a baseline full barrier and as
+//! a reference implementation for tests; the schedulers use the counter/tree primitives.
+
+use crate::{Barrier, WaitPolicy};
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Centralized sense-reversing barrier for a fixed number of participants.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    nthreads: usize,
+    count: CachePadded<AtomicUsize>,
+    global_sense: CachePadded<AtomicBool>,
+    /// Per-participant local sense. Only participant `i` ever accesses entry `i`, but
+    /// the entries must be shareable across the threads of the team, hence atomics.
+    local_sense: Vec<CachePadded<AtomicBool>>,
+    policy: WaitPolicy,
+}
+
+impl SenseBarrier {
+    /// Creates a sense-reversing barrier for `nthreads` participants.
+    pub fn new(nthreads: usize) -> Self {
+        Self::with_policy(nthreads, WaitPolicy::auto_for(nthreads))
+    }
+
+    /// Creates a sense-reversing barrier with an explicit wait policy.
+    pub fn with_policy(nthreads: usize, policy: WaitPolicy) -> Self {
+        assert!(nthreads > 0, "a barrier needs at least one participant");
+        SenseBarrier {
+            nthreads,
+            count: CachePadded::new(AtomicUsize::new(0)),
+            global_sense: CachePadded::new(AtomicBool::new(false)),
+            local_sense: (0..nthreads)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            policy,
+        }
+    }
+}
+
+impl Barrier for SenseBarrier {
+    fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn wait(&self, id: usize) {
+        let sense = !self.local_sense[id].load(Ordering::Relaxed);
+        self.local_sense[id].store(sense, Ordering::Relaxed);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.nthreads {
+            // Last arrival: reset the counter for the next episode and release everyone
+            // by flipping the global sense.
+            self.count.store(0, Ordering::Relaxed);
+            self.global_sense.store(sense, Ordering::Release);
+        } else {
+            self.policy
+                .wait_until(|| self.global_sense.load(Ordering::Acquire) == sense);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::harness::exercise;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = SenseBarrier::new(1);
+        for _ in 0..100 {
+            b.wait(0);
+        }
+    }
+
+    #[test]
+    fn two_thread_stress() {
+        exercise(Arc::new(SenseBarrier::new(2)), 100);
+    }
+
+    #[test]
+    fn many_thread_stress() {
+        exercise(Arc::new(SenseBarrier::new(6)), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_threads_panics() {
+        let _ = SenseBarrier::new(0);
+    }
+}

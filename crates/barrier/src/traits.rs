@@ -1,0 +1,62 @@
+//! Common barrier abstractions.
+
+/// Epoch counter type. Every fork/join cycle of the runtime uses a fresh epoch; all
+/// epoch-based primitives store "the epoch up to which this event has happened" in an
+/// atomic and compare against the current epoch, which sidesteps re-initialisation
+/// races when a structure is reused.
+pub type Epoch = u64;
+
+/// A classic stand-alone barrier for a fixed team of `P` threads: every participant
+/// calls [`Barrier::wait`] with its id, and no call returns until all `P` participants
+/// have arrived.
+///
+/// This is the abstraction the OpenMP-like baseline team is built on, and what the
+/// fine-grain scheduler deliberately *avoids* executing twice per loop.
+pub trait Barrier: Sync {
+    /// Number of participating threads.
+    fn num_threads(&self) -> usize;
+
+    /// Blocks the calling participant (`id` in `0..num_threads()`) until all
+    /// participants of the current episode have arrived.
+    fn wait(&self, id: usize);
+}
+
+#[cfg(test)]
+pub(crate) mod harness {
+    //! A reusable stress harness: checks that a barrier never lets a thread run ahead
+    //! of the slowest participant across many episodes.
+
+    use super::Barrier;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Runs `episodes` barrier episodes on `nthreads` threads.  Each thread increments a
+    /// shared per-episode counter *before* the barrier and asserts that after the
+    /// barrier the counter equals `nthreads` — i.e. nobody passed the barrier before all
+    /// arrivals of that episode.
+    pub fn exercise<B: Barrier + Send + Sync + 'static>(barrier: Arc<B>, episodes: usize) {
+        let nthreads = barrier.num_threads();
+        let counters: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..episodes).map(|_| AtomicUsize::new(0)).collect());
+        let mut handles = Vec::new();
+        for id in 0..nthreads {
+            let b = barrier.clone();
+            let counters = counters.clone();
+            handles.push(std::thread::spawn(move || {
+                for e in 0..episodes {
+                    counters[e].fetch_add(1, Ordering::SeqCst);
+                    b.wait(id);
+                    let seen = counters[e].load(Ordering::SeqCst);
+                    assert_eq!(
+                        seen, nthreads,
+                        "thread {id} passed episode {e} after only {seen}/{nthreads} arrivals"
+                    );
+                    b.wait(id);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("barrier worker panicked");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Criterion bench behind Table 1: the per-loop overhead of each scheduler, measured by
+//! timing an (almost) empty parallel loop.  The per-invocation time is the scheduling
+//! burden `d` directly (there is no work to amortise it against).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parlo_core::{BarrierKind, Config, FineGrainPool};
+use parlo_omp::{OmpTeam, Schedule};
+use parlo_workloads::microbench::work_unit;
+use std::time::Duration;
+
+const ITERS: usize = 64;
+const UNITS: usize = 1;
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn bench_burden(c: &mut Criterion) {
+    let t = threads();
+    let mut group = c.benchmark_group("table1_per_loop_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for kind in [
+        BarrierKind::TreeHalf,
+        BarrierKind::CentralizedHalf,
+        BarrierKind::TreeFull,
+    ] {
+        let mut pool = FineGrainPool::new(Config::builder(t).barrier(kind).build());
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let s = pool.parallel_reduce(
+                    0..ITERS,
+                    || 0.0f64,
+                    |acc, i| acc + work_unit(i, UNITS),
+                    |a, b| a + b,
+                );
+                criterion::black_box(s)
+            })
+        });
+    }
+
+    let mut team = OmpTeam::with_threads(t);
+    group.bench_function("OpenMP static", |b| {
+        b.iter(|| {
+            let s = team.parallel_reduce(
+                0..ITERS,
+                Schedule::Static,
+                || 0.0f64,
+                |acc, i| acc + work_unit(i, UNITS),
+                |a, b| a + b,
+            );
+            criterion::black_box(s)
+        })
+    });
+    group.bench_function("OpenMP dynamic", |b| {
+        b.iter(|| {
+            let s = team.parallel_reduce(
+                0..ITERS,
+                Schedule::Dynamic(1),
+                || 0.0f64,
+                |acc, i| acc + work_unit(i, UNITS),
+                |a, b| a + b,
+            );
+            criterion::black_box(s)
+        })
+    });
+
+    let mut cilk = parlo_cilk::CilkPool::with_threads(t);
+    group.bench_function("Cilk", |b| {
+        b.iter(|| {
+            let s = cilk.cilk_reduce(
+                0..ITERS,
+                || 0.0f64,
+                |acc, i| acc + work_unit(i, UNITS),
+                |a, b| a + b,
+            );
+            criterion::black_box(s)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_burden);
+criterion_main!(benches);

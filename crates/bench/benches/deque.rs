@@ -1,0 +1,38 @@
+//! Criterion bench of the Chase–Lev work-stealing deque: owner push/pop throughput and
+//! steal cost — the substrate behind the Cilk baseline's burden.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parlo_cilk::WorkStealingDeque;
+use std::time::Duration;
+
+fn bench_deque(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_lev_deque");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+
+    let deque: WorkStealingDeque<usize> = WorkStealingDeque::new(4096);
+    group.bench_function("push_pop_pair", |b| {
+        b.iter(|| unsafe {
+            deque.push(criterion::black_box(7usize)).unwrap();
+            criterion::black_box(deque.pop())
+        })
+    });
+
+    group.bench_function("push_steal_pair", |b| {
+        b.iter(|| {
+            unsafe { deque.push(criterion::black_box(7usize)).unwrap() };
+            criterion::black_box(deque.steal().success())
+        })
+    });
+
+    group.bench_function("steal_empty", |b| {
+        b.iter(|| criterion::black_box(deque.steal().success()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_deque);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench behind Figure 2: one MPDATA time step on the paper-sized mesh under
+//! the fine-grain scheduler, the OpenMP-like team and sequentially.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parlo_workloads::{FineGrainRunner, Mpdata, OmpRunner, SequentialRunner};
+use std::time::Duration;
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn bench_mpdata(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_mpdata_step");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let mut seq = SequentialRunner;
+    let mut solver = Mpdata::paper_problem();
+    group.bench_function("sequential", |b| {
+        b.iter(|| criterion::black_box(solver.step(&mut seq)))
+    });
+
+    let mut fine = FineGrainRunner::with_threads(threads());
+    let mut solver = Mpdata::paper_problem();
+    group.bench_function("fine-grain", |b| {
+        b.iter(|| criterion::black_box(solver.step(&mut fine)))
+    });
+
+    let mut omp = OmpRunner::with_threads(threads(), parlo_omp::Schedule::Static);
+    let mut solver = Mpdata::paper_problem();
+    group.bench_function("OpenMP static", |b| {
+        b.iter(|| criterion::black_box(solver.step(&mut omp)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpdata);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench behind Figure 3: one fine-grain linear-regression map-reduce chunk
+//! under every reduction implementation (fine-grain merged, OpenMP 3-barrier, baseline
+//! Cilk reducers, hybrid fine-grain Cilk).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parlo_workloads::phoenix::linear_regression as linreg;
+use std::time::Duration;
+
+const POINTS: usize = 65_536;
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let points = linreg::generate_points(POINTS, 3.0, 7.0, 2.0, 0xBEEF);
+    let t = threads();
+    let mut group = c.benchmark_group("figure3_regression_chunk");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| criterion::black_box(linreg::sequential(&points)))
+    });
+
+    let mut pool = parlo_core::FineGrainPool::with_threads(t);
+    group.bench_function("fine-grain (merged half-barrier)", |b| {
+        b.iter(|| criterion::black_box(linreg::with_fine_grain(&mut pool, &points)))
+    });
+
+    let mut team = parlo_omp::OmpTeam::with_threads(t);
+    group.bench_function("OpenMP static (3 full barriers)", |b| {
+        b.iter(|| {
+            criterion::black_box(linreg::with_omp(
+                &mut team,
+                parlo_omp::Schedule::Static,
+                &points,
+            ))
+        })
+    });
+
+    let mut cilk = parlo_cilk::CilkPool::with_threads(t);
+    group.bench_function("Cilk baseline reducers", |b| {
+        b.iter(|| criterion::black_box(linreg::with_cilk_baseline(&mut cilk, &points)))
+    });
+    group.bench_function("fine-grain Cilk (hybrid)", |b| {
+        b.iter(|| criterion::black_box(linreg::with_cilk_fine_grain(&mut cilk, &points)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

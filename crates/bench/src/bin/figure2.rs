@@ -1,0 +1,98 @@
+//! Figure 2 — MPDATA: speedup of the fine-grain and OpenMP schedulers (left panel) and
+//! speedup of the fine-grain scheduler over OpenMP (right panel).
+//!
+//! Native mode sweeps thread counts up to the hardware parallelism and measures the
+//! MPDATA solver (paper mesh: 5 568 nodes / 16 397 edges) under the fine-grain scheduler
+//! and the OpenMP-like team.  `--simulate` (also printed by default) evaluates the
+//! cost model on the 48-core paper machine.
+//!
+//! Flags: `--steps N` (time steps per measurement, default 20), `--max-threads N`,
+//! `--quick`, `--csv`, `--simulate` (simulation only).
+
+use parlo_analysis::{series_to_csv, series_to_text, Series};
+use parlo_bench::{arg_value, has_flag, native_thread_sweep, time_secs};
+use parlo_sim::SimMachine;
+use parlo_workloads::{FineGrainRunner, Mpdata, OmpRunner, SequentialRunner};
+
+fn measure_native(steps: usize, max_threads: Option<usize>) -> (Series, Series, Series) {
+    let mut fine = Series::empty("fine-grain");
+    let mut omp = Series::empty("OpenMP");
+
+    // Sequential baseline.
+    let mut seq_runner = SequentialRunner;
+    let mut solver = Mpdata::paper_problem();
+    let t_seq = time_secs(|| {
+        solver.run(&mut seq_runner, steps, false);
+    });
+    eprintln!("figure2: sequential baseline {t_seq:.3}s for {steps} steps");
+
+    for threads in native_thread_sweep(max_threads) {
+        let mut fine_runner = FineGrainRunner::with_threads(threads);
+        let mut solver = Mpdata::paper_problem();
+        let t = time_secs(|| {
+            solver.run(&mut fine_runner, steps, false);
+        });
+        fine.push(threads, t_seq / t);
+
+        let mut omp_runner = OmpRunner::with_threads(threads, parlo_omp::Schedule::Static);
+        let mut solver = Mpdata::paper_problem();
+        let t = time_secs(|| {
+            solver.run(&mut omp_runner, steps, false);
+        });
+        omp.push(threads, t_seq / t);
+        eprintln!(
+            "  threads {threads}: fine {:.3}, OpenMP {:.3}",
+            fine.at(threads).unwrap(),
+            omp.at(threads).unwrap()
+        );
+    }
+    let ratio = fine.ratio_over(&omp, "fine-grain / OpenMP");
+    (fine, omp, ratio)
+}
+
+fn print_series(title: &str, series: &[&Series], csv: bool) {
+    if csv {
+        println!("{}", series_to_csv(series));
+    } else {
+        println!("{}", series_to_text(title, series));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = has_flag(&args, "--csv");
+    let steps = arg_value(&args, "--steps").unwrap_or(if has_flag(&args, "--quick") { 5 } else { 20 });
+
+    if !has_flag(&args, "--simulate") {
+        let (fine, omp, ratio) = measure_native(steps, arg_value(&args, "--max-threads"));
+        print_series(
+            "Figure 2 left (native): MPDATA speedup over sequential",
+            &[&fine, &omp],
+            csv,
+        );
+        print_series(
+            "Figure 2 right (native): speedup of fine-grain over OpenMP",
+            &[&ratio],
+            csv,
+        );
+    }
+
+    // Simulated 48-core machine.
+    let machine = SimMachine::paper_machine();
+    let (fine_s, omp_s) = parlo_sim::experiments::figure2_left(&machine);
+    let ratio_s = parlo_sim::experiments::figure2_right(&machine);
+    print_series(
+        "Figure 2 left (simulated 48-core machine): MPDATA speedup",
+        &[&fine_s, &omp_s],
+        csv,
+    );
+    print_series(
+        "Figure 2 right (simulated): speedup of fine-grain over OpenMP",
+        &[&ratio_s],
+        csv,
+    );
+    println!(
+        "paper reference: OpenMP speedup stagnates with increasing threads; the fine-grain \
+         scheduler improves MPDATA by up to 22% over OpenMP at 48 threads."
+    );
+}

@@ -1,0 +1,154 @@
+//! Figure 3 — performance of reductions on map-reduce workloads (linear regression,
+//! Phoenix++-style input).
+//!
+//! Panel (a): baseline Cilk vs the fine-grain (hybrid Cilk) scheduler.
+//! Panel (b): OpenMP (static and dynamic) vs the fine-grain scheduler.
+//!
+//! The regression is processed Phoenix++-style in fixed-size map-reduce chunks, so each
+//! parallel reduction is fine-grain.  Native mode sweeps thread counts up to the
+//! hardware parallelism; the simulated 48-core series are printed as well.
+//!
+//! Flags: `--points N` (default 2,000,000 native; 25,000,000 simulated), `--max-threads N`,
+//! `--quick`, `--csv`, `--simulate` (simulation only).
+
+use parlo_analysis::{series_to_csv, series_to_text, Series};
+use parlo_bench::{arg_value, has_flag, native_thread_sweep, time_secs};
+use parlo_sim::SimMachine;
+use parlo_workloads::phoenix::linear_regression as linreg;
+
+/// Chunk size (points) of each map-reduce step, matching the simulator's assumption.
+const CHUNK: usize = 65_536;
+
+fn regression_chunks(points: &[linreg::Point]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < points.len() {
+        out.push(start..(start + CHUNK).min(points.len()));
+        start += CHUNK;
+    }
+    out
+}
+
+fn sequential_time(points: &[linreg::Point]) -> f64 {
+    time_secs(|| {
+        let mut total = linreg::RegressionSums::default();
+        for chunk in regression_chunks(points) {
+            let sums = points[chunk]
+                .iter()
+                .fold(linreg::RegressionSums::default(), |acc, &p| acc.accumulate(p));
+            total = total.merge(sums);
+        }
+        parlo_analysis::black_box(total.line());
+    })
+}
+
+fn measure_native(points: &[linreg::Point], max_threads: Option<usize>) -> Vec<Series> {
+    let t_seq = sequential_time(points);
+    eprintln!("figure3: sequential baseline {t_seq:.3}s for {} points", points.len());
+    let mut fine = Series::empty("fine-grain");
+    let mut cilk = Series::empty("Cilk");
+    let mut cilk_fine = Series::empty("fine-grain Cilk");
+    let mut omp_static = Series::empty("OpenMP static");
+    let mut omp_dynamic = Series::empty("OpenMP dynamic");
+
+    for threads in native_thread_sweep(max_threads) {
+        // Fine-grain scheduler (merged half-barrier reductions).
+        let mut pool = parlo_core::FineGrainPool::with_threads(threads);
+        let t = time_secs(|| {
+            let mut total = linreg::RegressionSums::default();
+            for chunk in regression_chunks(points) {
+                let slice = &points[chunk];
+                total = total.merge(linreg::with_fine_grain(&mut pool, slice));
+            }
+            parlo_analysis::black_box(total.line());
+        });
+        fine.push(threads, t_seq / t);
+
+        // Baseline Cilk and the hybrid fine-grain path of the same pool.
+        let mut cpool = parlo_cilk::CilkPool::with_threads(threads);
+        let t = time_secs(|| {
+            let mut total = linreg::RegressionSums::default();
+            for chunk in regression_chunks(points) {
+                total = total.merge(linreg::with_cilk_baseline(&mut cpool, &points[chunk]));
+            }
+            parlo_analysis::black_box(total.line());
+        });
+        cilk.push(threads, t_seq / t);
+        let t = time_secs(|| {
+            let mut total = linreg::RegressionSums::default();
+            for chunk in regression_chunks(points) {
+                total = total.merge(linreg::with_cilk_fine_grain(&mut cpool, &points[chunk]));
+            }
+            parlo_analysis::black_box(total.line());
+        });
+        cilk_fine.push(threads, t_seq / t);
+
+        // OpenMP baselines.
+        let mut team = parlo_omp::OmpTeam::with_threads(threads);
+        for (schedule, series) in [
+            (parlo_omp::Schedule::Static, &mut omp_static),
+            (parlo_omp::Schedule::Dynamic(64), &mut omp_dynamic),
+        ] {
+            let t = time_secs(|| {
+                let mut total = linreg::RegressionSums::default();
+                for chunk in regression_chunks(points) {
+                    total = total.merge(linreg::with_omp(&mut team, schedule, &points[chunk]));
+                }
+                parlo_analysis::black_box(total.line());
+            });
+            series.push(threads, t_seq / t);
+        }
+        eprintln!("  threads {threads} done");
+    }
+    vec![fine, cilk, cilk_fine, omp_static, omp_dynamic]
+}
+
+fn print_series(title: &str, series: &[&Series], csv: bool) {
+    if csv {
+        println!("{}", series_to_csv(series));
+    } else {
+        println!("{}", series_to_text(title, series));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = has_flag(&args, "--csv");
+
+    if !has_flag(&args, "--simulate") {
+        let n = arg_value(&args, "--points")
+            .unwrap_or(if has_flag(&args, "--quick") { 500_000 } else { 2_000_000 });
+        let points = linreg::generate_points(n, 3.0, 7.0, 2.0, 0xF16_3);
+        let series = measure_native(&points, arg_value(&args, "--max-threads"));
+        print_series(
+            "Figure 3a (native): linear regression, Cilk baseline vs fine-grain",
+            &[&series[1], &series[2], &series[0]],
+            csv,
+        );
+        print_series(
+            "Figure 3b (native): linear regression, OpenMP baselines vs fine-grain",
+            &[&series[3], &series[4], &series[0]],
+            csv,
+        );
+    }
+
+    // Simulated 48-core machine.
+    let machine = SimMachine::paper_machine();
+    let points = arg_value(&args, "--points").unwrap_or(parlo_sim::experiments::FIGURE3_POINTS);
+    let (fine_a, cilk_s) = parlo_sim::experiments::figure3a(&machine, points);
+    print_series(
+        "Figure 3a (simulated 48-core machine): linear regression, Cilk vs fine-grain",
+        &[&cilk_s, &fine_a],
+        csv,
+    );
+    let (fine_b, omp_s, omp_d) = parlo_sim::experiments::figure3b(&machine, points);
+    print_series(
+        "Figure 3b (simulated 48-core machine): linear regression, OpenMP vs fine-grain",
+        &[&omp_s, &omp_d, &fine_b],
+        csv,
+    );
+    println!(
+        "paper reference: the fine-grain scheduler achieves higher parallel efficiency than \
+         baseline Cilk and OpenMP, with a best-case speedup of 2.8x."
+    );
+}

@@ -1,0 +1,71 @@
+//! Raw granularity-sweep tool: prints one CSV row per (scheduler, sweep point) with the
+//! sequential time, parallel time and speedup.  Useful for re-plotting the burden fit
+//! or inspecting individual points; `table1` consumes the same data internally.
+//!
+//! Flags: `--threads N`, `--reps N`, `--quick`.
+
+use parlo_bench::{arg_value, has_flag, parallel_time, sequential_time, DEFAULT_REPS};
+use parlo_core::{BarrierKind, Config, FineGrainPool};
+use parlo_omp::Schedule;
+use parlo_workloads::microbench;
+use parlo_workloads::{CilkRunner, FineGrainRunner, LoopRunner, OmpRunner};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = arg_value(&args, "--threads").unwrap_or(hw).max(1);
+    let reps = arg_value(&args, "--reps").unwrap_or(DEFAULT_REPS);
+    let sweep = if has_flag(&args, "--quick") {
+        microbench::quick_sweep()
+    } else {
+        microbench::default_sweep()
+    };
+
+    let mut runners: Vec<(&str, Box<dyn LoopRunner>)> = vec![
+        (
+            "fine-grain-tree",
+            Box::new(FineGrainRunner::new(FineGrainPool::new(
+                Config::builder(threads).barrier(BarrierKind::TreeHalf).build(),
+            ))),
+        ),
+        (
+            "fine-grain-centralized",
+            Box::new(FineGrainRunner::new(FineGrainPool::new(
+                Config::builder(threads)
+                    .barrier(BarrierKind::CentralizedHalf)
+                    .build(),
+            ))),
+        ),
+        (
+            "fine-grain-tree-full-barrier",
+            Box::new(FineGrainRunner::new(FineGrainPool::new(
+                Config::builder(threads).barrier(BarrierKind::TreeFull).build(),
+            ))),
+        ),
+        (
+            "openmp-static",
+            Box::new(OmpRunner::with_threads(threads, Schedule::Static)),
+        ),
+        (
+            "openmp-dynamic",
+            Box::new(OmpRunner::with_threads(threads, Schedule::Dynamic(1))),
+        ),
+        ("cilk", Box::new(CilkRunner::with_threads(threads))),
+    ];
+
+    println!("scheduler,iterations,units,t_seq_s,t_par_s,speedup");
+    for (name, runner) in runners.iter_mut() {
+        for &point in &sweep {
+            let t_seq = sequential_time(point, reps);
+            let t_par = parallel_time(runner.as_mut(), point, reps).max(1e-12);
+            println!(
+                "{name},{},{},{:.9},{:.9},{:.4}",
+                point.iterations,
+                point.units,
+                t_seq,
+                t_par,
+                t_seq / t_par
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Table 1 — characterizing scheduler burden.
+//!
+//! Native mode (default): runs the granularity micro-benchmark under every scheduler
+//! configuration, fits the Amdahl model `S = T/(d + T/P)` and prints the burden `d`
+//! per scheduler, exactly the rows of Table 1.
+//!
+//! `--simulate`: prints the cost-model prediction of Table 1 on the paper's 48-core
+//! machine (see `parlo-sim`), which is the mode used to compare shapes against the
+//! paper when fewer than 48 hardware threads are available.
+//!
+//! Other flags: `--threads N` (native thread count, default = hardware parallelism),
+//! `--reps N`, `--quick` (reduced sweep), `--csv`.
+
+use parlo_analysis::Table;
+use parlo_bench::{arg_value, has_flag, measure_burden, DEFAULT_REPS};
+use parlo_core::{BarrierKind, Config, FineGrainPool};
+use parlo_omp::Schedule;
+use parlo_sim::SimMachine;
+use parlo_workloads::microbench;
+use parlo_workloads::{CilkRunner, FineGrainRunner, LoopRunner, OmpRunner};
+
+fn native(args: &[String]) {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = arg_value(args, "--threads").unwrap_or(hw).max(1);
+    let reps = arg_value(args, "--reps").unwrap_or(DEFAULT_REPS);
+    let sweep = if has_flag(args, "--quick") {
+        microbench::quick_sweep()
+    } else {
+        microbench::default_sweep()
+    };
+    eprintln!(
+        "table1: native measurement on {threads} threads ({} hardware threads), {} sweep points, {reps} reps",
+        hw,
+        sweep.len()
+    );
+
+    let mut table = Table::new(
+        format!("Table 1 (native, {threads} threads): characterizing scheduler burden"),
+        &["scheduler", "d (us)", "residual"],
+    );
+
+    let mut configs: Vec<(String, Box<dyn LoopRunner>)> = vec![
+        (
+            "Fine-grain tree".into(),
+            Box::new(FineGrainRunner::new(FineGrainPool::new(
+                Config::builder(threads).barrier(BarrierKind::TreeHalf).build(),
+            ))),
+        ),
+        (
+            "Fine-grain centralized".into(),
+            Box::new(FineGrainRunner::new(FineGrainPool::new(
+                Config::builder(threads)
+                    .barrier(BarrierKind::CentralizedHalf)
+                    .build(),
+            ))),
+        ),
+        (
+            "Fine-grain tree with full-barrier".into(),
+            Box::new(FineGrainRunner::new(FineGrainPool::new(
+                Config::builder(threads).barrier(BarrierKind::TreeFull).build(),
+            ))),
+        ),
+        (
+            "OpenMP static".into(),
+            Box::new(OmpRunner::with_threads(threads, Schedule::Static)),
+        ),
+        (
+            "OpenMP dynamic".into(),
+            Box::new(OmpRunner::with_threads(threads, Schedule::Dynamic(1))),
+        ),
+        ("Cilk".into(), Box::new(CilkRunner::with_threads(threads))),
+    ];
+
+    for (label, runner) in configs.iter_mut() {
+        let (_, fit) = measure_burden(runner.as_mut(), &sweep, reps);
+        match fit {
+            Some(fit) => table.push_row(label.clone(), vec![fit.burden_us(), fit.residual]),
+            None => table.push_row(label.clone(), vec![f64::NAN, f64::NAN]),
+        }
+        eprintln!("  measured {label}");
+    }
+
+    if has_flag(args, "--csv") {
+        println!("{}", table.to_csv());
+    } else {
+        println!("{}", table.to_text());
+    }
+    println!(
+        "note: absolute burdens depend on the machine; the paper reports (48 threads) \
+         fine tree 5.67us, fine centralized 7.55us, fine tree full 12.00us, \
+         OpenMP static 8.12us, OpenMP dynamic 31.94us, Cilk 68.80us."
+    );
+}
+
+fn simulate(args: &[String]) {
+    let machine = SimMachine::paper_machine();
+    let table = parlo_sim::experiments::table1(&machine);
+    if has_flag(args, "--csv") {
+        println!("{}", table.to_csv());
+    } else {
+        println!("{}", table.to_text());
+    }
+    println!(
+        "paper reference (48 threads): fine tree 5.67, fine centralized 7.55, \
+         fine tree full 12.00, OpenMP static 8.12, OpenMP dynamic 31.94, Cilk 68.80 (us)."
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if has_flag(&args, "--simulate") {
+        simulate(&args);
+    } else {
+        native(&args);
+        if !has_flag(&args, "--no-simulate") {
+            println!();
+            simulate(&args);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! # parlo-bench — the evaluation harness
+//!
+//! One binary per table/figure of the paper plus criterion micro-benchmarks:
+//!
+//! * `table1` — scheduler burden: granularity sweep + Amdahl fit (native) and the
+//!   cost-model prediction for the 48-core machine (`--simulate`);
+//! * `figure2` — MPDATA speedup vs threads, fine-grain vs OpenMP, native + simulated;
+//! * `figure3` — linear-regression map-reduce speedup vs threads against the Cilk and
+//!   OpenMP baselines, native + simulated;
+//! * `sweep` — raw granularity-sweep CSV for ad-hoc analysis;
+//! * criterion benches `burden`, `mpdata`, `reduction`, `barriers`, `deque`.
+//!
+//! This library hosts the measurement helpers shared by the binaries.
+
+use parlo_analysis::{fit_burden, BurdenFit, BurdenMeasurement};
+use parlo_workloads::microbench::{self, SweepPoint};
+use parlo_workloads::LoopRunner;
+use std::time::Duration;
+
+/// Default number of repetitions per sweep point (each repetition runs the whole loop).
+pub const DEFAULT_REPS: usize = 15;
+
+/// Measures the sequential time of one sweep point (minimum of `reps` runs), in seconds.
+pub fn sequential_time(point: SweepPoint, reps: usize) -> f64 {
+    parlo_analysis::min_time_of(reps, || {
+        parlo_analysis::black_box(microbench::sequential(point.iterations, point.units));
+    })
+    .as_secs_f64()
+}
+
+/// Measures the parallel time of one sweep point on `runner` (minimum of `reps` runs),
+/// in seconds.
+pub fn parallel_time(runner: &mut dyn LoopRunner, point: SweepPoint, reps: usize) -> f64 {
+    parlo_analysis::min_time_of(reps, || {
+        let acc = runner.parallel_sum(0..point.iterations, &|i| {
+            microbench::work_unit(i, point.units)
+        });
+        parlo_analysis::black_box(acc);
+    })
+    .as_secs_f64()
+}
+
+/// Runs the granularity sweep on a runner and fits the scheduling burden.
+/// Returns the per-point measurements together with the fit (if one was possible).
+pub fn measure_burden(
+    runner: &mut dyn LoopRunner,
+    sweep: &[SweepPoint],
+    reps: usize,
+) -> (Vec<BurdenMeasurement>, Option<BurdenFit>) {
+    let threads = runner.threads();
+    let mut measurements = Vec::with_capacity(sweep.len());
+    for &point in sweep {
+        let t_seq = sequential_time(point, reps);
+        let t_par = parallel_time(runner, point, reps).max(1e-12);
+        measurements.push(BurdenMeasurement {
+            t_seq,
+            speedup: t_seq / t_par,
+        });
+    }
+    let fit = fit_burden(&measurements, threads);
+    (measurements, fit)
+}
+
+/// Parses a `--threads N` / `--steps N` style flag from the argument list.
+pub fn arg_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Returns `true` if the flag is present.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// The thread counts a native sweep uses on this machine: 1, 2, 4, ... up to twice the
+/// hardware parallelism (oversubscription is tolerated but pointless beyond that),
+/// capped by an optional `--max-threads`.
+pub fn native_thread_sweep(max: Option<usize>) -> Vec<usize> {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cap = max.unwrap_or(hw.max(2));
+    let mut out = vec![1usize];
+    let mut t = 2;
+    while t <= cap {
+        out.push(t);
+        t *= 2;
+    }
+    if *out.last().unwrap() != cap {
+        out.push(cap);
+    }
+    out.dedup();
+    out
+}
+
+/// Times one closure in seconds (single shot), used by the figure harnesses where each
+/// run is already long.
+pub fn time_secs(f: impl FnOnce()) -> f64 {
+    let (_, d) = parlo_analysis::time_once(f);
+    Duration::as_secs_f64(&d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlo_workloads::{FineGrainRunner, SequentialRunner};
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--threads", "8", "--simulate"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--threads"), Some(8));
+        assert_eq!(arg_value(&args, "--steps"), None);
+        assert!(has_flag(&args, "--simulate"));
+        assert!(!has_flag(&args, "--csv"));
+    }
+
+    #[test]
+    fn native_thread_sweep_starts_at_one() {
+        let sweep = native_thread_sweep(Some(6));
+        assert_eq!(sweep[0], 1);
+        assert_eq!(*sweep.last().unwrap(), 6);
+        assert!(sweep.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn burden_measurement_on_tiny_sweep_produces_a_fit() {
+        let sweep = [SweepPoint {
+            iterations: 64,
+            units: 8,
+        }];
+        let mut seq = SequentialRunner;
+        let (ms, fit) = measure_burden(&mut seq, &sweep, 3);
+        assert_eq!(ms.len(), 1);
+        assert!(fit.is_some());
+        let mut fine = FineGrainRunner::with_threads(2);
+        let (_, fit) = measure_burden(&mut fine, &sweep, 3);
+        assert!(fit.is_some());
+    }
+}

@@ -1,0 +1,329 @@
+//! Chase–Lev work-stealing deque.
+//!
+//! The baseline Cilk runtime schedules `cilk_for` loops by recursive binary splitting:
+//! each split pushes the upper half onto the executing worker's deque, idle workers
+//! steal from the top of random victims' deques.  This module implements the classic
+//! Chase–Lev deque (in the weak-memory formulation of Lê et al., PPoPP 2013) over a
+//! fixed-capacity circular buffer of `Copy` items — task descriptors are small `Copy`
+//! structs, and the recursion depth of a loop split is logarithmic, so a fixed capacity
+//! of a few thousand entries is ample and keeps the hot paths allocation-free.
+
+use crossbeam::utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, Ordering};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was empty.
+    Empty,
+    /// Lost a race with the owner or another thief; retrying may succeed.
+    Retry,
+    /// Successfully stole an item.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Error returned by [`WorkStealingDeque::push`] when the buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Full;
+
+/// A fixed-capacity Chase–Lev work-stealing deque.
+///
+/// Exactly one thread (the *owner*) may call [`push`](Self::push) and
+/// [`pop`](Self::pop); any number of threads may call [`steal`](Self::steal).
+pub struct WorkStealingDeque<T: Copy> {
+    top: CachePadded<AtomicIsize>,
+    bottom: CachePadded<AtomicIsize>,
+    buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: isize,
+}
+
+// SAFETY: the Chase–Lev protocol ensures every slot is read only after the write that
+// filled it is ordered before the read (via the release store of `bottom` for steals,
+// and owner-local program order for pops), and items are `Copy` so duplication through
+// failed CAS paths never double-drops.
+unsafe impl<T: Copy + Send> Sync for WorkStealingDeque<T> {}
+unsafe impl<T: Copy + Send> Send for WorkStealingDeque<T> {}
+
+impl<T: Copy> WorkStealingDeque<T> {
+    /// Default capacity used by the scheduler: far deeper than any `cilk_for` recursion.
+    pub const DEFAULT_CAPACITY: usize = 8192;
+
+    /// Creates a deque with capacity rounded up to the next power of two.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        let buffer = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        WorkStealingDeque {
+            top: CachePadded::new(AtomicIsize::new(0)),
+            bottom: CachePadded::new(AtomicIsize::new(0)),
+            buffer,
+            mask: capacity as isize - 1,
+        }
+    }
+
+    /// Creates a deque with [`Self::DEFAULT_CAPACITY`].
+    pub fn with_default_capacity() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Capacity of the deque.
+    pub fn capacity(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Approximate number of items currently in the deque (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Returns `true` if the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> *mut MaybeUninit<T> {
+        self.buffer[(index & self.mask) as usize].get()
+    }
+
+    /// Owner: push an item onto the bottom of the deque.
+    ///
+    /// # Safety
+    /// Must only be called by the deque's owner thread.
+    pub unsafe fn push(&self, item: T) -> Result<(), Full> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= self.buffer.len() as isize {
+            return Err(Full);
+        }
+        // SAFETY: the capacity check above guarantees the slot is not being read by a
+        // concurrent steal (steals only read indices in [top, bottom)).
+        unsafe { (*self.slot(b)).write(item) };
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner: pop an item from the bottom of the deque.
+    ///
+    /// # Safety
+    /// Must only be called by the deque's owner thread.
+    pub unsafe fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            // Non-empty (at least one item before our decrement).
+            // SAFETY: slot `b` was written by a previous push of this owner.
+            let item = unsafe { (*self.slot(b)).assume_init_read() };
+            if t == b {
+                // Last item: race with thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(item)
+                } else {
+                    None
+                }
+            } else {
+                Some(item)
+            }
+        } else {
+            // Deque was empty; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief: attempt to steal an item from the top of the deque.  Any thread may call
+    /// this.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            // SAFETY: `t < b` implies the slot was initialised by a push that is ordered
+            // before our read of `bottom`; if the slot is being reused concurrently the
+            // CAS below fails and the value is discarded (it is `Copy`, nothing leaks).
+            let item = unsafe { (*self.slot(t)).assume_init_read() };
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(item)
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+impl<T: Copy> std::fmt::Debug for WorkStealingDeque<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkStealingDeque")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(WorkStealingDeque::<usize>::new(100).capacity(), 128);
+        assert_eq!(WorkStealingDeque::<usize>::new(1).capacity(), 2);
+        assert_eq!(
+            WorkStealingDeque::<usize>::with_default_capacity().capacity(),
+            WorkStealingDeque::<usize>::DEFAULT_CAPACITY
+        );
+    }
+
+    #[test]
+    fn lifo_for_owner() {
+        let d = WorkStealingDeque::new(16);
+        unsafe {
+            d.push(1).unwrap();
+            d.push(2).unwrap();
+            d.push(3).unwrap();
+            assert_eq!(d.len(), 3);
+            assert_eq!(d.pop(), Some(3));
+            assert_eq!(d.pop(), Some(2));
+            assert_eq!(d.pop(), Some(1));
+            assert_eq!(d.pop(), None);
+            assert!(d.is_empty());
+        }
+    }
+
+    #[test]
+    fn fifo_for_thief() {
+        let d = WorkStealingDeque::new(16);
+        unsafe {
+            d.push(1).unwrap();
+            d.push(2).unwrap();
+        }
+        assert_eq!(d.steal().success(), Some(1));
+        assert_eq!(d.steal().success(), Some(2));
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn push_full_reports_error() {
+        let d = WorkStealingDeque::new(2);
+        unsafe {
+            d.push(1).unwrap();
+            d.push(2).unwrap();
+            assert_eq!(d.push(3), Err(Full));
+            // Draining one makes room again.
+            assert_eq!(d.pop(), Some(2));
+            d.push(3).unwrap();
+        }
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let d = WorkStealingDeque::new(4);
+        for round in 0..100usize {
+            unsafe {
+                d.push(round).unwrap();
+                assert_eq!(d.pop(), Some(round));
+            }
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn concurrent_stealers_preserve_multiset() {
+        // Owner pushes N items while 3 thieves steal; every item must be obtained
+        // exactly once across thieves and the owner's final drain.
+        const N: usize = 20_000;
+        let d = Arc::new(WorkStealingDeque::<usize>::new(N.next_power_of_two()));
+        let done = Arc::new(AtomicBool::new(false));
+        let mut thieves = Vec::new();
+        for _ in 0..3 {
+            let d = d.clone();
+            let done = done.clone();
+            thieves.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match d.steal() {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) && d.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        let mut owner_got = Vec::new();
+        unsafe {
+            for i in 0..N {
+                d.push(i).unwrap();
+                // Interleave pops so both ends are exercised.
+                if i % 3 == 0 {
+                    if let Some(v) = d.pop() {
+                        owner_got.push(v);
+                    }
+                }
+            }
+            while let Some(v) = d.pop() {
+                owner_got.push(v);
+            }
+        }
+        done.store(true, Ordering::Release);
+        let mut all: Vec<usize> = owner_got;
+        for t in thieves {
+            all.extend(t.join().unwrap());
+        }
+        assert_eq!(all.len(), N, "every pushed item obtained exactly once");
+        let set: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(set.len(), N, "no duplicates");
+    }
+
+    #[test]
+    fn steal_contention_never_duplicates_last_item() {
+        // Repeatedly race one thief against the owner popping the single last item.
+        for _ in 0..200 {
+            let d = Arc::new(WorkStealingDeque::<u64>::new(4));
+            unsafe { d.push(7).unwrap() };
+            let d2 = d.clone();
+            let thief = std::thread::spawn(move || d2.steal().success());
+            let owner = unsafe { d.pop() };
+            let stolen = thief.join().unwrap();
+            let winners = usize::from(owner.is_some()) + usize::from(stolen.is_some());
+            assert_eq!(winners, 1, "exactly one side gets the last item");
+        }
+    }
+}

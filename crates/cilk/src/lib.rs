@@ -1,0 +1,36 @@
+//! # parlo-cilk — a Cilk-like work-stealing baseline and the paper's hybrid extension
+//!
+//! The baseline side of this crate reproduces the structure of the Cilkplus runtime the
+//! paper measures against: per-worker Chase–Lev deques, random work stealing,
+//! `cilk_for` by recursive binary splitting down to a grain size, and reducer
+//! hyperobjects whose views are created lazily and closed out on steals (so the number
+//! of reduce operations can greatly exceed `P − 1`).
+//!
+//! The extension side implements the paper's hybrid scheduler: the same pool embeds a
+//! half-barrier and idle workers alternate one cycle of random stealing with a poll of
+//! the half-barrier release flag, so fine-grain loops run statically scheduled
+//! ([`CilkPool::fine_grain_for`], [`CilkPool::fine_grain_reduce`]) while coarse-grain
+//! loops keep dynamic scheduling ([`CilkPool::cilk_for`]).
+//!
+//! ```
+//! use parlo_cilk::CilkPool;
+//!
+//! let mut pool = CilkPool::with_threads(4);
+//!
+//! // Baseline Cilk: dynamically scheduled, work-stealing.
+//! let sum = pool.cilk_reduce(0..100_000, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+//! assert_eq!(sum, (0..100_000u64).sum());
+//!
+//! // Hybrid fine-grain path: statically scheduled through the half-barrier.
+//! let sum2 = pool.fine_grain_reduce(0..100_000, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+//! assert_eq!(sum2, sum);
+//! ```
+
+#![warn(missing_docs)]
+
+mod deque;
+mod reducer;
+mod scheduler;
+
+pub use deque::{Full, Steal, WorkStealingDeque};
+pub use scheduler::{default_grain, CilkConfig, CilkPool, CilkStatsSnapshot};

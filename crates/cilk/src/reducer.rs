@@ -1,0 +1,380 @@
+//! Reductions on the Cilk-like pool.
+//!
+//! Two implementations live here, matching the comparison in §2 of the paper:
+//!
+//! * **Baseline Cilk reducers** ([`CilkPool::cilk_reduce`]): every worker lazily owns a
+//!   *view* of the reduction variable.  Whenever a worker obtains work by **stealing**,
+//!   it closes out its current view (the view is handed to a shared list and will need
+//!   its own reduce operation later) and starts a fresh one, mimicking the
+//!   view-per-steal behaviour of Cilk hyperobjects.  The number of reduce operations is
+//!   therefore `(#workers that touched the loop) + (#steals that closed a view) − 1`,
+//!   which "may be significantly higher" than `P − 1` and grows with the amount of
+//!   stealing.
+//! * **Fine-grain reducers** ([`CilkPool::fine_grain_reduce`]): the paper's optimised
+//!   implementation — thread-local views are allocated statically at the start of the
+//!   loop and reduced pairwise in the join phase of the half-barrier, exactly `P − 1`
+//!   reduce operations.
+
+use crate::scheduler::{CilkPool, FineJob, LoopDescriptor};
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use parlo_core::static_block;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::sync::atomic::Ordering;
+
+// ----------------------------------------------------------------------------------
+// Baseline Cilk reducers
+// ----------------------------------------------------------------------------------
+
+struct CilkReduceHarness<'a, T, Id, Fold> {
+    identity: &'a Id,
+    fold: &'a Fold,
+    /// The per-worker *current* views (lazily created on first fold).
+    views: Vec<CachePadded<UnsafeCell<Option<T>>>>,
+    /// Views closed out when their owner stole work; each will cost a reduce operation.
+    retired: Mutex<Vec<T>>,
+}
+
+impl<'a, T, Id: Fn() -> T, Fold> CilkReduceHarness<'a, T, Id, Fold> {
+    /// # Safety
+    /// Only worker `id` may access view `id`.
+    unsafe fn with_view<R>(&self, id: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let slot = unsafe { &mut *self.views[id].get() };
+        if slot.is_none() {
+            *slot = Some((self.identity)());
+        }
+        f(slot.as_mut().expect("view just initialised"))
+    }
+
+    /// # Safety
+    /// Only worker `id` may access view `id`.
+    unsafe fn retire_view(&self, id: usize) {
+        let slot = unsafe { &mut *self.views[id].get() };
+        if let Some(v) = slot.take() {
+            self.retired.lock().push(v);
+        }
+    }
+}
+
+unsafe fn cilk_reduce_range<T, Id, Fold, Comb>(
+    data: *const (),
+    worker: usize,
+    lo: usize,
+    hi: usize,
+) where
+    Id: Fn() -> T + Sync,
+    Fold: Fn(T, usize) -> T + Sync,
+    Comb: Fn(T, T) -> T + Sync,
+    T: Send,
+{
+    let h = unsafe { &*(data as *const CilkReduceHarness<'_, T, Id, Fold>) };
+    // SAFETY: `worker` is the calling worker; only it touches its view.
+    unsafe {
+        h.with_view(worker, |view| {
+            // Move the accumulator out (leaving an identity placeholder) so it can flow
+            // through the by-value `fold`, then store it back.
+            let mut value = std::mem::replace(view, (h.identity)());
+            for i in lo..hi {
+                value = (h.fold)(value, i);
+            }
+            *view = value;
+        });
+    }
+}
+
+unsafe fn cilk_reduce_on_steal<T, Id, Fold, Comb>(data: *const (), worker: usize)
+where
+    Id: Fn() -> T + Sync,
+    Fold: Fn(T, usize) -> T + Sync,
+    Comb: Fn(T, T) -> T + Sync,
+    T: Send,
+{
+    let h = unsafe { &*(data as *const CilkReduceHarness<'_, T, Id, Fold>) };
+    // SAFETY: `worker` is the calling worker.
+    unsafe { h.retire_view(worker) };
+}
+
+// ----------------------------------------------------------------------------------
+// Fine-grain (merged half-barrier) reducers
+// ----------------------------------------------------------------------------------
+
+struct FineReduceHarness<'a, T, Id, Fold, Comb> {
+    identity: &'a Id,
+    fold: &'a Fold,
+    combine: &'a Comb,
+    views: Vec<CachePadded<UnsafeCell<Option<T>>>>,
+    range: Range<usize>,
+    nthreads: usize,
+}
+
+impl<'a, T, Id: Fn() -> T, Fold, Comb> FineReduceHarness<'a, T, Id, Fold, Comb> {
+    unsafe fn take_view(&self, id: usize) -> T {
+        let slot = unsafe { &mut *self.views[id].get() };
+        slot.take().unwrap_or_else(|| (self.identity)())
+    }
+
+    unsafe fn put_view(&self, id: usize, value: T) {
+        let slot = unsafe { &mut *self.views[id].get() };
+        *slot = Some(value);
+    }
+}
+
+unsafe fn fine_reduce_exec<T, Id, Fold, Comb>(data: *const (), id: usize)
+where
+    Id: Fn() -> T + Sync,
+    Fold: Fn(T, usize) -> T + Sync,
+    Comb: Fn(T, T) -> T + Sync,
+    T: Send,
+{
+    let h = unsafe { &*(data as *const FineReduceHarness<'_, T, Id, Fold, Comb>) };
+    let mut acc = (h.identity)();
+    for i in static_block(&h.range, h.nthreads, id) {
+        acc = (h.fold)(acc, i);
+    }
+    // SAFETY: each participant writes only its own view before arriving.
+    unsafe { h.put_view(id, acc) };
+}
+
+unsafe fn fine_reduce_combine<T, Id, Fold, Comb>(data: *const (), into: usize, from: usize)
+where
+    Id: Fn() -> T + Sync,
+    Fold: Fn(T, usize) -> T + Sync,
+    Comb: Fn(T, T) -> T + Sync,
+    T: Send,
+{
+    let h = unsafe { &*(data as *const FineReduceHarness<'_, T, Id, Fold, Comb>) };
+    // SAFETY: serialized by the join-phase protocol of the half-barrier.
+    unsafe {
+        let a = h.take_view(into);
+        let b = h.take_view(from);
+        h.put_view(into, (h.combine)(a, b));
+    }
+}
+
+impl CilkPool {
+    /// Baseline Cilk reduction over `range` with an explicit grain size.
+    ///
+    /// `combine` must be associative and commutative (the order in which retired views
+    /// are merged follows the stealing pattern, not the iteration order).
+    pub fn cilk_reduce_with_grain<T, Id, Fold, Comb>(
+        &mut self,
+        range: Range<usize>,
+        grain: usize,
+        identity: Id,
+        fold: Fold,
+        combine: Comb,
+    ) -> T
+    where
+        T: Send,
+        Id: Fn() -> T + Sync,
+        Fold: Fn(T, usize) -> T + Sync,
+        Comb: Fn(T, T) -> T + Sync,
+    {
+        let nthreads = self.num_threads();
+        let harness = CilkReduceHarness {
+            identity: &identity,
+            fold: &fold,
+            views: (0..nthreads)
+                .map(|_| CachePadded::new(UnsafeCell::new(None)))
+                .collect(),
+            retired: Mutex::new(Vec::new()),
+        };
+        self.shared().stats.loops.fetch_add(1, Ordering::Relaxed);
+        self.shared().stats.reductions.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the harness outlives the loop; the entry points match its type.
+        unsafe {
+            self.run_cilk_loop(
+                range,
+                LoopDescriptor {
+                    data: &harness as *const _ as *const (),
+                    run_range: cilk_reduce_range::<T, Id, Fold, Comb>,
+                    on_steal: Some(cilk_reduce_on_steal::<T, Id, Fold, Comb>),
+                    grain,
+                },
+            );
+        }
+        // The loop has completed: merge every remaining current view and every retired
+        // view.  Each merge is one reduce operation (this is where baseline Cilk pays
+        // more than P − 1 operations when stealing occurred).
+        let mut pending: Vec<T> = harness.retired.into_inner();
+        for id in 0..nthreads {
+            // SAFETY: the loop has completed; the master is the only remaining accessor.
+            let slot = unsafe { &mut *harness.views[id].get() };
+            if let Some(v) = slot.take() {
+                pending.push(v);
+            }
+        }
+        let mut acc = identity();
+        for v in pending {
+            self.shared().stats.reduce_ops.fetch_add(1, Ordering::Relaxed);
+            acc = combine(acc, v);
+        }
+        acc
+    }
+
+    /// Baseline Cilk reduction with the default grain size.
+    pub fn cilk_reduce<T, Id, Fold, Comb>(
+        &mut self,
+        range: Range<usize>,
+        identity: Id,
+        fold: Fold,
+        combine: Comb,
+    ) -> T
+    where
+        T: Send,
+        Id: Fn() -> T + Sync,
+        Fold: Fn(T, usize) -> T + Sync,
+        Comb: Fn(T, T) -> T + Sync,
+    {
+        let grain = self.effective_grain(range.end.saturating_sub(range.start));
+        self.cilk_reduce_with_grain(range, grain, identity, fold, combine)
+    }
+
+    /// Fine-grain reduction through the embedded half-barrier: statically allocated
+    /// views, combined pairwise inside the join phase — exactly `P − 1` reduce
+    /// operations.  `combine` must be associative and commutative.
+    pub fn fine_grain_reduce<T, Id, Fold, Comb>(
+        &mut self,
+        range: Range<usize>,
+        identity: Id,
+        fold: Fold,
+        combine: Comb,
+    ) -> T
+    where
+        T: Send,
+        Id: Fn() -> T + Sync,
+        Fold: Fn(T, usize) -> T + Sync,
+        Comb: Fn(T, T) -> T + Sync,
+    {
+        let nthreads = self.num_threads();
+        let harness = FineReduceHarness {
+            identity: &identity,
+            fold: &fold,
+            combine: &combine,
+            views: (0..nthreads)
+                .map(|_| CachePadded::new(UnsafeCell::new(None)))
+                .collect(),
+            range,
+            nthreads,
+        };
+        self.shared().stats.fine_loops.fetch_add(1, Ordering::Relaxed);
+        self.shared().stats.reductions.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: as in `cilk_reduce_with_grain`.
+        unsafe {
+            self.run_fine_loop(FineJob {
+                data: &harness as *const _ as *const (),
+                execute: fine_reduce_exec::<T, Id, Fold, Comb>,
+                combine: Some(fine_reduce_combine::<T, Id, Fold, Comb>),
+            });
+        }
+        // SAFETY: the loop has completed; the master's view holds the combined result.
+        unsafe { harness.take_view(0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cilk_reduce_matches_sequential() {
+        let n = 20_000usize;
+        let expected: u64 = (0..n as u64).sum();
+        for threads in [1usize, 2, 4] {
+            let mut p = CilkPool::with_threads(threads);
+            let got = p.cilk_reduce_with_grain(0..n, 64, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(got, expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn fine_grain_reduce_matches_sequential() {
+        let n = 20_000usize;
+        let expected: u64 = (0..n as u64).map(|i| i * 3).sum();
+        for threads in [1usize, 2, 4] {
+            let mut p = CilkPool::with_threads(threads);
+            let got = p.fine_grain_reduce(0..n, || 0u64, |a, i| a + 3 * i as u64, |a, b| a + b);
+            assert_eq!(got, expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn fine_grain_reduce_uses_exactly_p_minus_one_combines() {
+        for threads in [1usize, 2, 3, 4] {
+            let mut p = CilkPool::with_threads(threads);
+            let _ = p.fine_grain_reduce(0..1000, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(
+                p.stats().fine_combine_ops,
+                (threads - 1) as u64,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cilk_reduce_ops_at_least_views_touched() {
+        let mut p = CilkPool::with_threads(4);
+        let _ = p.cilk_reduce_with_grain(0..50_000, 32, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+        let s = p.stats();
+        // At least the master's view is merged; with stealing, retired views add more.
+        assert!(s.reduce_ops >= 1);
+        assert_eq!(s.reductions, 1);
+        // The baseline can never do fewer reduce operations than views that were
+        // retired by steals.
+        assert!(s.reduce_ops as usize <= 4 + s.steals as usize + 1);
+    }
+
+    #[test]
+    fn floating_point_regression_sums() {
+        // The exact shape of the Figure 3 workload: component-wise sums.
+        #[derive(Clone, Copy, Default)]
+        struct S {
+            sx: f64,
+            sy: f64,
+            sxx: f64,
+            sxy: f64,
+        }
+        let n = 10_000usize;
+        let xs: Vec<f64> = (0..n).map(|i| (i % 97) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 5.0).collect();
+        let mut p = CilkPool::with_threads(3);
+        let got = p.cilk_reduce(
+            0..n,
+            S::default,
+            |mut acc, i| {
+                acc.sx += xs[i];
+                acc.sy += ys[i];
+                acc.sxx += xs[i] * xs[i];
+                acc.sxy += xs[i] * ys[i];
+                acc
+            },
+            |mut a, b| {
+                a.sx += b.sx;
+                a.sy += b.sy;
+                a.sxx += b.sxx;
+                a.sxy += b.sxy;
+                a
+            },
+        );
+        let sx: f64 = xs.iter().sum();
+        assert!((got.sx - sx).abs() < 1e-6);
+        // Regression slope from the sums should recover 2.0.
+        let nf = n as f64;
+        let slope = (nf * got.sxy - got.sx * got.sy) / (nf * got.sxx - got.sx * got.sx);
+        assert!((slope - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_range_reductions_return_identity() {
+        let mut p = CilkPool::with_threads(2);
+        assert_eq!(
+            p.cilk_reduce(3..3, || 7u32, |a, _| a + 1, |a, b| a.max(b)),
+            7
+        );
+        assert_eq!(
+            p.fine_grain_reduce(3..3, || 9u32, |a, _| a + 1, |a, b| a.max(b)),
+            9
+        );
+    }
+}

@@ -1,0 +1,701 @@
+//! The Cilk-like work-stealing scheduler, extended with the paper's hybrid fine-grain
+//! path.
+//!
+//! Baseline behaviour (what the "Cilk" rows/series of the evaluation measure):
+//!
+//! * a persistent pool of workers, each owning a Chase–Lev deque;
+//! * `cilk_for` recursively splits the iteration range in half down to a grain size
+//!   (Cilkplus default: `max(1, N / (8 P))`, capped at 2048), pushing the upper half of
+//!   every split onto the executing worker's deque;
+//! * idle workers repeatedly steal from the top of random victims' deques;
+//! * loop completion is detected through a shared count of outstanding iterations.
+//!
+//! Hybrid extension (§2, last paragraph of the paper): the pool also embeds a
+//! **half-barrier** and a fine-grain job slot.  Idle workers alternate one cycle of the
+//! random work-stealing algorithm with a poll of the half-barrier release flag, so the
+//! same pool can run statically scheduled fine-grain loops ([`CilkPool::fine_grain_for`],
+//! [`CilkPool::fine_grain_reduce`]) next to dynamically scheduled coarse-grain loops
+//! ([`CilkPool::cilk_for`]).
+
+use crate::deque::{Steal, WorkStealingDeque};
+use parlo_affinity::{PinPolicy, Topology};
+use parlo_barrier::{Epoch, HalfBarrier, TreeShape, WaitPolicy};
+use parlo_core::static_block;
+use std::cell::{Cell, UnsafeCell};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of a [`CilkPool`].
+#[derive(Debug, Clone)]
+pub struct CilkConfig {
+    /// Number of workers (the master counts as worker 0).
+    pub num_threads: usize,
+    /// Machine topology (pinning and fine-grain tree layout).
+    pub topology: Topology,
+    /// Thread pinning policy.
+    pub pin: PinPolicy,
+    /// Waiting policy for the fine-grain half-barrier path.
+    pub wait: WaitPolicy,
+    /// Explicit default grain size for `cilk_for`; `None` uses the Cilkplus heuristic.
+    pub grain: Option<usize>,
+}
+
+impl Default for CilkConfig {
+    fn default() -> Self {
+        let topology = Topology::detect();
+        let num_threads = topology.num_cores().max(1);
+        CilkConfig {
+            num_threads,
+            pin: PinPolicy::Compact,
+            wait: WaitPolicy::auto_for(num_threads),
+            grain: None,
+            topology,
+        }
+    }
+}
+
+impl CilkConfig {
+    /// A configuration with `num_threads` workers and defaults for everything else.
+    pub fn with_threads(num_threads: usize) -> Self {
+        let num_threads = num_threads.max(1);
+        CilkConfig {
+            num_threads,
+            wait: WaitPolicy::auto_for(num_threads),
+            ..CilkConfig::default()
+        }
+    }
+}
+
+/// The Cilkplus grain-size heuristic: `min(2048, max(1, n / (8 p)))`.
+pub fn default_grain(n: usize, nthreads: usize) -> usize {
+    (n / (8 * nthreads.max(1))).clamp(1, 2048)
+}
+
+/// A range of outstanding iterations of the current `cilk_for` loop.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Task {
+    lo: usize,
+    hi: usize,
+}
+
+impl Task {
+    fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// Type-erased descriptor of the current `cilk_for` loop.
+#[derive(Clone, Copy)]
+pub(crate) struct LoopDescriptor {
+    pub(crate) data: *const (),
+    /// Runs iterations `lo..hi` on behalf of `worker`.
+    pub(crate) run_range: unsafe fn(*const (), usize, usize, usize),
+    /// Invoked by a worker when it acquires work by *stealing* (not by popping its own
+    /// deque).  Baseline reducers use this to close out the worker's current view.
+    pub(crate) on_steal: Option<unsafe fn(*const (), usize)>,
+    pub(crate) grain: usize,
+}
+
+impl LoopDescriptor {
+    fn noop() -> Self {
+        unsafe fn nop(_: *const (), _: usize, _: usize, _: usize) {}
+        LoopDescriptor {
+            data: std::ptr::null(),
+            run_range: nop,
+            on_steal: None,
+            grain: 1,
+        }
+    }
+}
+
+/// Type-erased descriptor of the current fine-grain (half-barrier) loop.
+#[derive(Clone, Copy)]
+pub(crate) struct FineJob {
+    pub(crate) data: *const (),
+    pub(crate) execute: unsafe fn(*const (), usize),
+    pub(crate) combine: Option<unsafe fn(*const (), usize, usize)>,
+}
+
+impl FineJob {
+    fn noop() -> Self {
+        unsafe fn nop(_: *const (), _: usize) {}
+        FineJob {
+            data: std::ptr::null(),
+            execute: nop,
+            combine: None,
+        }
+    }
+}
+
+/// Instrumentation counters of a [`CilkPool`].
+#[derive(Debug, Default)]
+pub(crate) struct CilkStats {
+    pub(crate) loops: AtomicU64,
+    pub(crate) fine_loops: AtomicU64,
+    pub(crate) reductions: AtomicU64,
+    pub(crate) tasks_executed: AtomicU64,
+    pub(crate) steals: AtomicU64,
+    pub(crate) steal_attempts: AtomicU64,
+    pub(crate) reduce_ops: AtomicU64,
+    pub(crate) fine_combine_ops: AtomicU64,
+}
+
+/// A point-in-time copy of the pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CilkStatsSnapshot {
+    /// `cilk_for` loops executed.
+    pub loops: u64,
+    /// Fine-grain (half-barrier) loops executed.
+    pub fine_loops: u64,
+    /// Reductions executed (either flavor).
+    pub reductions: u64,
+    /// Leaf tasks executed across all `cilk_for` loops.
+    pub tasks_executed: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Steal attempts (successful or not).
+    pub steal_attempts: u64,
+    /// Reduce operations performed by the *baseline* reducer implementation (view
+    /// merges; can substantially exceed `P − 1`).
+    pub reduce_ops: u64,
+    /// Combine operations performed by the *fine-grain* merged reduction (exactly
+    /// `P − 1` per reduction).
+    pub fine_combine_ops: u64,
+}
+
+pub(crate) struct CilkShared {
+    pub(crate) nthreads: usize,
+    pub(crate) deques: Vec<WorkStealingDeque<Task>>,
+    descriptor: UnsafeCell<LoopDescriptor>,
+    remaining: AtomicUsize,
+    shutdown: AtomicBool,
+    pub(crate) policy: WaitPolicy,
+    pub(crate) stats: CilkStats,
+    fine: HalfBarrier,
+    fine_job: UnsafeCell<FineJob>,
+    config: CilkConfig,
+}
+
+// SAFETY: the descriptor/fine_job cells are only written by the master strictly before
+// the release edge workers synchronize on (the `remaining` release store for cilk loops,
+// the half-barrier release for fine-grain loops); everything else is atomic or immutable.
+unsafe impl Sync for CilkShared {}
+unsafe impl Send for CilkShared {}
+
+/// A Cilk-like work-stealing pool with the paper's hybrid fine-grain extension.
+///
+/// Loop methods take `&mut self`: the pool serves one master thread and loops do not
+/// nest.
+pub struct CilkPool {
+    shared: Arc<CilkShared>,
+    handles: Vec<JoinHandle<()>>,
+    fine_epoch: Cell<Epoch>,
+    rng: Cell<u64>,
+}
+
+impl std::fmt::Debug for CilkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CilkPool")
+            .field("num_threads", &self.shared.nthreads)
+            .finish()
+    }
+}
+
+/// xorshift64* step, used for cheap per-worker victim selection.
+#[inline]
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+impl CilkPool {
+    /// Creates a pool with `num_threads` workers.
+    pub fn with_threads(num_threads: usize) -> Self {
+        Self::new(CilkConfig::with_threads(num_threads))
+    }
+
+    /// Creates a pool from an explicit configuration.
+    pub fn new(config: CilkConfig) -> Self {
+        let nthreads = config.num_threads.max(1);
+        let shape = TreeShape::topology_aware(
+            &config.topology,
+            nthreads,
+            config.topology.suggested_arrival_fanin(),
+        );
+        let shared = Arc::new(CilkShared {
+            nthreads,
+            deques: (0..nthreads)
+                .map(|_| WorkStealingDeque::with_default_capacity())
+                .collect(),
+            descriptor: UnsafeCell::new(LoopDescriptor::noop()),
+            remaining: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            policy: config.wait,
+            stats: CilkStats::default(),
+            fine: HalfBarrier::new_tree(shape),
+            fine_job: UnsafeCell::new(FineJob::noop()),
+            config: config.clone(),
+        });
+        if let Some(core) = config.topology.core_for_worker(0, config.pin) {
+            let _ = parlo_affinity::pin_to_core(core);
+        }
+        let mut handles = Vec::with_capacity(nthreads.saturating_sub(1));
+        for id in 1..nthreads {
+            let shared = shared.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("parlo-cilk-{id}"))
+                    .spawn(move || worker_main(shared, id))
+                    .expect("failed to spawn cilk worker thread"),
+            );
+        }
+        CilkPool {
+            shared,
+            handles,
+            fine_epoch: Cell::new(0),
+            rng: Cell::new(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Number of workers (master included).
+    pub fn num_threads(&self) -> usize {
+        self.shared.nthreads
+    }
+
+    /// The configuration the pool was built with.
+    pub fn config(&self) -> &CilkConfig {
+        &self.shared.config
+    }
+
+    /// A snapshot of the pool's instrumentation counters.
+    pub fn stats(&self) -> CilkStatsSnapshot {
+        let s = &self.shared.stats;
+        CilkStatsSnapshot {
+            loops: s.loops.load(Ordering::Relaxed),
+            fine_loops: s.fine_loops.load(Ordering::Relaxed),
+            reductions: s.reductions.load(Ordering::Relaxed),
+            tasks_executed: s.tasks_executed.load(Ordering::Relaxed),
+            steals: s.steals.load(Ordering::Relaxed),
+            steal_attempts: s.steal_attempts.load(Ordering::Relaxed),
+            reduce_ops: s.reduce_ops.load(Ordering::Relaxed),
+            fine_combine_ops: s.fine_combine_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &CilkShared {
+        &self.shared
+    }
+
+    /// The grain size a loop of `n` iterations would use by default on this pool.
+    pub fn effective_grain(&self, n: usize) -> usize {
+        self.shared
+            .config
+            .grain
+            .unwrap_or_else(|| default_grain(n, self.shared.nthreads))
+            .max(1)
+    }
+
+    // ----- baseline Cilk path --------------------------------------------------------
+
+    /// Runs a type-erased `cilk_for` loop: publishes the descriptor, seeds the root
+    /// task, and has the master work (and steal) until every iteration has executed.
+    ///
+    /// # Safety
+    /// The harness behind `descriptor.data` must stay alive until this returns and be
+    /// safe to use concurrently from all workers.
+    pub(crate) unsafe fn run_cilk_loop(&self, range: Range<usize>, descriptor: LoopDescriptor) {
+        let shared = &*self.shared;
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return;
+        }
+        // Publish the descriptor, then open the loop by making `remaining` non-zero.
+        unsafe { *shared.descriptor.get() = descriptor };
+        shared.remaining.store(n, Ordering::Release);
+        // The master processes the root task, then keeps helping until the loop drains.
+        let mut rng = self.rng.get();
+        process_task(
+            shared,
+            0,
+            Task {
+                lo: range.start,
+                hi: range.end,
+            },
+        );
+        while shared.remaining.load(Ordering::Acquire) > 0 {
+            if let Some((task, stolen)) = obtain_task(shared, 0, &mut rng) {
+                if stolen {
+                    let desc = unsafe { *shared.descriptor.get() };
+                    if let Some(f) = desc.on_steal {
+                        unsafe { f(desc.data, 0) };
+                    }
+                }
+                process_task(shared, 0, task);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        self.rng.set(rng);
+    }
+
+    // ----- fine-grain (hybrid) path --------------------------------------------------
+
+    /// Runs a type-erased fine-grain loop through the embedded half-barrier.
+    ///
+    /// # Safety
+    /// As for [`CilkPool::run_cilk_loop`].
+    pub(crate) unsafe fn run_fine_loop(&self, job: FineJob) {
+        let shared = &*self.shared;
+        let epoch = self.fine_epoch.get() + 1;
+        self.fine_epoch.set(epoch);
+        let has_combine = job.combine.is_some();
+        unsafe { *shared.fine_job.get() = job };
+        shared.fine.release(epoch);
+        unsafe { (job.execute)(job.data, 0) };
+        shared.fine.join(epoch, &shared.policy, |from| {
+            if has_combine {
+                shared.stats.fine_combine_ops.fetch_add(1, Ordering::Relaxed);
+                if let Some(comb) = job.combine {
+                    // SAFETY: `from` has arrived; its view is final.
+                    unsafe { comb(job.data, 0, from) };
+                }
+            }
+        });
+    }
+}
+
+impl Drop for CilkPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Tries to obtain a task: first the worker's own deque, then one random-victim steal
+/// cycle over the other workers.  Returns the task and whether it was stolen.
+fn obtain_task(shared: &CilkShared, id: usize, rng: &mut u64) -> Option<(Task, bool)> {
+    // SAFETY: deque `id` is owned by the calling worker.
+    if let Some(task) = unsafe { shared.deques[id].pop() } {
+        return Some((task, false));
+    }
+    let n = shared.nthreads;
+    if n <= 1 {
+        return None;
+    }
+    // One cycle of random stealing: try every other worker once, starting from a random
+    // victim.
+    let start = (xorshift(rng) as usize) % n;
+    for k in 0..n {
+        let victim = (start + k) % n;
+        if victim == id {
+            continue;
+        }
+        shared.stats.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        match shared.deques[victim].steal() {
+            Steal::Success(task) => {
+                shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+                return Some((task, true));
+            }
+            Steal::Retry | Steal::Empty => {}
+        }
+    }
+    None
+}
+
+/// Processes a task: recursively splits it down to the grain size, pushing upper halves
+/// onto the worker's own deque, and runs the leaves.
+fn process_task(shared: &CilkShared, id: usize, mut task: Task) {
+    // SAFETY: the descriptor was published before `remaining` became non-zero, and a
+    // task can only exist while `remaining > 0`.
+    let desc = unsafe { *shared.descriptor.get() };
+    let grain = desc.grain.max(1);
+    loop {
+        if task.len() <= grain {
+            shared.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: contract of `run_cilk_loop`.
+            unsafe { (desc.run_range)(desc.data, id, task.lo, task.hi) };
+            shared.remaining.fetch_sub(task.len(), Ordering::AcqRel);
+            return;
+        }
+        let mid = task.lo + task.len() / 2;
+        let upper = Task {
+            lo: mid,
+            hi: task.hi,
+        };
+        // SAFETY: deque `id` is owned by the calling worker.
+        if unsafe { shared.deques[id].push(upper) }.is_err() {
+            // Deque full (extremely deep split): process the upper half inline instead.
+            process_task(shared, id, upper);
+        }
+        task.hi = mid;
+    }
+}
+
+fn worker_main(shared: Arc<CilkShared>, id: usize) {
+    let config = &shared.config;
+    if let Some(core) = config.topology.core_for_worker(id, config.pin) {
+        let _ = parlo_affinity::pin_to_core(core);
+    }
+    let mut rng: u64 = 0xA076_1D64_78BD_642F ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut fine_epoch: Epoch = 0;
+    let mut idle_spins: u32 = 0;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Alternate: poll the half-barrier for a fine-grain static loop ...
+        if shared.fine.poll_release(id, fine_epoch + 1) {
+            fine_epoch += 1;
+            shared.fine.forward_release(id, fine_epoch);
+            // SAFETY: ordered by the half-barrier release.
+            let job = unsafe { *shared.fine_job.get() };
+            unsafe { (job.execute)(job.data, id) };
+            let has_combine = job.combine.is_some();
+            shared.fine.arrive(id, fine_epoch, &shared.policy, |from| {
+                if has_combine {
+                    shared.stats.fine_combine_ops.fetch_add(1, Ordering::Relaxed);
+                    if let Some(comb) = job.combine {
+                        // SAFETY: `from` has arrived.
+                        unsafe { comb(job.data, id, from) };
+                    }
+                }
+            });
+            idle_spins = 0;
+            continue;
+        }
+        // ... with one cycle of the random work-stealing algorithm.
+        if shared.remaining.load(Ordering::Acquire) > 0 {
+            if let Some((task, stolen)) = obtain_task(&shared, id, &mut rng) {
+                if stolen {
+                    // SAFETY: a task exists, so the descriptor is the current loop's.
+                    let desc = unsafe { *shared.descriptor.get() };
+                    if let Some(f) = desc.on_steal {
+                        unsafe { f(desc.data, id) };
+                    }
+                }
+                process_task(&shared, id, task);
+                idle_spins = 0;
+                continue;
+            }
+        }
+        // Nothing to do: back off gently (spin a little, then yield) so an idle pool
+        // does not monopolise an oversubscribed machine.
+        if idle_spins < 64 {
+            idle_spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+// --------------------------------------------------------------------------------------
+// Typed loop entry points (plain loops; reductions live in `reducer.rs`)
+// --------------------------------------------------------------------------------------
+
+struct CilkForHarness<'a, F> {
+    body: &'a F,
+}
+
+unsafe fn exec_cilk_range<F: Fn(usize) + Sync>(data: *const (), _worker: usize, lo: usize, hi: usize) {
+    let h = unsafe { &*(data as *const CilkForHarness<'_, F>) };
+    for i in lo..hi {
+        (h.body)(i);
+    }
+}
+
+struct FineForHarness<'a, F> {
+    body: &'a F,
+    range: Range<usize>,
+    nthreads: usize,
+}
+
+unsafe fn exec_fine_for<F: Fn(usize) + Sync>(data: *const (), id: usize) {
+    let h = unsafe { &*(data as *const FineForHarness<'_, F>) };
+    for i in static_block(&h.range, h.nthreads, id) {
+        (h.body)(i);
+    }
+}
+
+impl CilkPool {
+    /// Baseline `cilk_for`: recursive binary splitting with the default grain size,
+    /// dynamic (work-stealing) scheduling.
+    pub fn cilk_for<F>(&mut self, range: Range<usize>, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let grain = self.effective_grain(range.end.saturating_sub(range.start));
+        self.cilk_for_with_grain(range, grain, body);
+    }
+
+    /// Baseline `cilk_for` with an explicit grain size.
+    pub fn cilk_for_with_grain<F>(&mut self, range: Range<usize>, grain: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let harness = CilkForHarness { body: &body };
+        self.shared().stats.loops.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the harness outlives the loop; `exec_cilk_range::<F>` matches its type.
+        unsafe {
+            self.run_cilk_loop(
+                range,
+                LoopDescriptor {
+                    data: &harness as *const _ as *const (),
+                    run_range: exec_cilk_range::<F>,
+                    on_steal: None,
+                    grain,
+                },
+            );
+        }
+    }
+
+    /// Fine-grain statically scheduled loop through the embedded half-barrier — the
+    /// hybrid extension: workers notice it by polling between steal cycles.
+    pub fn fine_grain_for<F>(&mut self, range: Range<usize>, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let harness = FineForHarness {
+            body: &body,
+            range,
+            nthreads: self.num_threads(),
+        };
+        self.shared().stats.fine_loops.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the harness outlives the loop; `exec_fine_for::<F>` matches its type.
+        unsafe {
+            self.run_fine_loop(FineJob {
+                data: &harness as *const _ as *const (),
+                execute: exec_fine_for::<F>,
+                combine: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn grain_heuristic() {
+        assert_eq!(default_grain(0, 4), 1);
+        assert_eq!(default_grain(1000, 4), 31);
+        assert_eq!(default_grain(10_000_000, 4), 2048);
+        assert_eq!(default_grain(100, 1), 12);
+    }
+
+    #[test]
+    fn pool_creation_and_teardown() {
+        for threads in [1, 2, 4] {
+            let p = CilkPool::with_threads(threads);
+            assert_eq!(p.num_threads(), threads);
+            drop(p);
+        }
+    }
+
+    #[test]
+    fn cilk_for_visits_each_index_once() {
+        for threads in [1usize, 2, 4] {
+            let mut p = CilkPool::with_threads(threads);
+            let hits: Vec<AtomicUsize> = (0..1013).map(|_| AtomicUsize::new(0)).collect();
+            p.cilk_for_with_grain(0..1013, 16, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cilk_for_with_offset_range() {
+        let mut p = CilkPool::with_threads(3);
+        let hits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        p.cilk_for_with_grain(50..150, 8, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            let expected = usize::from((50..150).contains(&i));
+            assert_eq!(h.load(Ordering::Relaxed), expected, "index {i}");
+        }
+    }
+
+    #[test]
+    fn fine_grain_for_visits_each_index_once() {
+        for threads in [1usize, 2, 4] {
+            let mut p = CilkPool::with_threads(threads);
+            let hits: Vec<AtomicUsize> = (0..513).map(|_| AtomicUsize::new(0)).collect();
+            p.fine_grain_for(0..513, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn mixing_cilk_and_fine_grain_loops() {
+        let mut p = CilkPool::with_threads(4);
+        let counter = AtomicUsize::new(0);
+        for round in 0..20 {
+            if round % 2 == 0 {
+                p.cilk_for(0..100, |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            } else {
+                p.fine_grain_for(0..100, |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2000);
+        let s = p.stats();
+        assert_eq!(s.loops, 10);
+        assert_eq!(s.fine_loops, 10);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let mut p = CilkPool::with_threads(2);
+        p.cilk_for(5..5, |_| panic!("must not run"));
+        p.fine_grain_for(5..5, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn many_small_cilk_loops() {
+        let mut p = CilkPool::with_threads(4);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..100 {
+            p.cilk_for(0..16, |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1600);
+        assert!(p.stats().tasks_executed >= 100);
+    }
+
+    #[test]
+    fn stats_track_steals_on_larger_loop() {
+        let mut p = CilkPool::with_threads(4);
+        let sum = AtomicUsize::new(0);
+        p.cilk_for_with_grain(0..100_000, 64, |i| {
+            sum.fetch_add(i & 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 50_000);
+        // With several workers and >1500 leaf tasks some stealing is overwhelmingly
+        // likely, but do not make the test flaky on a single-core machine: only check
+        // the counters are consistent.
+        let s = p.stats();
+        assert!(s.steal_attempts >= s.steals);
+        assert!(s.tasks_executed >= 100_000 / 64);
+    }
+}

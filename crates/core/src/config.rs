@@ -1,0 +1,200 @@
+//! Scheduler configuration.
+
+use parlo_affinity::{PinPolicy, Topology};
+use parlo_barrier::WaitPolicy;
+
+/// Which synchronization structure the pool uses per parallel loop.
+///
+/// The first three correspond directly to rows of Table 1 in the paper; the centralized
+/// full barrier is included for completeness of the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// Half-barrier (release-only fork + join-only completion) over an MCS-style tree
+    /// tuned to the machine topology.  The paper's "fine-grain tree" configuration —
+    /// the default and the fastest.
+    TreeHalf,
+    /// Half-barrier over a single release word and a single arrival counter.  The
+    /// paper's "fine-grain centralized" configuration.
+    CentralizedHalf,
+    /// Two *full* tree barriers per loop (fork and join), i.e. the same pool without
+    /// the half-barrier optimisation.  The paper's "fine-grain tree with full-barrier"
+    /// configuration, used to isolate the benefit of dropping the redundant phases.
+    TreeFull,
+    /// Two full centralized barriers per loop.
+    CentralizedFull,
+}
+
+impl BarrierKind {
+    /// All configurations, in the order Table 1 lists the fine-grain variants.
+    pub const ALL: [BarrierKind; 4] = [
+        BarrierKind::TreeHalf,
+        BarrierKind::CentralizedHalf,
+        BarrierKind::TreeFull,
+        BarrierKind::CentralizedFull,
+    ];
+
+    /// Short human-readable label used by the benchmark harnesses.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BarrierKind::TreeHalf => "fine-grain tree",
+            BarrierKind::CentralizedHalf => "fine-grain centralized",
+            BarrierKind::TreeFull => "fine-grain tree with full-barrier",
+            BarrierKind::CentralizedFull => "fine-grain centralized with full-barrier",
+        }
+    }
+
+    /// Whether this configuration uses the half-barrier optimisation.
+    pub fn is_half(&self) -> bool {
+        matches!(self, BarrierKind::TreeHalf | BarrierKind::CentralizedHalf)
+    }
+
+    /// Whether this configuration uses a tree structure.
+    pub fn is_tree(&self) -> bool {
+        matches!(self, BarrierKind::TreeHalf | BarrierKind::TreeFull)
+    }
+}
+
+/// Configuration of a [`crate::FineGrainPool`], built with [`Config::builder`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Total number of threads (master included). At least 1.
+    pub num_threads: usize,
+    /// Synchronization structure.
+    pub barrier: BarrierKind,
+    /// Machine topology used for tree layout and pinning.
+    pub topology: Topology,
+    /// Thread pinning policy.
+    pub pin: PinPolicy,
+    /// Waiting policy for all synchronization.
+    pub wait: WaitPolicy,
+    /// Explicit arrival-tree fan-in; `None` uses the topology's suggestion.
+    pub fanin: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let topology = Topology::detect();
+        let num_threads = topology.num_cores().max(1);
+        Config {
+            num_threads,
+            barrier: BarrierKind::TreeHalf,
+            pin: PinPolicy::Compact,
+            wait: WaitPolicy::auto_for(num_threads),
+            fanin: None,
+            topology,
+        }
+    }
+}
+
+impl Config {
+    /// Starts building a configuration with `num_threads` threads and defaults for
+    /// everything else.
+    pub fn builder(num_threads: usize) -> ConfigBuilder {
+        ConfigBuilder {
+            config: Config {
+                num_threads: num_threads.max(1),
+                wait: WaitPolicy::auto_for(num_threads.max(1)),
+                ..Config::default()
+            },
+        }
+    }
+
+    /// The effective arrival-tree fan-in.
+    pub fn effective_fanin(&self) -> usize {
+        self.fanin
+            .unwrap_or_else(|| self.topology.suggested_arrival_fanin())
+            .max(1)
+    }
+}
+
+/// Builder for [`Config`].
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+impl ConfigBuilder {
+    /// Sets the synchronization structure.
+    pub fn barrier(mut self, kind: BarrierKind) -> Self {
+        self.config.barrier = kind;
+        self
+    }
+
+    /// Sets the machine topology (and re-derives the wait policy suggestion).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.config.topology = topology;
+        self
+    }
+
+    /// Sets the pinning policy.
+    pub fn pin(mut self, pin: PinPolicy) -> Self {
+        self.config.pin = pin;
+        self
+    }
+
+    /// Sets the waiting policy.
+    pub fn wait(mut self, wait: WaitPolicy) -> Self {
+        self.config.wait = wait;
+        self
+    }
+
+    /// Sets an explicit arrival-tree fan-in.
+    pub fn fanin(mut self, fanin: usize) -> Self {
+        self.config.fanin = Some(fanin);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Config {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = Config::default();
+        assert!(c.num_threads >= 1);
+        assert_eq!(c.barrier, BarrierKind::TreeHalf);
+        assert!(c.effective_fanin() >= 1);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let topo = Topology::synthetic(4, 12).unwrap();
+        let c = Config::builder(8)
+            .barrier(BarrierKind::CentralizedHalf)
+            .topology(topo)
+            .pin(PinPolicy::None)
+            .fanin(2)
+            .build();
+        assert_eq!(c.num_threads, 8);
+        assert_eq!(c.barrier, BarrierKind::CentralizedHalf);
+        assert_eq!(c.pin, PinPolicy::None);
+        assert_eq!(c.effective_fanin(), 2);
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let c = Config::builder(0).build();
+        assert_eq!(c.num_threads, 1);
+    }
+
+    #[test]
+    fn barrier_kind_properties() {
+        assert!(BarrierKind::TreeHalf.is_half());
+        assert!(BarrierKind::TreeHalf.is_tree());
+        assert!(BarrierKind::CentralizedHalf.is_half());
+        assert!(!BarrierKind::CentralizedHalf.is_tree());
+        assert!(!BarrierKind::TreeFull.is_half());
+        assert!(BarrierKind::TreeFull.is_tree());
+        assert!(!BarrierKind::CentralizedFull.is_half());
+        assert_eq!(BarrierKind::ALL.len(), 4);
+        for k in BarrierKind::ALL {
+            assert!(!k.label().is_empty());
+        }
+    }
+}

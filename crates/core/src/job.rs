@@ -1,0 +1,179 @@
+//! Type-erased work descriptors.
+//!
+//! The master sends one *work description* to the workers per parallel loop (step 2 of
+//! the scheduling recipe in §2 of the paper).  In this runtime the description is a
+//! single [`Job`]: a raw pointer to a stack-allocated, fully-typed harness plus the
+//! monomorphised functions that execute a worker's share and (optionally) combine two
+//! per-thread reduction views.  The pointer is published before the release phase of
+//! the fork half-barrier and the master does not return until the join phase has
+//! completed, so the pointee outlives every access — the same lifetime-erasure argument
+//! scoped thread pools rely on.
+
+use std::cell::UnsafeCell;
+
+/// A type-erased work descriptor.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Job {
+    /// Pointer to the monomorphised harness (lives on the master's stack for the
+    /// duration of the loop).
+    data: *const (),
+    /// Executes participant `id`'s share of the loop.
+    execute: unsafe fn(*const (), usize),
+    /// Folds participant `from`'s reduction view into participant `into`'s view.
+    /// `None` for loops without a merged reduction.
+    combine: Option<unsafe fn(*const (), usize, usize)>,
+}
+
+impl Job {
+    /// A job that does nothing; used as the initial slot value and during shutdown.
+    pub(crate) fn noop() -> Self {
+        unsafe fn nop(_data: *const (), _id: usize) {}
+        Job {
+            data: std::ptr::null(),
+            execute: nop,
+            combine: None,
+        }
+    }
+
+    /// Builds a job from a typed harness reference and its monomorphised entry points.
+    ///
+    /// # Safety
+    /// The caller must guarantee that `data` outlives every [`Job::execute`] /
+    /// [`Job::combine`] call, and that `execute`/`combine` treat the pointer as the type
+    /// `data` was created from.
+    pub(crate) unsafe fn new(
+        data: *const (),
+        execute: unsafe fn(*const (), usize),
+        combine: Option<unsafe fn(*const (), usize, usize)>,
+    ) -> Self {
+        Job { data, execute, combine }
+    }
+
+    /// Executes participant `id`'s share.
+    ///
+    /// # Safety
+    /// The harness pointed to by `data` must still be alive.
+    #[inline]
+    pub(crate) unsafe fn execute(&self, id: usize) {
+        (self.execute)(self.data, id)
+    }
+
+    /// Folds view `from` into view `into`, if this job carries a combine function.
+    ///
+    /// # Safety
+    /// The harness pointed to by `data` must still be alive, `from` must have finished
+    /// writing its view, and no other thread may access either view concurrently.
+    #[inline]
+    pub(crate) unsafe fn combine(&self, into: usize, from: usize) {
+        if let Some(f) = self.combine {
+            (f)(self.data, into, from)
+        }
+    }
+
+    /// Whether the job carries a merged reduction.
+    pub(crate) fn has_combine(&self) -> bool {
+        self.combine.is_some()
+    }
+}
+
+/// The single shared job slot of a pool.  It is written by the master strictly before
+/// the release phase of the fork half-barrier and read by workers strictly after they
+/// observe that release, so the release/acquire pair on the barrier flag orders all
+/// accesses; no additional synchronization is needed on the slot itself.
+#[derive(Debug)]
+pub(crate) struct JobSlot {
+    cell: UnsafeCell<Job>,
+}
+
+// SAFETY: see the ordering argument above — the slot is only accessed under the
+// happens-before edges established by the pool's fork/join barrier phases.
+unsafe impl Sync for JobSlot {}
+unsafe impl Send for JobSlot {}
+
+impl JobSlot {
+    pub(crate) fn new() -> Self {
+        JobSlot {
+            cell: UnsafeCell::new(Job::noop()),
+        }
+    }
+
+    /// Master side: publish a job. Must happen before the fork release.
+    ///
+    /// # Safety
+    /// Only the master may call this, and only while no worker is executing a previous
+    /// job (i.e. between a completed join phase and the next fork release).
+    #[inline]
+    pub(crate) unsafe fn publish(&self, job: Job) {
+        *self.cell.get() = job;
+    }
+
+    /// Worker side: read the current job. Must happen after observing the fork release.
+    ///
+    /// # Safety
+    /// Only valid between a fork release and the corresponding join completion.
+    #[inline]
+    pub(crate) unsafe fn read(&self) -> Job {
+        *self.cell.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn noop_job_is_harmless() {
+        let j = Job::noop();
+        assert!(!j.has_combine());
+        unsafe {
+            j.execute(0);
+            j.execute(7);
+            j.combine(0, 1);
+        }
+    }
+
+    #[test]
+    fn job_dispatches_to_harness() {
+        struct Harness {
+            hits: AtomicUsize,
+            combines: AtomicUsize,
+        }
+        unsafe fn exec(data: *const (), _id: usize) {
+            let h = unsafe { &*(data as *const Harness) };
+            h.hits.fetch_add(1, Ordering::SeqCst);
+        }
+        unsafe fn comb(data: *const (), _into: usize, _from: usize) {
+            let h = unsafe { &*(data as *const Harness) };
+            h.combines.fetch_add(1, Ordering::SeqCst);
+        }
+        let h = Harness {
+            hits: AtomicUsize::new(0),
+            combines: AtomicUsize::new(0),
+        };
+        let job = unsafe { Job::new(&h as *const Harness as *const (), exec, Some(comb)) };
+        assert!(job.has_combine());
+        unsafe {
+            job.execute(0);
+            job.execute(1);
+            job.combine(0, 1);
+        }
+        assert_eq!(h.hits.load(Ordering::SeqCst), 2);
+        assert_eq!(h.combines.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn slot_roundtrip() {
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        unsafe fn exec(_data: *const (), id: usize) {
+            HITS.fetch_add(id + 1, Ordering::SeqCst);
+        }
+        let slot = JobSlot::new();
+        let job = unsafe { Job::new(std::ptr::null(), exec, None) };
+        unsafe {
+            slot.publish(job);
+            slot.read().execute(4);
+        }
+        assert_eq!(HITS.load(Ordering::SeqCst), 5);
+    }
+}

@@ -1,0 +1,364 @@
+//! The persistent fine-grain worker pool.
+//!
+//! A [`FineGrainPool`] owns `P − 1` worker threads bound to one master (the thread that
+//! created the pool and calls the loop methods).  Per parallel loop the pool executes
+//! exactly the synchronization the paper's half-barrier pattern prescribes:
+//!
+//! 1. the master publishes the work description ([`crate::job::Job`]) and performs the
+//!    **release phase** of the fork barrier — it never waits at the fork point;
+//! 2. every thread (master included) executes its statically assigned share;
+//! 3. every worker performs the **join phase** of the completion barrier, folding
+//!    reduction views pairwise on the way up the tree; the master waits for its join
+//!    children and returns — no release phase follows, nobody acknowledges the workers.
+//!
+//! Configured with [`BarrierKind::TreeFull`] / [`BarrierKind::CentralizedFull`], the same
+//! pool runs both phases at both ends (two full barriers per loop), which is the
+//! baseline structure of conventional runtimes and the "with full-barrier" row of
+//! Table 1.
+
+use crate::config::{BarrierKind, Config};
+use crate::job::{Job, JobSlot};
+use crate::stats::{PoolStats, StatsSnapshot};
+use parlo_barrier::{Epoch, FullBarrier, HalfBarrier, TreeShape, WaitPolicy};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Identity of a participant inside a parallel region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerInfo {
+    /// Participant id: 0 is the master, `1..num_threads` are the workers.
+    pub id: usize,
+    /// Total number of participants.
+    pub num_threads: usize,
+}
+
+/// The synchronization engine of the pool: either the paper's half-barrier or a
+/// conventional pair of full barriers, in tree or centralized flavor.
+#[derive(Debug)]
+enum SyncImpl {
+    Half(HalfBarrier),
+    Full(FullBarrier),
+}
+
+impl SyncImpl {
+    fn build(config: &Config) -> Self {
+        let n = config.num_threads;
+        let shape = || {
+            TreeShape::topology_aware(&config.topology, n, config.effective_fanin())
+        };
+        match config.barrier {
+            BarrierKind::TreeHalf => SyncImpl::Half(HalfBarrier::new_tree(shape())),
+            BarrierKind::CentralizedHalf => SyncImpl::Half(HalfBarrier::new_centralized(n)),
+            BarrierKind::TreeFull => SyncImpl::Full(FullBarrier::new_tree(shape())),
+            BarrierKind::CentralizedFull => SyncImpl::Full(FullBarrier::new_centralized(n)),
+        }
+    }
+
+    /// Barrier phases executed per loop (a release or a join phase each count as one).
+    fn phases_per_loop(&self) -> u64 {
+        match self {
+            SyncImpl::Half(_) => 2,
+            SyncImpl::Full(_) => 4,
+        }
+    }
+
+    /// Master side of the fork point for loop `epoch`.
+    #[inline]
+    fn master_fork(&self, epoch: Epoch, policy: &WaitPolicy) {
+        match self {
+            // Release phase only: the master never waits at the fork.
+            SyncImpl::Half(hb) => hb.release(epoch),
+            // Conventional fork barrier: wait for every worker to have checked in, then
+            // release them all.
+            SyncImpl::Full(fb) => fb.master_wait(2 * epoch - 1, policy),
+        }
+    }
+
+    /// Worker side of the fork point for loop `epoch`.
+    #[inline]
+    fn worker_fork(&self, id: usize, epoch: Epoch, policy: &WaitPolicy) {
+        match self {
+            SyncImpl::Half(hb) => hb.wait_release(id, epoch, policy),
+            SyncImpl::Full(fb) => fb.worker_wait(id, 2 * epoch - 1, policy),
+        }
+    }
+
+    /// Master side of the completion point for loop `epoch`.
+    #[inline]
+    fn master_join<F: FnMut(usize)>(&self, epoch: Epoch, policy: &WaitPolicy, on_child: F) {
+        match self {
+            // Join phase only: collect arrivals (and reductions); no acknowledgement.
+            SyncImpl::Half(hb) => hb.join(epoch, policy, on_child),
+            // Conventional join barrier: collect arrivals, then release everybody again.
+            SyncImpl::Full(fb) => fb.master_wait_combine(2 * epoch, policy, on_child),
+        }
+    }
+
+    /// Worker side of the completion point for loop `epoch`.
+    #[inline]
+    fn worker_join<F: FnMut(usize)>(
+        &self,
+        id: usize,
+        epoch: Epoch,
+        policy: &WaitPolicy,
+        on_child: F,
+    ) {
+        match self {
+            SyncImpl::Half(hb) => hb.arrive(id, epoch, policy, on_child),
+            SyncImpl::Full(fb) => fb.worker_wait_combine(id, 2 * epoch, policy, on_child),
+        }
+    }
+}
+
+/// State shared between the master and the workers.
+#[derive(Debug)]
+pub(crate) struct PoolShared {
+    nthreads: usize,
+    sync: SyncImpl,
+    slot: JobSlot,
+    shutdown: AtomicBool,
+    policy: WaitPolicy,
+    pub(crate) stats: PoolStats,
+    config: Config,
+}
+
+/// The fine-grain parallel loop scheduler of the paper: a persistent worker pool whose
+/// loops are synchronized with a single half-barrier.
+///
+/// Loop methods take `&mut self`: a pool serves exactly one master thread and loops may
+/// not nest, which is precisely the structural property that makes the half-barrier's
+/// dropped phases redundant.
+#[derive(Debug)]
+pub struct FineGrainPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    epoch: Cell<Epoch>,
+}
+
+impl FineGrainPool {
+    /// Creates a pool with the default configuration (one thread per detected core,
+    /// topology-aware tree half-barrier).
+    pub fn with_default_config() -> Self {
+        Self::new(Config::default())
+    }
+
+    /// Creates a pool with `num_threads` threads and defaults for everything else.
+    pub fn with_threads(num_threads: usize) -> Self {
+        Self::new(Config::builder(num_threads).build())
+    }
+
+    /// Creates a pool from an explicit configuration.
+    pub fn new(config: Config) -> Self {
+        let nthreads = config.num_threads.max(1);
+        let shared = Arc::new(PoolShared {
+            nthreads,
+            sync: SyncImpl::build(&config),
+            slot: JobSlot::new(),
+            shutdown: AtomicBool::new(false),
+            policy: config.wait,
+            stats: PoolStats::default(),
+            config: config.clone(),
+        });
+        // Pin the master according to the policy (worker index 0).
+        if let Some(core) = config.topology.core_for_worker(0, config.pin) {
+            let _ = parlo_affinity::pin_to_core(core);
+        }
+        let mut handles = Vec::with_capacity(nthreads.saturating_sub(1));
+        for id in 1..nthreads {
+            let shared = shared.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("parlo-worker-{id}"))
+                    .spawn(move || worker_main(shared, id))
+                    .expect("failed to spawn parlo worker thread"),
+            );
+        }
+        FineGrainPool {
+            shared,
+            handles,
+            epoch: Cell::new(0),
+        }
+    }
+
+    /// Number of threads in the pool (master included).
+    pub fn num_threads(&self) -> usize {
+        self.shared.nthreads
+    }
+
+    /// The configuration the pool was built with.
+    pub fn config(&self) -> &Config {
+        &self.shared.config
+    }
+
+    /// A snapshot of the pool's instrumentation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Barrier phases the pool executes per loop (2 for half-barrier configurations,
+    /// 4 for full-barrier configurations).
+    pub fn phases_per_loop(&self) -> u64 {
+        self.shared.sync.phases_per_loop()
+    }
+
+    pub(crate) fn shared(&self) -> &PoolShared {
+        &self.shared
+    }
+
+    /// Runs one type-erased job on all threads of the pool.
+    ///
+    /// # Safety
+    /// The harness behind `job` must stay alive until this call returns, and the job's
+    /// entry points must be safe to call concurrently from all participants.
+    pub(crate) unsafe fn run_job(&self, job: Job) {
+        let shared = &*self.shared;
+        let epoch = self.epoch.get() + 1;
+        self.epoch.set(epoch);
+        let has_combine = job.has_combine();
+        // Publish the work description, then perform the fork-side synchronization.
+        // SAFETY (slot): the previous loop's join phase has completed (run_job is not
+        // reentrant thanks to the &mut self public API), so no worker reads the slot.
+        unsafe { shared.slot.publish(job) };
+        shared.sync.master_fork(epoch, &shared.policy);
+        // The master executes its own share like any other participant.
+        unsafe { job.execute(0) };
+        // Completion-side synchronization: collect arrivals, folding reduction views.
+        shared.sync.master_join(epoch, &shared.policy, |from| {
+            if has_combine {
+                shared.stats.record_combine();
+                // SAFETY: `from` has arrived, so its view is complete and no longer
+                // accessed by its owner; only the master touches it from here on.
+                unsafe { job.combine(0, from) };
+            }
+        });
+    }
+}
+
+impl Drop for FineGrainPool {
+    fn drop(&mut self) {
+        // Tell the workers to exit, then run one final fork so every worker observes the
+        // flag, and reap the threads.
+        self.shared.shutdown.store(true, Ordering::Release);
+        let epoch = self.epoch.get() + 1;
+        self.epoch.set(epoch);
+        // SAFETY: workers check the shutdown flag before touching the slot.
+        unsafe { self.shared.slot.publish(Job::noop()) };
+        self.shared.sync.master_fork(epoch, &self.shared.policy);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(shared: Arc<PoolShared>, id: usize) {
+    let config = &shared.config;
+    if let Some(core) = config.topology.core_for_worker(id, config.pin) {
+        let _ = parlo_affinity::pin_to_core(core);
+    }
+    let mut epoch: Epoch = 0;
+    loop {
+        epoch += 1;
+        shared.sync.worker_fork(id, epoch, &shared.policy);
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // SAFETY: the fork release established a happens-before edge with the master's
+        // publish of the job for this epoch.
+        let job = unsafe { shared.slot.read() };
+        // SAFETY: the master keeps the harness alive until its join phase completes,
+        // which cannot happen before this worker arrives below.
+        unsafe { job.execute(id) };
+        let has_combine = job.has_combine();
+        shared.sync.worker_join(id, epoch, &shared.policy, |from| {
+            if has_combine {
+                shared.stats.record_combine();
+                // SAFETY: `from` has arrived; see `run_job`.
+                unsafe { job.combine(id, from) };
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn pool(kind: BarrierKind, threads: usize) -> FineGrainPool {
+        FineGrainPool::new(Config::builder(threads).barrier(kind).build())
+    }
+
+    #[test]
+    fn pool_creation_and_teardown_all_kinds() {
+        for kind in BarrierKind::ALL {
+            for threads in [1, 2, 4] {
+                let p = pool(kind, threads);
+                assert_eq!(p.num_threads(), threads);
+                drop(p);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_runs_every_participant_each_loop() {
+        for kind in BarrierKind::ALL {
+            let mut p = pool(kind, 4);
+            let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+            for _ in 0..25 {
+                p.broadcast(|info| {
+                    hits[info.id].fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(info.num_threads, 4);
+                });
+            }
+            for h in &hits {
+                assert_eq!(h.load(Ordering::SeqCst), 25, "kind {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn phases_per_loop_reflects_half_vs_full() {
+        assert_eq!(pool(BarrierKind::TreeHalf, 2).phases_per_loop(), 2);
+        assert_eq!(pool(BarrierKind::CentralizedHalf, 2).phases_per_loop(), 2);
+        assert_eq!(pool(BarrierKind::TreeFull, 2).phases_per_loop(), 4);
+        assert_eq!(pool(BarrierKind::CentralizedFull, 2).phases_per_loop(), 4);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_loops() {
+        let mut p = FineGrainPool::with_threads(1);
+        let counter = AtomicUsize::new(0);
+        p.parallel_for(0..100, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn stats_count_loops_and_phases() {
+        let mut p = pool(BarrierKind::TreeHalf, 2);
+        p.parallel_for(0..10, |_| {});
+        p.parallel_for(0..10, |_| {});
+        let s = p.stats();
+        assert_eq!(s.loops, 2);
+        assert_eq!(s.barrier_phases, 4);
+
+        let mut pf = pool(BarrierKind::TreeFull, 2);
+        pf.parallel_for(0..10, |_| {});
+        assert_eq!(pf.stats().barrier_phases, 4);
+    }
+
+    #[test]
+    fn with_default_config_works() {
+        let mut p = FineGrainPool::with_default_config();
+        let n = p.num_threads();
+        assert!(n >= 1);
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        p.parallel_for(0..1000, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+    }
+}

@@ -1,0 +1,354 @@
+//! Parallel reductions merged into the join half-barrier.
+//!
+//! This is the second half of the paper's contribution: for loops with reduction
+//! variables, the Intel OpenMP runtime executes an *extra* tree barrier (three full
+//! barriers per loop), and baseline Cilk creates reducer views lazily on steals and may
+//! perform many more than `P − 1` reduce operations.  The fine-grain scheduler instead
+//!
+//! * allocates the per-thread views **statically at the start of the loop** (one
+//!   cache-line-padded slot per participant),
+//! * lets every participant fold its block into its own view, and
+//! * merges the views **pairwise inside the join phase of the half-barrier**: when a
+//!   join-tree child arrives, its parent immediately folds the child's view into its
+//!   own.  Exactly `P − 1` combine operations are performed per reduction, and the loop
+//!   still costs only the one half-barrier.
+//!
+//! [`FineGrainPool::parallel_reduce`] requires the combine operator to be commutative
+//! (and associative) because the join tree does not preserve the index order of the
+//! blocks; [`FineGrainPool::parallel_reduce_ordered`] keeps non-commutative operators
+//! correct by folding the views in thread order at the master after the join phase
+//! (still `P − 1` combines, but all executed by the master).
+
+use crate::job::Job;
+use crate::pool::FineGrainPool;
+use crate::range::static_block;
+use crossbeam::utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+
+/// One per-participant reduction view, padded to its own cache line so that the
+/// statically allocated view array does not false-share.
+struct ViewSlot<T>(CachePadded<UnsafeCell<Option<T>>>);
+
+impl<T> ViewSlot<T> {
+    fn empty() -> Self {
+        ViewSlot(CachePadded::new(UnsafeCell::new(None)))
+    }
+}
+
+/// Harness shared by both reduction flavors.
+struct ReduceHarness<'a, T, Id, Fold, Comb> {
+    identity: &'a Id,
+    fold: &'a Fold,
+    combine: &'a Comb,
+    views: Vec<ViewSlot<T>>,
+    range: Range<usize>,
+    nthreads: usize,
+}
+
+impl<'a, T, Id, Fold, Comb> ReduceHarness<'a, T, Id, Fold, Comb>
+where
+    Id: Fn() -> T,
+    Comb: Fn(T, T) -> T,
+{
+    /// # Safety
+    /// `id` must identify a view that is not concurrently accessed.
+    unsafe fn take_view(&self, id: usize) -> T {
+        let slot = unsafe { &mut *self.views[id].0.get() };
+        slot.take().unwrap_or_else(|| (self.identity)())
+    }
+
+    /// # Safety
+    /// As for `take_view`.
+    unsafe fn put_view(&self, id: usize, value: T) {
+        let slot = unsafe { &mut *self.views[id].0.get() };
+        *slot = Some(value);
+    }
+}
+
+unsafe fn exec_reduce<T, Id, Fold, Comb>(data: *const (), id: usize)
+where
+    Id: Fn() -> T + Sync,
+    Fold: Fn(T, usize) -> T + Sync,
+    Comb: Fn(T, T) -> T + Sync,
+{
+    let h = unsafe { &*(data as *const ReduceHarness<'_, T, Id, Fold, Comb>) };
+    let mut acc = (h.identity)();
+    for i in static_block(&h.range, h.nthreads, id) {
+        acc = (h.fold)(acc, i);
+    }
+    // SAFETY: each participant writes only its own view before arriving at the join.
+    unsafe { h.put_view(id, acc) };
+}
+
+unsafe fn combine_reduce<T, Id, Fold, Comb>(data: *const (), into: usize, from: usize)
+where
+    Id: Fn() -> T + Sync,
+    Fold: Fn(T, usize) -> T + Sync,
+    Comb: Fn(T, T) -> T + Sync,
+{
+    let h = unsafe { &*(data as *const ReduceHarness<'_, T, Id, Fold, Comb>) };
+    // SAFETY: the join phase guarantees `from` has arrived (its view is final and its
+    // owner no longer touches it) and that only the parent accesses both views here.
+    unsafe {
+        let a = h.take_view(into);
+        let b = h.take_view(from);
+        h.put_view(into, (h.combine)(a, b));
+    }
+}
+
+impl FineGrainPool {
+    /// Parallel reduction with the combine step merged into the join half-barrier.
+    ///
+    /// * `identity()` produces the neutral element of the reduction;
+    /// * `fold(acc, i)` folds iteration `i` into a thread-local accumulator;
+    /// * `combine(a, b)` merges two accumulators and must be **associative and
+    ///   commutative** (use [`FineGrainPool::parallel_reduce_ordered`] otherwise).
+    ///
+    /// Exactly `num_threads − 1` combine operations are performed per call.
+    pub fn parallel_reduce<T, Id, Fold, Comb>(
+        &mut self,
+        range: Range<usize>,
+        identity: Id,
+        fold: Fold,
+        combine: Comb,
+    ) -> T
+    where
+        T: Send,
+        Id: Fn() -> T + Sync,
+        Fold: Fn(T, usize) -> T + Sync,
+        Comb: Fn(T, T) -> T + Sync,
+    {
+        let nthreads = self.num_threads();
+        let harness = ReduceHarness {
+            identity: &identity,
+            fold: &fold,
+            combine: &combine,
+            views: (0..nthreads).map(|_| ViewSlot::empty()).collect(),
+            range,
+            nthreads,
+        };
+        self.shared().stats.record_loop(self.phases_per_loop());
+        self.shared().stats.record_reduction();
+        // SAFETY: the harness outlives `run_job`; the entry points reinterpret the
+        // pointer as exactly `ReduceHarness<'_, T, Id, Fold, Comb>`; view accesses are
+        // serialized by the join-phase protocol (see `combine_reduce`).
+        unsafe {
+            self.run_job(Job::new(
+                &harness as *const _ as *const (),
+                exec_reduce::<T, Id, Fold, Comb>,
+                Some(combine_reduce::<T, Id, Fold, Comb>),
+            ));
+        }
+        // After the master's join phase its view holds the fully combined result.
+        // SAFETY: all workers have arrived; no concurrent access remains.
+        unsafe { harness.take_view(0) }
+    }
+
+    /// Parallel reduction that preserves the left-to-right (iteration-order) combination
+    /// of the per-thread partial results, so non-commutative (but associative) operators
+    /// are reduced exactly as the sequential loop would.
+    ///
+    /// The loop itself still uses the half-barrier; the `P − 1` combines are performed
+    /// by the master after the join phase, in thread order.
+    pub fn parallel_reduce_ordered<T, Id, Fold, Comb>(
+        &mut self,
+        range: Range<usize>,
+        identity: Id,
+        fold: Fold,
+        combine: Comb,
+    ) -> T
+    where
+        T: Send,
+        Id: Fn() -> T + Sync,
+        Fold: Fn(T, usize) -> T + Sync,
+        Comb: Fn(T, T) -> T + Sync,
+    {
+        let nthreads = self.num_threads();
+        let harness = ReduceHarness {
+            identity: &identity,
+            fold: &fold,
+            combine: &combine,
+            views: (0..nthreads).map(|_| ViewSlot::empty()).collect(),
+            range,
+            nthreads,
+        };
+        self.shared().stats.record_loop(self.phases_per_loop());
+        self.shared().stats.record_reduction();
+        // SAFETY: as in `parallel_reduce`; no combine function is attached to the job,
+        // so views are only written by their owners during the loop.
+        unsafe {
+            self.run_job(Job::new(
+                &harness as *const _ as *const (),
+                exec_reduce::<T, Id, Fold, Comb>,
+                None,
+            ));
+        }
+        // Fold the per-thread views in thread order: thread t's block precedes thread
+        // t+1's block in iteration order, so this reproduces the sequential fold.
+        // SAFETY: all workers have arrived; the master is the only remaining accessor.
+        unsafe {
+            let mut acc = harness.take_view(0);
+            for t in 1..nthreads {
+                self.shared().stats.record_combine();
+                acc = combine(acc, harness.take_view(t));
+            }
+            acc
+        }
+    }
+
+    /// Convenience wrapper: parallel sum of `f(i)` over `range`.
+    pub fn parallel_sum<F>(&mut self, range: Range<usize>, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        self.parallel_reduce(range, || 0.0, |acc, i| acc + f(i), |a, b| a + b)
+    }
+
+    /// Convenience wrapper: parallel maximum of `f(i)` over `range` (returns
+    /// `f64::NEG_INFINITY` for an empty range).
+    pub fn parallel_max<F>(&mut self, range: Range<usize>, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        self.parallel_reduce(
+            range,
+            || f64::NEG_INFINITY,
+            |acc: f64, i| acc.max(f(i)),
+            |a: f64, b: f64| a.max(b),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BarrierKind, Config};
+
+    fn pool(kind: BarrierKind, threads: usize) -> FineGrainPool {
+        FineGrainPool::new(Config::builder(threads).barrier(kind).build())
+    }
+
+    #[test]
+    fn sum_matches_sequential_for_all_barrier_kinds() {
+        let n = 10_001usize;
+        let expected: u64 = (0..n as u64).sum();
+        for kind in BarrierKind::ALL {
+            let mut p = pool(kind, 4);
+            let got = p.parallel_reduce(0..n, || 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+            assert_eq!(got, expected, "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn reduction_performs_exactly_p_minus_one_combines() {
+        for kind in BarrierKind::ALL {
+            for threads in [1usize, 2, 3, 4, 6] {
+                let mut p = pool(kind, threads);
+                let before = p.stats();
+                let _ = p.parallel_reduce(0..1000, || 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+                let delta = p.stats().since(&before);
+                assert_eq!(
+                    delta.combine_ops,
+                    (threads - 1) as u64,
+                    "kind {kind:?} threads {threads}"
+                );
+                assert_eq!(delta.reductions, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_reduction_preserves_non_commutative_order() {
+        // String concatenation is associative but not commutative.
+        let input: Vec<String> = (0..40).map(|i| format!("[{i}]")).collect();
+        let expected: String = input.concat();
+        for threads in [1usize, 2, 3, 5] {
+            let mut p = FineGrainPool::with_threads(threads);
+            let got = p.parallel_reduce_ordered(
+                0..input.len(),
+                String::new,
+                |mut acc: String, i| {
+                    acc.push_str(&input[i]);
+                    acc
+                },
+                |mut a: String, b: String| {
+                    a.push_str(&b);
+                    a
+                },
+            );
+            assert_eq!(got, expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn ordered_reduction_also_counts_p_minus_one_combines() {
+        let mut p = FineGrainPool::with_threads(4);
+        let before = p.stats();
+        let _ = p.parallel_reduce_ordered(0..100, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+        assert_eq!(p.stats().since(&before).combine_ops, 3);
+    }
+
+    #[test]
+    fn empty_range_returns_identity() {
+        let mut p = FineGrainPool::with_threads(3);
+        let got = p.parallel_reduce(5..5, || 42u32, |acc, _| acc + 1, |a, b| a.min(b));
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn sum_and_max_helpers() {
+        let mut p = FineGrainPool::with_threads(4);
+        let s = p.parallel_sum(0..1000, |i| i as f64);
+        assert!((s - 499_500.0).abs() < 1e-9);
+        let m = p.parallel_max(0..1000, |i| (i as f64 - 500.0).abs());
+        assert!((m - 500.0).abs() < 1e-9);
+        let empty = p.parallel_max(0..0, |_| 0.0);
+        assert_eq!(empty, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn reduction_with_nontrivial_type() {
+        // Component-wise vector sum, the shape of the linear-regression workload.
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        struct Sums {
+            x: f64,
+            y: f64,
+            xy: f64,
+        }
+        let n = 4096usize;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = (0..n).map(|i| 3.0 * i as f64 + 1.0).collect();
+        let mut p = pool(BarrierKind::TreeHalf, 4);
+        let got = p.parallel_reduce(
+            0..n,
+            || Sums { x: 0.0, y: 0.0, xy: 0.0 },
+            |acc, i| Sums {
+                x: acc.x + xs[i],
+                y: acc.y + ys[i],
+                xy: acc.xy + xs[i] * ys[i],
+            },
+            |a, b| Sums {
+                x: a.x + b.x,
+                y: a.y + b.y,
+                xy: a.xy + b.xy,
+            },
+        );
+        let expected_x: f64 = xs.iter().sum();
+        let expected_y: f64 = ys.iter().sum();
+        let expected_xy: f64 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+        assert!((got.x - expected_x).abs() < 1e-6);
+        assert!((got.y - expected_y).abs() < 1e-6);
+        assert!((got.xy - expected_xy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeated_reductions_reuse_the_pool() {
+        let mut p = pool(BarrierKind::CentralizedHalf, 4);
+        for round in 1..=50u64 {
+            let got = p.parallel_reduce(0..100, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(got, 4950);
+            assert_eq!(p.stats().reductions, round);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Scheduler instrumentation counters.
+//!
+//! The counters are cheap (relaxed atomics bumped by the master or, for combines, by
+//! whichever thread performs the combine) and are used by the tests to verify the
+//! structural claims of the paper — e.g. that a merged reduction performs exactly
+//! `P − 1` combine operations, or that a half-barrier loop issues exactly one release
+//! and one join phase.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Instrumentation counters of a pool.  All counters are monotonically increasing.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    loops: AtomicU64,
+    reductions: AtomicU64,
+    combine_ops: AtomicU64,
+    dynamic_chunks: AtomicU64,
+    barrier_phases: AtomicU64,
+}
+
+/// A point-in-time copy of [`PoolStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Number of parallel loops (of any kind) executed.
+    pub loops: u64,
+    /// Number of parallel reductions executed.
+    pub reductions: u64,
+    /// Number of view-combine operations performed across all reductions.
+    pub combine_ops: u64,
+    /// Number of dynamically dispensed chunks across all dynamic loops.
+    pub dynamic_chunks: u64,
+    /// Number of barrier *phases* (a release phase or a join phase each count as one;
+    /// a full barrier counts as two, so a half-barrier loop costs 2 and a full-barrier
+    /// loop costs 4).
+    pub barrier_phases: u64,
+}
+
+impl PoolStats {
+    pub(crate) fn record_loop(&self, phases: u64) {
+        self.loops.fetch_add(1, Ordering::Relaxed);
+        self.barrier_phases.fetch_add(phases, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reduction(&self) {
+        self.reductions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_combine(&self) {
+        self.combine_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dynamic_chunk(&self) {
+        self.dynamic_chunks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            loops: self.loops.load(Ordering::Relaxed),
+            reductions: self.reductions.load(Ordering::Relaxed),
+            combine_ops: self.combine_ops.load(Ordering::Relaxed),
+            dynamic_chunks: self.dynamic_chunks.load(Ordering::Relaxed),
+            barrier_phases: self.barrier_phases.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            loops: self.loops - earlier.loops,
+            reductions: self.reductions - earlier.reductions,
+            combine_ops: self.combine_ops - earlier.combine_ops,
+            dynamic_chunks: self.dynamic_chunks - earlier.dynamic_chunks,
+            barrier_phases: self.barrier_phases - earlier.barrier_phases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = PoolStats::default();
+        s.record_loop(2);
+        s.record_loop(4);
+        s.record_reduction();
+        s.record_combine();
+        s.record_combine();
+        s.record_dynamic_chunk();
+        let snap = s.snapshot();
+        assert_eq!(snap.loops, 2);
+        assert_eq!(snap.barrier_phases, 6);
+        assert_eq!(snap.reductions, 1);
+        assert_eq!(snap.combine_ops, 2);
+        assert_eq!(snap.dynamic_chunks, 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = PoolStats::default();
+        s.record_loop(2);
+        let first = s.snapshot();
+        s.record_loop(2);
+        s.record_combine();
+        let second = s.snapshot();
+        let d = second.since(&first);
+        assert_eq!(d.loops, 1);
+        assert_eq!(d.combine_ops, 1);
+        assert_eq!(d.barrier_phases, 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! OpenMP-style worksharing schedules.
+
+/// The worksharing schedule of a parallel loop, mirroring OpenMP's `schedule` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// One contiguous block per thread (`schedule(static)`).
+    Static,
+    /// Block-cyclic with the given chunk size (`schedule(static, chunk)`).
+    StaticChunked(usize),
+    /// Threads repeatedly grab chunks of the given size from a shared counter
+    /// (`schedule(dynamic, chunk)`).
+    Dynamic(usize),
+    /// Guided self-scheduling with the given minimum chunk size (`schedule(guided, chunk)`).
+    Guided(usize),
+}
+
+impl Schedule {
+    /// The default dynamic chunk size used when callers do not specify one (OpenMP's
+    /// default for `schedule(dynamic)` is 1, which is also what makes it expensive).
+    pub const DEFAULT_DYNAMIC_CHUNK: usize = 1;
+
+    /// Short label used by the benchmark harnesses (matches the Table 1 row names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Schedule::Static => "OpenMP static",
+            Schedule::StaticChunked(_) => "OpenMP static (chunked)",
+            Schedule::Dynamic(_) => "OpenMP dynamic",
+            Schedule::Guided(_) => "OpenMP guided",
+        }
+    }
+
+    /// Whether this schedule requires shared-counter traffic during the loop.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, Schedule::Dynamic(_) | Schedule::Guided(_))
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::Static
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_flags() {
+        assert_eq!(Schedule::Static.label(), "OpenMP static");
+        assert_eq!(Schedule::Dynamic(1).label(), "OpenMP dynamic");
+        assert!(Schedule::Dynamic(4).is_dynamic());
+        assert!(Schedule::Guided(2).is_dynamic());
+        assert!(!Schedule::Static.is_dynamic());
+        assert!(!Schedule::StaticChunked(8).is_dynamic());
+        assert_eq!(Schedule::default(), Schedule::Static);
+    }
+}

@@ -1,0 +1,672 @@
+//! The OpenMP-like thread team.
+//!
+//! This reproduces the synchronization *structure* of the Intel OpenMP runtime that the
+//! paper measures against (§2 and Table 1):
+//!
+//! * a persistent team of threads bound to the master;
+//! * every parallel loop executes a **full fork barrier** (all threads check in, then
+//!   all are released into the region) and a **full join barrier** (all threads check
+//!   in, then all are released out of the region) — two full barriers per loop;
+//! * a loop with a reduction clause executes an **additional full tree barrier** whose
+//!   join phase aggregates the per-thread partial results — three full barriers per
+//!   reduction loop.
+//!
+//! The work-distribution side supports `static`, `static,chunk`, `dynamic` and `guided`
+//! schedules (see [`crate::Schedule`]).
+
+use crate::schedule::Schedule;
+use parlo_affinity::{PinPolicy, Topology};
+use parlo_barrier::{Epoch, FullBarrier, TreeShape, WaitPolicy};
+use std::cell::{Cell, UnsafeCell};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of an [`OmpTeam`].
+#[derive(Debug, Clone)]
+pub struct TeamConfig {
+    /// Number of threads in the team (master included).
+    pub num_threads: usize,
+    /// Machine topology used for the barrier tree and pinning.
+    pub topology: Topology,
+    /// Thread pinning policy.
+    pub pin: PinPolicy,
+    /// Waiting policy.
+    pub wait: WaitPolicy,
+    /// Use the centralized barrier instead of the tree barrier (for ablations).
+    pub centralized_barrier: bool,
+}
+
+impl Default for TeamConfig {
+    fn default() -> Self {
+        let topology = Topology::detect();
+        let num_threads = topology.num_cores().max(1);
+        TeamConfig {
+            num_threads,
+            pin: PinPolicy::Compact,
+            wait: WaitPolicy::auto_for(num_threads),
+            centralized_barrier: false,
+            topology,
+        }
+    }
+}
+
+impl TeamConfig {
+    /// A configuration with `num_threads` threads and defaults for everything else.
+    pub fn with_threads(num_threads: usize) -> Self {
+        let num_threads = num_threads.max(1);
+        TeamConfig {
+            num_threads,
+            wait: WaitPolicy::auto_for(num_threads),
+            ..TeamConfig::default()
+        }
+    }
+}
+
+/// Type-erased work descriptor of the team (same lifetime-erasure argument as the
+/// fine-grain pool: the master keeps the harness alive until the join barrier).
+#[derive(Clone, Copy)]
+pub(crate) struct TeamJob {
+    data: *const (),
+    execute: unsafe fn(*const (), usize),
+    /// Combine executed inside the join phase of the *extra* reduction barrier.
+    combine: Option<unsafe fn(*const (), usize, usize)>,
+}
+
+impl TeamJob {
+    fn noop() -> Self {
+        unsafe fn nop(_: *const (), _: usize) {}
+        TeamJob {
+            data: std::ptr::null(),
+            execute: nop,
+            combine: None,
+        }
+    }
+}
+
+/// Instrumentation counters of a team.
+#[derive(Debug, Default)]
+struct TeamStats {
+    loops: AtomicU64,
+    reductions: AtomicU64,
+    combine_ops: AtomicU64,
+    barrier_phases: AtomicU64,
+    dynamic_chunks: AtomicU64,
+}
+
+/// A point-in-time copy of the team counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TeamStatsSnapshot {
+    /// Parallel loops executed.
+    pub loops: u64,
+    /// Reduction loops executed.
+    pub reductions: u64,
+    /// View-combine operations performed.
+    pub combine_ops: u64,
+    /// Barrier phases executed (each full barrier counts 2: one join + one release).
+    pub barrier_phases: u64,
+    /// Dynamically dispensed chunks.
+    pub dynamic_chunks: u64,
+}
+
+struct TeamShared {
+    nthreads: usize,
+    barrier: FullBarrier,
+    job: UnsafeCell<TeamJob>,
+    shutdown: AtomicBool,
+    policy: WaitPolicy,
+    stats: TeamStats,
+    config: TeamConfig,
+}
+
+// SAFETY: the job cell is only written by the master strictly before the fork barrier's
+// release phase and read by workers strictly after it; all other fields are atomics or
+// immutable.
+unsafe impl Sync for TeamShared {}
+unsafe impl Send for TeamShared {}
+
+/// An OpenMP-like persistent thread team.
+///
+/// Loop methods take `&mut self`; a team serves a single master thread and regions do
+/// not nest (matching the single-level parallelism the paper evaluates).
+pub struct OmpTeam {
+    shared: Arc<TeamShared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Number of barrier episodes executed so far.  Each plain loop consumes two
+    /// episodes (fork + join) and each reduction loop three (fork + reduction + join);
+    /// the workers advance their local episode counters identically because they see
+    /// whether the published job carries a reduction.
+    episode: Cell<Epoch>,
+}
+
+impl std::fmt::Debug for OmpTeam {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OmpTeam")
+            .field("num_threads", &self.shared.nthreads)
+            .finish()
+    }
+}
+
+impl OmpTeam {
+    /// Creates a team with `num_threads` threads.
+    pub fn with_threads(num_threads: usize) -> Self {
+        Self::new(TeamConfig::with_threads(num_threads))
+    }
+
+    /// Creates a team from an explicit configuration.
+    pub fn new(config: TeamConfig) -> Self {
+        let nthreads = config.num_threads.max(1);
+        let barrier = if config.centralized_barrier {
+            FullBarrier::new_centralized(nthreads)
+        } else {
+            FullBarrier::new_tree(TreeShape::topology_aware(
+                &config.topology,
+                nthreads,
+                config.topology.suggested_arrival_fanin(),
+            ))
+        };
+        let shared = Arc::new(TeamShared {
+            nthreads,
+            barrier,
+            job: UnsafeCell::new(TeamJob::noop()),
+            shutdown: AtomicBool::new(false),
+            policy: config.wait,
+            stats: TeamStats::default(),
+            config: config.clone(),
+        });
+        if let Some(core) = config.topology.core_for_worker(0, config.pin) {
+            let _ = parlo_affinity::pin_to_core(core);
+        }
+        let mut handles = Vec::with_capacity(nthreads.saturating_sub(1));
+        for id in 1..nthreads {
+            let shared = shared.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("parlo-omp-{id}"))
+                    .spawn(move || worker_main(shared, id))
+                    .expect("failed to spawn OpenMP-like team thread"),
+            );
+        }
+        OmpTeam {
+            shared,
+            handles,
+            episode: Cell::new(0),
+        }
+    }
+
+    /// Advances and returns the next barrier episode number.
+    fn next_episode(&self) -> Epoch {
+        let e = self.episode.get() + 1;
+        self.episode.set(e);
+        e
+    }
+
+    /// Number of threads in the team (master included).
+    pub fn num_threads(&self) -> usize {
+        self.shared.nthreads
+    }
+
+    /// The configuration the team was built with.
+    pub fn config(&self) -> &TeamConfig {
+        &self.shared.config
+    }
+
+    /// A snapshot of the team's instrumentation counters.
+    pub fn stats(&self) -> TeamStatsSnapshot {
+        let s = &self.shared.stats;
+        TeamStatsSnapshot {
+            loops: s.loops.load(Ordering::Relaxed),
+            reductions: s.reductions.load(Ordering::Relaxed),
+            combine_ops: s.combine_ops.load(Ordering::Relaxed),
+            barrier_phases: s.barrier_phases.load(Ordering::Relaxed),
+            dynamic_chunks: s.dynamic_chunks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs one type-erased region on the team.
+    ///
+    /// # Safety
+    /// The harness behind `job` must stay alive until this call returns and must be
+    /// safe to execute concurrently from all participants.
+    pub(crate) unsafe fn run_region(&self, job: TeamJob, with_reduction: bool) {
+        let shared = &*self.shared;
+        let fork_e = self.next_episode();
+        // Publish the work description, then the full fork barrier (join + release).
+        unsafe { *shared.job.get() = job };
+        shared.barrier.master_wait(fork_e, &shared.policy);
+        shared.stats.barrier_phases.fetch_add(2, Ordering::Relaxed);
+        // The master executes its share like every team member.
+        unsafe { (job.execute)(job.data, 0) };
+        if with_reduction {
+            let red_e = self.next_episode();
+            // Extra tree barrier whose join phase aggregates per-thread results.
+            shared
+                .barrier
+                .master_wait_combine(red_e, &shared.policy, |from| {
+                    shared.stats.combine_ops.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: `from` has arrived with a final view; only this thread
+                    // accesses both views during the combine.
+                    if let Some(comb) = job.combine {
+                        unsafe { comb(job.data, 0, from) };
+                    }
+                });
+            shared.stats.barrier_phases.fetch_add(2, Ordering::Relaxed);
+        }
+        // Full join barrier (join + release).
+        let join_e = self.next_episode();
+        shared.barrier.master_wait(join_e, &shared.policy);
+        shared.stats.barrier_phases.fetch_add(2, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stats_ref(&self) -> &'_ TeamStatsShim {
+        // A tiny shim so sibling modules can bump counters without exposing TeamStats.
+        TeamStatsShim::from_shared(&self.shared)
+    }
+}
+
+/// Internal counter access for sibling modules (loop/reduction implementations).
+#[repr(transparent)]
+pub(crate) struct TeamStatsShim(TeamShared);
+
+impl TeamStatsShim {
+    fn from_shared(shared: &Arc<TeamShared>) -> &TeamStatsShim {
+        // SAFETY: #[repr(transparent)] over TeamShared.
+        unsafe { &*(Arc::as_ptr(shared) as *const TeamStatsShim) }
+    }
+
+    pub(crate) fn record_loop(&self) {
+        self.0.stats.loops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reduction(&self) {
+        self.0.stats.reductions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dynamic_chunk(&self) {
+        self.0.stats.dynamic_chunks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn num_threads(&self) -> usize {
+        self.0.nthreads
+    }
+}
+
+impl Drop for OmpTeam {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let fork_e = self.next_episode();
+        // SAFETY: workers check the shutdown flag before reading the job.
+        unsafe { *self.shared.job.get() = TeamJob::noop() };
+        self.shared.barrier.master_wait(fork_e, &self.shared.policy);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(shared: Arc<TeamShared>, id: usize) {
+    let config = &shared.config;
+    if let Some(core) = config.topology.core_for_worker(id, config.pin) {
+        let _ = parlo_affinity::pin_to_core(core);
+    }
+    // Local barrier-episode counter; advances in lockstep with the master's because
+    // both sides consume episodes based on the same information (whether the published
+    // job carries a reduction).
+    let mut episode: Epoch = 0;
+    loop {
+        episode += 1;
+        // Full fork barrier: check in, wait to be released into the region.
+        shared.barrier.worker_wait(id, episode, &shared.policy);
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // SAFETY: ordered by the fork barrier.
+        let job = unsafe { *shared.job.get() };
+        unsafe { (job.execute)(job.data, id) };
+        if let Some(comb) = job.combine {
+            episode += 1;
+            // Extra reduction barrier: aggregate partial results in its join phase.
+            shared
+                .barrier
+                .worker_wait_combine(id, episode, &shared.policy, |from| {
+                    shared.stats.combine_ops.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: `from` has arrived; see `run_region`.
+                    unsafe { comb(job.data, id, from) };
+                });
+        }
+        // Full join barrier.
+        episode += 1;
+        shared.barrier.worker_wait(id, episode, &shared.policy);
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Worksharing + reduction entry points
+// ---------------------------------------------------------------------------------
+
+/// Harness for `parallel_for`.
+struct ForHarness<'a, F> {
+    body: &'a F,
+    range: Range<usize>,
+    nthreads: usize,
+    schedule: Schedule,
+    dynamic: parlo_core::DynamicChunks,
+    guided: parlo_core::GuidedChunks,
+    stats: &'a TeamStatsShim,
+}
+
+fn run_schedule<F: Fn(usize)>(
+    schedule: Schedule,
+    range: &Range<usize>,
+    nthreads: usize,
+    id: usize,
+    dynamic: &parlo_core::DynamicChunks,
+    guided: &parlo_core::GuidedChunks,
+    stats: &TeamStatsShim,
+    body: &F,
+) {
+    match schedule {
+        Schedule::Static => {
+            for i in parlo_core::static_block(range, nthreads, id) {
+                body(i);
+            }
+        }
+        Schedule::StaticChunked(chunk) => {
+            for c in parlo_core::static_chunks(range, nthreads, id, chunk) {
+                for i in c {
+                    body(i);
+                }
+            }
+        }
+        Schedule::Dynamic(_) => {
+            while let Some(c) = dynamic.next_chunk() {
+                stats.record_dynamic_chunk();
+                for i in c {
+                    body(i);
+                }
+            }
+        }
+        Schedule::Guided(_) => {
+            while let Some(c) = guided.next_chunk() {
+                stats.record_dynamic_chunk();
+                for i in c {
+                    body(i);
+                }
+            }
+        }
+    }
+}
+
+unsafe fn exec_for<F: Fn(usize) + Sync>(data: *const (), id: usize) {
+    let h = unsafe { &*(data as *const ForHarness<'_, F>) };
+    run_schedule(
+        h.schedule, &h.range, h.nthreads, id, &h.dynamic, &h.guided, h.stats, h.body,
+    );
+}
+
+/// Harness for `parallel_reduce`.
+struct ReduceHarness<'a, T, Id, Fold, Comb> {
+    identity: &'a Id,
+    fold: &'a Fold,
+    combine: &'a Comb,
+    views: Vec<crossbeam::utils::CachePadded<UnsafeCell<Option<T>>>>,
+    range: Range<usize>,
+    nthreads: usize,
+    schedule: Schedule,
+    dynamic: parlo_core::DynamicChunks,
+    guided: parlo_core::GuidedChunks,
+    stats: &'a TeamStatsShim,
+}
+
+impl<'a, T, Id: Fn() -> T, Fold, Comb> ReduceHarness<'a, T, Id, Fold, Comb> {
+    unsafe fn take_view(&self, id: usize) -> T {
+        let slot = unsafe { &mut *self.views[id].get() };
+        slot.take().unwrap_or_else(|| (self.identity)())
+    }
+
+    unsafe fn put_view(&self, id: usize, value: T) {
+        let slot = unsafe { &mut *self.views[id].get() };
+        *slot = Some(value);
+    }
+}
+
+unsafe fn exec_reduce<T, Id, Fold, Comb>(data: *const (), id: usize)
+where
+    Id: Fn() -> T + Sync,
+    Fold: Fn(T, usize) -> T + Sync,
+    Comb: Fn(T, T) -> T + Sync,
+{
+    let h = unsafe { &*(data as *const ReduceHarness<'_, T, Id, Fold, Comb>) };
+    let acc = std::cell::Cell::new(Some((h.identity)()));
+    run_schedule(
+        h.schedule,
+        &h.range,
+        h.nthreads,
+        id,
+        &h.dynamic,
+        &h.guided,
+        h.stats,
+        &|i| {
+            let a = acc.take().expect("accumulator present");
+            acc.set(Some((h.fold)(a, i)));
+        },
+    );
+    // SAFETY: each participant writes only its own view before the reduction barrier.
+    unsafe { h.put_view(id, acc.take().expect("accumulator present")) };
+}
+
+unsafe fn combine_reduce<T, Id, Fold, Comb>(data: *const (), into: usize, from: usize)
+where
+    Id: Fn() -> T + Sync,
+    Fold: Fn(T, usize) -> T + Sync,
+    Comb: Fn(T, T) -> T + Sync,
+{
+    let h = unsafe { &*(data as *const ReduceHarness<'_, T, Id, Fold, Comb>) };
+    // SAFETY: serialized by the reduction barrier's join phase.
+    unsafe {
+        let a = h.take_view(into);
+        let b = h.take_view(from);
+        h.put_view(into, (h.combine)(a, b));
+    }
+}
+
+impl OmpTeam {
+    /// An OpenMP-style parallel loop: full fork barrier, worksharing according to
+    /// `schedule`, full join barrier.
+    pub fn parallel_for<F>(&mut self, range: Range<usize>, schedule: Schedule, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let nthreads = self.num_threads();
+        let (dyn_chunk, guided_min) = match schedule {
+            Schedule::Dynamic(c) => (c.max(1), 1),
+            Schedule::Guided(m) => (1, m.max(1)),
+            _ => (1, 1),
+        };
+        let harness = ForHarness {
+            body: &body,
+            range: range.clone(),
+            nthreads,
+            schedule,
+            dynamic: parlo_core::DynamicChunks::new(range.clone(), dyn_chunk),
+            guided: parlo_core::GuidedChunks::new(range, nthreads, guided_min),
+            stats: self.stats_ref(),
+        };
+        self.stats_ref().record_loop();
+        // SAFETY: the harness outlives `run_region`; `exec_for::<F>` matches its type.
+        unsafe {
+            self.run_region(
+                TeamJob {
+                    data: &harness as *const _ as *const (),
+                    execute: exec_for::<F>,
+                    combine: None,
+                },
+                false,
+            );
+        }
+    }
+
+    /// An OpenMP-style reduction loop: full fork barrier, worksharing, an additional
+    /// full barrier whose join phase aggregates the per-thread partial results, and a
+    /// full join barrier — three full barriers in total, as the Intel OpenMP runtime
+    /// structure the paper describes.
+    pub fn parallel_reduce<T, Id, Fold, Comb>(
+        &mut self,
+        range: Range<usize>,
+        schedule: Schedule,
+        identity: Id,
+        fold: Fold,
+        combine: Comb,
+    ) -> T
+    where
+        T: Send,
+        Id: Fn() -> T + Sync,
+        Fold: Fn(T, usize) -> T + Sync,
+        Comb: Fn(T, T) -> T + Sync,
+    {
+        let nthreads = self.num_threads();
+        let (dyn_chunk, guided_min) = match schedule {
+            Schedule::Dynamic(c) => (c.max(1), 1),
+            Schedule::Guided(m) => (1, m.max(1)),
+            _ => (1, 1),
+        };
+        let harness = ReduceHarness {
+            identity: &identity,
+            fold: &fold,
+            combine: &combine,
+            views: (0..nthreads)
+                .map(|_| crossbeam::utils::CachePadded::new(UnsafeCell::new(None)))
+                .collect(),
+            range: range.clone(),
+            nthreads,
+            schedule,
+            dynamic: parlo_core::DynamicChunks::new(range.clone(), dyn_chunk),
+            guided: parlo_core::GuidedChunks::new(range, nthreads, guided_min),
+            stats: self.stats_ref(),
+        };
+        self.stats_ref().record_loop();
+        self.stats_ref().record_reduction();
+        // SAFETY: as in `parallel_for`; view accesses are serialized by the reduction
+        // barrier protocol.
+        unsafe {
+            self.run_region(
+                TeamJob {
+                    data: &harness as *const _ as *const (),
+                    execute: exec_reduce::<T, Id, Fold, Comb>,
+                    combine: Some(combine_reduce::<T, Id, Fold, Comb>),
+                },
+                true,
+            );
+        }
+        // SAFETY: the region has completed; the master is the only remaining accessor.
+        unsafe { harness.take_view(0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn team_creation_and_teardown() {
+        for threads in [1, 2, 4] {
+            let t = OmpTeam::with_threads(threads);
+            assert_eq!(t.num_threads(), threads);
+            drop(t);
+        }
+    }
+
+    #[test]
+    fn parallel_for_covers_range_under_all_schedules() {
+        for schedule in [
+            Schedule::Static,
+            Schedule::StaticChunked(7),
+            Schedule::Dynamic(4),
+            Schedule::Guided(2),
+        ] {
+            let mut t = OmpTeam::with_threads(3);
+            let hits: Vec<AtomicUsize> = (0..311).map(|_| AtomicUsize::new(0)).collect();
+            t.parallel_for(0..311, schedule, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "schedule {schedule:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn loop_costs_two_full_barriers_and_reduction_three() {
+        let mut t = OmpTeam::with_threads(2);
+        t.parallel_for(0..10, Schedule::Static, |_| {});
+        assert_eq!(t.stats().barrier_phases, 4, "plain loop: 2 full barriers");
+        let _ = t.parallel_reduce(0..10, Schedule::Static, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+        assert_eq!(
+            t.stats().barrier_phases,
+            4 + 6,
+            "reduction loop: 3 full barriers"
+        );
+    }
+
+    #[test]
+    fn reduce_matches_sequential() {
+        let n = 5_000usize;
+        let expected: u64 = (0..n as u64).map(|i| i * i).sum();
+        for schedule in [Schedule::Static, Schedule::Dynamic(16), Schedule::Guided(4)] {
+            let mut t = OmpTeam::with_threads(4);
+            let got = t.parallel_reduce(
+                0..n,
+                schedule,
+                || 0u64,
+                |acc, i| acc + (i as u64) * (i as u64),
+                |a, b| a + b,
+            );
+            assert_eq!(got, expected, "schedule {schedule:?}");
+        }
+    }
+
+    #[test]
+    fn reduction_combines_p_minus_one_views() {
+        for threads in [1usize, 2, 4] {
+            let mut t = OmpTeam::with_threads(threads);
+            let _ = t.parallel_reduce(0..100, Schedule::Static, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(t.stats().combine_ops, (threads - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn dynamic_schedule_dispenses_chunks() {
+        let mut t = OmpTeam::with_threads(2);
+        t.parallel_for(0..100, Schedule::Dynamic(10), |_| {});
+        assert_eq!(t.stats().dynamic_chunks, 10);
+    }
+
+    #[test]
+    fn centralized_barrier_config() {
+        let mut cfg = TeamConfig::with_threads(3);
+        cfg.centralized_barrier = true;
+        let mut t = OmpTeam::new(cfg);
+        let counter = AtomicUsize::new(0);
+        t.parallel_for(0..100, Schedule::Static, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn many_fine_grain_loops() {
+        let mut t = OmpTeam::with_threads(4);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..100 {
+            t.parallel_for(0..8, Schedule::Static, |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 800);
+        assert_eq!(t.stats().loops, 100);
+    }
+}

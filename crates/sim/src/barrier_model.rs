@@ -1,0 +1,166 @@
+//! Analytic latency model of the barrier phases.
+//!
+//! The model walks the same [`TreeShape`] the real runtime builds and computes the
+//! critical-path latency of each phase:
+//!
+//! * **release (wakeup) phase**: a parent writes its children's flags one after another
+//!   (a store each); a child observes its flag after one cache-line transfer and then
+//!   forwards to its own children.  The phase latency is the time until the *last*
+//!   participant is released.
+//! * **join (arrival) phase**: a leaf publishes its flag; a parent can publish its own
+//!   only after it has observed (one transfer each, checked sequentially) all of its
+//!   children.  The phase latency is the time until the root has observed all arrivals.
+//!
+//! The centralized variants replace the tree with a single broadcast word (release) and
+//! a single contended counter whose updates serialise (join) — constant critical path
+//! for the release, linear for the join, which is exactly why the tree wins at scale
+//! and why the paper tunes the tree to the socket organisation.
+
+use crate::machine::SimMachine;
+use parlo_barrier::TreeShape;
+
+/// Latency (ns) of the centralized release phase for `nthreads` participants: the last
+/// worker to observe the new epoch is on a remote socket once more than one socket is
+/// populated, and each additional sharer adds a small serialisation term at the
+/// directory.
+pub fn centralized_release_ns(m: &SimMachine, nthreads: usize) -> f64 {
+    if nthreads <= 1 {
+        return 0.0;
+    }
+    let sockets = m.sockets_spanned(nthreads);
+    let farthest = if sockets > 1 {
+        m.cost.line_inter_ns
+    } else {
+        m.cost.line_intra_ns
+    };
+    m.cost.release_store_ns + farthest + 2.0 * (nthreads as f64 - 1.0)
+}
+
+/// Latency (ns) of the centralized join phase: `nthreads − 1` read-modify-writes on the
+/// same cache line serialise; the line ping-pongs between sockets for remote workers.
+pub fn centralized_join_ns(m: &SimMachine, nthreads: usize) -> f64 {
+    (1..nthreads).map(|w| m.rmw_ns(w)).sum::<f64>() + if nthreads > 1 { m.cost.line_intra_ns } else { 0.0 }
+}
+
+/// Latency (ns) of the tree release phase over `shape`.
+pub fn tree_release_ns(m: &SimMachine, shape: &TreeShape) -> f64 {
+    fn released_at(m: &SimMachine, shape: &TreeShape, node: usize, start: f64) -> f64 {
+        // `start` is the time at which `node` begins forwarding to its children.
+        let mut latest = start;
+        for (k, &c) in shape.children(node).iter().enumerate() {
+            // The parent issues one store per child, sequentially; the child observes it
+            // one transfer later and then forwards to its own children.
+            let child_released =
+                start + (k as f64 + 1.0) * m.cost.release_store_ns + m.transfer_ns(node, c);
+            latest = latest.max(released_at(m, shape, c, child_released));
+        }
+        latest
+    }
+    released_at(m, shape, 0, 0.0)
+}
+
+/// Latency (ns) of the tree join phase over `shape`: time until the root has observed
+/// every arrival (and performed any per-child combine, not included here).
+pub fn tree_join_ns(m: &SimMachine, shape: &TreeShape) -> f64 {
+    fn arrival_visible_at(m: &SimMachine, shape: &TreeShape, node: usize) -> f64 {
+        // Time at which `node`'s own arrival flag becomes visible to its parent.
+        let mut ready = 0.0f64;
+        for &c in shape.children(node) {
+            // The parent checks children sequentially; each check costs one transfer of
+            // the child's flag line (plus a spin check).
+            let child_visible = arrival_visible_at(m, shape, c) + m.transfer_ns(c, node);
+            ready = ready.max(child_visible) + m.cost.spin_check_ns;
+        }
+        ready + m.cost.release_store_ns
+    }
+    arrival_visible_at(m, shape, 0)
+}
+
+/// Builds the topology-aware tree shape the runtime would use for `nthreads` threads.
+pub fn runtime_shape(m: &SimMachine, nthreads: usize) -> TreeShape {
+    TreeShape::topology_aware(
+        &m.topology,
+        nthreads.max(1),
+        m.topology.suggested_arrival_fanin(),
+    )
+}
+
+/// Latency of one half-barrier loop (release + join) with the tree structure.
+pub fn tree_half_barrier_ns(m: &SimMachine, nthreads: usize) -> f64 {
+    let shape = runtime_shape(m, nthreads);
+    tree_release_ns(m, &shape) + tree_join_ns(m, &shape)
+}
+
+/// Latency of one half-barrier loop with the centralized structure.
+pub fn centralized_half_barrier_ns(m: &SimMachine, nthreads: usize) -> f64 {
+    centralized_release_ns(m, nthreads) + centralized_join_ns(m, nthreads)
+}
+
+/// Latency of a conventional two-full-barrier loop with the tree structure.
+pub fn tree_full_barrier_loop_ns(m: &SimMachine, nthreads: usize) -> f64 {
+    let shape = runtime_shape(m, nthreads);
+    2.0 * (tree_join_ns(m, &shape) + tree_release_ns(m, &shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_barriers_are_free() {
+        let m = SimMachine::paper_machine();
+        assert_eq!(centralized_release_ns(&m, 1), 0.0);
+        assert_eq!(centralized_join_ns(&m, 1), 0.0);
+        let shape = runtime_shape(&m, 1);
+        assert!(tree_release_ns(&m, &shape) < 1e-9);
+        // A single node still "publishes" once in the join model.
+        assert!(tree_join_ns(&m, &shape) <= m.cost.release_store_ns + 1e-9);
+    }
+
+    #[test]
+    fn costs_grow_with_thread_count() {
+        let m = SimMachine::paper_machine();
+        let mut prev_half = 0.0;
+        for p in [2usize, 4, 8, 16, 32, 48] {
+            let half = tree_half_barrier_ns(&m, p);
+            assert!(half > prev_half * 0.8, "tree half barrier should roughly grow");
+            prev_half = half;
+            assert!(centralized_join_ns(&m, p) > centralized_join_ns(&m, p - 1));
+        }
+    }
+
+    #[test]
+    fn half_barrier_is_cheaper_than_full_barrier() {
+        let m = SimMachine::paper_machine();
+        for p in [2usize, 8, 24, 48] {
+            assert!(
+                tree_half_barrier_ns(&m, p) < tree_full_barrier_loop_ns(&m, p),
+                "half must beat full at P={p}"
+            );
+            // A full-barrier loop is exactly twice the half-barrier loop in this model.
+            let ratio = tree_full_barrier_loop_ns(&m, p) / tree_half_barrier_ns(&m, p);
+            assert!((ratio - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tree_beats_centralized_at_scale() {
+        let m = SimMachine::paper_machine();
+        assert!(
+            tree_half_barrier_ns(&m, 48) < centralized_half_barrier_ns(&m, 48),
+            "at 48 threads the linear join of the centralized barrier must dominate"
+        );
+    }
+
+    #[test]
+    fn centralized_release_is_cheap_and_join_is_linear() {
+        let m = SimMachine::paper_machine();
+        let j12 = centralized_join_ns(&m, 12);
+        let j48 = centralized_join_ns(&m, 48);
+        assert!(j48 > 3.0 * j12, "join cost must grow roughly linearly");
+        let r12 = centralized_release_ns(&m, 12);
+        let r48 = centralized_release_ns(&m, 48);
+        assert!(r48 < 4.0 * r12.max(1.0), "release cost grows only mildly");
+        assert!(r48 < j48, "the broadcast release is far cheaper than the counter join");
+    }
+}

@@ -1,0 +1,99 @@
+//! Cost parameters of the machine model.
+//!
+//! The constants are order-of-magnitude figures for a multi-socket Xeon of the paper's
+//! generation (Ivy Bridge EX): an L3-mediated cache-line transfer between cores of the
+//! same socket costs a few tens of nanoseconds, a cross-socket (QPI) transfer roughly
+//! 3–4× that, and contended atomic read-modify-writes serialise at the line's home.
+//! They are deliberately round numbers — the simulator is used for the *shape* of the
+//! results (who wins, how overhead scales with the thread count), not to predict
+//! absolute times; see DESIGN.md §4.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/cost constants, all in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Transferring a modified cache line between cores on the same socket.
+    pub line_intra_ns: f64,
+    /// Transferring a modified cache line across sockets.
+    pub line_inter_ns: f64,
+    /// A successful atomic read-modify-write on a line homed on the same socket.
+    pub rmw_intra_ns: f64,
+    /// A successful atomic read-modify-write on a line homed on a remote socket.
+    pub rmw_inter_ns: f64,
+    /// Publishing a release flag (store + write-buffer drain), before any transfer.
+    pub release_store_ns: f64,
+    /// One poll of a flag that is already cached (spin iteration).
+    pub spin_check_ns: f64,
+    /// Fixed per-loop bookkeeping of the fine-grain scheduler (publishing the work
+    /// descriptor, partitioning arithmetic).
+    pub fine_setup_ns: f64,
+    /// Fixed per-loop bookkeeping of the OpenMP-like runtime (worksharing descriptor,
+    /// schedule bookkeeping; Intel's runtime does noticeably more per-construct work).
+    pub omp_setup_ns: f64,
+    /// Fixed per-loop bookkeeping of the Cilk-like runtime (frame setup, loop grain
+    /// computation, completion-detection initialisation).
+    pub cilk_setup_ns: f64,
+    /// One dynamic-schedule chunk fetch (contended fetch-add).
+    pub chunk_fetch_ns: f64,
+    /// Pushing one spawned task onto the local deque.
+    pub task_spawn_ns: f64,
+    /// One failed steal attempt (remote deque probe).
+    pub steal_attempt_ns: f64,
+    /// One successful steal (probe + CAS + task transfer).
+    pub steal_success_ns: f64,
+    /// One reduce/combine operation on a small view (excluding the user combine body).
+    pub reduce_op_ns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            line_intra_ns: 30.0,
+            line_inter_ns: 110.0,
+            rmw_intra_ns: 45.0,
+            rmw_inter_ns: 140.0,
+            release_store_ns: 12.0,
+            spin_check_ns: 4.0,
+            fine_setup_ns: 150.0,
+            omp_setup_ns: 1200.0,
+            cilk_setup_ns: 2500.0,
+            chunk_fetch_ns: 70.0,
+            task_spawn_ns: 110.0,
+            steal_attempt_ns: 180.0,
+            steal_success_ns: 420.0,
+            reduce_op_ns: 35.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// The calibration used for the paper-machine experiments (currently the default).
+    pub fn paper_machine() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive_and_ordered() {
+        let c = CostModel::default();
+        assert!(c.line_intra_ns > 0.0);
+        assert!(c.line_inter_ns > c.line_intra_ns, "remote transfers cost more");
+        assert!(c.rmw_inter_ns > c.rmw_intra_ns);
+        assert!(c.steal_success_ns > c.task_spawn_ns);
+        assert!(c.omp_setup_ns > c.fine_setup_ns);
+        assert!(c.cilk_setup_ns > c.omp_setup_ns);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = CostModel::paper_machine();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CostModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,113 @@
+//! The simulated machine: a topology plus the cost model, with helpers for mapping
+//! worker indices onto sockets (compact placement, as the paper pins threads).
+
+use crate::cost::CostModel;
+use parlo_affinity::Topology;
+
+/// A simulated machine.
+#[derive(Debug, Clone)]
+pub struct SimMachine {
+    /// Socket/core organisation.
+    pub topology: Topology,
+    /// Latency constants.
+    pub cost: CostModel,
+}
+
+impl SimMachine {
+    /// The paper's evaluation machine: 4 sockets × 12 cores.
+    pub fn paper_machine() -> Self {
+        SimMachine {
+            topology: Topology::paper_machine(),
+            cost: CostModel::paper_machine(),
+        }
+    }
+
+    /// A machine with an arbitrary topology and the default cost model.
+    pub fn new(topology: Topology) -> Self {
+        SimMachine {
+            topology,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Maximum number of hardware threads the model will simulate.
+    pub fn max_threads(&self) -> usize {
+        self.topology.num_cores()
+    }
+
+    /// The socket a worker index maps to under compact placement.
+    pub fn socket_of_worker(&self, worker: usize) -> usize {
+        let cps = self.topology.cores_per_socket().max(1);
+        (worker / cps) % self.topology.num_sockets().max(1)
+    }
+
+    /// Returns `true` if two workers are placed on different sockets.
+    pub fn remote(&self, a: usize, b: usize) -> bool {
+        self.socket_of_worker(a) != self.socket_of_worker(b)
+    }
+
+    /// Cache-line transfer latency between two workers.
+    pub fn transfer_ns(&self, from: usize, to: usize) -> f64 {
+        if self.remote(from, to) {
+            self.cost.line_inter_ns
+        } else {
+            self.cost.line_intra_ns
+        }
+    }
+
+    /// Atomic RMW latency for `worker` operating on a line homed with worker 0 (the
+    /// master), which is where the centralized counters live.
+    pub fn rmw_ns(&self, worker: usize) -> f64 {
+        if self.remote(worker, 0) {
+            self.cost.rmw_inter_ns
+        } else {
+            self.cost.rmw_intra_ns
+        }
+    }
+
+    /// Number of sockets spanned by the first `nthreads` workers under compact
+    /// placement.
+    pub fn sockets_spanned(&self, nthreads: usize) -> usize {
+        if nthreads == 0 {
+            return 0;
+        }
+        let cps = self.topology.cores_per_socket().max(1);
+        ((nthreads + cps - 1) / cps).min(self.topology.num_sockets().max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_shape() {
+        let m = SimMachine::paper_machine();
+        assert_eq!(m.max_threads(), 48);
+        assert_eq!(m.socket_of_worker(0), 0);
+        assert_eq!(m.socket_of_worker(11), 0);
+        assert_eq!(m.socket_of_worker(12), 1);
+        assert_eq!(m.socket_of_worker(47), 3);
+        assert!(m.remote(0, 12));
+        assert!(!m.remote(3, 7));
+    }
+
+    #[test]
+    fn transfer_and_rmw_costs_respect_sockets() {
+        let m = SimMachine::paper_machine();
+        assert_eq!(m.transfer_ns(0, 5), m.cost.line_intra_ns);
+        assert_eq!(m.transfer_ns(0, 20), m.cost.line_inter_ns);
+        assert_eq!(m.rmw_ns(5), m.cost.rmw_intra_ns);
+        assert_eq!(m.rmw_ns(40), m.cost.rmw_inter_ns);
+    }
+
+    #[test]
+    fn sockets_spanned_counts() {
+        let m = SimMachine::paper_machine();
+        assert_eq!(m.sockets_spanned(0), 0);
+        assert_eq!(m.sockets_spanned(1), 1);
+        assert_eq!(m.sockets_spanned(12), 1);
+        assert_eq!(m.sockets_spanned(13), 2);
+        assert_eq!(m.sockets_spanned(48), 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-loop scheduling burden of each runtime, as a function of the thread count.
+//!
+//! The burden `d(P)` is the fixed per-loop cost the Amdahl model of the paper fits
+//! (`S = T / (d + T/P)`).  For each scheduler it is assembled from the barrier model
+//! plus the runtime-specific work-distribution costs.
+
+use crate::barrier_model as bm;
+use crate::machine::SimMachine;
+use serde::{Deserialize, Serialize};
+
+/// The schedulers whose burden Table 1 reports, plus the extra ablation rows this
+/// reproduction adds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimScheduler {
+    /// Fine-grain scheduler, topology-aware tree half-barrier (the paper's default).
+    FineGrainTree,
+    /// Fine-grain scheduler, centralized half-barrier.
+    FineGrainCentralized,
+    /// Fine-grain scheduler, tree with two full barriers per loop.
+    FineGrainTreeFull,
+    /// OpenMP-like runtime, `schedule(static)`.
+    OmpStatic,
+    /// OpenMP-like runtime, `schedule(dynamic)` with chunk size 1.
+    OmpDynamic,
+    /// Cilk-like runtime (`cilk_for` with the default grain).
+    Cilk,
+}
+
+impl SimScheduler {
+    /// All schedulers in the order Table 1 lists them.
+    pub const TABLE1_ORDER: [SimScheduler; 6] = [
+        SimScheduler::FineGrainTree,
+        SimScheduler::FineGrainCentralized,
+        SimScheduler::FineGrainTreeFull,
+        SimScheduler::OmpStatic,
+        SimScheduler::OmpDynamic,
+        SimScheduler::Cilk,
+    ];
+
+    /// The row label Table 1 uses.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimScheduler::FineGrainTree => "Fine-grain tree",
+            SimScheduler::FineGrainCentralized => "Fine-grain centralized",
+            SimScheduler::FineGrainTreeFull => "Fine-grain tree with full-barrier",
+            SimScheduler::OmpStatic => "OpenMP static",
+            SimScheduler::OmpDynamic => "OpenMP dynamic",
+            SimScheduler::Cilk => "Cilk",
+        }
+    }
+}
+
+/// Parameters of the loop whose scheduling burden is being modelled (dynamic schedules
+/// and work stealing have per-iteration costs, so the iteration count matters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopShape {
+    /// Number of iterations of the loop.
+    pub iterations: usize,
+    /// Dynamic-schedule chunk size (OpenMP's default of 1 unless stated otherwise).
+    pub dynamic_chunk: usize,
+}
+
+impl Default for LoopShape {
+    fn default() -> Self {
+        LoopShape {
+            iterations: 512,
+            dynamic_chunk: 1,
+        }
+    }
+}
+
+/// Per-loop scheduling burden `d(P)` of a scheduler, in nanoseconds.
+pub fn burden_ns(m: &SimMachine, scheduler: SimScheduler, nthreads: usize, shape: LoopShape) -> f64 {
+    let p = nthreads.max(1);
+    let c = &m.cost;
+    match scheduler {
+        SimScheduler::FineGrainTree => c.fine_setup_ns + bm::tree_half_barrier_ns(m, p),
+        SimScheduler::FineGrainCentralized => {
+            c.fine_setup_ns + bm::centralized_half_barrier_ns(m, p)
+        }
+        SimScheduler::FineGrainTreeFull => c.fine_setup_ns + bm::tree_full_barrier_loop_ns(m, p),
+        SimScheduler::OmpStatic => {
+            // Intel's runtime: heavier per-construct bookkeeping, two full barriers per
+            // loop, but a heavily hand-tuned barrier — modelled as the same tree with a
+            // modest efficiency factor.
+            c.omp_setup_ns + 0.6 * bm::tree_full_barrier_loop_ns(m, p)
+        }
+        SimScheduler::OmpDynamic => {
+            // Static costs plus the chunk-dispenser traffic.  With the default chunk
+            // size of 1 every iteration performs a fetch-add on the same cache line;
+            // those RMWs serialise (they are the non-parallelisable part the burden fit
+            // captures), and once the team spans several sockets most of them pay the
+            // cross-socket line transfer.
+            let chunks = (shape.iterations as f64 / shape.dynamic_chunk.max(1) as f64).ceil();
+            let per_fetch = if p == 1 {
+                // Uncontended local fetch-add.
+                0.2 * c.rmw_intra_ns
+            } else {
+                let cps = m.topology.cores_per_socket().max(1) as f64;
+                let local_fraction = (cps / p as f64).min(1.0);
+                let mix =
+                    local_fraction * c.rmw_intra_ns + (1.0 - local_fraction) * c.rmw_inter_ns;
+                // Back-to-back fetch-adds on the same line partially pipeline at the
+                // home directory, so only about half of each RMW sits on the critical
+                // path.
+                0.5 * mix
+            };
+            burden_ns(m, SimScheduler::OmpStatic, p, shape) + chunks * per_fetch
+        }
+        SimScheduler::Cilk => {
+            // cilk_for splits the range into roughly 8·P leaf tasks (grain = N/(8P)).
+            // Each split pushes a task; distributing the work requires on the order of
+            // P successful steals (one per idle worker, repeated as the recursion
+            // unfolds across sockets), and completion detection touches a shared
+            // counter per leaf.
+            let leaves = (8 * p).min(shape.iterations.max(1)) as f64;
+            let spawns = (leaves - 1.0).max(0.0);
+            let steals = 2.0 * (p as f64 - 1.0);
+            let completion = leaves * c.rmw_intra_ns / p as f64;
+            c.cilk_setup_ns
+                + spawns * c.task_spawn_ns / p as f64 * 4.0
+                + steals * c.steal_success_ns
+                + (p as f64) * c.steal_attempt_ns
+                + completion
+        }
+    }
+}
+
+/// Per-reduction-loop burden: the loop burden plus the reduction-specific costs
+/// (Table 1 measures plain loops; Figure 3's model needs this variant).
+pub fn reduction_burden_ns(
+    m: &SimMachine,
+    scheduler: SimScheduler,
+    nthreads: usize,
+    shape: LoopShape,
+) -> f64 {
+    let p = nthreads.max(1) as f64;
+    let c = &m.cost;
+    let base = burden_ns(m, scheduler, nthreads, shape);
+    match scheduler {
+        // Merged into the join half-barrier: P − 1 combines, spread over the tree, so
+        // only the root's share (≈ fan-in combines) sits on the critical path.
+        SimScheduler::FineGrainTree => base + (m.topology.suggested_arrival_fanin() as f64) * c.reduce_op_ns,
+        // Centralized: the master performs all P − 1 combines serially.
+        SimScheduler::FineGrainCentralized | SimScheduler::FineGrainTreeFull => {
+            base + (p - 1.0) * c.reduce_op_ns
+        }
+        // Intel OpenMP: an additional full tree barrier whose join phase aggregates the
+        // partial results (three full barriers per reduction loop).
+        SimScheduler::OmpStatic | SimScheduler::OmpDynamic => {
+            base + 0.3 * bm::tree_full_barrier_loop_ns(m, nthreads)
+                + (m.topology.suggested_arrival_fanin() as f64) * c.reduce_op_ns
+        }
+        // Baseline Cilk: a view is created and later reduced for (roughly) every steal,
+        // and the reduce operations serialise on the hyperobject's lock.
+        SimScheduler::Cilk => {
+            let steals = 2.0 * (p - 1.0);
+            base + (p + steals) * 2.0 * c.reduce_op_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> SimMachine {
+        SimMachine::paper_machine()
+    }
+
+    #[test]
+    fn table1_ordering_headline_claims_hold_at_48_threads() {
+        let m = paper();
+        let shape = LoopShape::default();
+        let d = |s| burden_ns(&m, s, 48, shape);
+        let fine_tree = d(SimScheduler::FineGrainTree);
+        let fine_central = d(SimScheduler::FineGrainCentralized);
+        let fine_full = d(SimScheduler::FineGrainTreeFull);
+        let omp_static = d(SimScheduler::OmpStatic);
+        let omp_dynamic = d(SimScheduler::OmpDynamic);
+        let cilk = d(SimScheduler::Cilk);
+
+        // The paper's qualitative findings:
+        assert!(fine_tree < fine_central, "tree beats centralized at 48 threads");
+        assert!(fine_tree < fine_full, "half-barrier beats full-barrier");
+        assert!(fine_tree < omp_static, "fine-grain beats OpenMP static");
+        assert!(omp_static < omp_dynamic, "dynamic schedule costs more");
+        assert!(omp_dynamic < cilk, "Cilk has the largest burden");
+        // Headline magnitudes: the paper reports ≈43 % lower than OpenMP and ≈12× lower
+        // than Cilk; the model must reproduce "substantially lower" in both cases
+        // (exact calibration is recorded in EXPERIMENTS.md).
+        let vs_omp = (omp_static - fine_tree) / omp_static;
+        assert!(vs_omp > 0.2 && vs_omp < 0.8, "vs OpenMP reduction {vs_omp}");
+        let vs_cilk = cilk / fine_tree;
+        assert!(vs_cilk > 5.0 && vs_cilk < 120.0, "vs Cilk ratio {vs_cilk}");
+    }
+
+    #[test]
+    fn burden_grows_with_threads_for_every_scheduler() {
+        let m = paper();
+        let shape = LoopShape::default();
+        for s in SimScheduler::TABLE1_ORDER {
+            let d8 = burden_ns(&m, s, 8, shape);
+            let d48 = burden_ns(&m, s, 48, shape);
+            assert!(
+                d48 > d8,
+                "{}: burden must grow with the degree of parallelism",
+                s.label()
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_burden_is_small() {
+        let m = paper();
+        let shape = LoopShape::default();
+        for s in SimScheduler::TABLE1_ORDER {
+            let d1 = burden_ns(&m, s, 1, shape);
+            assert!(d1 < 50_000.0, "{}: {d1}", s.label());
+            assert!(d1 >= 0.0);
+        }
+    }
+
+    #[test]
+    fn reduction_burden_exceeds_plain_burden() {
+        let m = paper();
+        let shape = LoopShape::default();
+        for s in SimScheduler::TABLE1_ORDER {
+            for p in [2usize, 12, 48] {
+                assert!(
+                    reduction_burden_ns(&m, s, p, shape) > burden_ns(&m, s, p, shape),
+                    "{} at {p}",
+                    s.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fine_grain_reduction_overhead_is_smallest_at_scale() {
+        let m = paper();
+        let shape = LoopShape::default();
+        let extra = |s| reduction_burden_ns(&m, s, 48, shape) - burden_ns(&m, s, 48, shape);
+        assert!(extra(SimScheduler::FineGrainTree) < extra(SimScheduler::OmpStatic));
+        assert!(extra(SimScheduler::FineGrainTree) < extra(SimScheduler::Cilk));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            SimScheduler::TABLE1_ORDER.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,26 @@
+//! # parlo-workloads — evaluation workloads of the paper
+//!
+//! * [`microbench`] — the granularity micro-benchmark used to estimate scheduler burden
+//!   (Table 1);
+//! * [`mesh`] / [`mpdata`] — an unstructured mesh with the paper's node/edge counts and
+//!   the MPDATA advection solver whose many short loops per time step form the Figure 2
+//!   workload;
+//! * [`phoenix`] — Phoenix++-style map-reduce kernels: linear regression (Figure 3),
+//!   histogram and k-means;
+//! * [`runner`] — the [`LoopRunner`] abstraction that lets the same workload code run on
+//!   the fine-grain scheduler, the OpenMP-like team, the Cilk-like pool or sequentially;
+//! * [`util`] — the disjoint-write slice wrapper used by the stencil-like kernels.
+
+#![warn(missing_docs)]
+
+pub mod mesh;
+pub mod microbench;
+pub mod mpdata;
+pub mod phoenix;
+pub mod runner;
+pub mod util;
+
+pub use mesh::Mesh;
+pub use mpdata::Mpdata;
+pub use runner::{CilkFineRunner, CilkRunner, FineGrainRunner, LoopRunner, OmpRunner, SequentialRunner};
+pub use util::UnsafeSlice;

@@ -1,0 +1,12 @@
+//! Phoenix++-style map-reduce workloads (Figure 3 of the paper).
+//!
+//! The paper evaluates the reduction implementations on map-reduce kernels from the
+//! Phoenix++ suite, using the "medium" input of the linear-regression benchmark.  The
+//! original inputs are binary files shipped with Phoenix++; we generate statistically
+//! equivalent inputs with a seeded PRNG (see `DESIGN.md` §4) so the same code path —
+//! a data-parallel map folded into per-thread accumulators that are then reduced — is
+//! exercised at the same scale.
+
+pub mod histogram;
+pub mod kmeans;
+pub mod linear_regression;

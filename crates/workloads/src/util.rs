@@ -1,0 +1,116 @@
+//! Small utilities shared by the workloads.
+
+use std::marker::PhantomData;
+
+/// A shared view of a mutable slice that allows concurrent writes to **disjoint**
+/// indices from a parallel loop.
+///
+/// The loop runtimes in this repository hand every iteration index to exactly one
+/// thread, so a kernel that writes only to `out[i]` from iteration `i` is race-free even
+/// though the slice is shared.  This wrapper expresses that pattern: it is `Sync`, and
+/// the unsafe [`UnsafeSlice::write`] documents the disjointness obligation at each call
+/// site.
+pub struct UnsafeSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: all accesses go through `write`/`read`, whose contracts require disjointness
+// between concurrent accesses; the wrapper itself holds no interior state.
+unsafe impl<'a, T: Send + Sync> Sync for UnsafeSlice<'a, T> {}
+unsafe impl<'a, T: Send + Sync> Send for UnsafeSlice<'a, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        UnsafeSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    /// `index` must be in bounds, and no other thread may read or write `index`
+    /// concurrently (the parallel-loop "each index owned by one iteration" argument).
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        unsafe { *self.ptr.add(index) = value };
+    }
+
+    /// Reads the value at `index`.
+    ///
+    /// # Safety
+    /// `index` must be in bounds and must not be written concurrently.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.len);
+        unsafe { *self.ptr.add(index) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read_single_thread() {
+        let mut v = vec![0u64; 8];
+        {
+            let s = UnsafeSlice::new(&mut v);
+            assert_eq!(s.len(), 8);
+            assert!(!s.is_empty());
+            for i in 0..8 {
+                unsafe { s.write(i, (i * i) as u64) };
+            }
+            for i in 0..8 {
+                assert_eq!(unsafe { s.read(i) }, (i * i) as u64);
+            }
+        }
+        assert_eq!(v[3], 9);
+    }
+
+    #[test]
+    fn disjoint_concurrent_writes() {
+        let mut v = vec![0usize; 1000];
+        {
+            let s = UnsafeSlice::new(&mut v);
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let s = &s;
+                    scope.spawn(move || {
+                        for i in (t..1000).step_by(4) {
+                            unsafe { s.write(i, i + 1) };
+                        }
+                    });
+                }
+            });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn empty_slice() {
+        let mut v: Vec<u8> = vec![];
+        let s = UnsafeSlice::new(&mut v);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

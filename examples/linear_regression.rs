@@ -1,0 +1,63 @@
+//! Linear-regression map-reduce (the Figure 3 workload) under every reduction
+//! implementation, with timings and the number of reduce operations each performs.
+//!
+//! Run with `cargo run --release --example linear_regression [-- <points>]`.
+
+use parlo::prelude::*;
+use parlo_workloads::phoenix::linear_regression as linreg;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    println!("linear regression over {n} synthetic points (true line: y = 3x + 7), {threads} threads");
+
+    let points = linreg::generate_points(n, 3.0, 7.0, 2.0, 42);
+
+    let t0 = Instant::now();
+    let seq = linreg::sequential(&points);
+    println!("sequential:          {:?} -> line {:?}", t0.elapsed(), seq.line());
+
+    let mut pool = FineGrainPool::with_threads(threads);
+    let t0 = Instant::now();
+    let fine = linreg::with_fine_grain(&mut pool, &points);
+    println!(
+        "fine-grain:          {:?} -> line {:?} ({} combines)",
+        t0.elapsed(),
+        fine.line(),
+        pool.stats().combine_ops
+    );
+
+    let mut team = OmpTeam::with_threads(threads);
+    let t0 = Instant::now();
+    let omp = linreg::with_omp(&mut team, Schedule::Static, &points);
+    println!(
+        "OpenMP static:       {:?} -> line {:?} ({} barrier phases)",
+        t0.elapsed(),
+        omp.line(),
+        team.stats().barrier_phases
+    );
+
+    let mut cilk = CilkPool::with_threads(threads);
+    let t0 = Instant::now();
+    let base = linreg::with_cilk_baseline(&mut cilk, &points);
+    println!(
+        "Cilk baseline:       {:?} -> line {:?} ({} reduce ops, {} steals)",
+        t0.elapsed(),
+        base.line(),
+        cilk.stats().reduce_ops,
+        cilk.stats().steals
+    );
+
+    let t0 = Instant::now();
+    let hybrid = linreg::with_cilk_fine_grain(&mut cilk, &points);
+    println!(
+        "fine-grain Cilk:     {:?} -> line {:?} ({} combines)",
+        t0.elapsed(),
+        hybrid.line(),
+        cilk.stats().fine_combine_ops
+    );
+}

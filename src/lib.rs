@@ -1,0 +1,42 @@
+//! # parlo — reproduction of the PPoPP'18 fine-grain parallel loop scheduler
+//!
+//! This meta-crate re-exports the whole workspace: the fine-grain half-barrier
+//! scheduler ([`core`]), the OpenMP-like and Cilk-like baseline runtimes ([`omp`],
+//! [`cilk`]), the barrier and affinity substrates ([`barrier`], [`affinity`]), the
+//! evaluation workloads ([`workloads`]), the measurement utilities ([`analysis`]) and
+//! the many-core cost-model simulator ([`sim`]).
+//!
+//! See the repository README for the architecture overview, `DESIGN.md` for the system
+//! inventory and per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+//!
+//! ```
+//! use parlo::prelude::*;
+//!
+//! let mut pool = FineGrainPool::with_threads(2);
+//! let sum = pool.parallel_reduce(0..100, || 0u32, |a, i| a + i as u32, |a, b| a + b);
+//! assert_eq!(sum, 4950);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use parlo_affinity as affinity;
+pub use parlo_analysis as analysis;
+pub use parlo_barrier as barrier;
+pub use parlo_cilk as cilk;
+pub use parlo_core as core;
+pub use parlo_omp as omp;
+pub use parlo_sim as sim;
+pub use parlo_workloads as workloads;
+
+/// The most commonly used types, re-exported in one place.
+pub mod prelude {
+    pub use parlo_affinity::{PinPolicy, Topology};
+    pub use parlo_barrier::{WaitMode, WaitPolicy};
+    pub use parlo_cilk::CilkPool;
+    pub use parlo_core::{BarrierKind, Config, FineGrainPool};
+    pub use parlo_omp::{OmpTeam, Schedule};
+    pub use parlo_workloads::{
+        CilkFineRunner, CilkRunner, FineGrainRunner, LoopRunner, OmpRunner, SequentialRunner,
+    };
+}

@@ -1,0 +1,154 @@
+//! Integration tests spanning the whole workspace: the three runtimes (fine-grain,
+//! OpenMP-like, Cilk-like) must agree with each other and with sequential execution on
+//! the evaluation workloads, and the structural claims of the paper (barrier phases per
+//! loop, combines per reduction) must hold end to end.
+
+use parlo::prelude::*;
+use parlo_workloads::phoenix::{histogram, kmeans, linear_regression as linreg};
+use parlo_workloads::{Mpdata, SequentialRunner};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn all_runtimes_cover_a_loop_exactly_once() {
+    let n = 1009;
+    let mut runners: Vec<Box<dyn LoopRunner>> = vec![
+        Box::new(SequentialRunner),
+        Box::new(FineGrainRunner::with_threads(4)),
+        Box::new(OmpRunner::with_threads(4, Schedule::Static)),
+        Box::new(OmpRunner::with_threads(3, Schedule::Guided(2))),
+        Box::new(CilkRunner::with_threads(4)),
+        Box::new(CilkFineRunner::with_threads(4)),
+    ];
+    for r in runners.iter_mut() {
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        r.parallel_for(0..n, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "runner {}",
+            r.name()
+        );
+    }
+}
+
+#[test]
+fn mpdata_is_runtime_independent() {
+    // The advected field is deterministic: every runtime must produce bit-identical
+    // results because the per-node updates do not depend on the schedule.
+    let mesh = parlo_workloads::Mesh::triangulated_grid(16, 12, 5);
+    let reference = {
+        let mut solver = Mpdata::new(mesh.clone());
+        solver.run(&mut SequentialRunner, 8, false);
+        solver.psi
+    };
+    let mut runners: Vec<Box<dyn LoopRunner>> = vec![
+        Box::new(FineGrainRunner::with_threads(4)),
+        Box::new(OmpRunner::with_threads(3, Schedule::Static)),
+        Box::new(OmpRunner::with_threads(2, Schedule::Dynamic(16))),
+        Box::new(CilkFineRunner::with_threads(3)),
+    ];
+    for r in runners.iter_mut() {
+        let mut solver = Mpdata::new(mesh.clone());
+        solver.run(r.as_mut(), 8, false);
+        assert_eq!(solver.psi, reference, "runner {}", r.name());
+    }
+}
+
+#[test]
+fn regression_sums_agree_across_runtimes() {
+    let points = linreg::generate_points(30_000, -1.5, 12.0, 0.25, 99);
+    let expected = linreg::sequential(&points);
+    let (slope, intercept) = expected.line().unwrap();
+    assert!((slope - -1.5).abs() < 0.05);
+    assert!((intercept - 12.0).abs() < 0.5);
+
+    let mut pool = FineGrainPool::with_threads(4);
+    let fine = linreg::with_fine_grain(&mut pool, &points);
+    let mut team = OmpTeam::with_threads(3);
+    let omp = linreg::with_omp(&mut team, Schedule::Static, &points);
+    let mut cilk = CilkPool::with_threads(3);
+    let base = linreg::with_cilk_baseline(&mut cilk, &points);
+    let hybrid = linreg::with_cilk_fine_grain(&mut cilk, &points);
+    for got in [fine, omp, base, hybrid] {
+        assert!((got.sx - expected.sx).abs() < 1e-6);
+        assert!((got.sxy - expected.sxy).abs() < 1e-3);
+        assert_eq!(got.n, expected.n);
+    }
+}
+
+#[test]
+fn histogram_and_kmeans_agree_across_runtimes() {
+    let pixels = histogram::generate_image(20_000, 3);
+    let expected = histogram::sequential(&pixels);
+    let mut pool = FineGrainPool::with_threads(3);
+    assert_eq!(histogram::with_fine_grain(&mut pool, &pixels), expected);
+    let mut team = OmpTeam::with_threads(2);
+    assert_eq!(
+        histogram::with_omp(&mut team, Schedule::Dynamic(256), &pixels),
+        expected
+    );
+
+    let (points, centres) = kmeans::generate_points(3000, 3, 8);
+    let seq = kmeans::sequential(&points, centres.clone(), 4);
+    let fine = kmeans::with_fine_grain(&mut pool, &points, centres, 4);
+    for (a, b) in seq.centroids.iter().zip(&fine.centroids) {
+        assert!((a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn structural_claims_of_the_paper_hold() {
+    let threads = 4;
+    // Fine-grain: one half-barrier (2 phases) per loop, P-1 combines per reduction.
+    let mut pool = FineGrainPool::with_threads(threads);
+    pool.parallel_for(0..100, |_| {});
+    let _ = pool.parallel_reduce(0..100, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+    let s = pool.stats();
+    assert_eq!(s.barrier_phases, 4, "2 loops x 1 half-barrier (2 phases) each");
+    assert_eq!(s.combine_ops, (threads - 1) as u64);
+
+    // Full-barrier ablation: twice the phases for the same loops.
+    let mut full = FineGrainPool::new(
+        Config::builder(threads).barrier(BarrierKind::TreeFull).build(),
+    );
+    full.parallel_for(0..100, |_| {});
+    assert_eq!(full.stats().barrier_phases, 4, "1 loop x 2 full barriers (4 phases)");
+
+    // OpenMP-like: 2 full barriers per plain loop, 3 per reduction loop.
+    let mut team = OmpTeam::with_threads(threads);
+    team.parallel_for(0..100, Schedule::Static, |_| {});
+    let _ = team.parallel_reduce(0..100, Schedule::Static, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+    assert_eq!(team.stats().barrier_phases, 4 + 6);
+    assert_eq!(team.stats().combine_ops, (threads - 1) as u64);
+
+    // Cilk hybrid: the fine-grain path performs exactly P-1 combines; the baseline
+    // reducer path performs at least one merge per worker view it created.
+    let mut cilk = CilkPool::with_threads(threads);
+    let _ = cilk.fine_grain_reduce(0..100, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+    assert_eq!(cilk.stats().fine_combine_ops, (threads - 1) as u64);
+    let _ = cilk.cilk_reduce(0..100_000, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+    assert!(cilk.stats().reduce_ops >= 1);
+}
+
+#[test]
+fn simulated_experiments_reproduce_the_paper_shape() {
+    use parlo_sim::{experiments, SimMachine};
+    let m = SimMachine::paper_machine();
+
+    // Table 1 shape: the fine-grain tree has the lowest burden, Cilk the highest.
+    let t1 = experiments::table1(&m);
+    let burdens: Vec<f64> = t1.rows.iter().map(|(_, v)| v[0]).collect();
+    assert_eq!(t1.rows.len(), 6);
+    assert!(burdens[1..].iter().all(|&d| d >= burdens[0]));
+    assert_eq!(t1.rows[5].0, "Cilk");
+    assert!(burdens[5] >= *burdens[..5].iter().fold(&0.0, |a, b| if b > a { b } else { a }));
+
+    // Figure 2 shape: the fine-grain scheduler beats OpenMP at 48 threads.
+    let ratio = experiments::figure2_right(&m);
+    assert!(ratio.at(48).unwrap() > 1.05);
+
+    // Figure 3 shape: fine-grain beats both baselines at 48 threads.
+    let (fine, cilk) = experiments::figure3a(&m, 2_000_000);
+    assert!(fine.at(48).unwrap() > cilk.at(48).unwrap());
+}
