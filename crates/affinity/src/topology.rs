@@ -24,7 +24,9 @@ pub enum TopologyError {
 impl std::fmt::Display for TopologyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TopologyError::Empty => write!(f, "topology must have at least one socket and one core"),
+            TopologyError::Empty => {
+                write!(f, "topology must have at least one socket and one core")
+            }
         }
     }
 }

@@ -37,7 +37,9 @@ impl Table {
             .rows
             .iter()
             .map(|(l, _)| l.len())
-            .chain(std::iter::once(self.columns.first().map(|c| c.len()).unwrap_or(0)))
+            .chain(std::iter::once(
+                self.columns.first().map(|c| c.len()).unwrap_or(0),
+            ))
             .max()
             .unwrap_or(8)
             .max(8);
@@ -116,9 +118,8 @@ pub fn series_to_csv(series: &[&Series]) -> String {
         out.push_str(&t.to_string());
         for s in series {
             out.push(',');
-            match s.at(t) {
-                Some(v) => out.push_str(&format!("{v}")),
-                None => {}
+            if let Some(v) = s.at(t) {
+                out.push_str(&format!("{v}"))
             }
         }
         out.push('\n');
@@ -153,7 +154,9 @@ mod tests {
         assert!(text.contains("fine"));
         assert!(text.contains("omp"));
         // Thread 2 exists only in `a`; the other column shows a dash.
-        assert!(text.lines().any(|l| l.trim_start().starts_with('2') && l.contains('-')));
+        assert!(text
+            .lines()
+            .any(|l| l.trim_start().starts_with('2') && l.contains('-')));
         let csv = series_to_csv(&[&a, &b]);
         assert!(csv.starts_with("threads,fine,omp"));
         assert_eq!(csv.lines().count(), 4);

@@ -16,7 +16,11 @@ pub struct Series {
 impl Series {
     /// Creates a series from parallel vectors.  Panics if the lengths differ.
     pub fn new(name: impl Into<String>, threads: Vec<usize>, values: Vec<f64>) -> Self {
-        assert_eq!(threads.len(), values.len(), "threads/values length mismatch");
+        assert_eq!(
+            threads.len(),
+            values.len(),
+            "threads/values length mismatch"
+        );
         Series {
             name: name.into(),
             threads,

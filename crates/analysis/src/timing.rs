@@ -43,9 +43,9 @@ pub fn calibrate_reps(
     target: Duration,
     min_reps: usize,
     max_reps: usize,
-    mut f: impl FnMut(),
+    f: impl FnMut(),
 ) -> usize {
-    let (_, once) = time_once(|| f());
+    let (_, once) = time_once(f);
     if once.is_zero() {
         return max_reps;
     }
@@ -93,6 +93,6 @@ mod tests {
         });
         assert_eq!(reps, 3);
         let reps = calibrate_reps(Duration::from_millis(5), 1, 7, || {});
-        assert!(reps >= 1 && reps <= 7);
+        assert!((1..=7).contains(&reps));
     }
 }

@@ -150,7 +150,7 @@ impl Barrier for CounterBarrier {
         let n = self.nthreads as u64;
         let ticket = self.arrivals.fetch_add(1, Ordering::AcqRel) + 1;
         // The episode this arrival belongs to (1-based).
-        let episode = (ticket + n - 1) / n;
+        let episode = ticket.div_ceil(n);
         if ticket == episode * n {
             // Last arrival of the episode releases everyone.
             self.release.store(episode, Ordering::Release);

@@ -38,7 +38,11 @@ impl DisseminationBarrier {
             nthreads,
             rounds,
             flags: (0..nthreads)
-                .map(|_| (0..rounds).map(|_| CachePadded::new(AtomicU64::new(0))).collect())
+                .map(|_| {
+                    (0..rounds)
+                        .map(|_| CachePadded::new(AtomicU64::new(0)))
+                        .collect()
+                })
                 .collect(),
             episode: (0..nthreads)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))

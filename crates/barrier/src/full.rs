@@ -12,9 +12,14 @@
 //! [`crate::HalfBarrier`], making the half-vs-full comparison a one-line configuration
 //! switch in the scheduler.
 
-use crate::{CentralizedJoin, CentralizedRelease, Epoch, TreeJoin, TreeRelease, TreeShape, WaitPolicy};
+use crate::{
+    CentralizedJoin, CentralizedRelease, Epoch, TreeJoin, TreeRelease, TreeShape, WaitPolicy,
+};
 use parlo_affinity::Topology;
 
+// Constructed once per pool; boxing the large tree variant would only add indirection
+// on the wait path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Flavor {
     Centralized {
@@ -193,7 +198,10 @@ mod tests {
 
     #[test]
     fn tree_full_barrier_cycles() {
-        run_cycles(Arc::new(FullBarrier::new_tree(TreeShape::uniform(5, 2))), 30);
+        run_cycles(
+            Arc::new(FullBarrier::new_tree(TreeShape::uniform(5, 2))),
+            30,
+        );
     }
 
     #[test]

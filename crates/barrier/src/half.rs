@@ -11,10 +11,16 @@
 //! flavor, matching the "fine-grain centralized" and "fine-grain tree" configurations of
 //! Table 1 in the paper.
 
-use crate::{CentralizedJoin, CentralizedRelease, Epoch, TreeJoin, TreeRelease, TreeShape, WaitPolicy};
+use crate::{
+    CentralizedJoin, CentralizedRelease, Epoch, TreeJoin, TreeRelease, TreeShape, WaitPolicy,
+};
 use parlo_affinity::Topology;
 
 /// Which data structure backs the two phases.
+// The centralized flavor is much smaller than the tree flavor, but a HalfBarrier is
+// constructed once per pool and never moved on the hot path, so boxing the large
+// variant would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Flavor {
     Centralized {
@@ -41,7 +47,10 @@ pub struct HalfBarrier {
 impl HalfBarrier {
     /// Creates a centralized half-barrier (single release word + single join counter).
     pub fn new_centralized(nthreads: usize) -> Self {
-        assert!(nthreads > 0, "a half-barrier needs at least one participant");
+        assert!(
+            nthreads > 0,
+            "a half-barrier needs at least one participant"
+        );
         HalfBarrier {
             nthreads,
             flavor: Flavor::Centralized {
@@ -231,7 +240,10 @@ mod tests {
 
     #[test]
     fn tree_cycles() {
-        run_cycles(Arc::new(HalfBarrier::new_tree(TreeShape::uniform(4, 2))), 50);
+        run_cycles(
+            Arc::new(HalfBarrier::new_tree(TreeShape::uniform(4, 2))),
+            50,
+        );
     }
 
     #[test]
@@ -261,7 +273,11 @@ mod tests {
                 .flat_map(|id| hb.combine_children(id))
                 .collect();
             all.sort_unstable();
-            assert_eq!(all, (1..7).collect::<Vec<_>>(), "every worker combined exactly once");
+            assert_eq!(
+                all,
+                (1..7).collect::<Vec<_>>(),
+                "every worker combined exactly once"
+            );
         }
     }
 

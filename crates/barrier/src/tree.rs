@@ -36,9 +36,9 @@ impl TreeShape {
         let fan = fan.max(1);
         let mut parent = vec![None; n];
         let mut children = vec![Vec::new(); n];
-        for i in 1..n {
+        for (i, slot) in parent.iter_mut().enumerate().skip(1) {
             let p = (i - 1) / fan;
-            parent[i] = Some(p);
+            *slot = Some(p);
             children[p].push(i);
         }
         TreeShape { parent, children }
@@ -300,12 +300,16 @@ impl TreeBarrier {
     /// Creates a tree barrier over `nthreads` participants with the given arrival
     /// fan-in, using a uniform shape.
     pub fn new(nthreads: usize, fanin: usize) -> Self {
-        Self::with_shape(TreeShape::uniform(nthreads, fanin), WaitPolicy::auto_for(nthreads))
+        Self::with_shape(
+            TreeShape::uniform(nthreads, fanin),
+            WaitPolicy::auto_for(nthreads),
+        )
     }
 
     /// Creates a tree barrier tuned to a machine topology.
     pub fn topology_aware(topology: &Topology, nthreads: usize) -> Self {
-        let shape = TreeShape::topology_aware(topology, nthreads, topology.suggested_arrival_fanin());
+        let shape =
+            TreeShape::topology_aware(topology, nthreads, topology.suggested_arrival_fanin());
         Self::with_shape(shape, WaitPolicy::auto_for(nthreads))
     }
 
@@ -315,7 +319,9 @@ impl TreeBarrier {
         TreeBarrier {
             join: TreeJoin::new(shape.clone()),
             release: TreeRelease::new(shape),
-            episode: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            episode: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             policy,
         }
     }

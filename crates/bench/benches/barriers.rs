@@ -7,7 +7,9 @@ use parlo_core::{BarrierKind, Config, FineGrainPool};
 use std::time::Duration;
 
 fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn bench_barriers(c: &mut Criterion) {
@@ -22,7 +24,11 @@ fn bench_barriers(c: &mut Criterion) {
     for kind in BarrierKind::ALL {
         let mut pool = FineGrainPool::new(Config::builder(t).barrier(kind).build());
         group.bench_function(kind.label(), |b| {
-            b.iter(|| pool.broadcast(|info| { criterion::black_box(info.id); }))
+            b.iter(|| {
+                pool.broadcast(|info| {
+                    criterion::black_box(info.id);
+                })
+            })
         });
     }
     group.finish();

@@ -12,7 +12,9 @@ const ITERS: usize = 64;
 const UNITS: usize = 1;
 
 fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn bench_burden(c: &mut Criterion) {

@@ -6,7 +6,9 @@ use parlo_workloads::{FineGrainRunner, Mpdata, OmpRunner, SequentialRunner};
 use std::time::Duration;
 
 fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn bench_mpdata(c: &mut Criterion) {

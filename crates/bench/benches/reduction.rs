@@ -9,7 +9,9 @@ use std::time::Duration;
 const POINTS: usize = 65_536;
 
 fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn bench_reduction(c: &mut Criterion) {

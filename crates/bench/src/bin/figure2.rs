@@ -61,7 +61,8 @@ fn print_series(title: &str, series: &[&Series], csv: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = has_flag(&args, "--csv");
-    let steps = arg_value(&args, "--steps").unwrap_or(if has_flag(&args, "--quick") { 5 } else { 20 });
+    let steps =
+        arg_value(&args, "--steps").unwrap_or(if has_flag(&args, "--quick") { 5 } else { 20 });
 
     if !has_flag(&args, "--simulate") {
         let (fine, omp, ratio) = measure_native(steps, arg_value(&args, "--max-threads"));

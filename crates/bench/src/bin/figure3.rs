@@ -35,7 +35,9 @@ fn sequential_time(points: &[linreg::Point]) -> f64 {
         for chunk in regression_chunks(points) {
             let sums = points[chunk]
                 .iter()
-                .fold(linreg::RegressionSums::default(), |acc, &p| acc.accumulate(p));
+                .fold(linreg::RegressionSums::default(), |acc, &p| {
+                    acc.accumulate(p)
+                });
             total = total.merge(sums);
         }
         parlo_analysis::black_box(total.line());
@@ -44,7 +46,10 @@ fn sequential_time(points: &[linreg::Point]) -> f64 {
 
 fn measure_native(points: &[linreg::Point], max_threads: Option<usize>) -> Vec<Series> {
     let t_seq = sequential_time(points);
-    eprintln!("figure3: sequential baseline {t_seq:.3}s for {} points", points.len());
+    eprintln!(
+        "figure3: sequential baseline {t_seq:.3}s for {} points",
+        points.len()
+    );
     let mut fine = Series::empty("fine-grain");
     let mut cilk = Series::empty("Cilk");
     let mut cilk_fine = Series::empty("fine-grain Cilk");
@@ -116,9 +121,12 @@ fn main() {
     let csv = has_flag(&args, "--csv");
 
     if !has_flag(&args, "--simulate") {
-        let n = arg_value(&args, "--points")
-            .unwrap_or(if has_flag(&args, "--quick") { 500_000 } else { 2_000_000 });
-        let points = linreg::generate_points(n, 3.0, 7.0, 2.0, 0xF16_3);
+        let n = arg_value(&args, "--points").unwrap_or(if has_flag(&args, "--quick") {
+            500_000
+        } else {
+            2_000_000
+        });
+        let points = linreg::generate_points(n, 3.0, 7.0, 2.0, 0xF163);
         let series = measure_native(&points, arg_value(&args, "--max-threads"));
         print_series(
             "Figure 3a (native): linear regression, Cilk baseline vs fine-grain",

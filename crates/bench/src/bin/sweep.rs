@@ -12,7 +12,9 @@ use parlo_workloads::{CilkRunner, FineGrainRunner, LoopRunner, OmpRunner};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let threads = arg_value(&args, "--threads").unwrap_or(hw).max(1);
     let reps = arg_value(&args, "--reps").unwrap_or(DEFAULT_REPS);
     let sweep = if has_flag(&args, "--quick") {
@@ -25,7 +27,9 @@ fn main() {
         (
             "fine-grain-tree",
             Box::new(FineGrainRunner::new(FineGrainPool::new(
-                Config::builder(threads).barrier(BarrierKind::TreeHalf).build(),
+                Config::builder(threads)
+                    .barrier(BarrierKind::TreeHalf)
+                    .build(),
             ))),
         ),
         (
@@ -39,7 +43,9 @@ fn main() {
         (
             "fine-grain-tree-full-barrier",
             Box::new(FineGrainRunner::new(FineGrainPool::new(
-                Config::builder(threads).barrier(BarrierKind::TreeFull).build(),
+                Config::builder(threads)
+                    .barrier(BarrierKind::TreeFull)
+                    .build(),
             ))),
         ),
         (

@@ -20,7 +20,9 @@ use parlo_workloads::microbench;
 use parlo_workloads::{CilkRunner, FineGrainRunner, LoopRunner, OmpRunner};
 
 fn native(args: &[String]) {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let threads = arg_value(args, "--threads").unwrap_or(hw).max(1);
     let reps = arg_value(args, "--reps").unwrap_or(DEFAULT_REPS);
     let sweep = if has_flag(args, "--quick") {
@@ -43,7 +45,9 @@ fn native(args: &[String]) {
         (
             "Fine-grain tree".into(),
             Box::new(FineGrainRunner::new(FineGrainPool::new(
-                Config::builder(threads).barrier(BarrierKind::TreeHalf).build(),
+                Config::builder(threads)
+                    .barrier(BarrierKind::TreeHalf)
+                    .build(),
             ))),
         ),
         (
@@ -57,7 +61,9 @@ fn native(args: &[String]) {
         (
             "Fine-grain tree with full-barrier".into(),
             Box::new(FineGrainRunner::new(FineGrainPool::new(
-                Config::builder(threads).barrier(BarrierKind::TreeFull).build(),
+                Config::builder(threads)
+                    .barrier(BarrierKind::TreeFull)
+                    .build(),
             ))),
         ),
         (

@@ -57,15 +57,10 @@ impl<'a, T, Id: Fn() -> T, Fold> CilkReduceHarness<'a, T, Id, Fold> {
     }
 }
 
-unsafe fn cilk_reduce_range<T, Id, Fold, Comb>(
-    data: *const (),
-    worker: usize,
-    lo: usize,
-    hi: usize,
-) where
+unsafe fn cilk_reduce_range<T, Id, Fold>(data: *const (), worker: usize, lo: usize, hi: usize)
+where
     Id: Fn() -> T + Sync,
     Fold: Fn(T, usize) -> T + Sync,
-    Comb: Fn(T, T) -> T + Sync,
     T: Send,
 {
     let h = unsafe { &*(data as *const CilkReduceHarness<'_, T, Id, Fold>) };
@@ -83,11 +78,10 @@ unsafe fn cilk_reduce_range<T, Id, Fold, Comb>(
     }
 }
 
-unsafe fn cilk_reduce_on_steal<T, Id, Fold, Comb>(data: *const (), worker: usize)
+unsafe fn cilk_reduce_on_steal<T, Id, Fold>(data: *const (), worker: usize)
 where
     Id: Fn() -> T + Sync,
     Fold: Fn(T, usize) -> T + Sync,
-    Comb: Fn(T, T) -> T + Sync,
     T: Send,
 {
     let h = unsafe { &*(data as *const CilkReduceHarness<'_, T, Id, Fold>) };
@@ -181,15 +175,18 @@ impl CilkPool {
             retired: Mutex::new(Vec::new()),
         };
         self.shared().stats.loops.fetch_add(1, Ordering::Relaxed);
-        self.shared().stats.reductions.fetch_add(1, Ordering::Relaxed);
+        self.shared()
+            .stats
+            .reductions
+            .fetch_add(1, Ordering::Relaxed);
         // SAFETY: the harness outlives the loop; the entry points match its type.
         unsafe {
             self.run_cilk_loop(
                 range,
                 LoopDescriptor {
                     data: &harness as *const _ as *const (),
-                    run_range: cilk_reduce_range::<T, Id, Fold, Comb>,
-                    on_steal: Some(cilk_reduce_on_steal::<T, Id, Fold, Comb>),
+                    run_range: cilk_reduce_range::<T, Id, Fold>,
+                    on_steal: Some(cilk_reduce_on_steal::<T, Id, Fold>),
                     grain,
                 },
             );
@@ -207,7 +204,10 @@ impl CilkPool {
         }
         let mut acc = identity();
         for v in pending {
-            self.shared().stats.reduce_ops.fetch_add(1, Ordering::Relaxed);
+            self.shared()
+                .stats
+                .reduce_ops
+                .fetch_add(1, Ordering::Relaxed);
             acc = combine(acc, v);
         }
         acc
@@ -258,8 +258,14 @@ impl CilkPool {
             range,
             nthreads,
         };
-        self.shared().stats.fine_loops.fetch_add(1, Ordering::Relaxed);
-        self.shared().stats.reductions.fetch_add(1, Ordering::Relaxed);
+        self.shared()
+            .stats
+            .fine_loops
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared()
+            .stats
+            .reductions
+            .fetch_add(1, Ordering::Relaxed);
         // SAFETY: as in `cilk_reduce_with_grain`.
         unsafe {
             self.run_fine_loop(FineJob {
@@ -283,7 +289,8 @@ mod tests {
         let expected: u64 = (0..n as u64).sum();
         for threads in [1usize, 2, 4] {
             let mut p = CilkPool::with_threads(threads);
-            let got = p.cilk_reduce_with_grain(0..n, 64, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            let got =
+                p.cilk_reduce_with_grain(0..n, 64, || 0u64, |a, i| a + i as u64, |a, b| a + b);
             assert_eq!(got, expected, "threads {threads}");
         }
     }

@@ -360,7 +360,10 @@ impl CilkPool {
         unsafe { (job.execute)(job.data, 0) };
         shared.fine.join(epoch, &shared.policy, |from| {
             if has_combine {
-                shared.stats.fine_combine_ops.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .fine_combine_ops
+                    .fetch_add(1, Ordering::Relaxed);
                 if let Some(comb) = job.combine {
                     // SAFETY: `from` has arrived; its view is final.
                     unsafe { comb(job.data, 0, from) };
@@ -461,7 +464,10 @@ fn worker_main(shared: Arc<CilkShared>, id: usize) {
             let has_combine = job.combine.is_some();
             shared.fine.arrive(id, fine_epoch, &shared.policy, |from| {
                 if has_combine {
-                    shared.stats.fine_combine_ops.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .fine_combine_ops
+                        .fetch_add(1, Ordering::Relaxed);
                     if let Some(comb) = job.combine {
                         // SAFETY: `from` has arrived.
                         unsafe { comb(job.data, id, from) };
@@ -505,7 +511,12 @@ struct CilkForHarness<'a, F> {
     body: &'a F,
 }
 
-unsafe fn exec_cilk_range<F: Fn(usize) + Sync>(data: *const (), _worker: usize, lo: usize, hi: usize) {
+unsafe fn exec_cilk_range<F: Fn(usize) + Sync>(
+    data: *const (),
+    _worker: usize,
+    lo: usize,
+    hi: usize,
+) {
     let h = unsafe { &*(data as *const CilkForHarness<'_, F>) };
     for i in lo..hi {
         (h.body)(i);
@@ -568,7 +579,10 @@ impl CilkPool {
             range,
             nthreads: self.num_threads(),
         };
-        self.shared().stats.fine_loops.fetch_add(1, Ordering::Relaxed);
+        self.shared()
+            .stats
+            .fine_loops
+            .fetch_add(1, Ordering::Relaxed);
         // SAFETY: the harness outlives the loop; `exec_fine_for::<F>` matches its type.
         unsafe {
             self.run_fine_loop(FineJob {

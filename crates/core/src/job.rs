@@ -46,7 +46,11 @@ impl Job {
         execute: unsafe fn(*const (), usize),
         combine: Option<unsafe fn(*const (), usize, usize)>,
     ) -> Self {
-        Job { data, execute, combine }
+        Job {
+            data,
+            execute,
+            combine,
+        }
     }
 
     /// Executes participant `id`'s share.

@@ -45,9 +45,7 @@ enum SyncImpl {
 impl SyncImpl {
     fn build(config: &Config) -> Self {
         let n = config.num_threads;
-        let shape = || {
-            TreeShape::topology_aware(&config.topology, n, config.effective_fanin())
-        };
+        let shape = || TreeShape::topology_aware(&config.topology, n, config.effective_fanin());
         match config.barrier {
             BarrierKind::TreeHalf => SyncImpl::Half(HalfBarrier::new_tree(shape())),
             BarrierKind::CentralizedHalf => SyncImpl::Half(HalfBarrier::new_centralized(n)),

@@ -117,7 +117,9 @@ impl GuidedChunks {
                 return None;
             }
             let remaining = self.end - lo;
-            let size = (remaining / self.nthreads).max(self.min_chunk).min(remaining);
+            let size = (remaining / self.nthreads)
+                .max(self.min_chunk)
+                .min(remaining);
             match self.next.compare_exchange_weak(
                 lo,
                 lo + size,
@@ -149,7 +151,11 @@ mod tests {
         for (len, nthreads) in [(0, 1), (1, 4), (10, 3), (100, 7), (48, 48), (5, 8)] {
             let mut all = collect_blocks(len, nthreads);
             all.sort_unstable();
-            assert_eq!(all, (0..len).collect::<Vec<_>>(), "len={len} nthreads={nthreads}");
+            assert_eq!(
+                all,
+                (0..len).collect::<Vec<_>>(),
+                "len={len} nthreads={nthreads}"
+            );
         }
     }
 
@@ -210,7 +216,10 @@ mod tests {
                 mine
             }));
         }
-        let mut all: Vec<usize> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..10_000).collect::<Vec<_>>());
     }

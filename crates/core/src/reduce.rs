@@ -322,7 +322,11 @@ mod tests {
         let mut p = pool(BarrierKind::TreeHalf, 4);
         let got = p.parallel_reduce(
             0..n,
-            || Sums { x: 0.0, y: 0.0, xy: 0.0 },
+            || Sums {
+                x: 0.0,
+                y: 0.0,
+                xy: 0.0,
+            },
             |acc, i| Sums {
                 x: acc.x + xs[i],
                 y: acc.y + ys[i],

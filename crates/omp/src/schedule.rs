@@ -1,9 +1,10 @@
 //! OpenMP-style worksharing schedules.
 
 /// The worksharing schedule of a parallel loop, mirroring OpenMP's `schedule` clause.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Schedule {
     /// One contiguous block per thread (`schedule(static)`).
+    #[default]
     Static,
     /// Block-cyclic with the given chunk size (`schedule(static, chunk)`).
     StaticChunked(usize),
@@ -32,12 +33,6 @@ impl Schedule {
     /// Whether this schedule requires shared-counter traffic during the loop.
     pub fn is_dynamic(&self) -> bool {
         matches!(self, Schedule::Dynamic(_) | Schedule::Guided(_))
-    }
-}
-
-impl Default for Schedule {
-    fn default() -> Self {
-        Schedule::Static
     }
 }
 

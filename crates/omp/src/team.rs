@@ -357,6 +357,7 @@ struct ForHarness<'a, F> {
     stats: &'a TeamStatsShim,
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the worksharing descriptor field-for-field
 fn run_schedule<F: Fn(usize)>(
     schedule: Schedule,
     range: &Range<usize>,
@@ -604,7 +605,13 @@ mod tests {
         let mut t = OmpTeam::with_threads(2);
         t.parallel_for(0..10, Schedule::Static, |_| {});
         assert_eq!(t.stats().barrier_phases, 4, "plain loop: 2 full barriers");
-        let _ = t.parallel_reduce(0..10, Schedule::Static, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+        let _ = t.parallel_reduce(
+            0..10,
+            Schedule::Static,
+            || 0u64,
+            |a, i| a + i as u64,
+            |a, b| a + b,
+        );
         assert_eq!(
             t.stats().barrier_phases,
             4 + 6,
@@ -633,7 +640,13 @@ mod tests {
     fn reduction_combines_p_minus_one_views() {
         for threads in [1usize, 2, 4] {
             let mut t = OmpTeam::with_threads(threads);
-            let _ = t.parallel_reduce(0..100, Schedule::Static, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            let _ = t.parallel_reduce(
+                0..100,
+                Schedule::Static,
+                || 0u64,
+                |a, i| a + i as u64,
+                |a, b| a + b,
+            );
             assert_eq!(t.stats().combine_ops, (threads - 1) as u64);
         }
     }

@@ -39,7 +39,12 @@ pub fn centralized_release_ns(m: &SimMachine, nthreads: usize) -> f64 {
 /// Latency (ns) of the centralized join phase: `nthreads − 1` read-modify-writes on the
 /// same cache line serialise; the line ping-pongs between sockets for remote workers.
 pub fn centralized_join_ns(m: &SimMachine, nthreads: usize) -> f64 {
-    (1..nthreads).map(|w| m.rmw_ns(w)).sum::<f64>() + if nthreads > 1 { m.cost.line_intra_ns } else { 0.0 }
+    (1..nthreads).map(|w| m.rmw_ns(w)).sum::<f64>()
+        + if nthreads > 1 {
+            m.cost.line_intra_ns
+        } else {
+            0.0
+        }
 }
 
 /// Latency (ns) of the tree release phase over `shape`.
@@ -123,7 +128,10 @@ mod tests {
         let mut prev_half = 0.0;
         for p in [2usize, 4, 8, 16, 32, 48] {
             let half = tree_half_barrier_ns(&m, p);
-            assert!(half > prev_half * 0.8, "tree half barrier should roughly grow");
+            assert!(
+                half > prev_half * 0.8,
+                "tree half barrier should roughly grow"
+            );
             prev_half = half;
             assert!(centralized_join_ns(&m, p) > centralized_join_ns(&m, p - 1));
         }
@@ -161,6 +169,9 @@ mod tests {
         let r12 = centralized_release_ns(&m, 12);
         let r48 = centralized_release_ns(&m, 48);
         assert!(r48 < 4.0 * r12.max(1.0), "release cost grows only mildly");
-        assert!(r48 < j48, "the broadcast release is far cheaper than the counter join");
+        assert!(
+            r48 < j48,
+            "the broadcast release is far cheaper than the counter join"
+        );
     }
 }

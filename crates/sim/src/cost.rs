@@ -82,7 +82,10 @@ mod tests {
     fn defaults_are_positive_and_ordered() {
         let c = CostModel::default();
         assert!(c.line_intra_ns > 0.0);
-        assert!(c.line_inter_ns > c.line_intra_ns, "remote transfers cost more");
+        assert!(
+            c.line_inter_ns > c.line_intra_ns,
+            "remote transfers cost more"
+        );
         assert!(c.rmw_inter_ns > c.rmw_intra_ns);
         assert!(c.steal_success_ns > c.task_spawn_ns);
         assert!(c.omp_setup_ns > c.fine_setup_ns);

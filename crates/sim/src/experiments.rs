@@ -45,8 +45,14 @@ pub fn figure2_left(m: &SimMachine) -> (Series, Series) {
     let mut fine = Series::empty("fine-grain");
     let mut omp = Series::empty("OpenMP");
     for p in thread_sweep(m) {
-        fine.push(p, workload_speedup(m, SimScheduler::FineGrainTree, p, &loops, 1));
-        omp.push(p, workload_speedup(m, SimScheduler::OmpStatic, p, &loops, 1));
+        fine.push(
+            p,
+            workload_speedup(m, SimScheduler::FineGrainTree, p, &loops, 1),
+        );
+        omp.push(
+            p,
+            workload_speedup(m, SimScheduler::OmpStatic, p, &loops, 1),
+        );
     }
     (fine, omp)
 }
@@ -64,7 +70,10 @@ pub fn figure3a(m: &SimMachine, points: usize) -> (Series, Series) {
     let mut fine = Series::empty("fine-grain");
     let mut cilk = Series::empty("Cilk");
     for p in thread_sweep(m) {
-        fine.push(p, workload_speedup(m, SimScheduler::FineGrainTree, p, &loops, 1));
+        fine.push(
+            p,
+            workload_speedup(m, SimScheduler::FineGrainTree, p, &loops, 1),
+        );
         cilk.push(p, workload_speedup(m, SimScheduler::Cilk, p, &loops, 1));
     }
     (fine, cilk)
@@ -78,9 +87,18 @@ pub fn figure3b(m: &SimMachine, points: usize) -> (Series, Series, Series) {
     let mut omp_static = Series::empty("OpenMP static");
     let mut omp_dynamic = Series::empty("OpenMP dynamic");
     for p in thread_sweep(m) {
-        fine.push(p, workload_speedup(m, SimScheduler::FineGrainTree, p, &loops, 1));
-        omp_static.push(p, workload_speedup(m, SimScheduler::OmpStatic, p, &loops, 1));
-        omp_dynamic.push(p, workload_speedup(m, SimScheduler::OmpDynamic, p, &loops, 1));
+        fine.push(
+            p,
+            workload_speedup(m, SimScheduler::FineGrainTree, p, &loops, 1),
+        );
+        omp_static.push(
+            p,
+            workload_speedup(m, SimScheduler::OmpStatic, p, &loops, 1),
+        );
+        omp_dynamic.push(
+            p,
+            workload_speedup(m, SimScheduler::OmpDynamic, p, &loops, 1),
+        );
     }
     (fine, omp_static, omp_dynamic)
 }

@@ -72,7 +72,9 @@ impl SimMachine {
             return 0;
         }
         let cps = self.topology.cores_per_socket().max(1);
-        ((nthreads + cps - 1) / cps).min(self.topology.num_sockets().max(1))
+        nthreads
+            .div_ceil(cps)
+            .min(self.topology.num_sockets().max(1))
     }
 }
 

@@ -70,7 +70,12 @@ impl Default for LoopShape {
 }
 
 /// Per-loop scheduling burden `d(P)` of a scheduler, in nanoseconds.
-pub fn burden_ns(m: &SimMachine, scheduler: SimScheduler, nthreads: usize, shape: LoopShape) -> f64 {
+pub fn burden_ns(
+    m: &SimMachine,
+    scheduler: SimScheduler,
+    nthreads: usize,
+    shape: LoopShape,
+) -> f64 {
     let p = nthreads.max(1);
     let c = &m.cost;
     match scheduler {
@@ -98,8 +103,7 @@ pub fn burden_ns(m: &SimMachine, scheduler: SimScheduler, nthreads: usize, shape
             } else {
                 let cps = m.topology.cores_per_socket().max(1) as f64;
                 let local_fraction = (cps / p as f64).min(1.0);
-                let mix =
-                    local_fraction * c.rmw_intra_ns + (1.0 - local_fraction) * c.rmw_inter_ns;
+                let mix = local_fraction * c.rmw_intra_ns + (1.0 - local_fraction) * c.rmw_inter_ns;
                 // Back-to-back fetch-adds on the same line partially pipeline at the
                 // home directory, so only about half of each RMW sits on the critical
                 // path.
@@ -140,7 +144,9 @@ pub fn reduction_burden_ns(
     match scheduler {
         // Merged into the join half-barrier: P − 1 combines, spread over the tree, so
         // only the root's share (≈ fan-in combines) sits on the critical path.
-        SimScheduler::FineGrainTree => base + (m.topology.suggested_arrival_fanin() as f64) * c.reduce_op_ns,
+        SimScheduler::FineGrainTree => {
+            base + (m.topology.suggested_arrival_fanin() as f64) * c.reduce_op_ns
+        }
         // Centralized: the master performs all P − 1 combines serially.
         SimScheduler::FineGrainCentralized | SimScheduler::FineGrainTreeFull => {
             base + (p - 1.0) * c.reduce_op_ns
@@ -181,7 +187,10 @@ mod tests {
         let cilk = d(SimScheduler::Cilk);
 
         // The paper's qualitative findings:
-        assert!(fine_tree < fine_central, "tree beats centralized at 48 threads");
+        assert!(
+            fine_tree < fine_central,
+            "tree beats centralized at 48 threads"
+        );
         assert!(fine_tree < fine_full, "half-barrier beats full-barrier");
         assert!(fine_tree < omp_static, "fine-grain beats OpenMP static");
         assert!(omp_static < omp_dynamic, "dynamic schedule costs more");
@@ -247,8 +256,10 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
-            SimScheduler::TABLE1_ORDER.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<_> = SimScheduler::TABLE1_ORDER
+            .iter()
+            .map(|s| s.label())
+            .collect();
         assert_eq!(labels.len(), 6);
     }
 }

@@ -149,7 +149,10 @@ mod tests {
         let t12 = loop_time_ns(&machine, SimScheduler::FineGrainTree, 12, &l);
         let t48 = loop_time_ns(&machine, SimScheduler::FineGrainTree, 48, &l);
         assert!(t12 < t1);
-        assert!(t48 < t12, "still improving at 48 threads for the fine-grain scheduler");
+        assert!(
+            t48 < t12,
+            "still improving at 48 threads for the fine-grain scheduler"
+        );
     }
 
     #[test]

@@ -22,5 +22,7 @@ pub mod util;
 
 pub use mesh::Mesh;
 pub use mpdata::Mpdata;
-pub use runner::{CilkFineRunner, CilkRunner, FineGrainRunner, LoopRunner, OmpRunner, SequentialRunner};
+pub use runner::{
+    CilkFineRunner, CilkRunner, FineGrainRunner, LoopRunner, OmpRunner, SequentialRunner,
+};
 pub use util::UnsafeSlice;

@@ -229,7 +229,10 @@ mod tests {
         assert_eq!(m.num_nodes(), 5568, "paper grid: 5568 points");
         // (nx-1)*ny + nx*(ny-1) + (nx-1)*(ny-1) = 95*58 + 96*57 + 95*57 = 16397.
         assert_eq!(m.num_edges(), 16_397);
-        assert!((m.num_edges() as i64 - 16_399).abs() <= 2, "within 2 of the paper's 16399");
+        assert!(
+            (m.num_edges() as i64 - 16_399).abs() <= 2,
+            "within 2 of the paper's 16399"
+        );
         m.validate().expect("paper mesh invariants");
     }
 

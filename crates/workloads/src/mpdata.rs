@@ -214,7 +214,14 @@ impl Mpdata {
         let dt = self.dt;
         let eps = self.epsilon;
         // Pass 1: donor-cell with the physical velocity, psi -> tmp.
-        Self::upwind_pass(runner, &self.mesh, &self.edge_vel, dt, &self.psi, &mut self.tmp);
+        Self::upwind_pass(
+            runner,
+            &self.mesh,
+            &self.edge_vel,
+            dt,
+            &self.psi,
+            &mut self.tmp,
+        );
         std::mem::swap(&mut self.psi, &mut self.tmp);
         // Corrective passes: donor-cell with the antidiffusive pseudo-velocity.
         for _ in 0..self.corrective_passes {

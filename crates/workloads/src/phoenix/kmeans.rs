@@ -96,12 +96,12 @@ fn nearest(centroids: &[Point2], p: Point2) -> usize {
 
 fn update_centroids(sums: &ClusterSums, centroids: &mut [Point2]) -> f64 {
     let mut movement = 0.0;
-    for c in 0..centroids.len() {
+    for (c, centroid) in centroids.iter_mut().enumerate() {
         if sums.count[c] > 0 {
             let nx = sums.sx[c] / sums.count[c] as f64;
             let ny = sums.sy[c] / sums.count[c] as f64;
-            movement += (nx - centroids[c].x).abs() + (ny - centroids[c].y).abs();
-            centroids[c] = Point2 { x: nx, y: ny };
+            movement += (nx - centroid.x).abs() + (ny - centroid.y).abs();
+            *centroid = Point2 { x: nx, y: ny };
         }
     }
     movement
@@ -220,7 +220,11 @@ mod tests {
             .collect();
         let result = sequential(&points, start, 10);
         assert_eq!(result.iterations, 10);
-        assert!(result.final_movement < 1e-6, "movement {}", result.final_movement);
+        assert!(
+            result.final_movement < 1e-6,
+            "movement {}",
+            result.final_movement
+        );
         for (got, truth) in result.centroids.iter().zip(&centres) {
             assert!((got.x - truth.x).abs() < 1.0);
             assert!((got.y - truth.y).abs() < 1.0);

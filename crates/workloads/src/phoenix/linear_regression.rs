@@ -180,7 +180,12 @@ mod tests {
     #[test]
     fn degenerate_inputs_have_no_line() {
         assert!(RegressionSums::default().line().is_none());
-        let same_x: Vec<Point> = (0..10).map(|i| Point { x: 1.0, y: i as f64 }).collect();
+        let same_x: Vec<Point> = (0..10)
+            .map(|i| Point {
+                x: 1.0,
+                y: i as f64,
+            })
+            .collect();
         assert!(sequential(&same_x).line().is_none());
     }
 
@@ -199,7 +204,13 @@ mod tests {
         ));
 
         let mut cilk = parlo_cilk::CilkPool::with_threads(3);
-        assert!(sums_close(&with_cilk_baseline(&mut cilk, &points), &expected));
-        assert!(sums_close(&with_cilk_fine_grain(&mut cilk, &points), &expected));
+        assert!(sums_close(
+            &with_cilk_baseline(&mut cilk, &points),
+            &expected
+        ));
+        assert!(sums_close(
+            &with_cilk_fine_grain(&mut cilk, &points),
+            &expected
+        ));
     }
 }

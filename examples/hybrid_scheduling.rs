@@ -20,7 +20,9 @@ fn imbalanced_work(i: usize) -> f64 {
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
     let mut pool = CilkPool::with_threads(threads);
     println!("hybrid pool with {threads} workers\n");
 

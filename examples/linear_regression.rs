@@ -12,14 +12,22 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000_000);
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
-    println!("linear regression over {n} synthetic points (true line: y = 3x + 7), {threads} threads");
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    println!(
+        "linear regression over {n} synthetic points (true line: y = 3x + 7), {threads} threads"
+    );
 
     let points = linreg::generate_points(n, 3.0, 7.0, 2.0, 42);
 
     let t0 = Instant::now();
     let seq = linreg::sequential(&points);
-    println!("sequential:          {:?} -> line {:?}", t0.elapsed(), seq.line());
+    println!(
+        "sequential:          {:?} -> line {:?}",
+        t0.elapsed(),
+        seq.line()
+    );
 
     let mut pool = FineGrainPool::with_threads(threads);
     let t0 = Instant::now();

@@ -30,7 +30,9 @@ fn main() {
     // Fine-grain scheduler.
     let mut par_solver = Mpdata::paper_problem();
     let mut fine = FineGrainRunner::with_threads(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
     let t0 = Instant::now();
     let par_result = par_solver.run(&mut fine, steps, true);
@@ -49,10 +51,12 @@ fn main() {
         .iter()
         .zip(&par_solver.psi)
         .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max)
-        ;
+        .fold(0.0f64, f64::max);
     println!("max |psi_seq - psi_par| = {max_diff:.3e}");
-    assert_eq!(max_diff, 0.0, "the parallel field must match the sequential one exactly");
+    assert_eq!(
+        max_diff, 0.0,
+        "the parallel field must match the sequential one exactly"
+    );
 
     if let Some(last) = par_result.diagnostics.last() {
         println!(

@@ -18,7 +18,7 @@ fn main() {
     let data: Vec<f64> = (0..1_000_000).map(|i| i as f64).collect();
     let hits = AtomicUsize::new(0);
     pool.parallel_for(0..data.len(), |i| {
-        if data[i] as usize % 97 == 0 {
+        if (data[i] as usize).is_multiple_of(97) {
             hits.fetch_add(1, Ordering::Relaxed);
         }
     });

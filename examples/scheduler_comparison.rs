@@ -30,31 +30,58 @@ fn time_loops(name: &str, mut run: impl FnMut() -> f64) {
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
-    println!("per-loop cost of a {ITERS}-iteration fine-grain loop, {threads} threads, {LOOPS} loops\n");
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    println!(
+        "per-loop cost of a {ITERS}-iteration fine-grain loop, {threads} threads, {LOOPS} loops\n"
+    );
 
-    let mut fine_tree = FineGrainPool::new(Config::builder(threads).barrier(BarrierKind::TreeHalf).build());
+    let mut fine_tree = FineGrainPool::new(
+        Config::builder(threads)
+            .barrier(BarrierKind::TreeHalf)
+            .build(),
+    );
     time_loops("fine-grain tree (half-barrier)", || {
         fine_tree.parallel_reduce(0..ITERS, || 0.0, |a, i| a + work_unit(i, 1), |a, b| a + b)
     });
 
-    let mut fine_central =
-        FineGrainPool::new(Config::builder(threads).barrier(BarrierKind::CentralizedHalf).build());
+    let mut fine_central = FineGrainPool::new(
+        Config::builder(threads)
+            .barrier(BarrierKind::CentralizedHalf)
+            .build(),
+    );
     time_loops("fine-grain centralized (half-barrier)", || {
         fine_central.parallel_reduce(0..ITERS, || 0.0, |a, i| a + work_unit(i, 1), |a, b| a + b)
     });
 
-    let mut fine_full = FineGrainPool::new(Config::builder(threads).barrier(BarrierKind::TreeFull).build());
+    let mut fine_full = FineGrainPool::new(
+        Config::builder(threads)
+            .barrier(BarrierKind::TreeFull)
+            .build(),
+    );
     time_loops("fine-grain tree (full barriers)", || {
         fine_full.parallel_reduce(0..ITERS, || 0.0, |a, i| a + work_unit(i, 1), |a, b| a + b)
     });
 
     let mut team = OmpTeam::with_threads(threads);
     time_loops("OpenMP-like, schedule(static)", || {
-        team.parallel_reduce(0..ITERS, Schedule::Static, || 0.0, |a, i| a + work_unit(i, 1), |a, b| a + b)
+        team.parallel_reduce(
+            0..ITERS,
+            Schedule::Static,
+            || 0.0,
+            |a, i| a + work_unit(i, 1),
+            |a, b| a + b,
+        )
     });
     time_loops("OpenMP-like, schedule(dynamic,1)", || {
-        team.parallel_reduce(0..ITERS, Schedule::Dynamic(1), || 0.0, |a, i| a + work_unit(i, 1), |a, b| a + b)
+        team.parallel_reduce(
+            0..ITERS,
+            Schedule::Dynamic(1),
+            || 0.0,
+            |a, i| a + work_unit(i, 1),
+            |a, b| a + b,
+        )
     });
 
     let mut cilk = CilkPool::with_threads(threads);

@@ -105,20 +105,35 @@ fn structural_claims_of_the_paper_hold() {
     pool.parallel_for(0..100, |_| {});
     let _ = pool.parallel_reduce(0..100, || 0u64, |a, i| a + i as u64, |a, b| a + b);
     let s = pool.stats();
-    assert_eq!(s.barrier_phases, 4, "2 loops x 1 half-barrier (2 phases) each");
+    assert_eq!(
+        s.barrier_phases, 4,
+        "2 loops x 1 half-barrier (2 phases) each"
+    );
     assert_eq!(s.combine_ops, (threads - 1) as u64);
 
     // Full-barrier ablation: twice the phases for the same loops.
     let mut full = FineGrainPool::new(
-        Config::builder(threads).barrier(BarrierKind::TreeFull).build(),
+        Config::builder(threads)
+            .barrier(BarrierKind::TreeFull)
+            .build(),
     );
     full.parallel_for(0..100, |_| {});
-    assert_eq!(full.stats().barrier_phases, 4, "1 loop x 2 full barriers (4 phases)");
+    assert_eq!(
+        full.stats().barrier_phases,
+        4,
+        "1 loop x 2 full barriers (4 phases)"
+    );
 
     // OpenMP-like: 2 full barriers per plain loop, 3 per reduction loop.
     let mut team = OmpTeam::with_threads(threads);
     team.parallel_for(0..100, Schedule::Static, |_| {});
-    let _ = team.parallel_reduce(0..100, Schedule::Static, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+    let _ = team.parallel_reduce(
+        0..100,
+        Schedule::Static,
+        || 0u64,
+        |a, i| a + i as u64,
+        |a, b| a + b,
+    );
     assert_eq!(team.stats().barrier_phases, 4 + 6);
     assert_eq!(team.stats().combine_ops, (threads - 1) as u64);
 
@@ -142,7 +157,12 @@ fn simulated_experiments_reproduce_the_paper_shape() {
     assert_eq!(t1.rows.len(), 6);
     assert!(burdens[1..].iter().all(|&d| d >= burdens[0]));
     assert_eq!(t1.rows[5].0, "Cilk");
-    assert!(burdens[5] >= *burdens[..5].iter().fold(&0.0, |a, b| if b > a { b } else { a }));
+    assert!(
+        burdens[5]
+            >= *burdens[..5]
+                .iter()
+                .fold(&0.0, |a, b| if b > a { b } else { a })
+    );
 
     // Figure 2 shape: the fine-grain scheduler beats OpenMP at 48 threads.
     let ratio = experiments::figure2_right(&m);

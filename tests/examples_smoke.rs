@@ -1,0 +1,51 @@
+//! Smoke check for the `examples/` directory: every example must build, and the
+//! `quickstart` example must run successfully end to end.
+//!
+//! `cargo test` already compiles examples for the dev profile, so the nested build
+//! below is normally a cache hit; its purpose is to fail this *test* (not just the
+//! build) if an example regresses, and to keep `cargo run --example quickstart`
+//! working as the README advertises.
+
+use std::process::Command;
+
+fn cargo() -> Command {
+    let mut cmd = Command::new(std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into()));
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
+    cmd
+}
+
+#[test]
+fn all_examples_build() {
+    let output = cargo()
+        .args(["build", "--examples", "--quiet"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn quickstart_example_runs() {
+    let output = cargo()
+        .args(["run", "--quiet", "--example", "quickstart"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("sum = 499999500000"),
+        "quickstart output missing the expected parallel_reduce sum:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("digits in order: 0123456789"),
+        "quickstart output missing the ordered-reduction line:\n{stdout}"
+    );
+}

@@ -1,0 +1,182 @@
+//! Unit tests for the paper's structural claims (Table 1 ablation), at a finer grain
+//! than `tests/cross_runtime.rs`: every loop entry point of every runtime is checked
+//! for its exact per-loop synchronization cost, and every reduction flavor for its
+//! exact combine count, across thread counts and repetition counts.
+//!
+//! The claims under test (§2 and Table 1 of the paper):
+//!
+//! * a fine-grain loop performs exactly **one half-barrier cycle** — one release phase
+//!   plus one join phase (2 phases) — per `parallel_for`, regardless of the loop
+//!   variant;
+//! * the full-barrier ablation performs exactly **two full barriers** (4 phases) per
+//!   loop;
+//! * a merged reduction performs exactly **`P − 1` combines** and *no additional
+//!   barrier* beyond the loop's own half-barrier;
+//! * the OpenMP-like baseline pays 2 full barriers per plain loop and 3 per
+//!   reduction loop;
+//! * the Cilk hybrid's fine-grain path has the same structure as the fine-grain pool.
+
+use parlo_cilk::CilkPool;
+use parlo_core::{BarrierKind, Config, FineGrainPool};
+use parlo_omp::{OmpTeam, Schedule};
+
+const HALF_KINDS: [BarrierKind; 2] = [BarrierKind::TreeHalf, BarrierKind::CentralizedHalf];
+const FULL_KINDS: [BarrierKind; 2] = [BarrierKind::TreeFull, BarrierKind::CentralizedFull];
+
+#[test]
+fn every_parallel_for_variant_costs_exactly_one_half_barrier_cycle() {
+    for kind in HALF_KINDS {
+        for threads in 1..=4 {
+            let mut pool = FineGrainPool::new(Config::builder(threads).barrier(kind).build());
+            let loops: [&mut dyn FnMut(&mut FineGrainPool); 5] = [
+                &mut |p| p.parallel_for(0..100, |_| {}),
+                &mut |p| p.parallel_for_blocks(0..100, |_| {}),
+                &mut |p| p.parallel_for_chunked(0..100, 7, |_| {}),
+                &mut |p| p.parallel_for_dynamic(0..100, 7, |_| {}),
+                &mut |p| p.broadcast(|_| {}),
+            ];
+            for run in loops {
+                let before = pool.stats();
+                run(&mut pool);
+                let delta = pool.stats().since(&before);
+                assert_eq!(delta.loops, 1, "{} @ {threads}T", kind.label());
+                assert_eq!(
+                    delta.barrier_phases,
+                    2,
+                    "one release + one join phase per loop ({} @ {threads}T)",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_barrier_ablation_doubles_the_phases_per_loop() {
+    for kind in FULL_KINDS {
+        for threads in 1..=4 {
+            let mut pool = FineGrainPool::new(Config::builder(threads).barrier(kind).build());
+            let before = pool.stats();
+            pool.parallel_for(0..100, |_| {});
+            let delta = pool.stats().since(&before);
+            assert_eq!(
+                delta.barrier_phases,
+                4,
+                "2 full barriers x 2 phases per loop ({} @ {threads}T)",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_reduction_performs_exactly_p_minus_1_combines_and_no_extra_barrier() {
+    const REPS: u64 = 7;
+    for threads in 1..=6 {
+        let mut pool = FineGrainPool::with_threads(threads);
+        let before = pool.stats();
+        for _ in 0..REPS {
+            let sum = pool.parallel_reduce(0..500, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(sum, (0..500u64).sum());
+        }
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta.reductions, REPS);
+        assert_eq!(
+            delta.combine_ops,
+            REPS * (threads as u64 - 1),
+            "exactly P-1 combines per reduction at {threads} threads"
+        );
+        assert_eq!(
+            delta.barrier_phases,
+            REPS * 2,
+            "the reduction is merged into the loop's own half-barrier (no third barrier)"
+        );
+    }
+}
+
+#[test]
+fn ordered_reduction_also_performs_exactly_p_minus_1_combines() {
+    for threads in 1..=6 {
+        let mut pool = FineGrainPool::with_threads(threads);
+        let before = pool.stats();
+        let s = pool.parallel_reduce_ordered(
+            0..26,
+            String::new,
+            |mut acc, i| {
+                acc.push((b'a' + i as u8) as char);
+                acc
+            },
+            |mut a, b| {
+                a.push_str(&b);
+                a
+            },
+        );
+        assert_eq!(s, "abcdefghijklmnopqrstuvwxyz");
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta.combine_ops, threads as u64 - 1);
+        assert_eq!(delta.barrier_phases, 2);
+    }
+}
+
+#[test]
+fn omp_baseline_pays_two_full_barriers_per_loop_and_three_per_reduction() {
+    for threads in 1..=4 {
+        let mut team = OmpTeam::with_threads(threads);
+        for schedule in [
+            Schedule::Static,
+            Schedule::StaticChunked(8),
+            Schedule::Dynamic(4),
+            Schedule::Guided(2),
+        ] {
+            let before = team.stats();
+            team.parallel_for(0..200, schedule, |_| {});
+            let delta_phases = team.stats().barrier_phases - before.barrier_phases;
+            assert_eq!(
+                delta_phases, 4,
+                "fork + join full barriers per plain loop ({schedule:?} @ {threads}T)"
+            );
+        }
+
+        let before = team.stats();
+        let sum = team.parallel_reduce(
+            0..200,
+            Schedule::Static,
+            || 0u64,
+            |a, i| a + i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(sum, (0..200u64).sum());
+        let after = team.stats();
+        assert_eq!(
+            after.barrier_phases - before.barrier_phases,
+            6,
+            "a reduction loop pays a third full barrier ({threads}T)"
+        );
+        assert_eq!(after.combine_ops - before.combine_ops, threads as u64 - 1);
+    }
+}
+
+#[test]
+fn cilk_hybrid_fine_path_has_fine_grain_structure() {
+    const REPS: u64 = 5;
+    for threads in 1..=4 {
+        let mut pool = CilkPool::with_threads(threads);
+        let before = pool.stats();
+        for _ in 0..REPS {
+            pool.fine_grain_for(0..300, |_| {});
+        }
+        let mid = pool.stats();
+        assert_eq!(mid.fine_loops - before.fine_loops, REPS);
+
+        for _ in 0..REPS {
+            let sum = pool.fine_grain_reduce(0..300, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(sum, (0..300u64).sum());
+        }
+        let after = pool.stats();
+        assert_eq!(
+            after.fine_combine_ops - mid.fine_combine_ops,
+            REPS * (threads as u64 - 1),
+            "hybrid fine-grain reduction: exactly P-1 combines per call at {threads} threads"
+        );
+    }
+}

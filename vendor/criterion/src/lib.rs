@@ -1,0 +1,200 @@
+//! Offline vendored mini-criterion.
+//!
+//! Implements the subset of the `criterion` API the `parlo-bench` benches use:
+//! [`Criterion::benchmark_group`], group configuration
+//! ([`BenchmarkGroup::sample_size`], [`BenchmarkGroup::warm_up_time`],
+//! [`BenchmarkGroup::measurement_time`]), [`BenchmarkGroup::bench_function`] with a
+//! [`Bencher`] whose `iter` closure is timed, plus [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — warm up for the configured duration, then run
+//! timed batches until the measurement window closes, and report the mean, min and max
+//! time per iteration. There is no statistical analysis, HTML report or comparison
+//! with saved baselines; benches exist here to exercise the hot paths and print
+//! indicative numbers, and `cargo bench` stays dependency-free and offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` function.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_warm_up: Duration::from_millis(150),
+            default_measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        let sample_size = self.default_sample_size;
+        let warm_up = self.default_warm_up;
+        let measurement = self.default_measurement;
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size,
+            warm_up,
+            measurement,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        let warm_up = self.default_warm_up;
+        let measurement = self.default_measurement;
+        run_bench(name, sample_size, warm_up, measurement, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long each benchmark warms up before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the length of the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, self.warm_up, self.measurement, f);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; its [`iter`](Bencher::iter) method times the body.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `body` and records per-iteration samples.
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        // Warm-up: run the body (and learn roughly how long one call takes).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(body());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Choose a batch size so each sample takes ~ measurement/sample_size.
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench(
+    name: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        warm_up,
+        measurement,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let n = b.samples.len() as f64;
+    let mean = b.samples.iter().sum::<f64>() / n;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name:<44} mean {:>12} min {:>12} max {:>12} ({} samples)",
+        fmt_time(mean),
+        fmt_time(min),
+        fmt_time(max),
+        b.samples.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; the mini-harness ignores them.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,70 @@
+//! Offline vendored subset of the `crossbeam` crate.
+//!
+//! The container this reproduction builds in has no network access, so the workspace
+//! vendors the handful of external APIs the sources use. This crate provides only
+//! [`utils::CachePadded`], the cache-line-aligned wrapper the barrier and deque
+//! implementations use to prevent false sharing.
+
+/// Utilities for concurrent programming (subset: `CachePadded`).
+pub mod utils {
+    use core::fmt;
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line.
+    ///
+    /// On x86-64 the adjacent-line prefetcher pulls pairs of 64-byte lines, so 128-byte
+    /// alignment is used there (matching upstream crossbeam); other common
+    /// architectures use 64 bytes.
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "aarch64"), repr(align(128)))]
+    #[cfg_attr(
+        not(any(target_arch = "x86_64", target_arch = "aarch64")),
+        repr(align(64))
+    )]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    unsafe impl<T: Send> Send for CachePadded<T> {}
+    unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+    impl<T> CachePadded<T> {
+        /// Pads and aligns a value to the length of a cache line.
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded")
+                .field("value", &self.value)
+                .finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(t: T) -> Self {
+            CachePadded::new(t)
+        }
+    }
+}

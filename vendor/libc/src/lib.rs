@@ -1,0 +1,52 @@
+//! Offline vendored subset of the `libc` crate.
+//!
+//! Provides only the Linux scheduling-affinity surface `parlo-affinity` uses:
+//! [`cpu_set_t`], [`CPU_SET`], [`sched_setaffinity`], [`sched_getcpu`] and
+//! [`__errno_location`]. The declarations mirror glibc's ABI on Linux.
+
+#![allow(non_camel_case_types)]
+#![cfg(target_os = "linux")]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `unsigned long`.
+pub type c_ulong = u64;
+/// POSIX `pid_t`.
+pub type pid_t = i32;
+/// POSIX `size_t`.
+pub type size_t = usize;
+
+const CPU_SETSIZE: usize = 1024;
+const ULONG_BITS: usize = 8 * core::mem::size_of::<c_ulong>();
+
+/// A CPU affinity bitmask holding `CPU_SETSIZE` (1024) CPUs, as defined by glibc.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [c_ulong; CPU_SETSIZE / ULONG_BITS],
+}
+
+/// Adds `cpu` to the set (the `CPU_SET` macro from `<sched.h>`).
+#[allow(non_snake_case)]
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE {
+        set.bits[cpu / ULONG_BITS] |= 1 << (cpu % ULONG_BITS);
+    }
+}
+
+/// Returns whether `cpu` is in the set (the `CPU_ISSET` macro from `<sched.h>`).
+#[allow(non_snake_case)]
+pub fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE && set.bits[cpu / ULONG_BITS] & (1 << (cpu % ULONG_BITS)) != 0
+}
+
+extern "C" {
+    /// `sched_setaffinity(2)`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    /// `sched_getaffinity(2)`.
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *mut cpu_set_t) -> c_int;
+    /// `sched_getcpu(3)`.
+    pub fn sched_getcpu() -> c_int;
+    /// glibc's thread-local `errno` location.
+    pub fn __errno_location() -> *mut c_int;
+}

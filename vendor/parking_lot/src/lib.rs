@@ -1,0 +1,66 @@
+//! Offline vendored subset of `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` behind parking_lot's poison-free API surface
+//! (`lock()` returns the guard directly, `into_inner()` returns the value).
+//! Fairness and micro-contention behaviour of the real crate are not reproduced;
+//! the workspace only uses the mutex on cold paths (retiring reducer views).
+
+use std::fmt;
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion primitive (poison-free facade over `std::sync::Mutex`).
+#[derive(Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking until it is available.
+    ///
+    /// Unlike `std`, a panic while holding the lock does not poison it for later
+    /// callers (parking_lot semantics).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns a mutable reference to the protected value (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline vendored mini-proptest.
+//!
+//! Provides the subset of the `proptest` API the workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] — a sampleable source of values, implemented for integer
+//!   and float ranges, string patterns (a small regex subset) and
+//!   [`collection::vec`];
+//! * [`test_runner::ProptestConfig`] / [`test_runner::TestRunner`] — case count and a
+//!   deterministic per-test RNG;
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, by design: no shrinking (a failing case reports
+//! its inputs and seed instead), and **deterministic seeding by default** — the RNG
+//! seed is derived from the test name, so a run is reproducible in automation without
+//! extra configuration. Set `PROPTEST_RNG_SEED` to explore a different seed and
+//! `PROPTEST_CASES` to override the per-test case count (both read by
+//! [`test_runner::TestRunner`]).
+
+pub mod strategy {
+    //! Strategies: sampleable sources of test inputs.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+        /// Samples one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// String patterns act as strategies generating matching strings (regex subset:
+    /// literals, `[...]` classes with ranges, and `{m}`/`{m,n}`/`?`/`*`/`+`
+    /// quantifiers).
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut StdRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    /// One element of a parsed pattern: a set of candidate chars plus a repetition
+    /// range.
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let set: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    while let Some(&c2) = chars.peek() {
+                        chars.next();
+                        if c2 == ']' {
+                            break;
+                        }
+                        if c2 == '-' {
+                            if let (Some(lo), Some(&hi)) = (prev, chars.peek()) {
+                                if hi != ']' {
+                                    chars.next();
+                                    for ch in (lo as u32 + 1)..=(hi as u32) {
+                                        if let Some(ch) = char::from_u32(ch) {
+                                            set.push(ch);
+                                        }
+                                    }
+                                    prev = None;
+                                    continue;
+                                }
+                            }
+                            set.push('-');
+                            prev = Some('-');
+                        } else {
+                            set.push(c2);
+                            prev = Some(c2);
+                        }
+                    }
+                    set
+                }
+                '\\' => vec![chars.next().unwrap_or('\\')],
+                c => vec![c],
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c2 in chars.by_ref() {
+                        if c2 == '}' {
+                            break;
+                        }
+                        spec.push(c2);
+                    }
+                    let parts: Vec<&str> = spec.splitn(2, ',').collect();
+                    let lo: usize = parts[0].trim().parse().unwrap_or(0);
+                    let hi: usize = parts
+                        .get(1)
+                        .map(|s| s.trim().parse().unwrap_or(lo))
+                        .unwrap_or(lo);
+                    (lo, hi.max(lo))
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            atoms.push(Atom {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        atoms
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(pattern) {
+            if atom.chars.is_empty() {
+                continue;
+            }
+            let reps = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..reps {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of values from an element strategy, with a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a strategy generating vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case-count configuration and the deterministic per-test runner.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives one property: holds the RNG and the effective case count.
+    pub struct TestRunner {
+        rng: StdRng,
+        cases: u32,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for the named test. The seed comes from
+        /// `PROPTEST_RNG_SEED` if set, otherwise deterministically from the test
+        /// name; `PROPTEST_CASES` overrides the configured case count.
+        pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+            let seed = std::env::var("PROPTEST_RNG_SEED")
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .unwrap_or_else(|| fnv1a(test_name.as_bytes()));
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.trim().parse::<u32>().ok())
+                .unwrap_or(config.cases);
+            TestRunner {
+                rng: StdRng::seed_from_u64(seed),
+                cases,
+                seed,
+            }
+        }
+
+        /// The number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The seed this runner started from (for failure reports).
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        /// The runner's RNG, shared by all strategies of the property.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Module-style access to strategy constructors (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property; reports the failing inputs via the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` becomes a
+/// `#[test]` that samples its arguments `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal item muncher behind [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::TestRunner::new($config, stringify!($name));
+            for case in 0..runner.cases() {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strategy), runner.rng());
+                )+
+                let case_desc = format!(
+                    concat!($(stringify!($arg), " = {:?}  "),+),
+                    $(&$arg),+
+                );
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || $body,
+                ));
+                if let Err(cause) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (seed {}):\n  {}",
+                        case + 1,
+                        runner.cases(),
+                        stringify!($name),
+                        runner.seed(),
+                        case_desc
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}

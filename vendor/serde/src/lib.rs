@@ -1,0 +1,259 @@
+//! Offline vendored mini-serde.
+//!
+//! The container has no network access, so the workspace vendors a small
+//! self-contained replacement for the `serde` + `serde_json` pair. Instead of
+//! serde's visitor architecture, this version routes everything through one
+//! JSON-shaped [`Value`] tree:
+//!
+//! * [`Serialize`] — convert `&self` into a [`Value`];
+//! * [`Deserialize`] — reconstruct `Self` from a [`Value`];
+//! * `#[derive(Serialize, Deserialize)]` — implemented by the vendored
+//!   `serde_derive` proc-macro for named-field structs and unit-variant enums
+//!   (the only shapes this workspace derives).
+//!
+//! The `serde_json` vendored crate renders/parses [`Value`] as JSON text.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON-shaped dynamic value: the interchange format between `Serialize`,
+/// `Deserialize` and the `serde_json` text layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, as an ordered list of key/value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the object entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up `key` in a map's entry list (helper used by derived code).
+pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the dynamic value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the dynamic value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls ----
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    _ => return Err(Error::custom("expected unsigned integer")),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::I64(n) } else { Value::U64(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| Error::custom("integer out of range"))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    _ => return Err(Error::custom("expected integer")),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(Error::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(Deserialize::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_seq() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::custom("expected 2-element array")),
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the mini-serde value
+//! model.
+//!
+//! Written against the bare `proc_macro` API (no `syn`/`quote` available offline).
+//! Supports exactly the shapes this workspace derives:
+//!
+//! * structs with named fields — serialized as a JSON object keyed by field name;
+//! * enums whose variants are all units — serialized as the variant-name string.
+//!
+//! Generic parameters and other shapes are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// Struct name + named field identifiers.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant identifiers.
+    Enum(String, Vec<String>),
+}
+
+/// Derives `serde::Serialize` via the mini-serde `Value` model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(Item::Struct(name, fields)) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Item::Enum(name, variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(String::from(\"{v}\")),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Err(msg) => format!("compile_error!(\"derive(Serialize): {msg}\");"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` via the mini-serde `Value` model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(Item::Struct(name, fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(m, \"{f}\")\
+                             .ok_or_else(|| ::serde::Error::custom(\"missing field `{f}`\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Item::Enum(name, variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let s = v.as_str().ok_or_else(|| ::serde::Error::custom(\"expected string for {name}\"))?;\n\
+                         match s {{ {arms} _ => Err(::serde::Error::custom(\"unknown {name} variant\")) }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Err(msg) => format!("compile_error!(\"derive(Deserialize): {msg}\");"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Parses `struct Name { fields }` / `enum Name { UnitVariants }` out of the item
+/// token stream, skipping attributes and visibility.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(i)) => {
+                let s = i.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                return Err(format!("unexpected token `{s}` before struct/enum"));
+            }
+            Some(t) => return Err(format!("unexpected token `{t}`")),
+            None => return Err("ran out of tokens before struct/enum".into()),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+        other => {
+            return Err(format!(
+                "expected braced body for `{name}`, found {other:?}"
+            ))
+        }
+    };
+    if kind == "struct" {
+        parse_named_fields(body).map(|fields| Item::Struct(name, fields))
+    } else {
+        parse_unit_variants(body).map(|variants| Item::Enum(name, variants))
+    }
+}
+
+/// Collects the field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility on the field.
+        let field = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(i)) => break i.to_string(),
+                Some(t) => return Err(format!("unexpected token `{t}` in struct body")),
+                None => return Ok(fields),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{field}` (tuple structs unsupported)"
+                ))
+            }
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma, tracking angle-bracket depth
+        // so commas inside `Vec<Vec<T>>`-style generics do not split the field.
+        let mut angle = 0i32;
+        for t in tokens.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Collects the variant names of an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let variant = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(i)) => break i.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(t) => return Err(format!("unexpected token `{t}` in enum body")),
+                None => return Ok(variants),
+            }
+        };
+        match tokens.peek() {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "non-unit variant `{variant}` is not supported by the vendored derive"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "discriminant on variant `{variant}` is not supported"
+                ));
+            }
+            _ => {}
+        }
+        variants.push(variant);
+    }
+}
