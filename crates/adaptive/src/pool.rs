@@ -1,0 +1,799 @@
+//! The adaptive pool: per-site calibration, burden fitting, and routing.
+
+use crate::{Backend, LoopSite, ProbeTimer, WallClock};
+use parlo_analysis::{fit_burden, BurdenFit, BurdenMeasurement};
+use parlo_cilk::{default_grain, CilkPool};
+use parlo_core::{FineGrainPool, LoopRuntime, SyncStats};
+use parlo_omp::{OmpTeam, Schedule};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of an [`AdaptivePool`].
+#[derive(Clone)]
+pub struct AdaptiveConfig {
+    /// Threads per backend (master included).
+    pub threads: usize,
+    /// Candidate parallel backends probed per site, in probe order.  Sequential
+    /// execution is always an implicit candidate and need not be listed.
+    pub backends: Vec<Backend>,
+    /// Probe executions per backend per calibration round.
+    pub probes_per_backend: usize,
+    /// Routed executions of a site before it is re-calibrated (phase-change
+    /// detection).
+    pub reprobe_interval: u64,
+    /// Measurements retained per (site, backend) within one calibration round (older
+    /// probes are dropped first).  Re-calibration starts from an empty set so a phase
+    /// change is never averaged against stale probes.
+    pub max_measurements: usize,
+    /// Probe timing hook (wall clock by default; tests inject a cost model).
+    pub timer: Arc<dyn ProbeTimer>,
+}
+
+impl AdaptiveConfig {
+    /// A configuration with `threads` threads and defaults for everything else.
+    pub fn with_threads(threads: usize) -> Self {
+        AdaptiveConfig {
+            threads: threads.max(1),
+            backends: Backend::DEFAULT.to_vec(),
+            probes_per_backend: 1,
+            reprobe_interval: 512,
+            max_measurements: 8,
+            timer: Arc::new(WallClock),
+        }
+    }
+}
+
+/// The routing decision calibrated for one loop site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// The backend the site is routed to.
+    pub backend: Backend,
+    /// The granularity-derived chunk/grain size at decision time (dynamic backends
+    /// recompute it from the actual iteration count of each routed call).
+    pub chunk: usize,
+    /// The predicted per-execution time `d + T/P` of the chosen backend, in seconds,
+    /// at `calibrated_n` iterations.
+    pub predicted_secs: f64,
+    /// The fitted per-loop burden `d` of the chosen backend, in seconds (zero for
+    /// sequential execution).  Fixed per loop: predictions for other iteration counts
+    /// scale only the `T/P` work term.
+    pub burden_secs: f64,
+    /// The iteration count the prediction was made for.
+    pub calibrated_n: usize,
+}
+
+/// Counters describing the adaptive runtime's own activity (probing vs routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdaptiveStats {
+    /// Distinct loop sites seen.
+    pub sites: u64,
+    /// Sequential calibration runs performed.
+    pub seq_probes: u64,
+    /// Parallel backend probes performed.
+    pub probes: u64,
+    /// Loop executions routed by a fitted decision.
+    pub routed_loops: u64,
+    /// Re-calibrations triggered by the re-probe interval.
+    pub reprobes: u64,
+}
+
+/// Calibration progress of one site.
+#[derive(Debug, Clone, Copy)]
+enum SitePhase {
+    /// Next execution runs sequentially to (re-)estimate the site's `T`.
+    SeqProbe,
+    /// Next execution probes `backends[backend_idx]` (probe `done` of the round).
+    Probing { backend_idx: usize, done: usize },
+    /// Calibration complete; executions are routed by the decision.
+    Routed,
+}
+
+#[derive(Debug, Default)]
+struct BackendRecord {
+    measurements: Vec<BurdenMeasurement>,
+    fit: Option<BurdenFit>,
+}
+
+struct SiteState {
+    /// Latest measured sequential time of the site, in seconds...
+    seq_secs: f64,
+    /// ...for a loop of this many iterations.  Probes and predictions for other
+    /// iteration counts scale linearly (see [`SiteState::t_seq_for`]).
+    seq_n: usize,
+    phase: SitePhase,
+    records: Vec<BackendRecord>,
+    decision: Option<Decision>,
+    routed_since_probe: u64,
+    /// Consecutive routed executions observed far slower than predicted (drift).
+    drift_strikes: u32,
+}
+
+impl SiteState {
+    fn new(num_backends: usize) -> Self {
+        SiteState {
+            seq_secs: 0.0,
+            seq_n: 0,
+            phase: SitePhase::SeqProbe,
+            records: (0..num_backends)
+                .map(|_| BackendRecord::default())
+                .collect(),
+            decision: None,
+            routed_since_probe: 0,
+            drift_strikes: 0,
+        }
+    }
+
+    /// The sequential-time estimate scaled to an `n`-iteration execution of the site
+    /// (the calibration probe may have seen a different iteration count).
+    fn t_seq_for(&self, n: usize) -> f64 {
+        if self.seq_n == 0 {
+            return self.seq_secs;
+        }
+        self.seq_secs * n as f64 / self.seq_n as f64
+    }
+
+    /// Re-enters calibration from scratch: the next execution is a sequential probe
+    /// and the previous round's measurements are forgotten, so a changed workload is
+    /// never averaged against stale probes.  The previous decision and fits are kept
+    /// (stale but inspectable) until the new round completes.
+    fn start_recalibration(&mut self) {
+        self.routed_since_probe = 0;
+        self.drift_strikes = 0;
+        self.phase = SitePhase::SeqProbe;
+        for record in &mut self.records {
+            record.measurements.clear();
+        }
+    }
+}
+
+/// What the current execution of a site is for.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Probe(Backend),
+    Routed(Backend),
+}
+
+impl Action {
+    fn backend(&self) -> Backend {
+        match *self {
+            Action::Probe(b) | Action::Routed(b) => b,
+        }
+    }
+}
+
+/// The online scheduler-selection runtime (see the crate docs for the algorithm).
+///
+/// Owns one instance of every backend family — the fine-grain half-barrier pool, the
+/// OpenMP-like team and the Cilk-like work-stealing pool — and routes each
+/// [`LoopSite`] to the backend the fitted burden model predicts fastest.  Every
+/// execution, probe or routed, runs the loop exactly once, so adaptation never changes
+/// results.
+pub struct AdaptivePool {
+    fine: FineGrainPool,
+    team: OmpTeam,
+    cilk: CilkPool,
+    backends: Vec<Backend>,
+    probes_per_backend: usize,
+    reprobe_interval: u64,
+    max_measurements: usize,
+    timer: Arc<dyn ProbeTimer>,
+    threads: usize,
+    sites: HashMap<LoopSite, SiteState>,
+    stats: AdaptiveStats,
+    /// Loops/reductions executed inline on the master (sequential probes and
+    /// Sequential-routed calls), counted so `sync_stats` covers every execution.
+    seq_loops: u64,
+    seq_reductions: u64,
+}
+
+/// The granularity-derived chunk/grain size for the dynamic backends (the Cilkplus
+/// heuristic: enough chunks for balance, few enough to amortise the dispenser).
+fn chunk_for(n: usize, threads: usize) -> usize {
+    default_grain(n, threads)
+}
+
+/// A routed execution counts as drifted when it runs this many times slower than its
+/// (iteration-scaled) prediction.
+const DRIFT_FACTOR: f64 = 4.0;
+
+/// Consecutive drifted executions before an early re-calibration fires.
+const DRIFT_STRIKES: u32 = 3;
+
+impl AdaptivePool {
+    /// Creates an adaptive pool with `threads` threads per backend and defaults for
+    /// everything else.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(AdaptiveConfig::with_threads(threads))
+    }
+
+    /// Creates an adaptive pool from an explicit configuration.
+    pub fn new(config: AdaptiveConfig) -> Self {
+        let threads = config.threads.max(1);
+        let mut backends: Vec<Backend> = config
+            .backends
+            .iter()
+            .copied()
+            .filter(|&b| b != Backend::Sequential)
+            .collect();
+        if backends.is_empty() {
+            backends = Backend::DEFAULT.to_vec();
+        }
+        AdaptivePool {
+            fine: FineGrainPool::with_threads(threads),
+            team: OmpTeam::with_threads(threads),
+            cilk: CilkPool::with_threads(threads),
+            backends,
+            probes_per_backend: config.probes_per_backend.max(1),
+            reprobe_interval: config.reprobe_interval.max(1),
+            max_measurements: config.max_measurements.max(1),
+            timer: config.timer,
+            threads,
+            sites: HashMap::new(),
+            stats: AdaptiveStats::default(),
+            seq_loops: 0,
+            seq_reductions: 0,
+        }
+    }
+
+    /// Number of threads each backend uses (master included).
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The candidate parallel backends probed for every site, in probe order.
+    pub fn backends(&self) -> &[Backend] {
+        &self.backends
+    }
+
+    /// The most recent routing decision for `site`, if calibration has completed at
+    /// least once.  During a re-calibration round this is the *previous* round's
+    /// decision (kept for observability) until the new fits replace it.
+    pub fn decision(&self, site: LoopSite) -> Option<Decision> {
+        self.sites.get(&site).and_then(|s| s.decision)
+    }
+
+    /// The most recently fitted burden of `backend` at `site`, if it has ever been
+    /// probed and fitted (during a re-calibration round this is the previous round's
+    /// fit).
+    pub fn fitted_burden(&self, site: LoopSite, backend: Backend) -> Option<BurdenFit> {
+        let state = self.sites.get(&site)?;
+        let idx = self.backends.iter().position(|&b| b == backend)?;
+        state.records[idx].fit
+    }
+
+    /// The latest measured sequential time of `site` (seconds), as measured by the
+    /// most recent sequential probe (see the probe's iteration count in the second
+    /// tuple element; predictions scale linearly in the iteration count).
+    pub fn t_seq_estimate(&self, site: LoopSite) -> Option<(f64, usize)> {
+        self.sites
+            .get(&site)
+            .filter(|s| s.seq_n > 0)
+            .map(|s| (s.seq_secs, s.seq_n))
+    }
+
+    /// A snapshot of the adaptive runtime's own counters.
+    pub fn adaptive_stats(&self) -> AdaptiveStats {
+        AdaptiveStats {
+            sites: self.sites.len() as u64,
+            ..self.stats
+        }
+    }
+
+    /// Statically scheduled parallel loop at an explicit [`LoopSite`].
+    pub fn parallel_for_at<F>(&mut self, site: LoopSite, range: Range<usize>, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return;
+        }
+        let action = self.next_action(site);
+        let chunk = chunk_for(n, self.threads);
+        let t0 = Instant::now();
+        self.exec_for(action.backend(), chunk, range, &body);
+        let wall = t0.elapsed().as_secs_f64();
+        self.after_run(site, action, n, wall);
+    }
+
+    /// Parallel reduction at an explicit [`LoopSite`].  `init` must be the neutral
+    /// element of `combine` (same contract as [`LoopRuntime::parallel_reduce`]).
+    pub fn parallel_reduce_at<Fold, Comb>(
+        &mut self,
+        site: LoopSite,
+        range: Range<usize>,
+        init: f64,
+        fold: Fold,
+        combine: Comb,
+    ) -> f64
+    where
+        Fold: Fn(f64, usize) -> f64 + Sync,
+        Comb: Fn(f64, f64) -> f64 + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return init;
+        }
+        let action = self.next_action(site);
+        let chunk = chunk_for(n, self.threads);
+        let t0 = Instant::now();
+        let result = self.exec_reduce(action.backend(), chunk, range, init, &fold, &combine);
+        let wall = t0.elapsed().as_secs_f64();
+        self.after_run(site, action, n, wall);
+        result
+    }
+
+    /// Parallel sum of `f(i)` over `range` at an explicit [`LoopSite`].
+    pub fn parallel_sum_at<F>(&mut self, site: LoopSite, range: Range<usize>, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        self.parallel_reduce_at(site, range, 0.0, |acc, i| acc + f(i), |a, b| a + b)
+    }
+
+    /// Decides what the next execution of `site` is for (creating the site on first
+    /// contact).
+    fn next_action(&mut self, site: LoopSite) -> Action {
+        let num_backends = self.backends.len();
+        let state = self
+            .sites
+            .entry(site)
+            .or_insert_with(|| SiteState::new(num_backends));
+        match state.phase {
+            SitePhase::SeqProbe => Action::Probe(Backend::Sequential),
+            SitePhase::Probing { backend_idx, .. } => Action::Probe(self.backends[backend_idx]),
+            SitePhase::Routed => Action::Routed(
+                state
+                    .decision
+                    .expect("routed phase implies a decision")
+                    .backend,
+            ),
+        }
+    }
+
+    /// Records the outcome of an execution and advances the site's phase machine.
+    fn after_run(&mut self, site: LoopSite, action: Action, n: usize, wall: f64) {
+        match action {
+            Action::Routed(backend) => {
+                self.stats.routed_loops += 1;
+                let observed = self.timer.observe(backend, site, n, wall).max(1e-12);
+                let reprobe_interval = self.reprobe_interval;
+                let threads = self.threads.max(1);
+                let state = self.sites.get_mut(&site).expect("site exists");
+                state.routed_since_probe += 1;
+                // Drift detection: a routed execution far slower than its prediction
+                // means the calibration no longer describes the site — e.g. the
+                // per-iteration work grew, or an anonymous granularity bucket now
+                // carries a heavier loop.  The prediction is re-evaluated at this
+                // call's iteration count with the burden term held fixed (only the
+                // work term scales — a shorter range must not shrink `d`).  Three
+                // consecutive strikes trigger an early re-calibration; only the slow
+                // side counts, so warm-vs-cold timing bias cannot trigger it.
+                let p = threads as f64;
+                let predicted = state
+                    .decision
+                    .map(|d| {
+                        let t_n = state.t_seq_for(n);
+                        match d.backend {
+                            Backend::Sequential => t_n,
+                            _ => d.burden_secs + t_n / p,
+                        }
+                    })
+                    .unwrap_or(observed);
+                if observed > predicted * DRIFT_FACTOR {
+                    state.drift_strikes += 1;
+                } else {
+                    state.drift_strikes = 0;
+                }
+                if state.routed_since_probe >= reprobe_interval
+                    || state.drift_strikes >= DRIFT_STRIKES
+                {
+                    state.start_recalibration();
+                    self.stats.reprobes += 1;
+                }
+            }
+            Action::Probe(Backend::Sequential) => {
+                let secs = self
+                    .timer
+                    .observe(Backend::Sequential, site, n, wall)
+                    .max(1e-12);
+                self.stats.seq_probes += 1;
+                let state = self.sites.get_mut(&site).expect("site exists");
+                state.seq_secs = secs;
+                state.seq_n = n;
+                state.phase = SitePhase::Probing {
+                    backend_idx: 0,
+                    done: 0,
+                };
+            }
+            Action::Probe(backend) => {
+                let secs = self.timer.observe(backend, site, n, wall).max(1e-12);
+                self.stats.probes += 1;
+                let threads = self.threads;
+                let max_measurements = self.max_measurements;
+                let probes_per_backend = self.probes_per_backend;
+                let num_backends = self.backends.len();
+                let backends = self.backends.clone();
+                let state = self.sites.get_mut(&site).expect("site exists");
+                let SitePhase::Probing { backend_idx, done } = state.phase else {
+                    unreachable!("probe action only issued in the probing phase")
+                };
+                // Scale the sequential estimate to this probe's iteration count: a
+                // site may legally see different range lengths per call, and pairing
+                // mismatched (T, t_par) would fit meaningless burdens.
+                let t_seq = state.t_seq_for(n).max(1e-12);
+                let record = &mut state.records[backend_idx];
+                if record.measurements.len() >= max_measurements {
+                    record.measurements.remove(0);
+                }
+                record.measurements.push(BurdenMeasurement {
+                    t_seq,
+                    speedup: t_seq / secs,
+                });
+                let done = done + 1;
+                if done < probes_per_backend {
+                    state.phase = SitePhase::Probing { backend_idx, done };
+                } else if backend_idx + 1 < num_backends {
+                    state.phase = SitePhase::Probing {
+                        backend_idx: backend_idx + 1,
+                        done: 0,
+                    };
+                } else {
+                    Self::decide(state, &backends, threads, n);
+                    state.phase = SitePhase::Routed;
+                }
+            }
+        }
+    }
+
+    /// Fits every backend's burden from the site's measurements and picks the backend
+    /// minimising the predicted execution time `d + T/P` at this calibration's
+    /// iteration count (sequential execution, with predicted time `T`, is the
+    /// implicit baseline candidate).
+    fn decide(state: &mut SiteState, backends: &[Backend], threads: usize, n: usize) {
+        let p = threads.max(1) as f64;
+        let t_seq = state.t_seq_for(n);
+        let mut best = Decision {
+            backend: Backend::Sequential,
+            chunk: 1,
+            predicted_secs: t_seq,
+            burden_secs: 0.0,
+            calibrated_n: n,
+        };
+        for (idx, &backend) in backends.iter().enumerate() {
+            let record = &mut state.records[idx];
+            record.fit = fit_burden(&record.measurements, threads);
+            if let Some(fit) = record.fit {
+                let predicted = fit.burden + t_seq / p;
+                if predicted < best.predicted_secs {
+                    best = Decision {
+                        backend,
+                        chunk: chunk_for(n, threads),
+                        predicted_secs: predicted,
+                        burden_secs: fit.burden,
+                        calibrated_n: n,
+                    };
+                }
+            }
+        }
+        state.decision = Some(best);
+    }
+
+    /// Runs one loop on a concrete backend.
+    fn exec_for(
+        &mut self,
+        backend: Backend,
+        chunk: usize,
+        range: Range<usize>,
+        body: &(dyn Fn(usize) + Sync),
+    ) {
+        match backend {
+            Backend::Sequential => {
+                self.seq_loops += 1;
+                for i in range {
+                    body(i);
+                }
+            }
+            Backend::FineGrain => self.fine.parallel_for(range, body),
+            Backend::OmpStatic => self.team.parallel_for(range, Schedule::Static, body),
+            Backend::OmpDynamic => self
+                .team
+                .parallel_for(range, Schedule::Dynamic(chunk), body),
+            Backend::OmpGuided => self.team.parallel_for(range, Schedule::Guided(chunk), body),
+            Backend::CilkSteal => self.cilk.cilk_for_with_grain(range, chunk, body),
+        }
+    }
+
+    /// Runs one reduction on a concrete backend.
+    fn exec_reduce(
+        &mut self,
+        backend: Backend,
+        chunk: usize,
+        range: Range<usize>,
+        init: f64,
+        fold: &(dyn Fn(f64, usize) -> f64 + Sync),
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> f64 {
+        match backend {
+            Backend::Sequential => {
+                self.seq_loops += 1;
+                self.seq_reductions += 1;
+                let mut acc = init;
+                for i in range {
+                    acc = fold(acc, i);
+                }
+                acc
+            }
+            Backend::FineGrain => self.fine.parallel_reduce(range, || init, fold, combine),
+            Backend::OmpStatic => {
+                self.team
+                    .parallel_reduce(range, Schedule::Static, || init, fold, combine)
+            }
+            Backend::OmpDynamic => {
+                self.team
+                    .parallel_reduce(range, Schedule::Dynamic(chunk), || init, fold, combine)
+            }
+            Backend::OmpGuided => {
+                self.team
+                    .parallel_reduce(range, Schedule::Guided(chunk), || init, fold, combine)
+            }
+            Backend::CilkSteal => {
+                self.cilk
+                    .cilk_reduce_with_grain(range, chunk, || init, fold, combine)
+            }
+        }
+    }
+}
+
+impl LoopRuntime for AdaptivePool {
+    fn name(&self) -> String {
+        "adaptive".into()
+    }
+
+    fn threads(&self) -> usize {
+        self.num_threads()
+    }
+
+    /// Anonymous loops are bucketed into granularity-keyed sites (kind + power of two
+    /// of the iteration count); use [`AdaptivePool::parallel_for_at`] for precise
+    /// per-call-site calibration.
+    fn parallel_for(&mut self, range: Range<usize>, body: &(dyn Fn(usize) + Sync)) {
+        let site = LoopSite::from_shape(0, range.end.saturating_sub(range.start));
+        self.parallel_for_at(site, range, body);
+    }
+
+    fn parallel_reduce(
+        &mut self,
+        range: Range<usize>,
+        init: f64,
+        fold: &(dyn Fn(f64, usize) -> f64 + Sync),
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> f64 {
+        let site = LoopSite::from_shape(1, range.end.saturating_sub(range.start));
+        self.parallel_reduce_at(site, range, init, fold, combine)
+    }
+
+    fn sync_stats(&self) -> SyncStats {
+        let sequential = SyncStats {
+            loops: self.seq_loops,
+            reductions: self.seq_reductions,
+            ..SyncStats::default()
+        };
+        self.fine
+            .sync_stats()
+            .merged(&SyncStats::from(self.team.stats()))
+            .merged(&self.cilk.sync_stats())
+            .merged(&sequential)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A deterministic cost model: per-backend burden plus perfectly parallel work,
+    /// with `work_per_iter` seconds per iteration.
+    struct FixedBurdens {
+        work_per_iter: f64,
+        threads: usize,
+    }
+
+    impl ProbeTimer for FixedBurdens {
+        fn observe(&self, backend: Backend, _: LoopSite, n: usize, _: f64) -> f64 {
+            let t = self.work_per_iter * n as f64;
+            let p = self.threads as f64;
+            match backend {
+                Backend::Sequential => t,
+                Backend::FineGrain => 5.67e-6 + t / p,
+                Backend::OmpStatic => 8.12e-6 + t / p,
+                Backend::OmpDynamic => 31.94e-6 + t / p,
+                Backend::OmpGuided => 20.0e-6 + t / p,
+                Backend::CilkSteal => 68.80e-6 + t / p,
+            }
+        }
+    }
+
+    fn sim_pool(threads: usize, work_per_iter: f64) -> AdaptivePool {
+        let mut config = AdaptiveConfig::with_threads(threads);
+        config.timer = Arc::new(FixedBurdens {
+            work_per_iter,
+            threads,
+        });
+        AdaptivePool::new(config)
+    }
+
+    #[test]
+    fn every_phase_executes_the_loop_exactly_once() {
+        let mut pool = AdaptivePool::with_threads(3);
+        let site = LoopSite::new(7);
+        // 1 sequential probe + 4 backend probes + several routed runs.
+        for round in 0..10 {
+            let hits: Vec<AtomicUsize> = (0..277).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for_at(site, 0..277, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "round {round}"
+            );
+        }
+        let stats = pool.adaptive_stats();
+        assert_eq!(stats.sites, 1);
+        assert_eq!(stats.seq_probes, 1);
+        assert_eq!(stats.probes, 4, "one probe per default backend");
+        assert_eq!(stats.routed_loops, 5);
+        assert!(pool.decision(site).is_some());
+    }
+
+    #[test]
+    fn reductions_stay_correct_through_calibration_and_routing() {
+        let mut pool = AdaptivePool::with_threads(4);
+        let site = LoopSite::new(9);
+        let expected: f64 = (0..1000).map(|i| i as f64).sum();
+        for _ in 0..8 {
+            let got = pool.parallel_sum_at(site, 0..1000, |i| i as f64);
+            assert!((got - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn micro_loops_route_to_the_fine_grain_backend() {
+        let mut pool = sim_pool(4, 1e-6);
+        let site = LoopSite::new(1);
+        for _ in 0..6 {
+            pool.parallel_for_at(site, 0..64, |_| {});
+        }
+        let d = pool.decision(site).expect("calibrated");
+        assert_eq!(d.backend, Backend::FineGrain);
+        // The fitted burden matches the cost model's fine-grain burden.
+        let fit = pool.fitted_burden(site, Backend::FineGrain).expect("fit");
+        assert!((fit.burden - 5.67e-6).abs() / 5.67e-6 < 0.05, "{fit:?}");
+    }
+
+    #[test]
+    fn tiny_loops_route_to_sequential_execution() {
+        // 4 iterations of 0.1 µs: T = 0.4 µs, smaller than every backend burden.
+        let mut pool = sim_pool(4, 1e-7);
+        let site = LoopSite::new(2);
+        for _ in 0..6 {
+            pool.parallel_for_at(site, 0..4, |_| {});
+        }
+        let d = pool.decision(site).expect("calibrated");
+        assert_eq!(d.backend, Backend::Sequential);
+    }
+
+    #[test]
+    fn reprobe_interval_triggers_recalibration() {
+        let mut config = AdaptiveConfig::with_threads(2);
+        config.reprobe_interval = 3;
+        let mut pool = AdaptivePool::new(config);
+        let site = LoopSite::new(3);
+        // 5 calibration runs + 3 routed runs -> reprobe -> 5 more calibration runs.
+        for _ in 0..16 {
+            pool.parallel_for_at(site, 0..128, |_| {});
+        }
+        let stats = pool.adaptive_stats();
+        assert!(stats.reprobes >= 1, "{stats:?}");
+        assert!(stats.seq_probes >= 2, "{stats:?}");
+        assert!(pool.decision(site).is_some());
+    }
+
+    #[test]
+    fn drift_triggers_early_recalibration() {
+        use std::sync::atomic::AtomicU64;
+        /// Cost model whose per-iteration work can be changed mid-run (femtoseconds,
+        /// so the atomic holds an integer).
+        struct ScaledModel {
+            per_iter_fs: AtomicU64,
+            threads: usize,
+        }
+        impl ProbeTimer for ScaledModel {
+            fn observe(&self, backend: Backend, _: LoopSite, n: usize, _: f64) -> f64 {
+                let t = self.per_iter_fs.load(Ordering::Relaxed) as f64 * 1e-15 * n as f64;
+                let p = self.threads as f64;
+                match backend {
+                    Backend::Sequential => t,
+                    Backend::FineGrain => 5.67e-6 + t / p,
+                    Backend::OmpStatic => 8.12e-6 + t / p,
+                    Backend::OmpDynamic => 31.94e-6 + t / p,
+                    Backend::OmpGuided => 20.0e-6 + t / p,
+                    Backend::CilkSteal => 68.80e-6 + t / p,
+                }
+            }
+        }
+
+        let model = std::sync::Arc::new(ScaledModel {
+            per_iter_fs: AtomicU64::new(100_000_000), // 0.1 us/iter: tiny loop
+            threads: 4,
+        });
+        let mut config = AdaptiveConfig::with_threads(4);
+        config.timer = model.clone();
+        config.reprobe_interval = u64::MAX; // only drift can trigger re-calibration
+        let mut pool = AdaptivePool::new(config);
+        let site = LoopSite::new(11);
+        for _ in 0..6 {
+            pool.parallel_for_at(site, 0..64, |_| {});
+        }
+        assert_eq!(
+            pool.decision(site).unwrap().backend,
+            Backend::Sequential,
+            "a 6.4 us loop is below every backend burden"
+        );
+
+        // The loop body becomes 100x heavier: routed executions now run far slower
+        // than predicted, which must trigger re-calibration without waiting for the
+        // (disabled) interval.
+        model.per_iter_fs.store(10_000_000_000, Ordering::Relaxed); // 10 us/iter
+        for _ in 0..9 {
+            pool.parallel_for_at(site, 0..64, |_| {});
+        }
+        assert!(pool.adaptive_stats().reprobes >= 1);
+        assert_eq!(
+            pool.decision(site).unwrap().backend,
+            Backend::FineGrain,
+            "a 640 us loop routes to the lowest-burden parallel backend"
+        );
+    }
+
+    #[test]
+    fn anonymous_loops_work_behind_dyn_loop_runtime() {
+        let mut pool = AdaptivePool::with_threads(2);
+        let rt: &mut dyn LoopRuntime = &mut pool;
+        assert_eq!(rt.name(), "adaptive");
+        assert_eq!(rt.threads(), 2);
+        for _ in 0..3 {
+            let hits: Vec<AtomicUsize> = (0..300).map(|_| AtomicUsize::new(0)).collect();
+            rt.parallel_for(0..300, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+        let sum = rt.parallel_sum(0..500, &|i| i as f64);
+        assert!((sum - (499.0 * 500.0 / 2.0)).abs() < 1e-9);
+        assert!(rt.sync_stats().loops >= 1);
+    }
+
+    #[test]
+    fn empty_ranges_are_noops() {
+        let mut pool = AdaptivePool::with_threads(2);
+        let site = LoopSite::new(4);
+        pool.parallel_for_at(site, 10..10, |_| panic!("must not run"));
+        let got = pool.parallel_reduce_at(site, 5..5, 1.5, |_, _| panic!(), |a, _| a);
+        assert_eq!(got, 1.5);
+        assert_eq!(pool.adaptive_stats().sites, 0, "no site state created");
+    }
+
+    #[test]
+    fn config_sanitises_degenerate_values() {
+        let mut config = AdaptiveConfig::with_threads(0);
+        config.backends = vec![Backend::Sequential];
+        config.probes_per_backend = 0;
+        config.reprobe_interval = 0;
+        let pool = AdaptivePool::new(config);
+        assert_eq!(pool.num_threads(), 1);
+        assert_eq!(pool.backends(), &Backend::DEFAULT);
+    }
+}

@@ -1,0 +1,83 @@
+//! Loop-site identity: the key calibration state is indexed by.
+
+/// Identifies one loop site — a static location in the program whose executions share
+/// granularity characteristics and therefore one routing decision.
+///
+/// Sites are plain 64-bit ids.  Use [`LoopSite::new`] with any stable number, derive
+/// one from a source location with [`LoopSite::from_location`] (or the
+/// [`loop_site!`](crate::loop_site) macro), or let the [`LoopRuntime`] facade derive a
+/// granularity-keyed site automatically.
+///
+/// [`LoopRuntime`]: parlo_core::LoopRuntime
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopSite(pub u64);
+
+impl LoopSite {
+    /// A site with an explicit id.
+    pub const fn new(id: u64) -> Self {
+        LoopSite(id)
+    }
+
+    /// Derives a site id from a source location (FNV-1a over file/line/column).
+    pub fn from_location(file: &str, line: u32, column: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file
+            .as_bytes()
+            .iter()
+            .copied()
+            .chain(line.to_le_bytes())
+            .chain(column.to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        LoopSite(h)
+    }
+
+    /// Derives a site from a loop's shape when no explicit site is available (used by
+    /// the `LoopRuntime` facade): loops are bucketed by kind and by the power of two of
+    /// their iteration count, so same-granularity anonymous loops share calibration.
+    pub(crate) fn from_shape(kind: u64, len: usize) -> Self {
+        let bucket = usize::BITS - len.max(1).leading_zeros();
+        LoopSite(0x5150_0000_0000_0000 | (kind << 32) | bucket as u64)
+    }
+}
+
+/// Expands to a [`LoopSite`] derived from the macro invocation's source location.
+#[macro_export]
+macro_rules! loop_site {
+    () => {
+        $crate::LoopSite::from_location(file!(), line!(), column!())
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_sites_are_stable_and_distinct() {
+        let a = LoopSite::from_location("a.rs", 1, 1);
+        assert_eq!(a, LoopSite::from_location("a.rs", 1, 1));
+        assert_ne!(a, LoopSite::from_location("a.rs", 2, 1));
+        assert_ne!(a, LoopSite::from_location("b.rs", 1, 1));
+    }
+
+    #[test]
+    fn macro_sites_differ_per_invocation() {
+        let a = loop_site!();
+        let b = loop_site!();
+        assert_ne!(a, b, "different lines yield different sites");
+    }
+
+    #[test]
+    fn shape_sites_bucket_by_magnitude() {
+        assert_eq!(
+            LoopSite::from_shape(0, 1000),
+            LoopSite::from_shape(0, 1023),
+            "same power-of-two bucket"
+        );
+        assert_ne!(LoopSite::from_shape(0, 512), LoopSite::from_shape(0, 2048));
+        assert_ne!(LoopSite::from_shape(0, 512), LoopSite::from_shape(1, 512));
+    }
+}

@@ -1,0 +1,36 @@
+//! Probe timing hook.
+
+use crate::{Backend, LoopSite};
+
+/// Converts a probe's measured wall-clock time into the time calibration records.
+///
+/// The default, [`WallClock`], passes the measurement through unchanged.  Tests (and
+/// simulation-driven experiments) substitute a deterministic cost model — routing then
+/// depends only on the model, never on the noise of the machine running the test.
+pub trait ProbeTimer: Send + Sync {
+    /// Returns the seconds to record for a probe of `backend` at `site` over
+    /// `iterations` loop iterations, given the measured wall-clock seconds.
+    fn observe(&self, backend: Backend, site: LoopSite, iterations: usize, wall_secs: f64) -> f64;
+}
+
+/// The default timer: records real elapsed wall-clock time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WallClock;
+
+impl ProbeTimer for WallClock {
+    fn observe(&self, _: Backend, _: LoopSite, _: usize, wall_secs: f64) -> f64 {
+        wall_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_identity() {
+        let t = WallClock;
+        let s = t.observe(Backend::FineGrain, LoopSite::new(1), 64, 1.5e-6);
+        assert_eq!(s, 1.5e-6);
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion bench for the adaptive selection runtime: per-loop cost of a calibrated
+//! `AdaptivePool` on a fine-grain loop, next to the fixed backends it routes between.
+//! After calibration the adaptive per-loop time should track the best fixed backend
+//! (the routing decision is made once per site, not per call).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parlo_adaptive::{AdaptiveConfig, AdaptivePool, LoopSite};
+use parlo_bench::hardware_threads as threads;
+use parlo_core::FineGrainPool;
+use parlo_omp::{OmpTeam, Schedule};
+use parlo_workloads::microbench::work_unit;
+use std::time::Duration;
+
+const ITERS: usize = 64;
+const UNITS: usize = 1;
+
+fn bench_adaptive(c: &mut Criterion) {
+    let t = threads();
+    let mut group = c.benchmark_group("adaptive_routing_per_loop");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    // Disable periodic re-probing so the timed samples measure routed executions
+    // only, matching the premise above (the default interval would re-calibrate
+    // hundreds of times inside the measurement window of a microsecond loop).
+    let mut config = AdaptiveConfig::with_threads(t);
+    config.reprobe_interval = u64::MAX;
+    let mut adaptive = AdaptivePool::new(config);
+    let site = LoopSite::new(0xADA);
+    // Calibrate the site up front so the measurement reflects routed executions.
+    for _ in 0..8 {
+        let s = adaptive.parallel_sum_at(site, 0..ITERS, |i| work_unit(i, UNITS));
+        criterion::black_box(s);
+    }
+    if let Some(d) = adaptive.decision(site) {
+        println!(
+            "adaptive: site routed to {} (predicted {:.2} us/loop)",
+            d.backend.label(),
+            d.predicted_secs * 1e6
+        );
+    }
+    group.bench_function("adaptive (routed)", |b| {
+        b.iter(|| {
+            let s = adaptive.parallel_sum_at(site, 0..ITERS, |i| work_unit(i, UNITS));
+            criterion::black_box(s)
+        })
+    });
+
+    let mut fine = FineGrainPool::with_threads(t);
+    group.bench_function("fine-grain (fixed)", |b| {
+        b.iter(|| {
+            let s = fine.parallel_sum(0..ITERS, |i| work_unit(i, UNITS));
+            criterion::black_box(s)
+        })
+    });
+
+    let mut team = OmpTeam::with_threads(t);
+    group.bench_function("OpenMP static (fixed)", |b| {
+        b.iter(|| {
+            let s = team.parallel_reduce(
+                0..ITERS,
+                Schedule::Static,
+                || 0.0f64,
+                |acc, i| acc + work_unit(i, UNITS),
+                |a, b| a + b,
+            );
+            criterion::black_box(s)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

@@ -6,11 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use parlo_core::{BarrierKind, Config, FineGrainPool};
 use std::time::Duration;
 
-fn threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+use parlo_bench::hardware_threads as threads;
 
 fn bench_barriers(c: &mut Criterion) {
     let t = threads();

@@ -11,11 +11,7 @@ use std::time::Duration;
 const ITERS: usize = 64;
 const UNITS: usize = 1;
 
-fn threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+use parlo_bench::hardware_threads as threads;
 
 fn bench_burden(c: &mut Criterion) {
     let t = threads();

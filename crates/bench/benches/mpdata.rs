@@ -2,14 +2,12 @@
 //! the fine-grain scheduler, the OpenMP-like team and sequentially.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use parlo_workloads::{FineGrainRunner, Mpdata, OmpRunner, SequentialRunner};
+use parlo_core::{FineGrainPool, Sequential};
+use parlo_omp::ScheduledTeam;
+use parlo_workloads::Mpdata;
 use std::time::Duration;
 
-fn threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+use parlo_bench::hardware_threads as threads;
 
 fn bench_mpdata(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure2_mpdata_step");
@@ -18,19 +16,19 @@ fn bench_mpdata(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
 
-    let mut seq = SequentialRunner;
+    let mut seq = Sequential;
     let mut solver = Mpdata::paper_problem();
     group.bench_function("sequential", |b| {
         b.iter(|| criterion::black_box(solver.step(&mut seq)))
     });
 
-    let mut fine = FineGrainRunner::with_threads(threads());
+    let mut fine = FineGrainPool::with_threads(threads());
     let mut solver = Mpdata::paper_problem();
     group.bench_function("fine-grain", |b| {
         b.iter(|| criterion::black_box(solver.step(&mut fine)))
     });
 
-    let mut omp = OmpRunner::with_threads(threads(), parlo_omp::Schedule::Static);
+    let mut omp = ScheduledTeam::with_threads(threads(), parlo_omp::Schedule::Static);
     let mut solver = Mpdata::paper_problem();
     group.bench_function("OpenMP static", |b| {
         b.iter(|| criterion::black_box(solver.step(&mut omp)))

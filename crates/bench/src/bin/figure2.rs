@@ -11,15 +11,17 @@
 
 use parlo_analysis::{series_to_csv, series_to_text, Series};
 use parlo_bench::{arg_value, has_flag, native_thread_sweep, time_secs};
+use parlo_core::{FineGrainPool, Sequential};
+use parlo_omp::ScheduledTeam;
 use parlo_sim::SimMachine;
-use parlo_workloads::{FineGrainRunner, Mpdata, OmpRunner, SequentialRunner};
+use parlo_workloads::Mpdata;
 
 fn measure_native(steps: usize, max_threads: Option<usize>) -> (Series, Series, Series) {
     let mut fine = Series::empty("fine-grain");
     let mut omp = Series::empty("OpenMP");
 
     // Sequential baseline.
-    let mut seq_runner = SequentialRunner;
+    let mut seq_runner = Sequential;
     let mut solver = Mpdata::paper_problem();
     let t_seq = time_secs(|| {
         solver.run(&mut seq_runner, steps, false);
@@ -27,14 +29,14 @@ fn measure_native(steps: usize, max_threads: Option<usize>) -> (Series, Series, 
     eprintln!("figure2: sequential baseline {t_seq:.3}s for {steps} steps");
 
     for threads in native_thread_sweep(max_threads) {
-        let mut fine_runner = FineGrainRunner::with_threads(threads);
+        let mut fine_runner = FineGrainPool::with_threads(threads);
         let mut solver = Mpdata::paper_problem();
         let t = time_secs(|| {
             solver.run(&mut fine_runner, steps, false);
         });
         fine.push(threads, t_seq / t);
 
-        let mut omp_runner = OmpRunner::with_threads(threads, parlo_omp::Schedule::Static);
+        let mut omp_runner = ScheduledTeam::with_threads(threads, parlo_omp::Schedule::Static);
         let mut solver = Mpdata::paper_problem();
         let t = time_secs(|| {
             solver.run(&mut omp_runner, steps, false);

@@ -2,20 +2,21 @@
 //! sequential time, parallel time and speedup.  Useful for re-plotting the burden fit
 //! or inspecting individual points; `table1` consumes the same data internally.
 //!
-//! Flags: `--threads N`, `--reps N`, `--quick`.
+//! Flags: `--threads N`, `--reps N`, `--quick`, `--runtime NAME` (run one scheduler
+//! only — `adaptive` selects the online scheduler-selection runtime), `--json <path>`
+//! (machine-readable report of the measured points).
 
-use parlo_bench::{arg_value, has_flag, parallel_time, sequential_time, DEFAULT_REPS};
-use parlo_core::{BarrierKind, Config, FineGrainPool};
-use parlo_omp::Schedule;
+use parlo_bench::{
+    arg_str, arg_value, has_flag, json_path_arg, parallel_time, sequential_time, sweep_roster,
+    threads_arg, write_json_report, BenchReport, SweepRow, DEFAULT_REPS,
+};
 use parlo_workloads::microbench;
-use parlo_workloads::{CilkRunner, FineGrainRunner, LoopRunner, OmpRunner};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let threads = arg_value(&args, "--threads").unwrap_or(hw).max(1);
+    // Validate --json before any measurement runs (fail fast on a malformed flag).
+    let _ = json_path_arg(&args);
+    let threads = threads_arg(&args);
     let reps = arg_value(&args, "--reps").unwrap_or(DEFAULT_REPS);
     let sweep = if has_flag(&args, "--quick") {
         microbench::quick_sweep()
@@ -23,55 +24,43 @@ fn main() {
         microbench::default_sweep()
     };
 
-    let mut runners: Vec<(&str, Box<dyn LoopRunner>)> = vec![
-        (
-            "fine-grain-tree",
-            Box::new(FineGrainRunner::new(FineGrainPool::new(
-                Config::builder(threads)
-                    .barrier(BarrierKind::TreeHalf)
-                    .build(),
-            ))),
-        ),
-        (
-            "fine-grain-centralized",
-            Box::new(FineGrainRunner::new(FineGrainPool::new(
-                Config::builder(threads)
-                    .barrier(BarrierKind::CentralizedHalf)
-                    .build(),
-            ))),
-        ),
-        (
-            "fine-grain-tree-full-barrier",
-            Box::new(FineGrainRunner::new(FineGrainPool::new(
-                Config::builder(threads)
-                    .barrier(BarrierKind::TreeFull)
-                    .build(),
-            ))),
-        ),
-        (
-            "openmp-static",
-            Box::new(OmpRunner::with_threads(threads, Schedule::Static)),
-        ),
-        (
-            "openmp-dynamic",
-            Box::new(OmpRunner::with_threads(threads, Schedule::Dynamic(1))),
-        ),
-        ("cilk", Box::new(CilkRunner::with_threads(threads))),
-    ];
+    // The shared roster (see `parlo_bench::sweep_roster`): entries build lazily, so
+    // `--runtime` never spawns the worker pools of excluded schedulers.
+    let mut roster = sweep_roster();
+    if let Some(wanted) = arg_str(&args, "--runtime") {
+        let available: Vec<&str> = roster.iter().map(|e| e.key).collect();
+        roster.retain(|e| e.key == wanted);
+        if roster.is_empty() {
+            eprintln!("sweep: unknown --runtime `{wanted}`; available: {available:?}");
+            std::process::exit(2);
+        }
+    }
 
+    let mut report = BenchReport::new("sweep", threads);
     println!("scheduler,iterations,units,t_seq_s,t_par_s,speedup");
-    for (name, runner) in runners.iter_mut() {
+    for entry in roster {
+        let name = entry.key;
+        let mut runtime = (entry.build)(threads);
         for &point in &sweep {
             let t_seq = sequential_time(point, reps);
-            let t_par = parallel_time(runner.as_mut(), point, reps).max(1e-12);
+            let t_par = parallel_time(runtime.as_mut(), point, reps).max(1e-12);
+            let speedup = t_seq / t_par;
             println!(
-                "{name},{},{},{:.9},{:.9},{:.4}",
-                point.iterations,
-                point.units,
-                t_seq,
-                t_par,
-                t_seq / t_par
+                "{name},{},{},{t_seq:.9},{t_par:.9},{speedup:.4}",
+                point.iterations, point.units
             );
+            report.points.push(SweepRow {
+                scheduler: name.to_string(),
+                iterations: point.iterations as u64,
+                units: point.units as u64,
+                t_seq_s: t_seq,
+                t_par_s: t_par,
+                speedup,
+            });
         }
+    }
+    if let Some(path) = json_path_arg(&args) {
+        write_json_report(path, &report).expect("failed to write --json report");
+        eprintln!("sweep: wrote JSON report to {path}");
     }
 }

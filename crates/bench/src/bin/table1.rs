@@ -9,21 +9,20 @@
 //! paper when fewer than 48 hardware threads are available.
 //!
 //! Other flags: `--threads N` (native thread count, default = hardware parallelism),
-//! `--reps N`, `--quick` (reduced sweep), `--csv`.
+//! `--reps N`, `--quick` (reduced sweep), `--csv`, `--json <path>` (machine-readable
+//! report of the fitted burdens).
 
 use parlo_analysis::Table;
-use parlo_bench::{arg_value, has_flag, measure_burden, DEFAULT_REPS};
-use parlo_core::{BarrierKind, Config, FineGrainPool};
-use parlo_omp::Schedule;
+use parlo_bench::{
+    arg_value, fixed_roster, hardware_threads, has_flag, json_path_arg, measure_burden,
+    threads_arg, write_json_report, BenchReport, BurdenRow, DEFAULT_REPS,
+};
 use parlo_sim::SimMachine;
 use parlo_workloads::microbench;
-use parlo_workloads::{CilkRunner, FineGrainRunner, LoopRunner, OmpRunner};
 
 fn native(args: &[String]) {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let threads = arg_value(args, "--threads").unwrap_or(hw).max(1);
+    let hw = hardware_threads();
+    let threads = threads_arg(args);
     let reps = arg_value(args, "--reps").unwrap_or(DEFAULT_REPS);
     let sweep = if has_flag(args, "--quick") {
         microbench::quick_sweep()
@@ -31,8 +30,7 @@ fn native(args: &[String]) {
         microbench::default_sweep()
     };
     eprintln!(
-        "table1: native measurement on {threads} threads ({} hardware threads), {} sweep points, {reps} reps",
-        hw,
+        "table1: native measurement on {threads} threads ({hw} hardware threads), {} sweep points, {reps} reps",
         sweep.len()
     );
 
@@ -40,48 +38,24 @@ fn native(args: &[String]) {
         format!("Table 1 (native, {threads} threads): characterizing scheduler burden"),
         &["scheduler", "d (us)", "residual"],
     );
+    let mut report = BenchReport::new("table1", threads);
 
-    let mut configs: Vec<(String, Box<dyn LoopRunner>)> = vec![
-        (
-            "Fine-grain tree".into(),
-            Box::new(FineGrainRunner::new(FineGrainPool::new(
-                Config::builder(threads)
-                    .barrier(BarrierKind::TreeHalf)
-                    .build(),
-            ))),
-        ),
-        (
-            "Fine-grain centralized".into(),
-            Box::new(FineGrainRunner::new(FineGrainPool::new(
-                Config::builder(threads)
-                    .barrier(BarrierKind::CentralizedHalf)
-                    .build(),
-            ))),
-        ),
-        (
-            "Fine-grain tree with full-barrier".into(),
-            Box::new(FineGrainRunner::new(FineGrainPool::new(
-                Config::builder(threads)
-                    .barrier(BarrierKind::TreeFull)
-                    .build(),
-            ))),
-        ),
-        (
-            "OpenMP static".into(),
-            Box::new(OmpRunner::with_threads(threads, Schedule::Static)),
-        ),
-        (
-            "OpenMP dynamic".into(),
-            Box::new(OmpRunner::with_threads(threads, Schedule::Dynamic(1))),
-        ),
-        ("Cilk".into(), Box::new(CilkRunner::with_threads(threads))),
-    ];
-
-    for (label, runner) in configs.iter_mut() {
-        let (_, fit) = measure_burden(runner.as_mut(), &sweep, reps);
+    // The shared roster (see `parlo_bench::fixed_roster`): each runtime is built
+    // lazily, measured, and dropped before the next one spawns its pool.
+    for entry in fixed_roster() {
+        let label = entry.label;
+        let mut runtime = (entry.build)(threads);
+        let (_, fit) = measure_burden(runtime.as_mut(), &sweep, reps);
         match fit {
-            Some(fit) => table.push_row(label.clone(), vec![fit.burden_us(), fit.residual]),
-            None => table.push_row(label.clone(), vec![f64::NAN, f64::NAN]),
+            Some(fit) => {
+                table.push_row(label.to_string(), vec![fit.burden_us(), fit.residual]);
+                report.burdens.push(BurdenRow {
+                    scheduler: label.to_string(),
+                    burden_us: fit.burden_us(),
+                    residual: fit.residual,
+                });
+            }
+            None => table.push_row(label.to_string(), vec![f64::NAN, f64::NAN]),
         }
         eprintln!("  measured {label}");
     }
@@ -91,6 +65,10 @@ fn native(args: &[String]) {
     } else {
         println!("{}", table.to_text());
     }
+    if let Some(path) = json_path_arg(args) {
+        write_json_report(path, &report).expect("failed to write --json report");
+        eprintln!("table1: wrote JSON report to {path}");
+    }
     println!(
         "note: absolute burdens depend on the machine; the paper reports (48 threads) \
          fine tree 5.67us, fine centralized 7.55us, fine tree full 12.00us, \
@@ -98,13 +76,30 @@ fn native(args: &[String]) {
     );
 }
 
-fn simulate(args: &[String]) {
+/// `write_json` is true only when the simulation is the run's primary output
+/// (`--simulate`); in the combined native+simulated mode the native path owns the
+/// report and the trailing simulation must not overwrite it.
+fn simulate(args: &[String], write_json: bool) {
     let machine = SimMachine::paper_machine();
     let table = parlo_sim::experiments::table1(&machine);
     if has_flag(args, "--csv") {
         println!("{}", table.to_csv());
     } else {
         println!("{}", table.to_text());
+    }
+    if write_json {
+        if let Some(path) = json_path_arg(args) {
+            let mut report = BenchReport::new("table1-simulated", machine.max_threads());
+            for (label, values) in &table.rows {
+                report.burdens.push(BurdenRow {
+                    scheduler: label.clone(),
+                    burden_us: values.first().copied().unwrap_or(f64::NAN),
+                    residual: 0.0,
+                });
+            }
+            write_json_report(path, &report).expect("failed to write --json report");
+            eprintln!("table1: wrote JSON report to {path}");
+        }
     }
     println!(
         "paper reference (48 threads): fine tree 5.67, fine centralized 7.55, \
@@ -114,13 +109,16 @@ fn simulate(args: &[String]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Validate --json before any measurement runs: a malformed flag must fail fast,
+    // not after minutes of native sweeping.
+    let _ = json_path_arg(&args);
     if has_flag(&args, "--simulate") {
-        simulate(&args);
+        simulate(&args, true);
     } else {
         native(&args);
         if !has_flag(&args, "--no-simulate") {
             println!();
-            simulate(&args);
+            simulate(&args, false);
         }
     }
 }

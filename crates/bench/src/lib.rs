@@ -7,18 +7,31 @@
 //! * `figure2` — MPDATA speedup vs threads, fine-grain vs OpenMP, native + simulated;
 //! * `figure3` — linear-regression map-reduce speedup vs threads against the Cilk and
 //!   OpenMP baselines, native + simulated;
-//! * `sweep` — raw granularity-sweep CSV for ad-hoc analysis;
-//! * criterion benches `burden`, `mpdata`, `reduction`, `barriers`, `deque`.
+//! * `sweep` — raw granularity-sweep CSV for ad-hoc analysis (`--runtime NAME` selects
+//!   one scheduler, including `adaptive`);
+//! * criterion benches `burden`, `mpdata`, `reduction`, `barriers`, `deque`,
+//!   `adaptive`.
 //!
-//! This library hosts the measurement helpers shared by the binaries.
+//! This library hosts the measurement helpers shared by the binaries: argument
+//! parsing (one `--threads` helper instead of per-bin copies), burden measurement over
+//! `dyn LoopRuntime`, and JSON serialization of results (`--json <path>`) so runs can
+//! be tracked as a perf trajectory over time.
 
 use parlo_analysis::{fit_burden, BurdenFit, BurdenMeasurement};
 use parlo_workloads::microbench::{self, SweepPoint};
-use parlo_workloads::LoopRunner;
+use parlo_workloads::LoopRuntime;
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Default number of repetitions per sweep point (each repetition runs the whole loop).
 pub const DEFAULT_REPS: usize = 15;
+
+/// Untimed warm-up executions before the timed repetitions of a sweep point: enough to
+/// complete an adaptive runtime's calibration round even when it starts with a
+/// drift-triggered re-calibration (3 drift strikes + 1 sequential probe + one probe
+/// per default backend, with margin), so measurements reflect routed/steady-state
+/// executions rather than calibration probes.
+pub const WARMUP_RUNS: usize = 10;
 
 /// Measures the sequential time of one sweep point (minimum of `reps` runs), in seconds.
 pub fn sequential_time(point: SweepPoint, reps: usize) -> f64 {
@@ -28,11 +41,17 @@ pub fn sequential_time(point: SweepPoint, reps: usize) -> f64 {
     .as_secs_f64()
 }
 
-/// Measures the parallel time of one sweep point on `runner` (minimum of `reps` runs),
-/// in seconds.
-pub fn parallel_time(runner: &mut dyn LoopRunner, point: SweepPoint, reps: usize) -> f64 {
+/// Measures the parallel time of one sweep point on `runtime` (minimum of `reps` runs
+/// after [`WARMUP_RUNS`] untimed warm-up executions), in seconds.
+pub fn parallel_time(runtime: &mut dyn LoopRuntime, point: SweepPoint, reps: usize) -> f64 {
+    for _ in 0..WARMUP_RUNS {
+        let acc = runtime.parallel_sum(0..point.iterations, &|i| {
+            microbench::work_unit(i, point.units)
+        });
+        parlo_analysis::black_box(acc);
+    }
     parlo_analysis::min_time_of(reps, || {
-        let acc = runner.parallel_sum(0..point.iterations, &|i| {
+        let acc = runtime.parallel_sum(0..point.iterations, &|i| {
             microbench::work_unit(i, point.units)
         });
         parlo_analysis::black_box(acc);
@@ -40,18 +59,18 @@ pub fn parallel_time(runner: &mut dyn LoopRunner, point: SweepPoint, reps: usize
     .as_secs_f64()
 }
 
-/// Runs the granularity sweep on a runner and fits the scheduling burden.
+/// Runs the granularity sweep on a runtime and fits the scheduling burden.
 /// Returns the per-point measurements together with the fit (if one was possible).
 pub fn measure_burden(
-    runner: &mut dyn LoopRunner,
+    runtime: &mut dyn LoopRuntime,
     sweep: &[SweepPoint],
     reps: usize,
 ) -> (Vec<BurdenMeasurement>, Option<BurdenFit>) {
-    let threads = runner.threads();
+    let threads = runtime.threads();
     let mut measurements = Vec::with_capacity(sweep.len());
     for &point in sweep {
         let t_seq = sequential_time(point, reps);
-        let t_par = parallel_time(runner, point, reps).max(1e-12);
+        let t_par = parallel_time(runtime, point, reps).max(1e-12);
         measurements.push(BurdenMeasurement {
             t_seq,
             speedup: t_seq / t_par,
@@ -69,18 +88,56 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<usize> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Parses a `--json path` style string-valued flag from the argument list.
+pub fn arg_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
 /// Returns `true` if the flag is present.
 pub fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// The value of `--json <path>`, if the flag is present.  A `--json` flag without a
+/// usable path (missing, or followed by another flag) is a hard error: a
+/// perf-trajectory step must never silently drop its report.
+pub fn json_path_arg(args: &[String]) -> Option<&str> {
+    if !has_flag(args, "--json") {
+        return None;
+    }
+    match arg_str(args, "--json") {
+        Some(path) if !path.starts_with("--") => Some(path),
+        _ => {
+            eprintln!("error: --json requires a file path argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The machine's hardware parallelism (1 if it cannot be detected).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The thread count a bench binary should use: `--threads N` if given, otherwise the
+/// hardware parallelism.  Every bin shares this helper instead of carrying its own
+/// parsing copy.
+pub fn threads_arg(args: &[String]) -> usize {
+    arg_value(args, "--threads")
+        .unwrap_or_else(hardware_threads)
+        .max(1)
 }
 
 /// The thread counts a native sweep uses on this machine: 1, 2, 4, ... up to twice the
 /// hardware parallelism (oversubscription is tolerated but pointless beyond that),
 /// capped by an optional `--max-threads`.
 pub fn native_thread_sweep(max: Option<usize>) -> Vec<usize> {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hw = hardware_threads();
     let cap = max.unwrap_or(hw.max(2));
     let mut out = vec![1usize];
     let mut t = 2;
@@ -102,14 +159,154 @@ pub fn time_secs(f: impl FnOnce()) -> f64 {
     Duration::as_secs_f64(&d)
 }
 
+// ---------------------------------------------------------------------------------
+// Shared scheduler roster
+// ---------------------------------------------------------------------------------
+
+/// One scheduler configuration of the shared evaluation roster.  `table1` rows and
+/// `sweep` CSV series are built from the same entries, so both always measure
+/// identical configurations.
+pub struct RosterEntry {
+    /// CSV-friendly key (the `sweep` series name and `--runtime` selector).
+    pub key: &'static str,
+    /// Human-readable label (the Table-1 row name).
+    pub label: &'static str,
+    /// Builds the runtime on the given thread count.  Called lazily, so filtered-out
+    /// entries never spawn worker pools.
+    pub build: fn(usize) -> Box<dyn LoopRuntime>,
+}
+
+fn fine_grain_runtime(threads: usize, barrier: parlo_core::BarrierKind) -> Box<dyn LoopRuntime> {
+    Box::new(parlo_core::FineGrainPool::new(
+        parlo_core::Config::builder(threads)
+            .barrier(barrier)
+            .build(),
+    ))
+}
+
+/// The paper's fixed-scheduler roster: the six Table-1 rows.
+pub fn fixed_roster() -> Vec<RosterEntry> {
+    use parlo_core::BarrierKind;
+    use parlo_omp::{Schedule, ScheduledTeam};
+    vec![
+        RosterEntry {
+            key: "fine-grain-tree",
+            label: "Fine-grain tree",
+            build: |t| fine_grain_runtime(t, BarrierKind::TreeHalf),
+        },
+        RosterEntry {
+            key: "fine-grain-centralized",
+            label: "Fine-grain centralized",
+            build: |t| fine_grain_runtime(t, BarrierKind::CentralizedHalf),
+        },
+        RosterEntry {
+            key: "fine-grain-tree-full-barrier",
+            label: "Fine-grain tree with full-barrier",
+            build: |t| fine_grain_runtime(t, BarrierKind::TreeFull),
+        },
+        RosterEntry {
+            key: "openmp-static",
+            label: "OpenMP static",
+            build: |t| Box::new(ScheduledTeam::with_threads(t, Schedule::Static)),
+        },
+        RosterEntry {
+            key: "openmp-dynamic",
+            label: "OpenMP dynamic",
+            build: |t| Box::new(ScheduledTeam::with_threads(t, Schedule::Dynamic(1))),
+        },
+        RosterEntry {
+            key: "cilk",
+            label: "Cilk",
+            build: |t| Box::new(parlo_cilk::CilkPool::with_threads(t)),
+        },
+    ]
+}
+
+/// The sweep roster: the fixed schedulers plus the adaptive selection runtime.
+pub fn sweep_roster() -> Vec<RosterEntry> {
+    let mut roster = fixed_roster();
+    roster.push(RosterEntry {
+        key: "adaptive",
+        label: "Adaptive",
+        build: |t| Box::new(parlo_adaptive::AdaptivePool::with_threads(t)),
+    });
+    roster
+}
+
+// ---------------------------------------------------------------------------------
+// JSON result reports (`--json <path>`)
+// ---------------------------------------------------------------------------------
+
+/// One fitted burden row of a `table1` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurdenRow {
+    /// Scheduler label (Table 1 row name).
+    pub scheduler: String,
+    /// Fitted burden `d`, in microseconds.
+    pub burden_us: f64,
+    /// Residual sum of squared speedup errors at the fit.
+    pub residual: f64,
+}
+
+/// One raw measurement row of a `sweep` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Loop iteration count of the sweep point.
+    pub iterations: u64,
+    /// Work units per iteration of the sweep point.
+    pub units: u64,
+    /// Sequential time, seconds.
+    pub t_seq_s: f64,
+    /// Parallel time, seconds.
+    pub t_par_s: f64,
+    /// Observed speedup.
+    pub speedup: f64,
+}
+
+/// A machine-readable bench report, serialized by `--json <path>` so future runs can
+/// be compared as a perf trajectory (`BENCH_*.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Which binary produced the report (`"table1"`, `"sweep"`, ...).
+    pub bench: String,
+    /// Thread count of the run.
+    pub threads: u64,
+    /// Fitted burden rows (`table1`; empty for raw sweeps).
+    pub burdens: Vec<BurdenRow>,
+    /// Raw sweep rows (`sweep`; empty for fit-only reports).
+    pub points: Vec<SweepRow>,
+}
+
+impl BenchReport {
+    /// An empty report for `bench` at `threads` threads.
+    pub fn new(bench: &str, threads: usize) -> Self {
+        BenchReport {
+            bench: bench.to_string(),
+            threads: threads as u64,
+            burdens: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+}
+
+/// Serializes `report` as JSON to `path`.  Non-finite floats are not representable in
+/// JSON, so callers must filter unfitted (NaN) rows first.
+pub fn write_json_report(path: &str, report: &BenchReport) -> std::io::Result<()> {
+    let json = serde_json::to_string(report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json + "\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parlo_workloads::{FineGrainRunner, SequentialRunner};
+    use parlo_core::{FineGrainPool, Sequential};
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> = ["--threads", "8", "--simulate"]
+        let args: Vec<String> = ["--threads", "8", "--simulate", "--json", "out.json"]
             .iter()
             .map(|s| s.to_string())
             .collect();
@@ -117,6 +314,12 @@ mod tests {
         assert_eq!(arg_value(&args, "--steps"), None);
         assert!(has_flag(&args, "--simulate"));
         assert!(!has_flag(&args, "--csv"));
+        assert_eq!(arg_str(&args, "--json"), Some("out.json"));
+        assert_eq!(arg_str(&args, "--runtime"), None);
+        assert_eq!(json_path_arg(&args), Some("out.json"));
+        assert_eq!(json_path_arg(&["--csv".to_string()]), None);
+        assert_eq!(threads_arg(&args), 8);
+        assert!(threads_arg(&["--quick".to_string()]) >= 1);
     }
 
     #[test]
@@ -133,12 +336,61 @@ mod tests {
             iterations: 64,
             units: 8,
         }];
-        let mut seq = SequentialRunner;
+        let mut seq = Sequential;
         let (ms, fit) = measure_burden(&mut seq, &sweep, 3);
         assert_eq!(ms.len(), 1);
         assert!(fit.is_some());
-        let mut fine = FineGrainRunner::with_threads(2);
+        let mut fine = FineGrainPool::with_threads(2);
         let (_, fit) = measure_burden(&mut fine, &sweep, 3);
         assert!(fit.is_some());
+    }
+
+    #[test]
+    fn rosters_have_unique_keys_and_build_working_runtimes() {
+        let roster = sweep_roster();
+        let keys: Vec<&str> = roster.iter().map(|e| e.key).collect();
+        let mut deduped = keys.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), keys.len(), "duplicate roster keys");
+        assert_eq!(roster.len(), fixed_roster().len() + 1);
+        assert!(keys.contains(&"adaptive"));
+        for entry in roster {
+            let mut runtime = (entry.build)(2);
+            assert_eq!(runtime.threads(), 2, "entry {}", entry.key);
+            let sum = runtime.parallel_sum(0..100, &|i| i as f64);
+            assert!((sum - 4950.0).abs() < 1e-9, "entry {}", entry.key);
+        }
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let mut report = BenchReport::new("table1", 4);
+        report.burdens.push(BurdenRow {
+            scheduler: "Fine-grain tree".into(),
+            burden_us: 5.67,
+            residual: 0.001,
+        });
+        report.points.push(SweepRow {
+            scheduler: "adaptive".into(),
+            iterations: 512,
+            units: 8,
+            t_seq_s: 1e-4,
+            t_par_s: 3e-5,
+            speedup: 3.33,
+        });
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: BenchReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, report);
+
+        let dir = std::env::temp_dir().join("parlo_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_json_report(path.to_str().unwrap(), &report).expect("write");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: BenchReport = serde_json::from_str(text.trim()).expect("parse file");
+        assert_eq!(back.bench, "table1");
+        assert_eq!(back.threads, 4);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -30,7 +30,9 @@
 
 mod deque;
 mod reducer;
+mod runtime;
 mod scheduler;
 
 pub use deque::{Full, Steal, WorkStealingDeque};
+pub use runtime::CilkFineGrain;
 pub use scheduler::{default_grain, CilkConfig, CilkPool, CilkStatsSnapshot};

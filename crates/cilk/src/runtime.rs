@@ -1,0 +1,137 @@
+//! [`LoopRuntime`] adapters for the Cilk-like pool: the baseline work-stealing path
+//! (implemented directly on [`CilkPool`]) and the hybrid fine-grain path (the
+//! [`CilkFineGrain`] wrapper).
+
+use crate::scheduler::CilkPool;
+use parlo_core::{LoopRuntime, SyncStats};
+use std::ops::Range;
+
+fn pool_sync_stats(pool: &CilkPool) -> SyncStats {
+    let s = pool.stats();
+    SyncStats {
+        loops: s.loops + s.fine_loops,
+        reductions: s.reductions,
+        // Only the embedded half-barrier path executes barrier phases; the baseline
+        // Cilk loop synchronizes through the outstanding-iteration count.
+        barrier_phases: s.fine_loops * 2,
+        combine_ops: s.reduce_ops + s.fine_combine_ops,
+        dynamic_chunks: s.tasks_executed,
+        steals: s.steals,
+    }
+}
+
+impl LoopRuntime for CilkPool {
+    fn name(&self) -> String {
+        "Cilk".into()
+    }
+
+    fn threads(&self) -> usize {
+        self.num_threads()
+    }
+
+    fn parallel_for(&mut self, range: Range<usize>, body: &(dyn Fn(usize) + Sync)) {
+        self.cilk_for(range, body);
+    }
+
+    fn parallel_reduce(
+        &mut self,
+        range: Range<usize>,
+        init: f64,
+        fold: &(dyn Fn(f64, usize) -> f64 + Sync),
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> f64 {
+        self.cilk_reduce(range, || init, fold, combine)
+    }
+
+    fn sync_stats(&self) -> SyncStats {
+        pool_sync_stats(self)
+    }
+}
+
+/// The hybrid pool's fine-grain path as a [`LoopRuntime`]: statically scheduled loops
+/// through the half-barrier embedded in the Cilk-like scheduler (workers notice them
+/// by polling between steal cycles).
+pub struct CilkFineGrain {
+    /// The underlying pool (its `cilk_for` path remains directly usable).
+    pub pool: CilkPool,
+}
+
+impl CilkFineGrain {
+    /// Wraps an existing pool.
+    pub fn new(pool: CilkPool) -> Self {
+        CilkFineGrain { pool }
+    }
+
+    /// Creates a pool with `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(CilkPool::with_threads(threads))
+    }
+}
+
+impl LoopRuntime for CilkFineGrain {
+    fn name(&self) -> String {
+        "fine-grain Cilk".into()
+    }
+
+    fn threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    fn parallel_for(&mut self, range: Range<usize>, body: &(dyn Fn(usize) + Sync)) {
+        self.pool.fine_grain_for(range, body);
+    }
+
+    fn parallel_reduce(
+        &mut self,
+        range: Range<usize>,
+        init: f64,
+        fold: &(dyn Fn(f64, usize) -> f64 + Sync),
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> f64 {
+        self.pool.fine_grain_reduce(range, || init, fold, combine)
+    }
+
+    fn sync_stats(&self) -> SyncStats {
+        pool_sync_stats(&self.pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn both_paths_work_behind_dyn_loop_runtime() {
+        let mut base = CilkPool::with_threads(3);
+        let mut fine = CilkFineGrain::with_threads(3);
+        let mut runtimes: Vec<&mut dyn LoopRuntime> = vec![&mut base, &mut fine];
+        for rt in runtimes.iter_mut() {
+            let hits: Vec<AtomicUsize> = (0..513).map(|_| AtomicUsize::new(0)).collect();
+            rt.parallel_for(0..513, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "runtime {}",
+                rt.name()
+            );
+            let sum = rt.parallel_sum(0..1000, &|i| i as f64);
+            assert!((sum - 499_500.0).abs() < 1e-6, "runtime {}", rt.name());
+            assert_eq!(rt.threads(), 3);
+        }
+    }
+
+    #[test]
+    fn fine_path_counts_half_barrier_phases_and_p_minus_one_combines() {
+        let mut fine = CilkFineGrain::with_threads(4);
+        let before = fine.sync_stats();
+        let fold: &(dyn Fn(f64, usize) -> f64 + Sync) = &|a, i| a + i as f64;
+        let combine: &(dyn Fn(f64, f64) -> f64 + Sync) = &|a, b| a + b;
+        let _ = LoopRuntime::parallel_reduce(&mut fine, 0..100, 0.0, fold, combine);
+        let d = fine.sync_stats().since(&before);
+        assert_eq!(d.loops, 1);
+        assert_eq!(d.barrier_phases, 2, "one half-barrier");
+        assert_eq!(d.combine_ops, 3, "P-1 combines");
+    }
+}

@@ -40,6 +40,9 @@
 //!   [`FineGrainPool::parallel_reduce_ordered`] (non-commutative operators).
 //! * [`StatsSnapshot`] — instrumentation counters used to verify the structural claims
 //!   (barrier phases per loop, combines per reduction).
+//! * [`LoopRuntime`] / [`SyncStats`] — the object-safe runtime abstraction every
+//!   scheduler in the workspace implements, with [`Sequential`] as the inline
+//!   reference; workloads and harnesses program against `dyn LoopRuntime`.
 
 #![warn(missing_docs)]
 
@@ -49,11 +52,13 @@ mod loops;
 mod pool;
 mod range;
 mod reduce;
+mod runtime;
 mod stats;
 
 pub use config::{BarrierKind, Config, ConfigBuilder};
 pub use pool::{FineGrainPool, WorkerInfo};
 pub use range::{static_block, static_chunks, DynamicChunks, GuidedChunks, StaticSchedule};
+pub use runtime::{LoopRuntime, Sequential, SyncStats};
 pub use stats::StatsSnapshot;
 
 // Re-export the pieces callers commonly need to configure a pool.

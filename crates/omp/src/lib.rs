@@ -27,8 +27,10 @@
 
 #![warn(missing_docs)]
 
+mod runtime;
 mod schedule;
 mod team;
 
+pub use runtime::ScheduledTeam;
 pub use schedule::Schedule;
 pub use team::{OmpTeam, TeamConfig, TeamStatsSnapshot};

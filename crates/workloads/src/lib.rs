@@ -7,8 +7,10 @@
 //!   workload;
 //! * [`phoenix`] — Phoenix++-style map-reduce kernels: linear regression (Figure 3),
 //!   histogram and k-means;
-//! * [`runner`] — the [`LoopRunner`] abstraction that lets the same workload code run on
-//!   the fine-grain scheduler, the OpenMP-like team, the Cilk-like pool or sequentially;
+//! * [`runner`] — runtime dispatch: the workloads program against the unified
+//!   [`LoopRuntime`] trait from `parlo-core`, so the same code runs on the fine-grain
+//!   scheduler, the OpenMP-like team, the Cilk-like pool, the adaptive runtime or
+//!   sequentially;
 //! * [`util`] — the disjoint-write slice wrapper used by the stencil-like kernels.
 
 #![warn(missing_docs)]
@@ -22,7 +24,5 @@ pub mod util;
 
 pub use mesh::Mesh;
 pub use mpdata::Mpdata;
-pub use runner::{
-    CilkFineRunner, CilkRunner, FineGrainRunner, LoopRunner, OmpRunner, SequentialRunner,
-};
+pub use runner::{all_runtimes, LoopRuntime, Sequential, SyncStats};
 pub use util::UnsafeSlice;

@@ -11,12 +11,13 @@
 //! scheduler burden dominates and where the paper reports up to 22 % improvement from
 //! the half-barrier scheduler.
 //!
-//! The solver is written against [`LoopRunner`] so the identical kernels run on the
-//! fine-grain pool, the OpenMP-like team, the Cilk-like pool, or sequentially.
+//! The solver is written against the unified [`LoopRuntime`] trait so the identical
+//! kernels run on the fine-grain pool, the OpenMP-like team, the Cilk-like pool, the
+//! adaptive selection runtime, or sequentially.
 
 use crate::mesh::Mesh;
-use crate::runner::LoopRunner;
 use crate::util::UnsafeSlice;
+use parlo_core::LoopRuntime;
 
 /// Diagnostics of one time step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -143,7 +144,7 @@ impl Mpdata {
     }
 
     /// Total mass `Σ ψ_i V_i` of the current field (computed with `runner`).
-    pub fn total_mass(&mut self, runner: &mut dyn LoopRunner) -> f64 {
+    pub fn total_mass(&mut self, runner: &mut dyn LoopRuntime) -> f64 {
         let psi = &self.psi;
         let vol = &self.mesh.volume;
         runner.parallel_sum(0..psi.len(), &|i| psi[i] * vol[i])
@@ -152,7 +153,7 @@ impl Mpdata {
     /// One upwind (donor-cell) gather pass: `out[i] = in[i] − dt/V_i Σ sign·F_e` where
     /// the edge flux uses velocity `vel`.
     fn upwind_pass(
-        runner: &mut dyn LoopRunner,
+        runner: &mut dyn LoopRuntime,
         mesh: &Mesh,
         vel: &[f64],
         dt: f64,
@@ -183,7 +184,7 @@ impl Mpdata {
 
     /// Computes the antidiffusive pseudo-velocity per edge from the first-pass field.
     fn pseudo_velocity_pass(
-        runner: &mut dyn LoopRunner,
+        runner: &mut dyn LoopRuntime,
         mesh: &Mesh,
         vel: &[f64],
         dt: f64,
@@ -210,7 +211,7 @@ impl Mpdata {
     }
 
     /// Advances the field by one time step and returns diagnostics.
-    pub fn step(&mut self, runner: &mut dyn LoopRunner) -> StepDiagnostics {
+    pub fn step(&mut self, runner: &mut dyn LoopRuntime) -> StepDiagnostics {
         let dt = self.dt;
         let eps = self.epsilon;
         // Pass 1: donor-cell with the physical velocity, psi -> tmp.
@@ -257,7 +258,7 @@ impl Mpdata {
     }
 
     /// Runs `steps` time steps, recording diagnostics when `record` is true.
-    pub fn run(&mut self, runner: &mut dyn LoopRunner, steps: usize, record: bool) -> RunResult {
+    pub fn run(&mut self, runner: &mut dyn LoopRuntime, steps: usize, record: bool) -> RunResult {
         let initial_mass = self.total_mass(runner);
         let mut diagnostics = Vec::new();
         let mut final_mass = initial_mass;
@@ -287,7 +288,8 @@ impl Mpdata {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{FineGrainRunner, OmpRunner, SequentialRunner};
+    use parlo_core::{FineGrainPool, Sequential};
+    use parlo_omp::ScheduledTeam;
 
     fn small_problem() -> Mpdata {
         Mpdata::new(Mesh::triangulated_grid(12, 10, 3))
@@ -296,7 +298,7 @@ mod tests {
     #[test]
     fn mass_is_conserved_sequentially() {
         let mut m = small_problem();
-        let mut seq = SequentialRunner;
+        let mut seq = Sequential;
         let result = m.run(&mut seq, 20, true);
         assert_eq!(result.steps, 20);
         assert_eq!(result.diagnostics.len(), 20);
@@ -310,7 +312,7 @@ mod tests {
     #[test]
     fn field_stays_finite_and_bounded() {
         let mut m = small_problem();
-        let mut seq = SequentialRunner;
+        let mut seq = Sequential;
         m.run(&mut seq, 50, false);
         assert!(m.psi.iter().all(|v| v.is_finite()));
         let max = m.psi.iter().cloned().fold(f64::MIN, f64::max);
@@ -325,8 +327,8 @@ mod tests {
         // the diagnostics (reductions) may differ in summation order.
         let mut seq_solver = small_problem();
         let mut par_solver = small_problem();
-        let mut seq = SequentialRunner;
-        let mut par = FineGrainRunner::with_threads(4);
+        let mut seq = Sequential;
+        let mut par = FineGrainPool::with_threads(4);
         seq_solver.run(&mut seq, 10, false);
         par_solver.run(&mut par, 10, false);
         assert_eq!(seq_solver.psi, par_solver.psi, "fields must match exactly");
@@ -336,8 +338,8 @@ mod tests {
     fn omp_runner_matches_sequential_bitwise() {
         let mut seq_solver = small_problem();
         let mut par_solver = small_problem();
-        let mut seq = SequentialRunner;
-        let mut par = OmpRunner::with_threads(3, parlo_omp::Schedule::Static);
+        let mut seq = Sequential;
+        let mut par = ScheduledTeam::with_threads(3, parlo_omp::Schedule::Static);
         seq_solver.run(&mut seq, 5, false);
         par_solver.run(&mut par, 5, false);
         assert_eq!(seq_solver.psi, par_solver.psi);
@@ -355,7 +357,7 @@ mod tests {
     #[test]
     fn cfl_time_step_is_stable_on_paper_mesh() {
         let mut m = Mpdata::paper_problem();
-        let mut seq = SequentialRunner;
+        let mut seq = Sequential;
         let result = m.run(&mut seq, 3, false);
         assert!(result.relative_mass_drift() < 1e-10);
         assert!(m.psi.iter().all(|v| v.is_finite()));

@@ -1,198 +1,43 @@
-//! A minimal runtime-agnostic loop interface.
+//! Runtime dispatch for the workloads: everything here programs against the unified
+//! [`LoopRuntime`] trait from `parlo-core`.
 //!
-//! The MPDATA workload (and any other workload that wants to run unchanged on every
-//! scheduler) is written against [`LoopRunner`]; one adapter per runtime maps the
-//! interface onto the fine-grain pool, the OpenMP-like team, the Cilk-like pool (both
-//! its baseline and its hybrid fine-grain path) and a sequential reference.
+//! Historically this module carried one hand-written adapter struct per scheduler
+//! (`FineGrainRunner`, `OmpRunner`, `CilkRunner`, `CilkFineRunner`), each repeating the
+//! same delegation boilerplate.  Those adapters are gone: [`FineGrainPool`],
+//! [`ScheduledTeam`], [`CilkPool`] and [`CilkFineGrain`] implement [`LoopRuntime`]
+//! themselves, so a workload that takes `&mut dyn LoopRuntime` runs unchanged on every
+//! scheduler (and on [`Sequential`] for reference results).  [`all_runtimes`] builds
+//! the standard evaluation roster as boxed trait objects.
+//!
+//! [`FineGrainPool`]: parlo_core::FineGrainPool
+//! [`ScheduledTeam`]: parlo_omp::ScheduledTeam
+//! [`CilkPool`]: parlo_cilk::CilkPool
+//! [`CilkFineGrain`]: parlo_cilk::CilkFineGrain
 
-use std::ops::Range;
+pub use parlo_core::{LoopRuntime, Sequential, SyncStats};
 
-/// A loop runtime: the two operations the workloads need.
-pub trait LoopRunner {
-    /// Human-readable name (used for report labels).
-    fn name(&self) -> String;
-
-    /// Number of threads the runner uses.
-    fn threads(&self) -> usize;
-
-    /// Executes `body(i)` exactly once for every `i` in `range`.
-    fn parallel_for(&mut self, range: Range<usize>, body: &(dyn Fn(usize) + Sync));
-
-    /// Sums `f(i)` over `range`.
-    fn parallel_sum(&mut self, range: Range<usize>, f: &(dyn Fn(usize) -> f64 + Sync)) -> f64;
-}
-
-/// Sequential reference runner.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct SequentialRunner;
-
-impl LoopRunner for SequentialRunner {
-    fn name(&self) -> String {
-        "sequential".into()
-    }
-
-    fn threads(&self) -> usize {
-        1
-    }
-
-    fn parallel_for(&mut self, range: Range<usize>, body: &(dyn Fn(usize) + Sync)) {
-        for i in range {
-            body(i);
-        }
-    }
-
-    fn parallel_sum(&mut self, range: Range<usize>, f: &(dyn Fn(usize) -> f64 + Sync)) -> f64 {
-        range.map(f).sum()
-    }
-}
-
-/// Adapter over the paper's fine-grain scheduler.
-pub struct FineGrainRunner {
-    /// The underlying pool.
-    pub pool: parlo_core::FineGrainPool,
-}
-
-impl FineGrainRunner {
-    /// Wraps an existing pool.
-    pub fn new(pool: parlo_core::FineGrainPool) -> Self {
-        FineGrainRunner { pool }
-    }
-
-    /// Creates a pool with `threads` threads and the default (tree half-barrier)
-    /// configuration.
-    pub fn with_threads(threads: usize) -> Self {
-        Self::new(parlo_core::FineGrainPool::with_threads(threads))
-    }
-}
-
-impl LoopRunner for FineGrainRunner {
-    fn name(&self) -> String {
-        format!("fine-grain ({})", self.pool.config().barrier.label())
-    }
-
-    fn threads(&self) -> usize {
-        self.pool.num_threads()
-    }
-
-    fn parallel_for(&mut self, range: Range<usize>, body: &(dyn Fn(usize) + Sync)) {
-        self.pool.parallel_for(range, body);
-    }
-
-    fn parallel_sum(&mut self, range: Range<usize>, f: &(dyn Fn(usize) -> f64 + Sync)) -> f64 {
-        self.pool
-            .parallel_reduce(range, || 0.0f64, |acc, i| acc + f(i), |a, b| a + b)
-    }
-}
-
-/// Adapter over the OpenMP-like team.
-pub struct OmpRunner {
-    /// The underlying team.
-    pub team: parlo_omp::OmpTeam,
-    /// The worksharing schedule used for every loop.
-    pub schedule: parlo_omp::Schedule,
-}
-
-impl OmpRunner {
-    /// Creates a team with `threads` threads using the given schedule.
-    pub fn with_threads(threads: usize, schedule: parlo_omp::Schedule) -> Self {
-        OmpRunner {
-            team: parlo_omp::OmpTeam::with_threads(threads),
-            schedule,
-        }
-    }
-}
-
-impl LoopRunner for OmpRunner {
-    fn name(&self) -> String {
-        self.schedule.label().to_string()
-    }
-
-    fn threads(&self) -> usize {
-        self.team.num_threads()
-    }
-
-    fn parallel_for(&mut self, range: Range<usize>, body: &(dyn Fn(usize) + Sync)) {
-        self.team.parallel_for(range, self.schedule, body);
-    }
-
-    fn parallel_sum(&mut self, range: Range<usize>, f: &(dyn Fn(usize) -> f64 + Sync)) -> f64 {
-        self.team.parallel_reduce(
-            range,
-            self.schedule,
-            || 0.0f64,
-            |acc, i| acc + f(i),
-            |a, b| a + b,
-        )
-    }
-}
-
-/// Adapter over the baseline Cilk-like pool (`cilk_for` / `cilk_reduce`).
-pub struct CilkRunner {
-    /// The underlying pool.
-    pub pool: parlo_cilk::CilkPool,
-}
-
-impl CilkRunner {
-    /// Creates a pool with `threads` workers.
-    pub fn with_threads(threads: usize) -> Self {
-        CilkRunner {
-            pool: parlo_cilk::CilkPool::with_threads(threads),
-        }
-    }
-}
-
-impl LoopRunner for CilkRunner {
-    fn name(&self) -> String {
-        "Cilk".into()
-    }
-
-    fn threads(&self) -> usize {
-        self.pool.num_threads()
-    }
-
-    fn parallel_for(&mut self, range: Range<usize>, body: &(dyn Fn(usize) + Sync)) {
-        self.pool.cilk_for(range, body);
-    }
-
-    fn parallel_sum(&mut self, range: Range<usize>, f: &(dyn Fn(usize) -> f64 + Sync)) -> f64 {
-        self.pool
-            .cilk_reduce(range, || 0.0f64, |acc, i| acc + f(i), |a, b| a + b)
-    }
-}
-
-/// Adapter over the hybrid pool's fine-grain path (static loops through the
-/// half-barrier embedded in the Cilk-like scheduler).
-pub struct CilkFineRunner {
-    /// The underlying pool.
-    pub pool: parlo_cilk::CilkPool,
-}
-
-impl CilkFineRunner {
-    /// Creates a pool with `threads` workers.
-    pub fn with_threads(threads: usize) -> Self {
-        CilkFineRunner {
-            pool: parlo_cilk::CilkPool::with_threads(threads),
-        }
-    }
-}
-
-impl LoopRunner for CilkFineRunner {
-    fn name(&self) -> String {
-        "fine-grain Cilk".into()
-    }
-
-    fn threads(&self) -> usize {
-        self.pool.num_threads()
-    }
-
-    fn parallel_for(&mut self, range: Range<usize>, body: &(dyn Fn(usize) + Sync)) {
-        self.pool.fine_grain_for(range, body);
-    }
-
-    fn parallel_sum(&mut self, range: Range<usize>, f: &(dyn Fn(usize) -> f64 + Sync)) -> f64 {
-        self.pool
-            .fine_grain_reduce(range, || 0.0f64, |acc, i| acc + f(i), |a, b| a + b)
-    }
+/// The standard cross-runtime evaluation roster on `threads` threads: sequential
+/// reference, fine-grain pool, the OpenMP-like team under its three main worksharing
+/// schedules, and both paths of the Cilk-like pool.
+pub fn all_runtimes(threads: usize) -> Vec<Box<dyn LoopRuntime>> {
+    vec![
+        Box::new(Sequential),
+        Box::new(parlo_core::FineGrainPool::with_threads(threads)),
+        Box::new(parlo_omp::ScheduledTeam::with_threads(
+            threads,
+            parlo_omp::Schedule::Static,
+        )),
+        Box::new(parlo_omp::ScheduledTeam::with_threads(
+            threads,
+            parlo_omp::Schedule::Dynamic(8),
+        )),
+        Box::new(parlo_omp::ScheduledTeam::with_threads(
+            threads,
+            parlo_omp::Schedule::Guided(2),
+        )),
+        Box::new(parlo_cilk::CilkPool::with_threads(threads)),
+        Box::new(parlo_cilk::CilkFineGrain::with_threads(threads)),
+    ]
 }
 
 #[cfg(test)]
@@ -200,44 +45,41 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    fn runners() -> Vec<Box<dyn LoopRunner>> {
-        vec![
-            Box::new(SequentialRunner),
-            Box::new(FineGrainRunner::with_threads(3)),
-            Box::new(OmpRunner::with_threads(3, parlo_omp::Schedule::Static)),
-            Box::new(OmpRunner::with_threads(2, parlo_omp::Schedule::Dynamic(8))),
-            Box::new(CilkRunner::with_threads(3)),
-            Box::new(CilkFineRunner::with_threads(3)),
-        ]
-    }
-
     #[test]
-    fn every_runner_covers_the_range() {
-        for mut r in runners() {
+    fn every_runtime_covers_the_range() {
+        for mut r in all_runtimes(3) {
             let hits: Vec<AtomicUsize> = (0..301).map(|_| AtomicUsize::new(0)).collect();
             r.parallel_for(0..301, &|i| {
                 hits[i].fetch_add(1, Ordering::Relaxed);
             });
             assert!(
                 hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
-                "runner {}",
+                "runtime {}",
                 r.name()
             );
         }
     }
 
     #[test]
-    fn every_runner_sums_correctly() {
+    fn every_runtime_sums_correctly() {
         let expected: f64 = (0..1000).map(|i| (i as f64).sqrt()).sum();
-        for mut r in runners() {
+        for mut r in all_runtimes(3) {
             let got = r.parallel_sum(0..1000, &|i| (i as f64).sqrt());
             assert!(
                 (got - expected).abs() < 1e-6,
-                "runner {} got {got}, expected {expected}",
+                "runtime {} got {got}, expected {expected}",
                 r.name()
             );
             assert!(r.threads() >= 1);
             assert!(!r.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn roster_exposes_all_three_omp_schedules() {
+        let names: Vec<String> = all_runtimes(2).iter().map(|r| r.name()).collect();
+        for expected in ["OpenMP static", "OpenMP dynamic", "OpenMP guided"] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }
     }
 }

@@ -1,0 +1,74 @@
+//! Quickstart for the adaptive scheduler-selection runtime: the same `AdaptivePool`
+//! serves a fine-grain loop site and a coarse loop site, calibrates each one online
+//! (one sequential probe + one probe per backend, all ordinary executions), and then
+//! routes every call to the backend the fitted burden model predicts fastest.
+//!
+//! Run with `cargo run --release --example adaptive_quickstart`.
+
+use parlo::prelude::*;
+use parlo_adaptive::loop_site;
+use parlo_workloads::microbench::work_unit;
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut pool = AdaptivePool::with_threads(threads);
+    println!(
+        "adaptive pool: {threads} threads per backend, candidates {:?}",
+        pool.backends()
+            .iter()
+            .map(|b| b.label())
+            .collect::<Vec<_>>()
+    );
+
+    // A fine-grain site: many tiny loops (the Table-1 regime).
+    let micro = loop_site!();
+    let mut checksum = 0.0;
+    for _ in 0..32 {
+        checksum += pool.parallel_sum_at(micro, 0..64, |i| work_unit(i, 1));
+    }
+    report(&pool, "micro site (64 iterations/loop)", micro);
+    println!("  checksum {checksum:.1}");
+
+    // A coarse site: one big loop.
+    let coarse = loop_site!();
+    let data: Vec<f64> = (0..1_000_000).map(|i| i as f64).collect();
+    let mut sum = 0.0;
+    for _ in 0..8 {
+        sum = pool.parallel_sum_at(coarse, 0..data.len(), |i| data[i]);
+    }
+    report(&pool, "coarse site (1M iterations/loop)", coarse);
+    assert_eq!(sum, 499_999_500_000.0);
+    println!("  sum = {sum:.0}");
+
+    let stats = pool.adaptive_stats();
+    println!(
+        "adaptive stats: {} sites, {} sequential probes, {} backend probes, {} routed loops",
+        stats.sites, stats.seq_probes, stats.probes, stats.routed_loops
+    );
+    println!("adaptive quickstart done");
+}
+
+fn report(pool: &AdaptivePool, what: &str, site: LoopSite) {
+    match pool.decision(site) {
+        Some(d) => {
+            println!(
+                "{what}: routed to {} (predicted {:.2} us/loop, chunk {})",
+                d.backend.label(),
+                d.predicted_secs * 1e6,
+                d.chunk
+            );
+            for &backend in pool.backends() {
+                if let Some(fit) = pool.fitted_burden(site, backend) {
+                    println!(
+                        "    {:<12} fitted burden {:8.2} us",
+                        backend.label(),
+                        fit.burden_us()
+                    );
+                }
+            }
+        }
+        None => println!("{what}: still calibrating"),
+    }
+}

@@ -17,7 +17,7 @@ fn main() {
 
     // Sequential reference.
     let mut seq_solver = Mpdata::paper_problem();
-    let mut seq = SequentialRunner;
+    let mut seq = Sequential;
     let t0 = Instant::now();
     let seq_result = seq_solver.run(&mut seq, steps, false);
     let t_seq = t0.elapsed();
@@ -29,7 +29,7 @@ fn main() {
 
     // Fine-grain scheduler.
     let mut par_solver = Mpdata::paper_problem();
-    let mut fine = FineGrainRunner::with_threads(
+    let mut fine = FineGrainPool::with_threads(
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -39,7 +39,7 @@ fn main() {
     let t_par = t0.elapsed();
     println!(
         "fine-grain ({} threads): {:?}, relative mass drift {:.3e}, speedup {:.2}x",
-        fine.threads(),
+        fine.num_threads(),
         t_par,
         par_result.relative_mass_drift(),
         t_seq.as_secs_f64() / t_par.as_secs_f64()

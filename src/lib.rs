@@ -2,9 +2,10 @@
 //!
 //! This meta-crate re-exports the whole workspace: the fine-grain half-barrier
 //! scheduler ([`core`]), the OpenMP-like and Cilk-like baseline runtimes ([`omp`],
-//! [`cilk`]), the barrier and affinity substrates ([`barrier`], [`affinity`]), the
-//! evaluation workloads ([`workloads`]), the measurement utilities ([`analysis`]) and
-//! the many-core cost-model simulator ([`sim`]).
+//! [`cilk`]), the online scheduler-selection runtime ([`adaptive`]), the barrier and
+//! affinity substrates ([`barrier`], [`affinity`]), the evaluation workloads
+//! ([`workloads`]), the measurement utilities ([`analysis`]) and the many-core
+//! cost-model simulator ([`sim`]).
 //!
 //! See the repository README for the architecture overview, `DESIGN.md` for the system
 //! inventory and per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured
@@ -20,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub use parlo_adaptive as adaptive;
 pub use parlo_affinity as affinity;
 pub use parlo_analysis as analysis;
 pub use parlo_barrier as barrier;
@@ -31,12 +33,11 @@ pub use parlo_workloads as workloads;
 
 /// The most commonly used types, re-exported in one place.
 pub mod prelude {
+    pub use parlo_adaptive::{AdaptivePool, Backend, LoopSite};
     pub use parlo_affinity::{PinPolicy, Topology};
     pub use parlo_barrier::{WaitMode, WaitPolicy};
-    pub use parlo_cilk::CilkPool;
-    pub use parlo_core::{BarrierKind, Config, FineGrainPool};
-    pub use parlo_omp::{OmpTeam, Schedule};
-    pub use parlo_workloads::{
-        CilkFineRunner, CilkRunner, FineGrainRunner, LoopRunner, OmpRunner, SequentialRunner,
-    };
+    pub use parlo_cilk::{CilkFineGrain, CilkPool};
+    pub use parlo_core::{BarrierKind, Config, FineGrainPool, LoopRuntime, Sequential, SyncStats};
+    pub use parlo_omp::{OmpTeam, Schedule, ScheduledTeam};
+    pub use parlo_workloads::all_runtimes;
 }

@@ -1,35 +1,58 @@
-//! Integration tests spanning the whole workspace: the three runtimes (fine-grain,
-//! OpenMP-like, Cilk-like) must agree with each other and with sequential execution on
-//! the evaluation workloads, and the structural claims of the paper (barrier phases per
-//! loop, combines per reduction) must hold end to end.
+//! Integration tests spanning the whole workspace: every runtime behind the unified
+//! `dyn LoopRuntime` interface (fine-grain, OpenMP-like under all three worksharing
+//! schedules, Cilk-like in both its baseline and hybrid fine-grain paths, and the
+//! adaptive selection runtime) must agree with each other and with sequential
+//! execution on the evaluation workloads, and the structural claims of the paper
+//! (barrier phases per loop, combines per reduction) must hold end to end.
 
 use parlo::prelude::*;
 use parlo_workloads::phoenix::{histogram, kmeans, linear_regression as linreg};
-use parlo_workloads::{Mpdata, SequentialRunner};
+use parlo_workloads::{Mpdata, Sequential};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The full evaluation roster (including the adaptive runtime) as trait objects.
+fn runtimes(threads: usize) -> Vec<Box<dyn LoopRuntime>> {
+    let mut all = all_runtimes(threads);
+    all.push(Box::new(AdaptivePool::with_threads(threads)));
+    all
+}
 
 #[test]
 fn all_runtimes_cover_a_loop_exactly_once() {
     let n = 1009;
-    let mut runners: Vec<Box<dyn LoopRunner>> = vec![
-        Box::new(SequentialRunner),
-        Box::new(FineGrainRunner::with_threads(4)),
-        Box::new(OmpRunner::with_threads(4, Schedule::Static)),
-        Box::new(OmpRunner::with_threads(3, Schedule::Guided(2))),
-        Box::new(CilkRunner::with_threads(4)),
-        Box::new(CilkFineRunner::with_threads(4)),
-    ];
-    for r in runners.iter_mut() {
-        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        r.parallel_for(0..n, &|i| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
-        });
-        assert!(
-            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
-            "runner {}",
-            r.name()
-        );
+    for r in runtimes(4).iter_mut() {
+        // Several rounds so the adaptive runtime is exercised both while calibrating
+        // and after routing.
+        for round in 0..3 {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            r.parallel_for(0..n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "runtime {} round {round}",
+                r.name()
+            );
+        }
     }
+}
+
+#[test]
+fn all_three_omp_schedules_are_reachable_behind_dyn_loop_runtime() {
+    let roster = runtimes(3);
+    let names: Vec<String> = roster.iter().map(|r| r.name()).collect();
+    for expected in [
+        "sequential",
+        "OpenMP static",
+        "OpenMP dynamic",
+        "OpenMP guided",
+        "Cilk",
+        "fine-grain Cilk",
+        "adaptive",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected}");
+    }
+    assert!(names.iter().any(|n| n.starts_with("fine-grain (")));
 }
 
 #[test]
@@ -39,19 +62,13 @@ fn mpdata_is_runtime_independent() {
     let mesh = parlo_workloads::Mesh::triangulated_grid(16, 12, 5);
     let reference = {
         let mut solver = Mpdata::new(mesh.clone());
-        solver.run(&mut SequentialRunner, 8, false);
+        solver.run(&mut Sequential, 8, false);
         solver.psi
     };
-    let mut runners: Vec<Box<dyn LoopRunner>> = vec![
-        Box::new(FineGrainRunner::with_threads(4)),
-        Box::new(OmpRunner::with_threads(3, Schedule::Static)),
-        Box::new(OmpRunner::with_threads(2, Schedule::Dynamic(16))),
-        Box::new(CilkFineRunner::with_threads(3)),
-    ];
-    for r in runners.iter_mut() {
+    for r in runtimes(3).iter_mut() {
         let mut solver = Mpdata::new(mesh.clone());
         solver.run(r.as_mut(), 8, false);
-        assert_eq!(solver.psi, reference, "runner {}", r.name());
+        assert_eq!(solver.psi, reference, "runtime {}", r.name());
     }
 }
 
@@ -110,6 +127,13 @@ fn structural_claims_of_the_paper_hold() {
         "2 loops x 1 half-barrier (2 phases) each"
     );
     assert_eq!(s.combine_ops, (threads - 1) as u64);
+
+    // The same structure is visible through the unified SyncStats interface.
+    let sync = LoopRuntime::sync_stats(&pool);
+    assert_eq!(sync.loops, 2);
+    assert_eq!(sync.barrier_phases, 4);
+    assert_eq!(sync.combine_ops, (threads - 1) as u64);
+    assert_eq!(sync.steals, 0);
 
     // Full-barrier ablation: twice the phases for the same loops.
     let mut full = FineGrainPool::new(

@@ -1,5 +1,5 @@
 //! Smoke check for the `examples/` directory: every example must build, and the
-//! `quickstart` example must run successfully end to end.
+//! `quickstart` and `adaptive_quickstart` examples must run successfully end to end.
 //!
 //! `cargo test` already compiles examples for the dev profile, so the nested build
 //! below is normally a cache hit; its purpose is to fail this *test* (not just the
@@ -47,5 +47,32 @@ fn quickstart_example_runs() {
     assert!(
         stdout.contains("digits in order: 0123456789"),
         "quickstart output missing the ordered-reduction line:\n{stdout}"
+    );
+}
+
+#[test]
+fn adaptive_quickstart_example_runs() {
+    let output = cargo()
+        .args(["run", "--quiet", "--example", "adaptive_quickstart"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "adaptive_quickstart exited with {:?}:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("sum = 499999500000"),
+        "adaptive_quickstart output missing the routed reduction sum:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("routed to"),
+        "adaptive_quickstart output missing a routing decision:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("adaptive quickstart done"),
+        "adaptive_quickstart did not complete:\n{stdout}"
     );
 }

@@ -22,14 +22,20 @@ pub struct Criterion {
     default_sample_size: usize,
     default_warm_up: Duration,
     default_measurement: Duration,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        // `cargo bench ... -- --quick` (or CRITERION_QUICK=1) caps every benchmark's
+        // warm-up/measurement windows so CI can smoke-run benches in milliseconds.
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("CRITERION_QUICK").is_some();
         Criterion {
             default_sample_size: 10,
             default_warm_up: Duration::from_millis(150),
             default_measurement: Duration::from_millis(400),
+            quick,
         }
     }
 }
@@ -41,19 +47,24 @@ impl Criterion {
         let sample_size = self.default_sample_size;
         let warm_up = self.default_warm_up;
         let measurement = self.default_measurement;
+        let quick = self.quick;
         BenchmarkGroup {
             _criterion: self,
             sample_size,
             warm_up,
             measurement,
+            quick,
         }
     }
 
     /// Runs a stand-alone benchmark outside any group.
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let sample_size = self.default_sample_size;
-        let warm_up = self.default_warm_up;
-        let measurement = self.default_measurement;
+        let (sample_size, warm_up, measurement) = clamp_quick(
+            self.quick,
+            self.default_sample_size,
+            self.default_warm_up,
+            self.default_measurement,
+        );
         run_bench(name, sample_size, warm_up, measurement, f);
         self
     }
@@ -65,6 +76,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
+    quick: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -88,7 +100,9 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one benchmark in the group.
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_bench(name, self.sample_size, self.warm_up, self.measurement, f);
+        let (sample_size, warm_up, measurement) =
+            clamp_quick(self.quick, self.sample_size, self.warm_up, self.measurement);
+        run_bench(name, sample_size, warm_up, measurement, f);
         self
     }
 
@@ -131,6 +145,25 @@ impl Bencher {
                 break;
             }
         }
+    }
+}
+
+/// Caps sampling parameters in quick mode (group overrides included): benches then
+/// finish in a few milliseconds each while still exercising the measured path.
+fn clamp_quick(
+    quick: bool,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+) -> (usize, Duration, Duration) {
+    if quick {
+        (
+            sample_size.min(3),
+            warm_up.min(Duration::from_millis(20)),
+            measurement.min(Duration::from_millis(60)),
+        )
+    } else {
+        (sample_size, warm_up, measurement)
     }
 }
 
