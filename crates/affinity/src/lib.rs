@@ -13,16 +13,21 @@
 //! * [`pin_to_core`] / [`pin_to_set`] — best-effort thread pinning via
 //!   `sched_setaffinity` on Linux, a no-op elsewhere;
 //! * [`PinPolicy`] — how worker threads of a pool are laid out over the machine
-//!   (compact, scatter, or none).
+//!   (compact, scatter, or none);
+//! * [`PlacementConfig`] / [`TopologySource`] — the shared placement configuration
+//!   every scheduler in the workspace accepts: topology source (detect / paper machine
+//!   / synthetic), pin policy, and whether synchronization is composed per socket.
 
 #![warn(missing_docs)]
 
 mod cpuset;
 mod pin;
+mod placement;
 mod topology;
 
-pub use cpuset::CpuSet;
+pub use cpuset::{CpuSet, MAX_CPUS};
 pub use pin::{current_cpu, pin_to_core, pin_to_set, unpin, PinError};
+pub use placement::{parse_pin_policy, PlacementConfig, TopologySource};
 pub use topology::{CoreId, PinPolicy, SocketId, Topology, TopologyError};
 
 #[cfg(test)]

@@ -79,38 +79,53 @@ impl Topology {
 
     /// Detects the topology of the running machine.
     ///
-    /// On Linux this reads `/sys/devices/system/cpu/cpu*/topology/physical_package_id`;
-    /// if that is unavailable (or on other platforms) it falls back to a single socket
-    /// containing [`std::thread::available_parallelism`] cores.
+    /// On Linux this reads `/sys/devices/system/cpu/cpu*/topology/physical_package_id`.
+    /// Offline CPUs (whose `topology` group the kernel removes) are skipped.  If the
+    /// information is absent (other platforms, stripped-down CI containers) or
+    /// **malformed** — an online CPU's `topology` directory lacks a parseable package
+    /// id — it falls back to a single flat socket containing
+    /// [`std::thread::available_parallelism`] cores rather than misreporting a partial
+    /// machine.  This function never panics.
     pub fn detect() -> Self {
-        Self::detect_from_sysfs().unwrap_or_else(|| {
-            let n = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
-            Self::flat(n.max(1)).expect("n >= 1")
-        })
+        Self::detect_from_sysfs(std::path::Path::new("/sys/devices/system/cpu"))
+            .unwrap_or_else(Self::fallback_flat)
     }
 
-    fn detect_from_sysfs() -> Option<Self> {
+    /// The flat single-socket fallback shape used when `/sys` detection is unusable.
+    fn fallback_flat() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::flat(n.max(1)).expect("n >= 1")
+    }
+
+    /// Reads the socket layout from a sysfs-style directory tree.  Returns `None` —
+    /// signalling the flat fallback — when no CPU describes its socket, or when any
+    /// online CPU's description is malformed (a `topology` directory without a
+    /// parseable `physical_package_id`): a partial answer would silently misreport the
+    /// machine, which is worse than no answer.  `cpuN` directories with no `topology`
+    /// group at all are *offline* CPUs (the kernel removes the group on offline) and
+    /// are skipped, so an offlined SMT sibling does not disable detection.
+    fn detect_from_sysfs(root: &std::path::Path) -> Option<Self> {
         let mut by_socket: std::collections::BTreeMap<usize, Vec<CoreId>> =
             std::collections::BTreeMap::new();
-        let entries = std::fs::read_dir("/sys/devices/system/cpu").ok()?;
+        let entries = std::fs::read_dir(root).ok()?;
         for entry in entries.flatten() {
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if !name.starts_with("cpu") {
+            // Only `cpuN` directories describe cores (`cpufreq`, `cpuidle`, ... do not).
+            let Some(rest) = name.strip_prefix("cpu") else {
                 continue;
+            };
+            let Ok(cpu_id) = rest.parse::<usize>() else {
+                continue;
+            };
+            let topo_dir = entry.path().join("topology");
+            if !topo_dir.is_dir() {
+                continue; // offline CPU: no topology group
             }
-            let Ok(cpu_id) = name[3..].parse::<usize>() else {
-                continue;
-            };
-            let pkg_path = entry.path().join("topology/physical_package_id");
-            let Ok(pkg) = std::fs::read_to_string(&pkg_path) else {
-                continue;
-            };
-            let Ok(pkg) = pkg.trim().parse::<usize>() else {
-                continue;
-            };
+            let pkg = std::fs::read_to_string(topo_dir.join("physical_package_id")).ok()?;
+            let pkg = pkg.trim().parse::<usize>().ok()?;
             by_socket.entry(pkg).or_default().push(cpu_id);
         }
         if by_socket.is_empty() {
@@ -191,10 +206,13 @@ impl Topology {
         4usize.clamp(2, self.cores_per_socket().max(2))
     }
 
-    /// Suggested fan-out for the wakeup (release) tree (MCS recommends 2, a binary
-    /// wakeup tree).
+    /// Suggested fan-out for the wakeup (release) tree.  MCS recommend a binary wakeup
+    /// tree, but on the machines modelled here a release store is far cheaper than the
+    /// cache-line transfer it triggers, so a shallower wakeup tree with the same fan as
+    /// the arrival side releases the last worker sooner; the suggestion therefore
+    /// matches [`Topology::suggested_arrival_fanin`].
     pub fn suggested_release_fanout(&self) -> usize {
-        2
+        self.suggested_arrival_fanin()
     }
 
     /// Worker-index groups per socket for a team of `nthreads` threads laid out with
@@ -280,9 +298,10 @@ mod tests {
     fn suggested_fanin_is_bounded() {
         let t = Topology::paper_machine();
         assert_eq!(t.suggested_arrival_fanin(), 4);
-        assert_eq!(t.suggested_release_fanout(), 2);
+        assert_eq!(t.suggested_release_fanout(), t.suggested_arrival_fanin());
         let small = Topology::flat(2).unwrap();
         assert!(small.suggested_arrival_fanin() >= 2);
+        assert!(small.suggested_release_fanout() >= 2);
     }
 
     #[test]
@@ -297,5 +316,113 @@ mod tests {
         let t = Topology::detect();
         assert!(t.num_cores() >= 1);
         assert!(t.cores_per_socket() >= 1);
+    }
+
+    /// One CPU entry of a fake sysfs tree.
+    enum FakeCpu {
+        /// Online CPU with a `topology/physical_package_id` file.
+        Online(usize, usize),
+        /// Offline CPU: the directory exists but has no `topology` group.
+        Offline(usize),
+        /// Malformed entry: a `topology` directory without a package-id file.
+        Malformed(usize),
+    }
+
+    /// Builds a sysfs-style tree under a fresh temp directory.
+    fn fake_sysfs(name: &str, cpus: &[FakeCpu]) -> std::path::PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("parlo_affinity_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        for cpu in cpus {
+            match *cpu {
+                FakeCpu::Online(id, pkg) => {
+                    let topo_dir = root.join(format!("cpu{id}/topology"));
+                    std::fs::create_dir_all(&topo_dir).unwrap();
+                    std::fs::write(topo_dir.join("physical_package_id"), format!("{pkg}\n"))
+                        .unwrap();
+                }
+                FakeCpu::Offline(id) => {
+                    std::fs::create_dir_all(root.join(format!("cpu{id}"))).unwrap();
+                }
+                FakeCpu::Malformed(id) => {
+                    std::fs::create_dir_all(root.join(format!("cpu{id}/topology"))).unwrap();
+                }
+            }
+        }
+        // Non-core entries a real /sys also contains must be ignored.
+        std::fs::create_dir_all(root.join("cpufreq")).unwrap();
+        root
+    }
+
+    #[test]
+    fn sysfs_detection_reads_complete_topologies() {
+        let root = fake_sysfs(
+            "complete",
+            &[
+                FakeCpu::Online(0, 0),
+                FakeCpu::Online(1, 0),
+                FakeCpu::Online(2, 1),
+                FakeCpu::Online(3, 1),
+            ],
+        );
+        let t = Topology::detect_from_sysfs(&root).expect("complete topology detected");
+        assert_eq!(t.num_sockets(), 2);
+        assert_eq!(t.socket_cores(0), &[0, 1]);
+        assert_eq!(t.socket_cores(1), &[2, 3]);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sysfs_detection_falls_back_when_files_are_absent() {
+        // Missing root directory (no /sys at all): fall back.
+        let missing = std::env::temp_dir().join("parlo_affinity_does_not_exist");
+        assert_eq!(Topology::detect_from_sysfs(&missing), None);
+        // CPU directories exist but none carries a topology group (the stripped-down
+        // CI-container case).
+        let root = fake_sysfs("no_ids", &[FakeCpu::Offline(0), FakeCpu::Offline(1)]);
+        assert_eq!(Topology::detect_from_sysfs(&root), None);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sysfs_detection_rejects_malformed_topologies() {
+        // An online CPU with a topology group but no parseable package id: a partial
+        // answer would misreport the machine, so detection must fall back instead.
+        let root = fake_sysfs(
+            "malformed",
+            &[
+                FakeCpu::Online(0, 0),
+                FakeCpu::Malformed(1),
+                FakeCpu::Online(2, 1),
+            ],
+        );
+        assert_eq!(Topology::detect_from_sysfs(&root), None);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sysfs_detection_skips_offline_cpus() {
+        // An offline CPU (no topology group) must not disable detection: the online
+        // CPUs still describe a correct two-socket machine.
+        let root = fake_sysfs(
+            "offline",
+            &[
+                FakeCpu::Online(0, 0),
+                FakeCpu::Offline(1),
+                FakeCpu::Online(2, 1),
+            ],
+        );
+        let t = Topology::detect_from_sysfs(&root).expect("online CPUs detected");
+        assert_eq!(t.num_sockets(), 2);
+        assert_eq!(t.socket_cores(0), &[0]);
+        assert_eq!(t.socket_cores(1), &[2]);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn fallback_flat_is_single_socket() {
+        let t = Topology::fallback_flat();
+        assert_eq!(t.num_sockets(), 1);
+        assert!(t.num_cores() >= 1);
     }
 }

@@ -12,7 +12,8 @@
 //! Table 1 in the paper.
 
 use crate::{
-    CentralizedJoin, CentralizedRelease, Epoch, TreeJoin, TreeRelease, TreeShape, WaitPolicy,
+    CentralizedJoin, CentralizedRelease, Epoch, HierarchicalHalfBarrier, HierarchyStats, TreeJoin,
+    TreeRelease, TreeShape, WaitPolicy,
 };
 use parlo_affinity::Topology;
 
@@ -31,6 +32,7 @@ enum Flavor {
         release: TreeRelease,
         join: TreeJoin,
     },
+    Hierarchical(HierarchicalHalfBarrier),
 }
 
 /// A half-barrier over `nthreads` participants (participant 0 is the master).
@@ -78,6 +80,22 @@ impl HalfBarrier {
         Self::new_tree(shape)
     }
 
+    /// Creates a hierarchical half-barrier (see [`HierarchicalHalfBarrier`]): socket-
+    /// local arrival trees with the given fan-in, one cross-socket rendezvous line per
+    /// remote socket, and socket-local release fan-out at the topology's suggestion.
+    pub fn new_hierarchical(topology: &Topology, nthreads: usize, fanin: usize) -> Self {
+        let hier = HierarchicalHalfBarrier::with_fans(
+            topology,
+            nthreads,
+            fanin,
+            topology.suggested_release_fanout(),
+        );
+        HalfBarrier {
+            nthreads: hier.num_threads(),
+            flavor: Flavor::Hierarchical(hier),
+        }
+    }
+
     /// Number of participants (master included).
     pub fn num_threads(&self) -> usize {
         self.nthreads
@@ -86,6 +104,19 @@ impl HalfBarrier {
     /// Returns `true` if this is the tree flavor.
     pub fn is_tree(&self) -> bool {
         matches!(self.flavor, Flavor::Tree { .. })
+    }
+
+    /// Returns `true` if this is the hierarchical (socket-composed) flavor.
+    pub fn is_hierarchical(&self) -> bool {
+        matches!(self.flavor, Flavor::Hierarchical(_))
+    }
+
+    /// Instrumentation counters of the hierarchical flavor (`None` for the others).
+    pub fn hierarchy_stats(&self) -> Option<HierarchyStats> {
+        match &self.flavor {
+            Flavor::Hierarchical(h) => Some(h.stats()),
+            _ => None,
+        }
     }
 
     /// The children of participant `id` in the join structure.  For the centralized
@@ -102,6 +133,7 @@ impl HalfBarrier {
                 }
             }
             Flavor::Tree { join, .. } => join.shape().children(id).to_vec(),
+            Flavor::Hierarchical(h) => h.combine_children(id),
         }
     }
 
@@ -115,6 +147,7 @@ impl HalfBarrier {
         match &self.flavor {
             Flavor::Centralized { release, .. } => release.signal(epoch),
             Flavor::Tree { release, .. } => release.signal_root(epoch),
+            Flavor::Hierarchical(h) => h.release(epoch),
         }
     }
 
@@ -132,6 +165,7 @@ impl HalfBarrier {
                 }
             }
             Flavor::Tree { join, .. } => join.arrive_and_combine(0, epoch, policy, on_child),
+            Flavor::Hierarchical(h) => h.join(epoch, policy, on_child),
         }
     }
 
@@ -141,6 +175,7 @@ impl HalfBarrier {
         match &self.flavor {
             Flavor::Centralized { join, .. } => join.poll_all(epoch),
             Flavor::Tree { join, .. } => join.has_arrived(0, epoch),
+            Flavor::Hierarchical(h) => h.poll_join(epoch),
         }
     }
 
@@ -154,6 +189,7 @@ impl HalfBarrier {
         match &self.flavor {
             Flavor::Centralized { release, .. } => release.wait(epoch, policy),
             Flavor::Tree { release, .. } => release.wait_and_forward(id, epoch, policy),
+            Flavor::Hierarchical(h) => h.wait_release(id, epoch, policy),
         }
     }
 
@@ -165,14 +201,17 @@ impl HalfBarrier {
         match &self.flavor {
             Flavor::Centralized { release, .. } => release.poll(epoch),
             Flavor::Tree { release, .. } => release.poll(id, epoch),
+            Flavor::Hierarchical(h) => h.poll_release(id, epoch),
         }
     }
 
     /// Worker `id`: forward a release observed through [`HalfBarrier::poll_release`].
     #[inline]
     pub fn forward_release(&self, id: usize, epoch: Epoch) {
-        if let Flavor::Tree { release, .. } = &self.flavor {
-            release.forward(id, epoch);
+        match &self.flavor {
+            Flavor::Centralized { .. } => {}
+            Flavor::Tree { release, .. } => release.forward(id, epoch),
+            Flavor::Hierarchical(h) => h.forward_release(id, epoch),
         }
     }
 
@@ -193,6 +232,7 @@ impl HalfBarrier {
                 join.arrive();
             }
             Flavor::Tree { join, .. } => join.arrive_and_combine(id, epoch, policy, on_child),
+            Flavor::Hierarchical(h) => h.arrive(id, epoch, policy, on_child),
         }
     }
 }
@@ -253,6 +293,18 @@ mod tests {
     }
 
     #[test]
+    fn hierarchical_cycles() {
+        let topo = Topology::synthetic(2, 4).unwrap();
+        let hb = HalfBarrier::new_hierarchical(&topo, 8, topo.suggested_arrival_fanin());
+        assert!(hb.is_hierarchical());
+        let hb = Arc::new(hb);
+        run_cycles(hb.clone(), 50);
+        let stats = hb.hierarchy_stats().expect("hierarchical flavor");
+        assert_eq!(stats.cycles, 50);
+        assert_eq!(stats.cross_socket_rendezvous, 50);
+    }
+
+    #[test]
     fn single_participant() {
         let hb = HalfBarrier::new_centralized(1);
         let policy = WaitPolicy::default();
@@ -268,6 +320,7 @@ mod tests {
             HalfBarrier::new_centralized(7),
             HalfBarrier::new_tree(TreeShape::uniform(7, 2)),
             HalfBarrier::topology_aware(&Topology::synthetic(2, 3).unwrap(), 7),
+            HalfBarrier::new_hierarchical(&Topology::synthetic(2, 3).unwrap(), 7, 4),
         ] {
             let mut all: Vec<usize> = (0..hb.num_threads())
                 .flat_map(|id| hb.combine_children(id))
@@ -295,5 +348,11 @@ mod tests {
     fn is_tree_reports_flavor() {
         assert!(!HalfBarrier::new_centralized(2).is_tree());
         assert!(HalfBarrier::new_tree(TreeShape::uniform(2, 2)).is_tree());
+        let topo = Topology::synthetic(2, 2).unwrap();
+        let hier = HalfBarrier::new_hierarchical(&topo, 4, 4);
+        assert!(!hier.is_tree());
+        assert!(hier.is_hierarchical());
+        assert!(!HalfBarrier::new_centralized(2).is_hierarchical());
+        assert!(HalfBarrier::new_centralized(2).hierarchy_stats().is_none());
     }
 }

@@ -20,6 +20,9 @@
 //! * centralized primitives: [`CentralizedRelease`], [`CentralizedJoin`];
 //! * tree primitives (MCS-style, tunable fan-in/fan-out, socket-aware layout):
 //!   [`TreeRelease`], [`TreeJoin`], [`TreeShape`];
+//! * the topology-aware hierarchical composition — socket-local arrival trees, one
+//!   cross-socket rendezvous per cycle, socket-local release fan-out, per-socket
+//!   grouped flags: [`HierarchicalHalfBarrier`] (instrumented via [`HierarchyStats`]);
 //! * classic stand-alone barriers implementing the [`Barrier`] trait:
 //!   [`SenseBarrier`], [`CounterBarrier`], [`TreeBarrier`], [`DisseminationBarrier`];
 //! * [`FullBarrier`] / [`HalfBarrier`] compositions used directly by the schedulers.
@@ -34,6 +37,7 @@ mod counter;
 mod dissemination;
 mod full;
 mod half;
+mod hierarchical;
 mod sense;
 mod traits;
 mod tree;
@@ -43,6 +47,7 @@ pub use counter::{CentralizedJoin, CentralizedRelease, CounterBarrier};
 pub use dissemination::DisseminationBarrier;
 pub use full::FullBarrier;
 pub use half::HalfBarrier;
+pub use hierarchical::{HierarchicalHalfBarrier, HierarchyStats};
 pub use sense::SenseBarrier;
 pub use traits::{Barrier, Epoch};
 pub use tree::{TreeBarrier, TreeJoin, TreeRelease, TreeShape};

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use parlo_adaptive::{AdaptiveConfig, AdaptivePool, LoopSite};
-use parlo_bench::hardware_threads as threads;
+use parlo_bench::bench_threads as threads;
 use parlo_core::FineGrainPool;
 use parlo_omp::{OmpTeam, Schedule};
 use parlo_workloads::microbench::work_unit;

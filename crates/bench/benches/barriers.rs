@@ -3,10 +3,9 @@
 //! stand-alone barriers.  This is the ablation behind the "half vs full" design choice.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use parlo_core::{BarrierKind, Config, FineGrainPool};
 use std::time::Duration;
 
-use parlo_bench::hardware_threads as threads;
+use parlo_bench::{bench_threads as threads, fine_grain_ablation_pool, fine_grain_ablations};
 
 fn bench_barriers(c: &mut Criterion) {
     let t = threads();
@@ -17,9 +16,11 @@ fn bench_barriers(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(500));
 
     // An empty broadcast is exactly one fork/join synchronization cycle of the pool.
-    for kind in BarrierKind::ALL {
-        let mut pool = FineGrainPool::new(Config::builder(t).barrier(kind).build());
-        group.bench_function(kind.label(), |b| {
+    // The shared ablation list covers the tree half-barrier in both layouts
+    // (hierarchical and flat) plus the centralized and full-barrier variants.
+    for (label, kind, hierarchical) in fine_grain_ablations() {
+        let mut pool = fine_grain_ablation_pool(t, kind, hierarchical);
+        group.bench_function(label, |b| {
             b.iter(|| {
                 pool.broadcast(|info| {
                     criterion::black_box(info.id);

@@ -3,7 +3,7 @@
 //! burden `d` directly (there is no work to amortise it against).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use parlo_core::{BarrierKind, Config, FineGrainPool};
+use parlo_core::BarrierKind;
 use parlo_omp::{OmpTeam, Schedule};
 use parlo_workloads::microbench::work_unit;
 use std::time::Duration;
@@ -11,7 +11,7 @@ use std::time::Duration;
 const ITERS: usize = 64;
 const UNITS: usize = 1;
 
-use parlo_bench::hardware_threads as threads;
+use parlo_bench::{bench_threads as threads, fine_grain_ablation_pool, fine_grain_ablations};
 
 fn bench_burden(c: &mut Criterion) {
     let t = threads();
@@ -21,13 +21,14 @@ fn bench_burden(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
 
-    for kind in [
-        BarrierKind::TreeHalf,
-        BarrierKind::CentralizedHalf,
-        BarrierKind::TreeFull,
-    ] {
-        let mut pool = FineGrainPool::new(Config::builder(t).barrier(kind).build());
-        group.bench_function(kind.label(), |b| {
+    // Table 1 measures the half-barrier flavors and the tree full-barrier ablation;
+    // the centralized-full variant only appears in the `barriers` cycle bench.
+    for (label, kind, hierarchical) in fine_grain_ablations()
+        .into_iter()
+        .filter(|&(_, kind, _)| kind != BarrierKind::CentralizedFull)
+    {
+        let mut pool = fine_grain_ablation_pool(t, kind, hierarchical);
+        group.bench_function(label, |b| {
             b.iter(|| {
                 let s = pool.parallel_reduce(
                     0..ITERS,

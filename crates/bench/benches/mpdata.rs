@@ -7,7 +7,7 @@ use parlo_omp::ScheduledTeam;
 use parlo_workloads::Mpdata;
 use std::time::Duration;
 
-use parlo_bench::hardware_threads as threads;
+use parlo_bench::bench_threads as threads;
 
 fn bench_mpdata(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure2_mpdata_step");

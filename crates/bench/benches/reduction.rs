@@ -8,7 +8,7 @@ use std::time::Duration;
 
 const POINTS: usize = 65_536;
 
-use parlo_bench::hardware_threads as threads;
+use parlo_bench::bench_threads as threads;
 
 fn bench_reduction(c: &mut Criterion) {
     let points = linreg::generate_points(POINTS, 3.0, 7.0, 2.0, 0xBEEF);

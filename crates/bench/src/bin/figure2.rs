@@ -7,16 +7,21 @@
 //! cost model on the 48-core paper machine.
 //!
 //! Flags: `--steps N` (time steps per measurement, default 20), `--max-threads N`,
-//! `--quick`, `--csv`, `--simulate` (simulation only).
+//! `--quick`, `--csv`, `--simulate` (simulation only), `--topology detect|paper|SxC`,
+//! `--pin compact|scatter|none`, `--flat-sync` (worker placement).
 
 use parlo_analysis::{series_to_csv, series_to_text, Series};
-use parlo_bench::{arg_value, has_flag, native_thread_sweep, time_secs};
+use parlo_bench::{arg_value, has_flag, native_thread_sweep, placement_args, time_secs};
 use parlo_core::{FineGrainPool, Sequential};
 use parlo_omp::ScheduledTeam;
 use parlo_sim::SimMachine;
-use parlo_workloads::Mpdata;
+use parlo_workloads::{Mpdata, PlacementConfig};
 
-fn measure_native(steps: usize, max_threads: Option<usize>) -> (Series, Series, Series) {
+fn measure_native(
+    steps: usize,
+    max_threads: Option<usize>,
+    placement: &PlacementConfig,
+) -> (Series, Series, Series) {
     let mut fine = Series::empty("fine-grain");
     let mut omp = Series::empty("OpenMP");
 
@@ -29,14 +34,15 @@ fn measure_native(steps: usize, max_threads: Option<usize>) -> (Series, Series, 
     eprintln!("figure2: sequential baseline {t_seq:.3}s for {steps} steps");
 
     for threads in native_thread_sweep(max_threads) {
-        let mut fine_runner = FineGrainPool::with_threads(threads);
+        let mut fine_runner = FineGrainPool::with_placement(threads, placement);
         let mut solver = Mpdata::paper_problem();
         let t = time_secs(|| {
             solver.run(&mut fine_runner, steps, false);
         });
         fine.push(threads, t_seq / t);
 
-        let mut omp_runner = ScheduledTeam::with_threads(threads, parlo_omp::Schedule::Static);
+        let mut omp_runner =
+            ScheduledTeam::with_placement(threads, parlo_omp::Schedule::Static, placement);
         let mut solver = Mpdata::paper_problem();
         let t = time_secs(|| {
             solver.run(&mut omp_runner, steps, false);
@@ -67,7 +73,9 @@ fn main() {
         arg_value(&args, "--steps").unwrap_or(if has_flag(&args, "--quick") { 5 } else { 20 });
 
     if !has_flag(&args, "--simulate") {
-        let (fine, omp, ratio) = measure_native(steps, arg_value(&args, "--max-threads"));
+        let placement = placement_args(&args);
+        let (fine, omp, ratio) =
+            measure_native(steps, arg_value(&args, "--max-threads"), &placement);
         print_series(
             "Figure 2 left (native): MPDATA speedup over sequential",
             &[&fine, &omp],

@@ -9,12 +9,14 @@
 //! hardware parallelism; the simulated 48-core series are printed as well.
 //!
 //! Flags: `--points N` (default 2,000,000 native; 25,000,000 simulated), `--max-threads N`,
-//! `--quick`, `--csv`, `--simulate` (simulation only).
+//! `--quick`, `--csv`, `--simulate` (simulation only), `--topology detect|paper|SxC`,
+//! `--pin compact|scatter|none`, `--flat-sync` (worker placement).
 
 use parlo_analysis::{series_to_csv, series_to_text, Series};
-use parlo_bench::{arg_value, has_flag, native_thread_sweep, time_secs};
+use parlo_bench::{arg_value, has_flag, native_thread_sweep, placement_args, time_secs};
 use parlo_sim::SimMachine;
 use parlo_workloads::phoenix::linear_regression as linreg;
+use parlo_workloads::PlacementConfig;
 
 /// Chunk size (points) of each map-reduce step, matching the simulator's assumption.
 const CHUNK: usize = 65_536;
@@ -44,7 +46,11 @@ fn sequential_time(points: &[linreg::Point]) -> f64 {
     })
 }
 
-fn measure_native(points: &[linreg::Point], max_threads: Option<usize>) -> Vec<Series> {
+fn measure_native(
+    points: &[linreg::Point],
+    max_threads: Option<usize>,
+    placement: &PlacementConfig,
+) -> Vec<Series> {
     let t_seq = sequential_time(points);
     eprintln!(
         "figure3: sequential baseline {t_seq:.3}s for {} points",
@@ -58,7 +64,7 @@ fn measure_native(points: &[linreg::Point], max_threads: Option<usize>) -> Vec<S
 
     for threads in native_thread_sweep(max_threads) {
         // Fine-grain scheduler (merged half-barrier reductions).
-        let mut pool = parlo_core::FineGrainPool::with_threads(threads);
+        let mut pool = parlo_core::FineGrainPool::with_placement(threads, placement);
         let t = time_secs(|| {
             let mut total = linreg::RegressionSums::default();
             for chunk in regression_chunks(points) {
@@ -70,7 +76,7 @@ fn measure_native(points: &[linreg::Point], max_threads: Option<usize>) -> Vec<S
         fine.push(threads, t_seq / t);
 
         // Baseline Cilk and the hybrid fine-grain path of the same pool.
-        let mut cpool = parlo_cilk::CilkPool::with_threads(threads);
+        let mut cpool = parlo_cilk::CilkPool::with_placement(threads, placement);
         let t = time_secs(|| {
             let mut total = linreg::RegressionSums::default();
             for chunk in regression_chunks(points) {
@@ -89,7 +95,7 @@ fn measure_native(points: &[linreg::Point], max_threads: Option<usize>) -> Vec<S
         cilk_fine.push(threads, t_seq / t);
 
         // OpenMP baselines.
-        let mut team = parlo_omp::OmpTeam::with_threads(threads);
+        let mut team = parlo_omp::OmpTeam::with_placement(threads, placement);
         for (schedule, series) in [
             (parlo_omp::Schedule::Static, &mut omp_static),
             (parlo_omp::Schedule::Dynamic(64), &mut omp_dynamic),
@@ -127,7 +133,8 @@ fn main() {
             2_000_000
         });
         let points = linreg::generate_points(n, 3.0, 7.0, 2.0, 0xF163);
-        let series = measure_native(&points, arg_value(&args, "--max-threads"));
+        let placement = placement_args(&args);
+        let series = measure_native(&points, arg_value(&args, "--max-threads"), &placement);
         print_series(
             "Figure 3a (native): linear regression, Cilk baseline vs fine-grain",
             &[&series[1], &series[2], &series[0]],

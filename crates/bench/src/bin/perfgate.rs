@@ -1,0 +1,106 @@
+//! CI perf-regression gate over the burden model.
+//!
+//! Compares the fitted (or simulated) scheduler burdens of a fresh `table1 --json`
+//! report against the checked-in baseline and fails when any runtime's burden `d`
+//! regressed by more than the threshold — the CI hook that finally makes
+//! `BENCH_*.json` trajectories actionable.
+//!
+//! ```text
+//! perfgate --current bench_table1.json [--baseline bench/baseline.json]
+//!          [--threshold-pct 25] [--update]
+//! ```
+//!
+//! * `--current <path>` — the report to check (required);
+//! * `--baseline <path>` — the reference report (default `bench/baseline.json`);
+//! * `--threshold-pct N` — relative regression tolerated per scheduler (default 25);
+//! * `--update` — overwrite the baseline with the current report instead of gating
+//!   (run after an intentional model/scheduler change and commit the result).
+//!
+//! Exit status: 0 = gate passed (or baseline updated), 1 = regression or missing
+//! scheduler, 2 = usage/IO error.
+
+use parlo_bench::{arg_str, compare_burdens, has_flag, read_json_report};
+
+const DEFAULT_BASELINE: &str = "bench/baseline.json";
+const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("perfgate: {msg}");
+    eprintln!("usage: perfgate --current <report.json> [--baseline <baseline.json>] [--threshold-pct N] [--update]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(current_path) = arg_str(&args, "--current") else {
+        usage_error("--current <report.json> is required");
+    };
+    let baseline_path = arg_str(&args, "--baseline").unwrap_or(DEFAULT_BASELINE);
+    let threshold_pct = match arg_str(&args, "--threshold-pct") {
+        None => DEFAULT_THRESHOLD_PCT,
+        Some(v) => match v.parse::<f64>() {
+            Ok(t) if t.is_finite() && t >= 0.0 => t,
+            _ => usage_error("--threshold-pct must be a non-negative number"),
+        },
+    };
+
+    let current = match read_json_report(current_path) {
+        Ok(r) => r,
+        Err(e) => usage_error(&format!("cannot read current report `{current_path}`: {e}")),
+    };
+
+    if has_flag(&args, "--update") {
+        if let Err(e) = std::fs::copy(current_path, baseline_path) {
+            usage_error(&format!("cannot update baseline `{baseline_path}`: {e}"));
+        }
+        println!("perfgate: baseline `{baseline_path}` updated from `{current_path}`");
+        return;
+    }
+
+    let baseline = match read_json_report(baseline_path) {
+        Ok(r) => r,
+        Err(e) => usage_error(&format!(
+            "cannot read baseline `{baseline_path}`: {e} (generate one with \
+             `table1 --simulate --json {baseline_path}` or `perfgate --update`)"
+        )),
+    };
+
+    let outcome = compare_burdens(&baseline, &current, threshold_pct);
+    println!(
+        "perfgate: {} vs {} (threshold {threshold_pct}%)",
+        current_path, baseline_path
+    );
+    println!(
+        "{:<40} {:>12} {:>12} {:>9}",
+        "scheduler", "baseline us", "current us", "delta"
+    );
+    for row in &outcome.rows {
+        let delta = row.delta_pct();
+        let verdict = if delta > threshold_pct {
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{:<40} {:>12.3} {:>12.3} {:>8.1}%{verdict}",
+            row.scheduler, row.baseline_us, row.current_us, delta
+        );
+    }
+    for missing in &outcome.missing {
+        println!("{missing:<40} missing from the current report  REGRESSED");
+    }
+    for added in &outcome.added {
+        println!("{added:<40} new scheduler (not in baseline; consider `perfgate --update`)");
+    }
+
+    if outcome.passed() {
+        println!("perfgate: OK — no burden regressed by more than {threshold_pct}%");
+    } else {
+        println!(
+            "perfgate: FAILED — {} regression(s), {} missing scheduler(s)",
+            outcome.regressions().len(),
+            outcome.missing.len()
+        );
+        std::process::exit(1);
+    }
+}

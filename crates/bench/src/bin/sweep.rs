@@ -4,11 +4,12 @@
 //!
 //! Flags: `--threads N`, `--reps N`, `--quick`, `--runtime NAME` (run one scheduler
 //! only — `adaptive` selects the online scheduler-selection runtime), `--json <path>`
-//! (machine-readable report of the measured points).
+//! (machine-readable report of the measured points), `--topology detect|paper|SxC`,
+//! `--pin compact|scatter|none`, `--flat-sync` (worker placement).
 
 use parlo_bench::{
-    arg_str, arg_value, has_flag, json_path_arg, parallel_time, sequential_time, sweep_roster,
-    threads_arg, write_json_report, BenchReport, SweepRow, DEFAULT_REPS,
+    arg_str, arg_value, has_flag, json_path_arg, parallel_time, placement_args, sequential_time,
+    sweep_roster, threads_arg, write_json_report, BenchReport, SweepRow, DEFAULT_REPS,
 };
 use parlo_workloads::microbench;
 
@@ -17,6 +18,7 @@ fn main() {
     // Validate --json before any measurement runs (fail fast on a malformed flag).
     let _ = json_path_arg(&args);
     let threads = threads_arg(&args);
+    let placement = placement_args(&args);
     let reps = arg_value(&args, "--reps").unwrap_or(DEFAULT_REPS);
     let sweep = if has_flag(&args, "--quick") {
         microbench::quick_sweep()
@@ -40,7 +42,7 @@ fn main() {
     println!("scheduler,iterations,units,t_seq_s,t_par_s,speedup");
     for entry in roster {
         let name = entry.key;
-        let mut runtime = (entry.build)(threads);
+        let mut runtime = (entry.build)(threads, &placement);
         for &point in &sweep {
             let t_seq = sequential_time(point, reps);
             let t_par = parallel_time(runtime.as_mut(), point, reps).max(1e-12);

@@ -8,14 +8,16 @@
 //! machine (see `parlo-sim`), which is the mode used to compare shapes against the
 //! paper when fewer than 48 hardware threads are available.
 //!
-//! Other flags: `--threads N` (native thread count, default = hardware parallelism),
-//! `--reps N`, `--quick` (reduced sweep), `--csv`, `--json <path>` (machine-readable
-//! report of the fitted burdens).
+//! Other flags: `--threads N` (native thread count, default = `PARLO_THREADS` or the
+//! hardware parallelism), `--reps N`, `--quick` (reduced sweep), `--csv`,
+//! `--json <path>` (machine-readable report of the fitted burdens),
+//! `--topology detect|paper|SxC`, `--pin compact|scatter|none`, `--flat-sync`
+//! (worker placement, see `parlo_bench::placement_args`).
 
 use parlo_analysis::Table;
 use parlo_bench::{
     arg_value, fixed_roster, hardware_threads, has_flag, json_path_arg, measure_burden,
-    threads_arg, write_json_report, BenchReport, BurdenRow, DEFAULT_REPS,
+    placement_args, threads_arg, write_json_report, BenchReport, BurdenRow, DEFAULT_REPS,
 };
 use parlo_sim::SimMachine;
 use parlo_workloads::microbench;
@@ -23,6 +25,7 @@ use parlo_workloads::microbench;
 fn native(args: &[String]) {
     let hw = hardware_threads();
     let threads = threads_arg(args);
+    let placement = placement_args(args);
     let reps = arg_value(args, "--reps").unwrap_or(DEFAULT_REPS);
     let sweep = if has_flag(args, "--quick") {
         microbench::quick_sweep()
@@ -44,7 +47,7 @@ fn native(args: &[String]) {
     // lazily, measured, and dropped before the next one spawns its pool.
     for entry in fixed_roster() {
         let label = entry.label;
-        let mut runtime = (entry.build)(threads);
+        let mut runtime = (entry.build)(threads, &placement);
         let (_, fit) = measure_burden(runtime.as_mut(), &sweep, reps);
         match fit {
             Some(fit) => {

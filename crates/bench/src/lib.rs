@@ -17,9 +17,10 @@
 //! `dyn LoopRuntime`, and JSON serialization of results (`--json <path>`) so runs can
 //! be tracked as a perf trajectory over time.
 
+use parlo_affinity::{parse_pin_policy, TopologySource};
 use parlo_analysis::{fit_burden, BurdenFit, BurdenMeasurement};
 use parlo_workloads::microbench::{self, SweepPoint};
-use parlo_workloads::LoopRuntime;
+use parlo_workloads::{LoopRuntime, PlacementConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -124,13 +125,74 @@ pub fn hardware_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// The thread count a bench binary should use: `--threads N` if given, otherwise the
-/// hardware parallelism.  Every bin shares this helper instead of carrying its own
-/// parsing copy.
+/// The `PARLO_THREADS` environment override, if set to a positive integer.  CI uses it
+/// to run the same bench/test commands at several fixed thread counts (matrix jobs)
+/// without editing every invocation.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("PARLO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// The thread count a bench binary should use: `--threads N` if given, then the
+/// `PARLO_THREADS` environment override, otherwise the hardware parallelism.  Every
+/// bin shares this helper instead of carrying its own parsing copy.
 pub fn threads_arg(args: &[String]) -> usize {
     arg_value(args, "--threads")
+        .or_else(env_threads)
         .unwrap_or_else(hardware_threads)
         .max(1)
+}
+
+/// The thread count a criterion bench should use: `PARLO_THREADS` if set, otherwise
+/// the hardware parallelism (criterion benches have no `--threads` flag).
+pub fn bench_threads() -> usize {
+    env_threads().unwrap_or_else(hardware_threads).max(1)
+}
+
+/// Parses the shared worker-placement flags:
+///
+/// * `--topology detect|paper|SxC` — the machine shape every pool is tuned to
+///   (`2x4` = synthetic 2 sockets × 4 cores, deterministic hierarchy for CI);
+/// * `--pin compact|scatter|none` — where workers are pinned at spawn;
+/// * `--flat-sync` — disable the hierarchical (socket-composed) half-barrier and use
+///   the flat topology-aware tree instead.
+///
+/// Invalid or missing flag values are a hard error (exit 2): a measurement run under
+/// the wrong placement must never pass silently.
+pub fn placement_args(args: &[String]) -> PlacementConfig {
+    let mut placement = PlacementConfig::default();
+    if has_flag(args, "--topology") {
+        match arg_str(args, "--topology").map(TopologySource::parse) {
+            Some(Ok(source)) => placement.source = source,
+            Some(Err(e)) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("error: --topology requires a value (detect, paper, or SxC)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if has_flag(args, "--pin") {
+        match arg_str(args, "--pin").map(parse_pin_policy) {
+            Some(Ok(pin)) => placement.pin = pin,
+            Some(Err(e)) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("error: --pin requires a value (compact, scatter, or none)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if has_flag(args, "--flat-sync") {
+        placement.hierarchical = false;
+    }
+    placement
 }
 
 /// The thread counts a native sweep uses on this machine: 1, 2, 4, ... up to twice the
@@ -169,68 +231,124 @@ pub fn time_secs(f: impl FnOnce()) -> f64 {
 pub struct RosterEntry {
     /// CSV-friendly key (the `sweep` series name and `--runtime` selector).
     pub key: &'static str,
-    /// Human-readable label (the Table-1 row name).
+    /// Human-readable label (the Table-1 row name, matching the simulated table).
     pub label: &'static str,
-    /// Builds the runtime on the given thread count.  Called lazily, so filtered-out
-    /// entries never spawn worker pools.
-    pub build: fn(usize) -> Box<dyn LoopRuntime>,
+    /// Builds the runtime on the given thread count under the given placement.
+    /// Called lazily, so filtered-out entries never spawn worker pools.
+    pub build: fn(usize, &PlacementConfig) -> Box<dyn LoopRuntime>,
 }
 
-fn fine_grain_runtime(threads: usize, barrier: parlo_core::BarrierKind) -> Box<dyn LoopRuntime> {
+fn fine_grain_runtime(
+    threads: usize,
+    placement: &PlacementConfig,
+    barrier: parlo_core::BarrierKind,
+    hierarchical: bool,
+) -> Box<dyn LoopRuntime> {
     Box::new(parlo_core::FineGrainPool::new(
         parlo_core::Config::builder(threads)
+            .placement(placement)
             .barrier(barrier)
+            .hierarchical(hierarchical)
             .build(),
     ))
 }
 
-/// The paper's fixed-scheduler roster: the six Table-1 rows.
+/// The fixed-scheduler roster: the hierarchical default plus the paper's six Table-1
+/// rows.  The `fine-grain-hier` and `fine-grain-tree` entries force the hierarchical
+/// switch on and off respectively (that ablation is the point of having both rows);
+/// every other entry takes the topology and pin policy from `placement`.
 pub fn fixed_roster() -> Vec<RosterEntry> {
     use parlo_core::BarrierKind;
     use parlo_omp::{Schedule, ScheduledTeam};
     vec![
         RosterEntry {
+            key: "fine-grain-hier",
+            label: "Fine-grain hierarchical",
+            build: |t, p| fine_grain_runtime(t, p, BarrierKind::TreeHalf, true),
+        },
+        RosterEntry {
             key: "fine-grain-tree",
             label: "Fine-grain tree",
-            build: |t| fine_grain_runtime(t, BarrierKind::TreeHalf),
+            build: |t, p| fine_grain_runtime(t, p, BarrierKind::TreeHalf, false),
         },
         RosterEntry {
             key: "fine-grain-centralized",
             label: "Fine-grain centralized",
-            build: |t| fine_grain_runtime(t, BarrierKind::CentralizedHalf),
+            build: |t, p| fine_grain_runtime(t, p, BarrierKind::CentralizedHalf, false),
         },
         RosterEntry {
             key: "fine-grain-tree-full-barrier",
             label: "Fine-grain tree with full-barrier",
-            build: |t| fine_grain_runtime(t, BarrierKind::TreeFull),
+            build: |t, p| fine_grain_runtime(t, p, BarrierKind::TreeFull, false),
         },
         RosterEntry {
             key: "openmp-static",
             label: "OpenMP static",
-            build: |t| Box::new(ScheduledTeam::with_threads(t, Schedule::Static)),
+            build: |t, p| Box::new(ScheduledTeam::with_placement(t, Schedule::Static, p)),
         },
         RosterEntry {
             key: "openmp-dynamic",
             label: "OpenMP dynamic",
-            build: |t| Box::new(ScheduledTeam::with_threads(t, Schedule::Dynamic(1))),
+            build: |t, p| Box::new(ScheduledTeam::with_placement(t, Schedule::Dynamic(1), p)),
         },
         RosterEntry {
             key: "cilk",
             label: "Cilk",
-            build: |t| Box::new(parlo_cilk::CilkPool::with_threads(t)),
+            build: |t, p| Box::new(parlo_cilk::CilkPool::with_placement(t, p)),
         },
     ]
 }
 
-/// The sweep roster: the fixed schedulers plus the adaptive selection runtime.
+/// The sweep roster: the fixed schedulers plus the adaptive selection runtime (which
+/// builds its candidate backends itself and therefore ignores the placement).
 pub fn sweep_roster() -> Vec<RosterEntry> {
     let mut roster = fixed_roster();
     roster.push(RosterEntry {
         key: "adaptive",
         label: "Adaptive",
-        build: |t| Box::new(parlo_adaptive::AdaptivePool::with_threads(t)),
+        build: |t, _| Box::new(parlo_adaptive::AdaptivePool::with_threads(t)),
     });
     roster
+}
+
+/// The fine-grain pool's synchronization ablations, shared by the criterion benches
+/// (`burden`, `barriers`) so the list and its Table-1-style labels are maintained in
+/// exactly one place: `(label, barrier kind, hierarchical)`.
+pub fn fine_grain_ablations() -> Vec<(&'static str, parlo_core::BarrierKind, bool)> {
+    use parlo_core::BarrierKind;
+    vec![
+        ("Fine-grain hierarchical", BarrierKind::TreeHalf, true),
+        ("Fine-grain tree", BarrierKind::TreeHalf, false),
+        (
+            "Fine-grain centralized",
+            BarrierKind::CentralizedHalf,
+            false,
+        ),
+        (
+            "Fine-grain tree with full-barrier",
+            BarrierKind::TreeFull,
+            false,
+        ),
+        (
+            "Fine-grain centralized with full-barrier",
+            BarrierKind::CentralizedFull,
+            false,
+        ),
+    ]
+}
+
+/// Builds the fine-grain pool one [`fine_grain_ablations`] entry describes.
+pub fn fine_grain_ablation_pool(
+    threads: usize,
+    barrier: parlo_core::BarrierKind,
+    hierarchical: bool,
+) -> parlo_core::FineGrainPool {
+    parlo_core::FineGrainPool::new(
+        parlo_core::Config::builder(threads)
+            .barrier(barrier)
+            .hierarchical(hierarchical)
+            .build(),
+    )
 }
 
 // ---------------------------------------------------------------------------------
@@ -299,6 +417,107 @@ pub fn write_json_report(path: &str, report: &BenchReport) -> std::io::Result<()
     std::fs::write(path, json + "\n")
 }
 
+/// Parses a [`BenchReport`] from a JSON file.
+pub fn read_json_report(path: &str) -> std::io::Result<BenchReport> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(text.trim())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+// ---------------------------------------------------------------------------------
+// Perf-regression gate (the `perfgate` binary's comparison logic)
+// ---------------------------------------------------------------------------------
+
+/// One scheduler's baseline-vs-current burden comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Scheduler label (Table-1 row name).
+    pub scheduler: String,
+    /// Baseline burden `d`, µs.
+    pub baseline_us: f64,
+    /// Current burden `d`, µs.
+    pub current_us: f64,
+}
+
+impl GateRow {
+    /// Relative change of the burden, in percent (positive = regression).  A current
+    /// value that is not a finite positive number counts as an unbounded regression
+    /// (a degenerate fit must fail the gate, never sail through as an "improvement").
+    pub fn delta_pct(&self) -> f64 {
+        if !(self.current_us.is_finite() && self.current_us > 0.0) || self.baseline_us <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.current_us / self.baseline_us - 1.0) * 100.0
+    }
+}
+
+/// Outcome of comparing a current bench report against the checked-in baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Regression threshold in percent.
+    pub threshold_pct: f64,
+    /// Per-scheduler comparisons for every baseline row found in the current report.
+    pub rows: Vec<GateRow>,
+    /// Baseline schedulers absent from the current report (a silent drop must fail).
+    pub missing: Vec<String>,
+    /// Current schedulers absent from the baseline (informational; suggests the
+    /// baseline needs regenerating).
+    pub added: Vec<String>,
+}
+
+impl GateOutcome {
+    /// The rows whose burden regressed beyond the threshold.
+    pub fn regressions(&self) -> Vec<&GateRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.delta_pct() > self.threshold_pct)
+            .collect()
+    }
+
+    /// `true` when no scheduler regressed beyond the threshold and no baseline row
+    /// disappeared.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.regressions().is_empty()
+    }
+}
+
+/// Compares the fitted burdens of `current` against `baseline`: a scheduler fails the
+/// gate when its burden grew by more than `threshold_pct` percent.
+pub fn compare_burdens(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    threshold_pct: f64,
+) -> GateOutcome {
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for base in &baseline.burdens {
+        match current
+            .burdens
+            .iter()
+            .find(|c| c.scheduler == base.scheduler)
+        {
+            Some(cur) => rows.push(GateRow {
+                scheduler: base.scheduler.clone(),
+                baseline_us: base.burden_us,
+                current_us: cur.burden_us,
+            }),
+            None => missing.push(base.scheduler.clone()),
+        }
+    }
+    let added = current
+        .burdens
+        .iter()
+        .filter(|c| !baseline.burdens.iter().any(|b| b.scheduler == c.scheduler))
+        .map(|c| c.scheduler.clone())
+        .collect();
+    GateOutcome {
+        threshold_pct,
+        rows,
+        missing,
+        added,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +566,7 @@ mod tests {
 
     #[test]
     fn rosters_have_unique_keys_and_build_working_runtimes() {
+        let placement = PlacementConfig::default();
         let roster = sweep_roster();
         let keys: Vec<&str> = roster.iter().map(|e| e.key).collect();
         let mut deduped = keys.clone();
@@ -355,11 +575,109 @@ mod tests {
         assert_eq!(deduped.len(), keys.len(), "duplicate roster keys");
         assert_eq!(roster.len(), fixed_roster().len() + 1);
         assert!(keys.contains(&"adaptive"));
+        assert!(keys.contains(&"fine-grain-hier"));
         for entry in roster {
-            let mut runtime = (entry.build)(2);
+            let mut runtime = (entry.build)(2, &placement);
             assert_eq!(runtime.threads(), 2, "entry {}", entry.key);
             let sum = runtime.parallel_sum(0..100, &|i| i as f64);
             assert!((sum - 4950.0).abs() < 1e-9, "entry {}", entry.key);
+        }
+    }
+
+    #[test]
+    fn roster_labels_match_the_simulated_table() {
+        // The perf gate matches rows by label, so the native roster labels and the
+        // simulated Table-1 labels must stay in sync.
+        let sim_labels: Vec<&str> = parlo_sim::SimScheduler::TABLE1_ORDER
+            .iter()
+            .map(|s| s.label())
+            .collect();
+        for entry in fixed_roster() {
+            assert!(
+                sim_labels.contains(&entry.label),
+                "roster label `{}` has no simulated Table-1 row",
+                entry.label
+            );
+        }
+    }
+
+    #[test]
+    fn roster_builds_on_a_synthetic_placement() {
+        use parlo_affinity::PinPolicy;
+        let placement = PlacementConfig::synthetic(2, 2).with_pin(PinPolicy::None);
+        for entry in fixed_roster() {
+            let mut runtime = (entry.build)(4, &placement);
+            let sum = runtime.parallel_sum(0..100, &|i| i as f64);
+            assert!((sum - 4950.0).abs() < 1e-9, "entry {}", entry.key);
+        }
+    }
+
+    #[test]
+    fn placement_args_parse_topology_pin_and_flat_sync() {
+        use parlo_affinity::{PinPolicy, TopologySource};
+        let args: Vec<String> = ["--topology", "2x4", "--pin", "none", "--flat-sync"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let p = placement_args(&args);
+        assert_eq!(
+            p.source,
+            TopologySource::Synthetic {
+                sockets: 2,
+                cores_per_socket: 4
+            }
+        );
+        assert_eq!(p.pin, PinPolicy::None);
+        assert!(!p.hierarchical);
+        let d = placement_args(&["--csv".to_string()]);
+        assert_eq!(d, PlacementConfig::default());
+    }
+
+    #[test]
+    fn perf_gate_flags_regressions_and_missing_rows() {
+        let mut baseline = BenchReport::new("table1-simulated", 48);
+        for (name, d) in [("A", 10.0), ("B", 20.0), ("C", 5.0)] {
+            baseline.burdens.push(BurdenRow {
+                scheduler: name.into(),
+                burden_us: d,
+                residual: 0.0,
+            });
+        }
+        // A regresses 30%, B improves, C disappears, D is new.
+        let mut current = BenchReport::new("table1-simulated", 48);
+        for (name, d) in [("A", 13.0), ("B", 18.0), ("D", 1.0)] {
+            current.burdens.push(BurdenRow {
+                scheduler: name.into(),
+                burden_us: d,
+                residual: 0.0,
+            });
+        }
+        let outcome = compare_burdens(&baseline, &current, 25.0);
+        assert!(!outcome.passed());
+        let regressed: Vec<&str> = outcome
+            .regressions()
+            .iter()
+            .map(|r| r.scheduler.as_str())
+            .collect();
+        assert_eq!(regressed, vec!["A"]);
+        assert_eq!(outcome.missing, vec!["C".to_string()]);
+        assert_eq!(outcome.added, vec!["D".to_string()]);
+        assert!((outcome.rows[0].delta_pct() - 30.0).abs() < 1e-9);
+
+        // Within threshold and complete: the gate passes.
+        let outcome = compare_burdens(&baseline, &baseline, 25.0);
+        assert!(outcome.passed());
+        assert!(outcome.regressions().is_empty());
+
+        // Degenerate current burdens (NaN from an unfittable sweep, zero or negative
+        // from a pathological least-squares intercept) are unbounded regressions,
+        // never a silent pass.
+        for bad in [f64::NAN, 0.0, -0.1] {
+            let mut broken = baseline.clone();
+            broken.burdens[0].burden_us = bad;
+            let outcome = compare_burdens(&baseline, &broken, 25.0);
+            assert!(!outcome.passed(), "burden {bad} must fail the gate");
+            assert_eq!(outcome.regressions().len(), 1);
         }
     }
 

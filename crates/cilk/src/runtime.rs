@@ -66,6 +66,12 @@ impl CilkFineGrain {
     pub fn with_threads(threads: usize) -> Self {
         Self::new(CilkPool::with_threads(threads))
     }
+
+    /// Creates a pool with `threads` workers placed according to a shared
+    /// [`parlo_affinity::PlacementConfig`].
+    pub fn with_placement(threads: usize, placement: &parlo_affinity::PlacementConfig) -> Self {
+        Self::new(CilkPool::with_placement(threads, placement))
+    }
 }
 
 impl LoopRuntime for CilkFineGrain {

@@ -40,6 +40,9 @@ pub struct CilkConfig {
     pub wait: WaitPolicy,
     /// Explicit default grain size for `cilk_for`; `None` uses the Cilkplus heuristic.
     pub grain: Option<usize>,
+    /// Compose the embedded fine-grain half-barrier per socket
+    /// ([`parlo_barrier::HierarchicalHalfBarrier`]) instead of using one flat tree.
+    pub hierarchical: bool,
 }
 
 impl Default for CilkConfig {
@@ -51,6 +54,7 @@ impl Default for CilkConfig {
             pin: PinPolicy::Compact,
             wait: WaitPolicy::auto_for(num_threads),
             grain: None,
+            hierarchical: true,
             topology,
         }
     }
@@ -64,6 +68,18 @@ impl CilkConfig {
             num_threads,
             wait: WaitPolicy::auto_for(num_threads),
             ..CilkConfig::default()
+        }
+    }
+
+    /// A configuration with `num_threads` workers placed according to a shared
+    /// [`parlo_affinity::PlacementConfig`] (topology source, pin policy, hierarchical
+    /// half-barrier on/off).
+    pub fn from_placement(num_threads: usize, placement: &parlo_affinity::PlacementConfig) -> Self {
+        CilkConfig {
+            topology: placement.topology(),
+            pin: placement.pin,
+            hierarchical: placement.hierarchical,
+            ..Self::with_threads(num_threads)
         }
     }
 }
@@ -220,14 +236,21 @@ impl CilkPool {
         Self::new(CilkConfig::with_threads(num_threads))
     }
 
+    /// Creates a pool with `num_threads` workers placed according to a shared
+    /// [`parlo_affinity::PlacementConfig`].
+    pub fn with_placement(num_threads: usize, placement: &parlo_affinity::PlacementConfig) -> Self {
+        Self::new(CilkConfig::from_placement(num_threads, placement))
+    }
+
     /// Creates a pool from an explicit configuration.
     pub fn new(config: CilkConfig) -> Self {
         let nthreads = config.num_threads.max(1);
-        let shape = TreeShape::topology_aware(
-            &config.topology,
-            nthreads,
-            config.topology.suggested_arrival_fanin(),
-        );
+        let fanin = config.topology.suggested_arrival_fanin();
+        let fine = if config.hierarchical {
+            HalfBarrier::new_hierarchical(&config.topology, nthreads, fanin)
+        } else {
+            HalfBarrier::new_tree(TreeShape::topology_aware(&config.topology, nthreads, fanin))
+        };
         let shared = Arc::new(CilkShared {
             nthreads,
             deques: (0..nthreads)
@@ -238,7 +261,7 @@ impl CilkPool {
             shutdown: AtomicBool::new(false),
             policy: config.wait,
             stats: CilkStats::default(),
-            fine: HalfBarrier::new_tree(shape),
+            fine,
             fine_job: UnsafeCell::new(FineJob::noop()),
             config: config.clone(),
         });
@@ -290,6 +313,12 @@ impl CilkPool {
 
     pub(crate) fn shared(&self) -> &CilkShared {
         &self.shared
+    }
+
+    /// Instrumentation counters of the embedded hierarchical half-barrier, or `None`
+    /// when the pool was configured with a flat fine-grain tree.
+    pub fn hierarchy_stats(&self) -> Option<parlo_barrier::HierarchyStats> {
+        self.shared.fine.hierarchy_stats()
     }
 
     /// The grain size a loop of `n` iterations would use by default on this pool.
@@ -675,6 +704,29 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.loops, 10);
         assert_eq!(s.fine_loops, 10);
+    }
+
+    #[test]
+    fn placement_pool_uses_hierarchical_fine_path() {
+        use parlo_affinity::PlacementConfig;
+        let placement = PlacementConfig::synthetic(2, 2).with_pin(PinPolicy::None);
+        let mut p = CilkPool::with_placement(4, &placement);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            p.fine_grain_for(0..100, |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        let h = p.hierarchy_stats().expect("hierarchical fine path");
+        assert_eq!(h.cycles, 10);
+        assert_eq!(h.cross_socket_rendezvous, 10);
+
+        let flat = CilkPool::new(CilkConfig {
+            hierarchical: false,
+            ..CilkConfig::from_placement(4, &placement)
+        });
+        assert!(flat.hierarchy_stats().is_none());
     }
 
     #[test]

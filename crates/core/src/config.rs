@@ -1,6 +1,6 @@
 //! Scheduler configuration.
 
-use parlo_affinity::{PinPolicy, Topology};
+use parlo_affinity::{PinPolicy, PlacementConfig, Topology};
 use parlo_barrier::WaitPolicy;
 
 /// Which synchronization structure the pool uses per parallel loop.
@@ -69,6 +69,12 @@ pub struct Config {
     pub wait: WaitPolicy,
     /// Explicit arrival-tree fan-in; `None` uses the topology's suggestion.
     pub fanin: Option<usize>,
+    /// Compose the tree half-barrier per socket ([`parlo_barrier::HierarchicalHalfBarrier`]:
+    /// socket-local arrival trees, one cross-socket rendezvous line per remote socket,
+    /// socket-local release fan-out) instead of using one flat tree over all threads.
+    /// Only affects [`BarrierKind::TreeHalf`]; on a single-socket topology the
+    /// hierarchy degenerates to one socket-local tree.
+    pub hierarchical: bool,
 }
 
 impl Default for Config {
@@ -81,6 +87,7 @@ impl Default for Config {
             pin: PinPolicy::Compact,
             wait: WaitPolicy::auto_for(num_threads),
             fanin: None,
+            hierarchical: true,
             topology,
         }
     }
@@ -144,6 +151,21 @@ impl ConfigBuilder {
         self
     }
 
+    /// Enables or disables the hierarchical (socket-composed) tree half-barrier.
+    pub fn hierarchical(mut self, hierarchical: bool) -> Self {
+        self.config.hierarchical = hierarchical;
+        self
+    }
+
+    /// Applies a shared [`PlacementConfig`]: resolves its topology source, and takes
+    /// its pin policy and hierarchical-synchronization switch.
+    pub fn placement(mut self, placement: &PlacementConfig) -> Self {
+        self.config.topology = placement.topology();
+        self.config.pin = placement.pin;
+        self.config.hierarchical = placement.hierarchical;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Config {
         self.config
@@ -160,6 +182,24 @@ mod tests {
         assert!(c.num_threads >= 1);
         assert_eq!(c.barrier, BarrierKind::TreeHalf);
         assert!(c.effective_fanin() >= 1);
+        assert!(c.hierarchical, "socket-composed sync is the default");
+    }
+
+    #[test]
+    fn placement_sets_topology_pin_and_hierarchy() {
+        let placement = PlacementConfig::synthetic(2, 4)
+            .with_pin(PinPolicy::Scatter)
+            .with_hierarchical(false);
+        let c = Config::builder(8).placement(&placement).build();
+        assert_eq!(c.topology.num_sockets(), 2);
+        assert_eq!(c.topology.cores_per_socket(), 4);
+        assert_eq!(c.pin, PinPolicy::Scatter);
+        assert!(!c.hierarchical);
+        let c = Config::builder(8)
+            .placement(&PlacementConfig::paper_machine())
+            .build();
+        assert_eq!(c.topology.num_sockets(), 4);
+        assert!(c.hierarchical);
     }
 
     #[test]

@@ -62,5 +62,5 @@ pub use runtime::{LoopRuntime, Sequential, SyncStats};
 pub use stats::StatsSnapshot;
 
 // Re-export the pieces callers commonly need to configure a pool.
-pub use parlo_affinity::{PinPolicy, Topology};
-pub use parlo_barrier::{WaitMode, WaitPolicy};
+pub use parlo_affinity::{PinPolicy, PlacementConfig, Topology, TopologySource};
+pub use parlo_barrier::{HierarchyStats, WaitMode, WaitPolicy};

@@ -47,10 +47,23 @@ impl SyncImpl {
         let n = config.num_threads;
         let shape = || TreeShape::topology_aware(&config.topology, n, config.effective_fanin());
         match config.barrier {
+            // The tree half-barrier composes per socket when the placement asks for it:
+            // socket-local arrival trees, one cross-socket rendezvous, socket-local
+            // release fan-out.
+            BarrierKind::TreeHalf if config.hierarchical => SyncImpl::Half(
+                HalfBarrier::new_hierarchical(&config.topology, n, config.effective_fanin()),
+            ),
             BarrierKind::TreeHalf => SyncImpl::Half(HalfBarrier::new_tree(shape())),
             BarrierKind::CentralizedHalf => SyncImpl::Half(HalfBarrier::new_centralized(n)),
             BarrierKind::TreeFull => SyncImpl::Full(FullBarrier::new_tree(shape())),
             BarrierKind::CentralizedFull => SyncImpl::Full(FullBarrier::new_centralized(n)),
+        }
+    }
+
+    fn hierarchy_stats(&self) -> Option<parlo_barrier::HierarchyStats> {
+        match self {
+            SyncImpl::Half(hb) => hb.hierarchy_stats(),
+            SyncImpl::Full(_) => None,
         }
     }
 
@@ -147,6 +160,13 @@ impl FineGrainPool {
         Self::new(Config::builder(num_threads).build())
     }
 
+    /// Creates a pool with `num_threads` threads placed (topology, pinning,
+    /// hierarchical synchronization) according to a shared
+    /// [`PlacementConfig`](parlo_affinity::PlacementConfig).
+    pub fn with_placement(num_threads: usize, placement: &parlo_affinity::PlacementConfig) -> Self {
+        Self::new(Config::builder(num_threads).placement(placement).build())
+    }
+
     /// Creates a pool from an explicit configuration.
     pub fn new(config: Config) -> Self {
         let nthreads = config.num_threads.max(1);
@@ -199,6 +219,13 @@ impl FineGrainPool {
     /// 4 for full-barrier configurations).
     pub fn phases_per_loop(&self) -> u64 {
         self.shared.sync.phases_per_loop()
+    }
+
+    /// Instrumentation counters of the hierarchical half-barrier (per-socket arrival
+    /// counts, cross-socket rendezvous per cycle), or `None` when the pool uses a flat
+    /// synchronization structure.
+    pub fn hierarchy_stats(&self) -> Option<parlo_barrier::HierarchyStats> {
+        self.shared.sync.hierarchy_stats()
     }
 
     pub(crate) fn shared(&self) -> &PoolShared {
@@ -346,6 +373,31 @@ mod tests {
         let mut pf = pool(BarrierKind::TreeFull, 2);
         pf.parallel_for(0..10, |_| {});
         assert_eq!(pf.stats().barrier_phases, 4);
+    }
+
+    #[test]
+    fn placement_pool_uses_hierarchical_half_barrier() {
+        use parlo_affinity::{PinPolicy, PlacementConfig};
+        let placement = PlacementConfig::synthetic(2, 2).with_pin(PinPolicy::None);
+        let mut p = FineGrainPool::with_placement(4, &placement);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            p.parallel_for(0..100, |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        let h = p.hierarchy_stats().expect("hierarchical sync enabled");
+        assert_eq!(h.cycles, 10);
+        assert_eq!(h.cross_socket_rendezvous, 10, "one rendezvous per loop");
+
+        // Disabling the hierarchy falls back to the flat topology-aware tree.
+        let flat = FineGrainPool::new(
+            Config::builder(4)
+                .placement(&placement.with_hierarchical(false))
+                .build(),
+        );
+        assert!(flat.hierarchy_stats().is_none());
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub struct PoolStats {
     barrier_phases: AtomicU64,
 }
 
-/// A point-in-time copy of [`PoolStats`].
+/// A point-in-time copy of the pool's instrumentation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Number of parallel loops (of any kind) executed.

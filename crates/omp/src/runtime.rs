@@ -41,6 +41,16 @@ impl ScheduledTeam {
     pub fn with_threads(threads: usize, schedule: Schedule) -> Self {
         Self::new(OmpTeam::with_threads(threads), schedule)
     }
+
+    /// Creates a team with `threads` threads, the given schedule, and workers placed
+    /// according to a shared [`parlo_affinity::PlacementConfig`].
+    pub fn with_placement(
+        threads: usize,
+        schedule: Schedule,
+        placement: &parlo_affinity::PlacementConfig,
+    ) -> Self {
+        Self::new(OmpTeam::with_placement(threads, placement), schedule)
+    }
 }
 
 impl LoopRuntime for ScheduledTeam {

@@ -62,6 +62,21 @@ impl TeamConfig {
             ..TeamConfig::default()
         }
     }
+
+    /// A configuration with `num_threads` threads placed according to a shared
+    /// [`parlo_affinity::PlacementConfig`] (topology source + pin policy).
+    ///
+    /// The placement's `hierarchical` switch does not change this team: its *full*
+    /// tree barrier is already laid out with socket-local subtrees
+    /// ([`parlo_barrier::TreeShape::topology_aware`]); the hierarchical *half*-barrier
+    /// only exists in the fine-grain schedulers.
+    pub fn from_placement(num_threads: usize, placement: &parlo_affinity::PlacementConfig) -> Self {
+        TeamConfig {
+            topology: placement.topology(),
+            pin: placement.pin,
+            ..Self::with_threads(num_threads)
+        }
+    }
 }
 
 /// Type-erased work descriptor of the team (same lifetime-erasure argument as the
@@ -152,6 +167,12 @@ impl OmpTeam {
     /// Creates a team with `num_threads` threads.
     pub fn with_threads(num_threads: usize) -> Self {
         Self::new(TeamConfig::with_threads(num_threads))
+    }
+
+    /// Creates a team with `num_threads` threads placed according to a shared
+    /// [`parlo_affinity::PlacementConfig`].
+    pub fn with_placement(num_threads: usize, placement: &parlo_affinity::PlacementConfig) -> Self {
+        Self::new(TeamConfig::from_placement(num_threads, placement))
     }
 
     /// Creates a team from an explicit configuration.
@@ -656,6 +677,20 @@ mod tests {
         let mut t = OmpTeam::with_threads(2);
         t.parallel_for(0..100, Schedule::Dynamic(10), |_| {});
         assert_eq!(t.stats().dynamic_chunks, 10);
+    }
+
+    #[test]
+    fn placement_team_runs_loops() {
+        use parlo_affinity::PlacementConfig;
+        let placement = PlacementConfig::synthetic(2, 2).with_pin(PinPolicy::None);
+        let mut t = OmpTeam::with_placement(4, &placement);
+        assert_eq!(t.config().topology.num_sockets(), 2);
+        assert_eq!(t.config().pin, PinPolicy::None);
+        let counter = AtomicUsize::new(0);
+        t.parallel_for(0..100, Schedule::Static, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
     }
 
     #[test]

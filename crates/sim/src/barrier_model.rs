@@ -90,6 +90,107 @@ pub fn runtime_shape(m: &SimMachine, nthreads: usize) -> TreeShape {
     )
 }
 
+// ----- hierarchical (socket-composed) half-barrier ------------------------------------
+//
+// Mirrors `parlo_barrier::HierarchicalHalfBarrier`: per populated socket one local
+// arrival tree (suggested fan-in) and one local release tree (suggested fan-out), one
+// padded rendezvous line per remote socket, and the master storing the remote release
+// lines *before* fanning out locally, so the highest-latency signals leave earliest.
+
+/// The non-empty worker groups (socket membership lists) of `nthreads` compactly
+/// placed threads.
+fn populated_groups(m: &SimMachine, nthreads: usize) -> Vec<Vec<usize>> {
+    m.topology
+        .worker_groups(nthreads.max(1))
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .collect()
+}
+
+/// Latency (ns) until the last member of a socket-local release tree of `size`
+/// participants (heap-shaped, fan-out `fanout`, all intra-socket) has been released,
+/// measured from the moment the local root starts forwarding.
+fn local_release_ns(m: &SimMachine, size: usize, fanout: usize) -> f64 {
+    fn released_at(m: &SimMachine, size: usize, fanout: usize, node: usize, start: f64) -> f64 {
+        let mut latest = start;
+        for k in 0..fanout {
+            let child = fanout * node + 1 + k;
+            if child >= size {
+                break;
+            }
+            // One store per child, issued sequentially; the child observes it one
+            // intra-socket transfer later.
+            let child_start =
+                start + (k as f64 + 1.0) * m.cost.release_store_ns + m.cost.line_intra_ns;
+            latest = latest.max(released_at(m, size, fanout, child, child_start));
+        }
+        latest
+    }
+    released_at(m, size, fanout, 0, 0.0)
+}
+
+/// Latency (ns) until a socket-local arrival tree of `size` participants (heap-shaped,
+/// fan-in `fanin`, all intra-socket) has folded every arrival into its local root and
+/// the root has published its own flag.
+fn local_join_ns(m: &SimMachine, size: usize, fanin: usize) -> f64 {
+    fn visible_at(m: &SimMachine, size: usize, fanin: usize, node: usize) -> f64 {
+        let mut ready = 0.0f64;
+        for k in 0..fanin {
+            let child = fanin * node + 1 + k;
+            if child >= size {
+                break;
+            }
+            let child_visible = visible_at(m, size, fanin, child) + m.cost.line_intra_ns;
+            ready = ready.max(child_visible) + m.cost.spin_check_ns;
+        }
+        ready + m.cost.release_store_ns
+    }
+    visible_at(m, size, fanin, 0)
+}
+
+/// Latency (ns) of the hierarchical release phase: the master stores one padded
+/// per-socket line per remote socket first, then every socket (the master's own
+/// included) fans the release out locally with the suggested wakeup fan-out.
+pub fn hierarchical_release_ns(m: &SimMachine, nthreads: usize) -> f64 {
+    let groups = populated_groups(m, nthreads);
+    let fanout = m.topology.suggested_release_fanout();
+    let remote = groups.len().saturating_sub(1) as f64;
+    let mut latest = 0.0f64;
+    for (g, group) in groups.iter().enumerate() {
+        let root_released = if g == 0 {
+            // The master fans out locally only after its remote stores have been issued.
+            remote * m.cost.release_store_ns
+        } else {
+            g as f64 * m.cost.release_store_ns + m.cost.line_inter_ns
+        };
+        latest = latest.max(root_released + local_release_ns(m, group.len(), fanout));
+    }
+    latest
+}
+
+/// Latency (ns) of the hierarchical join phase: socket-local arrival trees drain in
+/// parallel, each remote root publishes its socket's single rendezvous line, and the
+/// master performs one collection pass (local children first, then the per-socket
+/// lines).
+pub fn hierarchical_join_ns(m: &SimMachine, nthreads: usize) -> f64 {
+    let groups = populated_groups(m, nthreads);
+    let fanin = m.topology.suggested_arrival_fanin();
+    // Time until the master has folded its own socket's arrivals.
+    let mut ready = local_join_ns(m, groups[0].len(), fanin);
+    // The single cross-socket rendezvous: one padded line per remote socket, checked
+    // sequentially.
+    for group in groups.iter().skip(1) {
+        let socket_visible = local_join_ns(m, group.len(), fanin) + m.cost.line_inter_ns;
+        ready = ready.max(socket_visible) + m.cost.spin_check_ns;
+    }
+    ready
+}
+
+/// Latency of one half-barrier loop (release + join) with the hierarchical structure.
+pub fn hierarchical_half_barrier_ns(m: &SimMachine, nthreads: usize) -> f64 {
+    hierarchical_release_ns(m, nthreads) + hierarchical_join_ns(m, nthreads)
+}
+
 /// Latency of one half-barrier loop (release + join) with the tree structure.
 pub fn tree_half_barrier_ns(m: &SimMachine, nthreads: usize) -> f64 {
     let shape = runtime_shape(m, nthreads);
@@ -149,6 +250,39 @@ mod tests {
             let ratio = tree_full_barrier_loop_ns(&m, p) / tree_half_barrier_ns(&m, p);
             assert!((ratio - 2.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn hierarchical_half_barrier_is_no_worse_than_the_flat_tree() {
+        let m = SimMachine::paper_machine();
+        for p in [1usize, 2, 8, 12, 13, 24, 48] {
+            let hier = hierarchical_half_barrier_ns(&m, p);
+            let flat = tree_half_barrier_ns(&m, p);
+            assert!(
+                hier <= flat + 1e-9,
+                "hierarchical must not regress the flat tree at P={p}: {hier} vs {flat}"
+            );
+        }
+        // Once several sockets are populated the remote-first release ordering is a
+        // strict win.
+        assert!(
+            hierarchical_half_barrier_ns(&m, 48) < tree_half_barrier_ns(&m, 48),
+            "at 48 threads the hierarchy must be strictly cheaper"
+        );
+    }
+
+    #[test]
+    fn hierarchical_costs_grow_with_thread_count() {
+        let m = SimMachine::paper_machine();
+        let mut prev = 0.0;
+        for p in [2usize, 4, 8, 16, 32, 48] {
+            let half = hierarchical_half_barrier_ns(&m, p);
+            assert!(half > prev * 0.8, "hierarchical half barrier roughly grows");
+            prev = half;
+        }
+        // Single thread: a release phase with nothing to signal and a join with
+        // nothing to collect.
+        assert!(hierarchical_half_barrier_ns(&m, 1) <= 2.0 * m.cost.release_store_ns + 1e-9);
     }
 
     #[test]

@@ -12,6 +12,10 @@ use serde::{Deserialize, Serialize};
 /// reproduction adds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SimScheduler {
+    /// Fine-grain scheduler, hierarchical half-barrier (socket-local trees, one
+    /// cross-socket rendezvous per cycle, socket-local release fan-out) — the default
+    /// configuration of this reproduction.
+    FineGrainHier,
     /// Fine-grain scheduler, topology-aware tree half-barrier (the paper's default).
     FineGrainTree,
     /// Fine-grain scheduler, centralized half-barrier.
@@ -27,8 +31,10 @@ pub enum SimScheduler {
 }
 
 impl SimScheduler {
-    /// All schedulers in the order Table 1 lists them.
-    pub const TABLE1_ORDER: [SimScheduler; 6] = [
+    /// All schedulers in the order Table 1 lists them (the hierarchical default first,
+    /// then the paper's original six rows).
+    pub const TABLE1_ORDER: [SimScheduler; 7] = [
+        SimScheduler::FineGrainHier,
         SimScheduler::FineGrainTree,
         SimScheduler::FineGrainCentralized,
         SimScheduler::FineGrainTreeFull,
@@ -40,6 +46,7 @@ impl SimScheduler {
     /// The row label Table 1 uses.
     pub fn label(&self) -> &'static str {
         match self {
+            SimScheduler::FineGrainHier => "Fine-grain hierarchical",
             SimScheduler::FineGrainTree => "Fine-grain tree",
             SimScheduler::FineGrainCentralized => "Fine-grain centralized",
             SimScheduler::FineGrainTreeFull => "Fine-grain tree with full-barrier",
@@ -79,6 +86,7 @@ pub fn burden_ns(
     let p = nthreads.max(1);
     let c = &m.cost;
     match scheduler {
+        SimScheduler::FineGrainHier => c.fine_setup_ns + bm::hierarchical_half_barrier_ns(m, p),
         SimScheduler::FineGrainTree => c.fine_setup_ns + bm::tree_half_barrier_ns(m, p),
         SimScheduler::FineGrainCentralized => {
             c.fine_setup_ns + bm::centralized_half_barrier_ns(m, p)
@@ -144,7 +152,7 @@ pub fn reduction_burden_ns(
     match scheduler {
         // Merged into the join half-barrier: P − 1 combines, spread over the tree, so
         // only the root's share (≈ fan-in combines) sits on the critical path.
-        SimScheduler::FineGrainTree => {
+        SimScheduler::FineGrainHier | SimScheduler::FineGrainTree => {
             base + (m.topology.suggested_arrival_fanin() as f64) * c.reduce_op_ns
         }
         // Centralized: the master performs all P − 1 combines serially.
@@ -179,6 +187,7 @@ mod tests {
         let m = paper();
         let shape = LoopShape::default();
         let d = |s| burden_ns(&m, s, 48, shape);
+        let fine_hier = d(SimScheduler::FineGrainHier);
         let fine_tree = d(SimScheduler::FineGrainTree);
         let fine_central = d(SimScheduler::FineGrainCentralized);
         let fine_full = d(SimScheduler::FineGrainTreeFull);
@@ -187,6 +196,10 @@ mod tests {
         let cilk = d(SimScheduler::Cilk);
 
         // The paper's qualitative findings:
+        assert!(
+            fine_hier <= fine_tree,
+            "the hierarchical composition must not regress the flat tree"
+        );
         assert!(
             fine_tree < fine_central,
             "tree beats centralized at 48 threads"
@@ -260,6 +273,6 @@ mod tests {
             .iter()
             .map(|s| s.label())
             .collect();
-        assert_eq!(labels.len(), 6);
+        assert_eq!(labels.len(), 7);
     }
 }

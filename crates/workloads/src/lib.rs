@@ -24,5 +24,7 @@ pub mod util;
 
 pub use mesh::Mesh;
 pub use mpdata::Mpdata;
-pub use runner::{all_runtimes, LoopRuntime, Sequential, SyncStats};
+pub use runner::{
+    all_runtimes, all_runtimes_with_placement, LoopRuntime, PlacementConfig, Sequential, SyncStats,
+};
 pub use util::UnsafeSlice;

@@ -1,6 +1,6 @@
 //! The granularity micro-benchmark used to estimate scheduler burden (Table 1).
 //!
-//! The paper "use[s] a micro-benchmark to measure loop scheduling overhead by varying
+//! The paper "use\[s\] a micro-benchmark to measure loop scheduling overhead by varying
 //! the amount of work in the parallel loop".  Our micro-benchmark is a loop of `n`
 //! iterations, each performing `units` rounds of a small floating-point kernel whose
 //! result is fed back into itself so the compiler cannot elide it.  Varying `units`

@@ -14,29 +14,49 @@
 //! [`CilkPool`]: parlo_cilk::CilkPool
 //! [`CilkFineGrain`]: parlo_cilk::CilkFineGrain
 
+pub use parlo_affinity::PlacementConfig;
 pub use parlo_core::{LoopRuntime, Sequential, SyncStats};
 
 /// The standard cross-runtime evaluation roster on `threads` threads: sequential
 /// reference, fine-grain pool, the OpenMP-like team under its three main worksharing
-/// schedules, and both paths of the Cilk-like pool.
+/// schedules, and both paths of the Cilk-like pool.  Workers are placed (topology,
+/// pinning, hierarchical synchronization) by the default [`PlacementConfig`]: detected
+/// machine, compact pinning, socket-composed half-barriers.
 pub fn all_runtimes(threads: usize) -> Vec<Box<dyn LoopRuntime>> {
+    all_runtimes_with_placement(threads, &PlacementConfig::default())
+}
+
+/// The standard roster with every worker pool built from a shared [`PlacementConfig`],
+/// so the whole evaluation can run on a synthetic machine shape (deterministic
+/// hierarchy, CI-testable) or with a non-default pin policy.
+pub fn all_runtimes_with_placement(
+    threads: usize,
+    placement: &PlacementConfig,
+) -> Vec<Box<dyn LoopRuntime>> {
     vec![
         Box::new(Sequential),
-        Box::new(parlo_core::FineGrainPool::with_threads(threads)),
-        Box::new(parlo_omp::ScheduledTeam::with_threads(
+        Box::new(parlo_core::FineGrainPool::with_placement(
+            threads, placement,
+        )),
+        Box::new(parlo_omp::ScheduledTeam::with_placement(
             threads,
             parlo_omp::Schedule::Static,
+            placement,
         )),
-        Box::new(parlo_omp::ScheduledTeam::with_threads(
+        Box::new(parlo_omp::ScheduledTeam::with_placement(
             threads,
             parlo_omp::Schedule::Dynamic(8),
+            placement,
         )),
-        Box::new(parlo_omp::ScheduledTeam::with_threads(
+        Box::new(parlo_omp::ScheduledTeam::with_placement(
             threads,
             parlo_omp::Schedule::Guided(2),
+            placement,
         )),
-        Box::new(parlo_cilk::CilkPool::with_threads(threads)),
-        Box::new(parlo_cilk::CilkFineGrain::with_threads(threads)),
+        Box::new(parlo_cilk::CilkPool::with_placement(threads, placement)),
+        Box::new(parlo_cilk::CilkFineGrain::with_placement(
+            threads, placement,
+        )),
     ]
 }
 
@@ -72,6 +92,23 @@ mod tests {
             );
             assert!(r.threads() >= 1);
             assert!(!r.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn placement_roster_covers_the_range_on_a_synthetic_machine() {
+        use parlo_affinity::PinPolicy;
+        let placement = PlacementConfig::synthetic(2, 4).with_pin(PinPolicy::None);
+        for mut r in all_runtimes_with_placement(4, &placement) {
+            let hits: Vec<AtomicUsize> = (0..301).map(|_| AtomicUsize::new(0)).collect();
+            r.parallel_for(0..301, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "runtime {}",
+                r.name()
+            );
         }
     }
 

@@ -34,10 +34,10 @@ pub use parlo_workloads as workloads;
 /// The most commonly used types, re-exported in one place.
 pub mod prelude {
     pub use parlo_adaptive::{AdaptivePool, Backend, LoopSite};
-    pub use parlo_affinity::{PinPolicy, Topology};
-    pub use parlo_barrier::{WaitMode, WaitPolicy};
+    pub use parlo_affinity::{PinPolicy, PlacementConfig, Topology, TopologySource};
+    pub use parlo_barrier::{HierarchicalHalfBarrier, HierarchyStats, WaitMode, WaitPolicy};
     pub use parlo_cilk::{CilkFineGrain, CilkPool};
     pub use parlo_core::{BarrierKind, Config, FineGrainPool, LoopRuntime, Sequential, SyncStats};
     pub use parlo_omp::{OmpTeam, Schedule, ScheduledTeam};
-    pub use parlo_workloads::all_runtimes;
+    pub use parlo_workloads::{all_runtimes, all_runtimes_with_placement};
 }

@@ -171,19 +171,76 @@ fn structural_claims_of_the_paper_hold() {
 }
 
 #[test]
+fn hierarchical_sync_preserves_results_on_synthetic_topologies() {
+    // The whole roster runs on synthetic multi-socket shapes with the hierarchical
+    // half-barrier enabled; every runtime must still agree with sequential execution.
+    // Pinning is off: the synthetic shape's core ids need not exist on the CI machine.
+    for (sockets, cores) in [(2usize, 4usize), (4, 8)] {
+        let threads = (sockets * cores).min(8);
+        let placement = PlacementConfig::synthetic(sockets, cores).with_pin(PinPolicy::None);
+        let n = 1009;
+        let expected: f64 = (0..n).map(|i| (i as f64).sqrt()).sum();
+        for r in all_runtimes_with_placement(threads, &placement).iter_mut() {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            r.parallel_for(0..n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "runtime {} on {sockets}x{cores}",
+                r.name()
+            );
+            let got = r.parallel_sum(0..n, &|i| (i as f64).sqrt());
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "runtime {} on {sockets}x{cores}: {got} vs {expected}",
+                r.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn hierarchical_and_flat_fine_grain_agree_on_mpdata() {
+    // Bit-identical MPDATA results between the hierarchical and flat layouts of the
+    // same fine-grain pool on a synthetic 2x4 machine.
+    let mesh = parlo_workloads::Mesh::triangulated_grid(16, 12, 5);
+    let placement = PlacementConfig::synthetic(2, 4).with_pin(PinPolicy::None);
+    let mut reference = Mpdata::new(mesh.clone());
+    reference.run(&mut Sequential, 8, false);
+    for hierarchical in [true, false] {
+        let mut pool = FineGrainPool::new(
+            Config::builder(8)
+                .placement(&placement.with_hierarchical(hierarchical))
+                .build(),
+        );
+        let mut solver = Mpdata::new(mesh.clone());
+        solver.run(&mut pool, 8, false);
+        assert_eq!(solver.psi, reference.psi, "hierarchical={hierarchical}");
+    }
+}
+
+#[test]
 fn simulated_experiments_reproduce_the_paper_shape() {
     use parlo_sim::{experiments, SimMachine};
     let m = SimMachine::paper_machine();
 
-    // Table 1 shape: the fine-grain tree has the lowest burden, Cilk the highest.
+    // Table 1 shape: the hierarchical fine-grain row has the lowest burden (in
+    // particular no worse than the flat tree half-barrier), Cilk the highest.
     let t1 = experiments::table1(&m);
     let burdens: Vec<f64> = t1.rows.iter().map(|(_, v)| v[0]).collect();
-    assert_eq!(t1.rows.len(), 6);
-    assert!(burdens[1..].iter().all(|&d| d >= burdens[0]));
-    assert_eq!(t1.rows[5].0, "Cilk");
+    assert_eq!(t1.rows.len(), 7);
+    assert_eq!(t1.rows[0].0, "Fine-grain hierarchical");
+    assert_eq!(t1.rows[1].0, "Fine-grain tree");
     assert!(
-        burdens[5]
-            >= *burdens[..5]
+        burdens[0] <= burdens[1],
+        "hierarchical must not regress the flat half-barrier"
+    );
+    assert!(burdens[1..].iter().all(|&d| d >= burdens[0]));
+    assert_eq!(t1.rows[6].0, "Cilk");
+    assert!(
+        burdens[6]
+            >= *burdens[..6]
                 .iter()
                 .fold(&0.0, |a, b| if b > a { b } else { a })
     );

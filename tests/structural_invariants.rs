@@ -14,8 +14,11 @@
 //!   barrier* beyond the loop's own half-barrier;
 //! * the OpenMP-like baseline pays 2 full barriers per plain loop and 3 per
 //!   reduction loop;
-//! * the Cilk hybrid's fine-grain path has the same structure as the fine-grain pool.
+//! * the Cilk hybrid's fine-grain path has the same structure as the fine-grain pool;
+//! * the hierarchical half-barrier performs exactly one cross-socket rendezvous per
+//!   cycle and exactly one arrival per worker per cycle on each socket.
 
+use parlo_affinity::{PinPolicy, PlacementConfig, Topology};
 use parlo_cilk::CilkPool;
 use parlo_core::{BarrierKind, Config, FineGrainPool};
 use parlo_omp::{OmpTeam, Schedule};
@@ -153,6 +156,82 @@ fn omp_baseline_pays_two_full_barriers_per_loop_and_three_per_reduction() {
             "a reduction loop pays a third full barrier ({threads}T)"
         );
         assert_eq!(after.combine_ops - before.combine_ops, threads as u64 - 1);
+    }
+}
+
+#[test]
+fn hierarchical_barrier_has_exact_per_socket_arrivals_and_one_rendezvous_per_loop() {
+    const LOOPS: u64 = 12;
+    for (sockets, cores) in [(2usize, 4usize), (4, 8)] {
+        let threads = sockets * cores;
+        let placement = PlacementConfig::synthetic(sockets, cores).with_pin(PinPolicy::None);
+        let mut pool = FineGrainPool::with_placement(threads, &placement);
+        for _ in 0..LOOPS {
+            pool.parallel_for(0..threads * 3, |_| {});
+        }
+        let h = pool
+            .hierarchy_stats()
+            .expect("synthetic placement enables the hierarchical half-barrier");
+        assert_eq!(h.cycles, LOOPS, "{sockets}x{cores}");
+        assert_eq!(
+            h.cross_socket_rendezvous, LOOPS,
+            "exactly one cross-socket rendezvous per loop on {sockets}x{cores}"
+        );
+        assert_eq!(h.socket_arrivals.len(), sockets);
+        // Socket 0 hosts the master, which joins without an explicit arrival; every
+        // remote socket records one arrival per member per loop.
+        assert_eq!(h.socket_arrivals[0], LOOPS * (cores as u64 - 1));
+        for s in 1..sockets {
+            assert_eq!(h.socket_arrivals[s], LOOPS * cores as u64, "socket {s}");
+        }
+        // The barrier phases are unchanged by the hierarchy: still one half-barrier
+        // (2 phases) per loop, i.e. the paper's structural claim holds hierarchically.
+        assert_eq!(pool.stats().barrier_phases, LOOPS * 2);
+    }
+}
+
+#[test]
+fn hierarchical_reduction_still_combines_every_worker_exactly_once() {
+    for (sockets, cores) in [(2usize, 4usize), (4, 8)] {
+        let threads = sockets * cores;
+        let placement = PlacementConfig::synthetic(sockets, cores).with_pin(PinPolicy::None);
+        let mut pool = FineGrainPool::with_placement(threads, &placement);
+        let sum = pool.parallel_reduce(0..1000, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+        assert_eq!(sum, (0..1000u64).sum());
+        assert_eq!(
+            pool.stats().combine_ops,
+            threads as u64 - 1,
+            "P-1 combines on {sockets}x{cores}"
+        );
+    }
+}
+
+#[test]
+fn partially_populated_sockets_keep_the_invariants() {
+    // 6 threads on a 4x8 shape populate only one remote socket... (w/8)%4: workers
+    // 0..5 all land on socket 0, so no rendezvous happens; 10 threads span 2 sockets.
+    let placement = PlacementConfig::synthetic(4, 8).with_pin(PinPolicy::None);
+    let topo = Topology::synthetic(4, 8).unwrap();
+    for threads in [6usize, 10] {
+        let populated = topo
+            .worker_groups(threads)
+            .iter()
+            .filter(|g| !g.is_empty())
+            .count();
+        let mut pool = FineGrainPool::with_placement(threads, &placement);
+        pool.parallel_for(0..100, |_| {});
+        let h = pool.hierarchy_stats().unwrap();
+        assert_eq!(h.cycles, 1);
+        assert_eq!(
+            h.cross_socket_rendezvous,
+            u64::from(populated > 1),
+            "{threads} threads"
+        );
+        assert_eq!(
+            h.socket_arrivals.iter().sum::<u64>(),
+            threads as u64 - 1,
+            "every worker arrives exactly once ({threads} threads)"
+        );
     }
 }
 

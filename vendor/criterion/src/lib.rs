@@ -12,10 +12,93 @@
 //! time per iteration. There is no statistical analysis, HTML report or comparison
 //! with saved baselines; benches exist here to exercise the hot paths and print
 //! indicative numbers, and `cargo bench` stays dependency-free and offline.
+//!
+//! One machine-readable hook exists for CI: when the `CRITERION_JSON` environment
+//! variable names a file, every completed benchmark's **median** per-iteration time is
+//! collected and written there as JSON when the `criterion_main!`-generated `main`
+//! returns (`--quick` runs included), so perf gates can consume bench output without
+//! scraping the human-readable lines.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Completed benchmark results collected for the `CRITERION_JSON` report.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// One benchmark's collected result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/name` for grouped benchmarks, bare `name` otherwise.
+    pub name: String,
+    /// Median per-iteration time over the collected samples, in seconds.
+    pub median_s: f64,
+    /// Number of samples the median was taken over.
+    pub samples: usize,
+}
+
+/// Median of a sample set (mean of the two middle elements for even counts).
+fn median(samples: &[f64]) -> f64 {
+    debug_assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes results as `{"benches":[{"name":...,"median_s":...,"samples":...}]}`.
+fn results_to_json(results: &[BenchResult]) -> String {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"median_s\":{:e},\"samples\":{}}}",
+                escape_json(&r.name),
+                r.median_s,
+                r.samples
+            )
+        })
+        .collect();
+    format!("{{\"benches\":[{}]}}\n", rows.join(","))
+}
+
+/// Writes the collected results of this process to `path` as JSON.
+pub fn write_results_to(path: &str) -> std::io::Result<()> {
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    std::fs::write(path, results_to_json(&results))
+}
+
+/// Called by the `criterion_main!`-generated `main` after all groups have run: writes
+/// the per-bench medians to the file named by `CRITERION_JSON`, if set.
+#[doc(hidden)]
+pub fn flush_json_results() {
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Err(e) = write_results_to(&path) {
+            eprintln!("criterion: failed to write CRITERION_JSON={path}: {e}");
+        } else {
+            println!("criterion: wrote per-bench medians to {path}");
+        }
+    }
+}
 
 /// The benchmark driver handed to every `criterion_group!` function.
 pub struct Criterion {
@@ -48,8 +131,10 @@ impl Criterion {
         let warm_up = self.default_warm_up;
         let measurement = self.default_measurement;
         let quick = self.quick;
+        let name = name.to_string();
         BenchmarkGroup {
             _criterion: self,
+            name,
             sample_size,
             warm_up,
             measurement,
@@ -65,7 +150,7 @@ impl Criterion {
             self.default_warm_up,
             self.default_measurement,
         );
-        run_bench(name, sample_size, warm_up, measurement, f);
+        run_bench(name, name, sample_size, warm_up, measurement, f);
         self
     }
 }
@@ -73,6 +158,7 @@ impl Criterion {
 /// A group of benchmarks sharing sampling configuration.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
@@ -102,7 +188,8 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
         let (sample_size, warm_up, measurement) =
             clamp_quick(self.quick, self.sample_size, self.warm_up, self.measurement);
-        run_bench(name, sample_size, warm_up, measurement, f);
+        let record = format!("{}/{name}", self.name);
+        run_bench(name, &record, sample_size, warm_up, measurement, f);
         self
     }
 
@@ -169,6 +256,7 @@ fn clamp_quick(
 
 fn run_bench(
     name: &str,
+    record_name: &str,
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
@@ -196,6 +284,14 @@ fn run_bench(
         fmt_time(max),
         b.samples.len()
     );
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchResult {
+            name: record_name.to_string(),
+            median_s: median(&b.samples),
+            samples: b.samples.len(),
+        });
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -221,13 +317,82 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `fn main` running the given groups, mirroring criterion's macro.
+/// Generates `fn main` running the given groups, mirroring criterion's macro.  After
+/// all groups complete, the per-bench medians are written to the file named by the
+/// `CRITERION_JSON` environment variable (if set).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             // Cargo passes harness flags like `--bench`; the mini-harness ignores them.
             $( $group(); )+
+            $crate::flush_json_results();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn json_output_is_well_formed_and_escaped() {
+        let results = vec![
+            BenchResult {
+                name: "group/bench \"a\"".into(),
+                median_s: 1.5e-6,
+                samples: 3,
+            },
+            BenchResult {
+                name: "plain".into(),
+                median_s: 2.0e-3,
+                samples: 10,
+            },
+        ];
+        let json = results_to_json(&results);
+        assert!(json.starts_with("{\"benches\":["));
+        assert!(json.contains("\\\"a\\\""));
+        assert!(json.contains("\"samples\":10"));
+        assert!(json.contains("1.5e-6") || json.contains("1.5e-06"));
+        // Balanced braces/brackets (a cheap well-formedness check without a parser).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn run_bench_records_a_result_and_write_results_roundtrips() {
+        let before = RESULTS.lock().unwrap().len();
+        run_bench(
+            "smoke",
+            "test-group/smoke",
+            3,
+            Duration::from_millis(1),
+            Duration::from_millis(5),
+            |b| b.iter(|| black_box(1 + 1)),
+        );
+        let results = RESULTS.lock().unwrap();
+        assert!(results.len() > before);
+        let rec = results.last().unwrap();
+        assert_eq!(rec.name, "test-group/smoke");
+        assert!(rec.median_s > 0.0);
+        assert!(rec.samples >= 1);
+        drop(results);
+
+        let path = std::env::temp_dir().join(format!("criterion_json_{}.json", std::process::id()));
+        write_results_to(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("test-group/smoke"));
+        std::fs::remove_file(&path).ok();
+    }
 }
