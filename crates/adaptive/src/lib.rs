@@ -83,28 +83,33 @@ pub enum Backend {
     OmpDynamic,
     /// The OpenMP-like team with `schedule(guided, chunk)`.
     OmpGuided,
+    /// The work-stealing chunk pool (pre-split per-worker deques, owner-LIFO /
+    /// thief-FIFO, half-barrier completion).
+    Steal,
     /// The Cilk-like work-stealing pool (recursive splitting, random stealing).
     CilkSteal,
 }
 
 impl Backend {
     /// Every backend, in probe order.
-    pub const ALL: [Backend; 6] = [
+    pub const ALL: [Backend; 7] = [
         Backend::Sequential,
         Backend::FineGrain,
         Backend::OmpStatic,
         Backend::OmpDynamic,
         Backend::OmpGuided,
+        Backend::Steal,
         Backend::CilkSteal,
     ];
 
     /// The default candidate set probed for every site: one representative per
     /// scheduling family (guided is skipped to keep calibration short; opt in through
     /// [`AdaptiveConfig::backends`]).
-    pub const DEFAULT: [Backend; 4] = [
+    pub const DEFAULT: [Backend; 5] = [
         Backend::FineGrain,
         Backend::OmpStatic,
         Backend::OmpDynamic,
+        Backend::Steal,
         Backend::CilkSteal,
     ];
 
@@ -116,6 +121,7 @@ impl Backend {
             Backend::OmpStatic => "omp-static",
             Backend::OmpDynamic => "omp-dynamic",
             Backend::OmpGuided => "omp-guided",
+            Backend::Steal => "steal",
             Backend::CilkSteal => "cilk-steal",
         }
     }

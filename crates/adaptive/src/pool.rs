@@ -5,6 +5,7 @@ use parlo_analysis::{fit_burden, BurdenFit, BurdenMeasurement};
 use parlo_cilk::{default_grain, CilkPool};
 use parlo_core::{FineGrainPool, LoopRuntime, SyncStats};
 use parlo_omp::{OmpTeam, Schedule};
+use parlo_steal::StealPool;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
@@ -174,6 +175,7 @@ pub struct AdaptivePool {
     fine: FineGrainPool,
     team: OmpTeam,
     cilk: CilkPool,
+    steal: StealPool,
     backends: Vec<Backend>,
     probes_per_backend: usize,
     reprobe_interval: u64,
@@ -224,6 +226,7 @@ impl AdaptivePool {
             fine: FineGrainPool::with_threads(threads),
             team: OmpTeam::with_threads(threads),
             cilk: CilkPool::with_threads(threads),
+            steal: StealPool::with_threads(threads),
             backends,
             probes_per_backend: config.probes_per_backend.max(1),
             reprobe_interval: config.reprobe_interval.max(1),
@@ -502,6 +505,7 @@ impl AdaptivePool {
                 .team
                 .parallel_for(range, Schedule::Dynamic(chunk), body),
             Backend::OmpGuided => self.team.parallel_for(range, Schedule::Guided(chunk), body),
+            Backend::Steal => self.steal.steal_for_with_chunk(range, chunk, body),
             Backend::CilkSteal => self.cilk.cilk_for_with_grain(range, chunk, body),
         }
     }
@@ -538,6 +542,10 @@ impl AdaptivePool {
             Backend::OmpGuided => {
                 self.team
                     .parallel_reduce(range, Schedule::Guided(chunk), || init, fold, combine)
+            }
+            Backend::Steal => {
+                self.steal
+                    .steal_reduce_with_chunk(range, chunk, || init, fold, combine)
             }
             Backend::CilkSteal => {
                 self.cilk
@@ -585,6 +593,7 @@ impl LoopRuntime for AdaptivePool {
             .sync_stats()
             .merged(&SyncStats::from(self.team.stats()))
             .merged(&self.cilk.sync_stats())
+            .merged(&self.steal.sync_stats())
             .merged(&sequential)
     }
 }
@@ -611,6 +620,7 @@ mod tests {
                 Backend::OmpStatic => 8.12e-6 + t / p,
                 Backend::OmpDynamic => 31.94e-6 + t / p,
                 Backend::OmpGuided => 20.0e-6 + t / p,
+                Backend::Steal => 12.94e-6 + t / p,
                 Backend::CilkSteal => 68.80e-6 + t / p,
             }
         }
@@ -629,7 +639,7 @@ mod tests {
     fn every_phase_executes_the_loop_exactly_once() {
         let mut pool = AdaptivePool::with_threads(3);
         let site = LoopSite::new(7);
-        // 1 sequential probe + 4 backend probes + several routed runs.
+        // 1 sequential probe + 5 backend probes + several routed runs.
         for round in 0..10 {
             let hits: Vec<AtomicUsize> = (0..277).map(|_| AtomicUsize::new(0)).collect();
             pool.parallel_for_at(site, 0..277, |i| {
@@ -643,8 +653,8 @@ mod tests {
         let stats = pool.adaptive_stats();
         assert_eq!(stats.sites, 1);
         assert_eq!(stats.seq_probes, 1);
-        assert_eq!(stats.probes, 4, "one probe per default backend");
-        assert_eq!(stats.routed_loops, 5);
+        assert_eq!(stats.probes, 5, "one probe per default backend");
+        assert_eq!(stats.routed_loops, 4);
         assert!(pool.decision(site).is_some());
     }
 
@@ -691,7 +701,7 @@ mod tests {
         config.reprobe_interval = 3;
         let mut pool = AdaptivePool::new(config);
         let site = LoopSite::new(3);
-        // 5 calibration runs + 3 routed runs -> reprobe -> 5 more calibration runs.
+        // 6 calibration runs + 3 routed runs -> reprobe -> more calibration runs.
         for _ in 0..16 {
             pool.parallel_for_at(site, 0..128, |_| {});
         }
@@ -720,6 +730,7 @@ mod tests {
                     Backend::OmpStatic => 8.12e-6 + t / p,
                     Backend::OmpDynamic => 31.94e-6 + t / p,
                     Backend::OmpGuided => 20.0e-6 + t / p,
+                    Backend::Steal => 12.94e-6 + t / p,
                     Backend::CilkSteal => 68.80e-6 + t / p,
                 }
             }

@@ -1,0 +1,101 @@
+//! Irregular-workload figure: speedup of every roster scheduler on the two
+//! load-imbalanced kernels (skewed-geometric iteration cost and the triangular loop
+//! nest), one series per scheduler per workload — the companion figure to Table 1's
+//! uniform micro-benchmark, showing where the balancing runtimes (dynamic chunks,
+//! stealing) earn their larger burden back.
+//!
+//! ```text
+//! irregular [--threads N] [--reps N] [--n ITERS] [--units U] [--csv] [--json <path>]
+//!           [--topology detect|paper|SxC] [--pin compact|scatter|none] [--flat-sync]
+//! ```
+//!
+//! The JSON report carries one `SweepRow` per (scheduler, workload) with the
+//! scheduler key qualified as `key@workload`, plus the stealing runtime's
+//! `StealStats`.
+
+use parlo_analysis::Table;
+use parlo_bench::{
+    arg_value, has_flag, json_path_arg, measure_roster_entry, parallel_time_of, placement_args,
+    sequential_time_of, sweep_roster, threads_arg, write_json_report, BenchReport, SweepRow,
+    WorkloadKind,
+};
+use parlo_workloads::microbench::SweepPoint;
+use parlo_workloads::LoopRuntime;
+
+/// Default outer-loop size of both kernels (large enough that the skew matters, small
+/// enough for a quick run).
+const DEFAULT_ITERS: usize = 2048;
+
+/// The two irregular kernels, in column order.
+const KINDS: [WorkloadKind; 2] = [WorkloadKind::SkewedGeometric, WorkloadKind::TriangularNest];
+
+/// Measures one scheduler on both kernels; returns its speedup columns.
+fn measure(
+    runtime: &mut dyn LoopRuntime,
+    key: &str,
+    point: SweepPoint,
+    t_seq: &[f64],
+    reps: usize,
+    report: &mut BenchReport,
+) -> Vec<f64> {
+    let mut speedups = Vec::with_capacity(KINDS.len());
+    for (&kind, &seq) in KINDS.iter().zip(t_seq) {
+        let t_par = parallel_time_of(runtime, kind, point, reps).max(1e-12);
+        let speedup = seq / t_par;
+        speedups.push(speedup);
+        report.points.push(SweepRow {
+            scheduler: format!("{}@{}", key, kind.key()),
+            iterations: point.iterations as u64,
+            units: point.units as u64,
+            t_seq_s: seq,
+            t_par_s: t_par,
+            speedup,
+        });
+    }
+    speedups
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _ = json_path_arg(&args);
+    let threads = threads_arg(&args);
+    let placement = placement_args(&args);
+    let reps = arg_value(&args, "--reps").unwrap_or(5);
+    let iterations = arg_value(&args, "--n").unwrap_or(DEFAULT_ITERS);
+    let units = arg_value(&args, "--units").unwrap_or(4);
+    let point = SweepPoint { iterations, units };
+
+    let mut table = Table::new(
+        format!(
+            "Irregular workloads ({threads} threads, n = {iterations}): speedup over sequential"
+        ),
+        &["scheduler", "skewed-geometric", "triangular-nest"],
+    );
+    // The rows mix both kernels (keys are qualified `key@workload`), so the report's
+    // workload marker is the bin's own.
+    let mut report = BenchReport::for_workload("irregular", threads, "irregular");
+    let t_seq: Vec<f64> = KINDS
+        .iter()
+        .map(|&k| sequential_time_of(k, point, reps))
+        .collect();
+
+    for entry in sweep_roster() {
+        // The stealing entry is measured through its concrete type so its StealStats
+        // land in the report next to the timings.
+        let (speedups, steal_stats) = measure_roster_entry(&entry, threads, &placement, |rt| {
+            measure(rt, entry.key, point, &t_seq, reps, &mut report)
+        });
+        report.steal.extend(steal_stats);
+        table.push_row(entry.key.to_string(), speedups);
+    }
+
+    if has_flag(&args, "--csv") {
+        println!("{}", table.to_csv());
+    } else {
+        println!("{}", table.to_text());
+    }
+    if let Some(path) = json_path_arg(&args) {
+        write_json_report(path, &report).expect("failed to write --json report");
+        eprintln!("irregular: wrote JSON report to {path}");
+    }
+}

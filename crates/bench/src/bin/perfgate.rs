@@ -50,6 +50,20 @@ fn main() {
     };
 
     if has_flag(&args, "--update") {
+        // The same workload guard as gating: silently replacing the micro-workload
+        // baseline with, say, a `--workload skewed` report would poison every later
+        // gate run.  An intentional workload switch requires removing the old
+        // baseline first, which makes the switch explicit in the diff.
+        if let Ok(existing) = read_json_report(baseline_path) {
+            if existing.workload != current.workload {
+                usage_error(&format!(
+                    "workload mismatch: baseline `{baseline_path}` measured `{}` but current \
+                     `{current_path}` measured `{}`; delete the baseline first if the switch \
+                     is intentional",
+                    existing.workload, current.workload
+                ));
+            }
+        }
         if let Err(e) = std::fs::copy(current_path, baseline_path) {
             usage_error(&format!("cannot update baseline `{baseline_path}`: {e}"));
         }
@@ -65,10 +79,23 @@ fn main() {
         )),
     };
 
+    // Burdens are only comparable when both reports measured the same loop body: an
+    // irregular workload inflates a static schedule's *effective* burden by design,
+    // so gating a `--workload skewed` report against the micro baseline (or updating
+    // the baseline from one) would be a category error, not a regression.
+    if baseline.workload != current.workload {
+        usage_error(&format!(
+            "workload mismatch: baseline `{baseline_path}` measured `{}` but current \
+             `{current_path}` measured `{}`; regenerate the baseline for that workload \
+             or gate a matching report",
+            baseline.workload, current.workload
+        ));
+    }
+
     let outcome = compare_burdens(&baseline, &current, threshold_pct);
     println!(
-        "perfgate: {} vs {} (threshold {threshold_pct}%)",
-        current_path, baseline_path
+        "perfgate: {} vs {} (threshold {threshold_pct}%, workload {})",
+        current_path, baseline_path, current.workload
     );
     println!(
         "{:<40} {:>12} {:>12} {:>9}",
@@ -97,10 +124,15 @@ fn main() {
         println!("perfgate: OK — no burden regressed by more than {threshold_pct}%");
     } else {
         println!(
-            "perfgate: FAILED — {} regression(s), {} missing scheduler(s)",
+            "perfgate: FAILED — {} regression(s), {} missing scheduler(s):",
             outcome.regressions().len(),
             outcome.missing.len()
         );
+        // Row-by-row failure listing: every regressed row and every missing row by
+        // name, so a multi-row failure is diagnosable from the log's last lines.
+        for line in outcome.failure_lines() {
+            println!("  {line}");
+        }
         std::process::exit(1);
     }
 }

@@ -3,15 +3,49 @@
 //! or inspecting individual points; `table1` consumes the same data internally.
 //!
 //! Flags: `--threads N`, `--reps N`, `--quick`, `--runtime NAME` (run one scheduler
-//! only — `adaptive` selects the online scheduler-selection runtime), `--json <path>`
-//! (machine-readable report of the measured points), `--topology detect|paper|SxC`,
-//! `--pin compact|scatter|none`, `--flat-sync` (worker placement).
+//! only — `adaptive` selects the online scheduler-selection runtime), `--workload
+//! micro|skewed|triangular` (loop body: uniform micro-benchmark or one of the
+//! irregular kernels), `--json <path>` (machine-readable report of the measured
+//! points, including the stealing runtime's `StealStats`), `--topology
+//! detect|paper|SxC`, `--pin compact|scatter|none`, `--flat-sync` (worker placement).
 
 use parlo_bench::{
-    arg_str, arg_value, has_flag, json_path_arg, parallel_time, placement_args, sequential_time,
-    sweep_roster, threads_arg, write_json_report, BenchReport, SweepRow, DEFAULT_REPS,
+    arg_str, arg_value, has_flag, json_path_arg, measure_roster_entry, parallel_time_of,
+    placement_args, sequential_time_of, sweep_roster, threads_arg, workload_arg, write_json_report,
+    BenchReport, SweepRow, DEFAULT_REPS,
 };
-use parlo_workloads::microbench;
+use parlo_workloads::microbench::SweepPoint;
+use parlo_workloads::{microbench, LoopRuntime};
+
+/// Measures every sweep point on one runtime, printing CSV rows and collecting report
+/// rows.
+#[allow(clippy::too_many_arguments)]
+fn run_points(
+    runtime: &mut dyn LoopRuntime,
+    name: &str,
+    kind: parlo_bench::WorkloadKind,
+    sweep: &[SweepPoint],
+    reps: usize,
+    report: &mut BenchReport,
+) {
+    for &point in sweep {
+        let t_seq = sequential_time_of(kind, point, reps);
+        let t_par = parallel_time_of(runtime, kind, point, reps).max(1e-12);
+        let speedup = t_seq / t_par;
+        println!(
+            "{name},{},{},{t_seq:.9},{t_par:.9},{speedup:.4}",
+            point.iterations, point.units
+        );
+        report.points.push(SweepRow {
+            scheduler: name.to_string(),
+            iterations: point.iterations as u64,
+            units: point.units as u64,
+            t_seq_s: t_seq,
+            t_par_s: t_par,
+            speedup,
+        });
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,6 +53,7 @@ fn main() {
     let _ = json_path_arg(&args);
     let threads = threads_arg(&args);
     let placement = placement_args(&args);
+    let kind = workload_arg(&args);
     let reps = arg_value(&args, "--reps").unwrap_or(DEFAULT_REPS);
     let sweep = if has_flag(&args, "--quick") {
         microbench::quick_sweep()
@@ -38,28 +73,15 @@ fn main() {
         }
     }
 
-    let mut report = BenchReport::new("sweep", threads);
+    let mut report = BenchReport::for_workload("sweep", threads, kind.key());
     println!("scheduler,iterations,units,t_seq_s,t_par_s,speedup");
     for entry in roster {
-        let name = entry.key;
-        let mut runtime = (entry.build)(threads, &placement);
-        for &point in &sweep {
-            let t_seq = sequential_time(point, reps);
-            let t_par = parallel_time(runtime.as_mut(), point, reps).max(1e-12);
-            let speedup = t_seq / t_par;
-            println!(
-                "{name},{},{},{t_seq:.9},{t_par:.9},{speedup:.4}",
-                point.iterations, point.units
-            );
-            report.points.push(SweepRow {
-                scheduler: name.to_string(),
-                iterations: point.iterations as u64,
-                units: point.units as u64,
-                t_seq_s: t_seq,
-                t_par_s: t_par,
-                speedup,
-            });
-        }
+        // The stealing entry is measured through its concrete type so its StealStats
+        // (steal attempts/hits, per-worker chunk counts) ride along in the report.
+        let ((), steal_stats) = measure_roster_entry(&entry, threads, &placement, |runtime| {
+            run_points(runtime, entry.key, kind, &sweep, reps, &mut report)
+        });
+        report.steal.extend(steal_stats);
     }
     if let Some(path) = json_path_arg(&args) {
         write_json_report(path, &report).expect("failed to write --json report");

@@ -11,13 +11,17 @@
 //! Other flags: `--threads N` (native thread count, default = `PARLO_THREADS` or the
 //! hardware parallelism), `--reps N`, `--quick` (reduced sweep), `--csv`,
 //! `--json <path>` (machine-readable report of the fitted burdens),
-//! `--topology detect|paper|SxC`, `--pin compact|scatter|none`, `--flat-sync`
-//! (worker placement, see `parlo_bench::placement_args`).
+//! `--workload micro|skewed|triangular` (native loop body: the uniform
+//! micro-benchmark or one of the irregular kernels, whose straggler time inflates a
+//! static schedule's *effective* burden), `--topology detect|paper|SxC`,
+//! `--pin compact|scatter|none`, `--flat-sync` (worker placement, see
+//! `parlo_bench::placement_args`).
 
 use parlo_analysis::Table;
 use parlo_bench::{
-    arg_value, fixed_roster, hardware_threads, has_flag, json_path_arg, measure_burden,
-    placement_args, threads_arg, write_json_report, BenchReport, BurdenRow, DEFAULT_REPS,
+    arg_value, fixed_roster, hardware_threads, has_flag, json_path_arg, measure_burden_of,
+    placement_args, threads_arg, workload_arg, write_json_report, BenchReport, BurdenRow,
+    DEFAULT_REPS,
 };
 use parlo_sim::SimMachine;
 use parlo_workloads::microbench;
@@ -26,6 +30,7 @@ fn native(args: &[String]) {
     let hw = hardware_threads();
     let threads = threads_arg(args);
     let placement = placement_args(args);
+    let kind = workload_arg(args);
     let reps = arg_value(args, "--reps").unwrap_or(DEFAULT_REPS);
     let sweep = if has_flag(args, "--quick") {
         microbench::quick_sweep()
@@ -33,22 +38,26 @@ fn native(args: &[String]) {
         microbench::default_sweep()
     };
     eprintln!(
-        "table1: native measurement on {threads} threads ({hw} hardware threads), {} sweep points, {reps} reps",
-        sweep.len()
+        "table1: native measurement on {threads} threads ({hw} hardware threads), {} sweep points, {reps} reps, workload {}",
+        sweep.len(),
+        kind.key()
     );
 
     let mut table = Table::new(
-        format!("Table 1 (native, {threads} threads): characterizing scheduler burden"),
+        format!(
+            "Table 1 (native, {threads} threads, {} workload): characterizing scheduler burden",
+            kind.key()
+        ),
         &["scheduler", "d (us)", "residual"],
     );
-    let mut report = BenchReport::new("table1", threads);
+    let mut report = BenchReport::for_workload("table1", threads, kind.key());
 
     // The shared roster (see `parlo_bench::fixed_roster`): each runtime is built
     // lazily, measured, and dropped before the next one spawns its pool.
     for entry in fixed_roster() {
         let label = entry.label;
         let mut runtime = (entry.build)(threads, &placement);
-        let (_, fit) = measure_burden(runtime.as_mut(), &sweep, reps);
+        let (_, fit) = measure_burden_of(runtime.as_mut(), kind, &sweep, reps);
         match fit {
             Some(fit) => {
                 table.push_row(label.to_string(), vec![fit.burden_us(), fit.residual]);

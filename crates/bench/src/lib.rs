@@ -20,7 +20,7 @@
 use parlo_affinity::{parse_pin_policy, TopologySource};
 use parlo_analysis::{fit_burden, BurdenFit, BurdenMeasurement};
 use parlo_workloads::microbench::{self, SweepPoint};
-use parlo_workloads::{LoopRuntime, PlacementConfig};
+use parlo_workloads::{irregular, LoopRuntime, PlacementConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -34,10 +34,90 @@ pub const DEFAULT_REPS: usize = 15;
 /// executions rather than calibration probes.
 pub const WARMUP_RUNS: usize = 10;
 
+/// Which loop body a sweep point runs: the uniform granularity micro-benchmark or one
+/// of the irregular (load-imbalanced) kernels.  Selected on `table1`/`sweep` with
+/// `--workload micro|skewed|triangular`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkloadKind {
+    /// Uniform per-iteration cost (the Table-1 micro-benchmark; the default).
+    #[default]
+    Micro,
+    /// Skewed-geometric iteration cost (`parlo_workloads::irregular::skewed_term`).
+    SkewedGeometric,
+    /// Triangular loop nest (`parlo_workloads::irregular::triangular_row`); the sweep
+    /// point's `units` are ignored — the row index alone sets the cost.
+    TriangularNest,
+}
+
+impl WorkloadKind {
+    /// Every workload, with its `--workload` selector key.
+    pub const ALL: [(WorkloadKind, &'static str); 3] = [
+        (WorkloadKind::Micro, "micro"),
+        (WorkloadKind::SkewedGeometric, "skewed"),
+        (WorkloadKind::TriangularNest, "triangular"),
+    ];
+
+    /// Parses a `--workload` selector.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        Self::ALL
+            .iter()
+            .find(|(_, key)| *key == spec)
+            .map(|&(kind, _)| kind)
+            .ok_or_else(|| {
+                format!("invalid workload `{spec}`; expected `micro`, `skewed`, or `triangular`")
+            })
+    }
+
+    /// The selector key (report/CSV label component).
+    pub fn key(&self) -> &'static str {
+        Self::ALL
+            .iter()
+            .find(|(kind, _)| kind == self)
+            .map(|&(_, key)| key)
+            .expect("every kind is listed in ALL")
+    }
+
+    /// The value iteration `i` of an `n`-iteration loop contributes under this
+    /// workload (the parallel sum of these terms is what the sweep times).
+    #[inline]
+    pub fn term(&self, i: usize, n: usize, units: usize) -> f64 {
+        match self {
+            WorkloadKind::Micro => microbench::work_unit(i, units),
+            WorkloadKind::SkewedGeometric => irregular::skewed_term(i, n, units),
+            WorkloadKind::TriangularNest => irregular::triangular_row(i),
+        }
+    }
+}
+
+/// The `--workload` flag (default [`WorkloadKind::Micro`]); an invalid value is a hard
+/// error, like the other placement/measurement flags.
+pub fn workload_arg(args: &[String]) -> WorkloadKind {
+    match arg_str(args, "--workload") {
+        None => WorkloadKind::default(),
+        Some(spec) => match WorkloadKind::parse(spec) {
+            Ok(kind) => kind,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 /// Measures the sequential time of one sweep point (minimum of `reps` runs), in seconds.
 pub fn sequential_time(point: SweepPoint, reps: usize) -> f64 {
+    sequential_time_of(WorkloadKind::Micro, point, reps)
+}
+
+/// [`sequential_time`] under an explicit workload kind.
+pub fn sequential_time_of(kind: WorkloadKind, point: SweepPoint, reps: usize) -> f64 {
+    let n = point.iterations;
     parlo_analysis::min_time_of(reps, || {
-        parlo_analysis::black_box(microbench::sequential(point.iterations, point.units));
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += kind.term(i, n, point.units);
+        }
+        parlo_analysis::black_box(acc);
     })
     .as_secs_f64()
 }
@@ -45,16 +125,24 @@ pub fn sequential_time(point: SweepPoint, reps: usize) -> f64 {
 /// Measures the parallel time of one sweep point on `runtime` (minimum of `reps` runs
 /// after [`WARMUP_RUNS`] untimed warm-up executions), in seconds.
 pub fn parallel_time(runtime: &mut dyn LoopRuntime, point: SweepPoint, reps: usize) -> f64 {
+    parallel_time_of(runtime, WorkloadKind::Micro, point, reps)
+}
+
+/// [`parallel_time`] under an explicit workload kind.
+pub fn parallel_time_of(
+    runtime: &mut dyn LoopRuntime,
+    kind: WorkloadKind,
+    point: SweepPoint,
+    reps: usize,
+) -> f64 {
+    let n = point.iterations;
+    let units = point.units;
     for _ in 0..WARMUP_RUNS {
-        let acc = runtime.parallel_sum(0..point.iterations, &|i| {
-            microbench::work_unit(i, point.units)
-        });
+        let acc = runtime.parallel_sum(0..n, &|i| kind.term(i, n, units));
         parlo_analysis::black_box(acc);
     }
     parlo_analysis::min_time_of(reps, || {
-        let acc = runtime.parallel_sum(0..point.iterations, &|i| {
-            microbench::work_unit(i, point.units)
-        });
+        let acc = runtime.parallel_sum(0..n, &|i| kind.term(i, n, units));
         parlo_analysis::black_box(acc);
     })
     .as_secs_f64()
@@ -67,11 +155,23 @@ pub fn measure_burden(
     sweep: &[SweepPoint],
     reps: usize,
 ) -> (Vec<BurdenMeasurement>, Option<BurdenFit>) {
+    measure_burden_of(runtime, WorkloadKind::Micro, sweep, reps)
+}
+
+/// [`measure_burden`] under an explicit workload kind.  On an irregular workload a
+/// static schedule's *effective* burden absorbs the straggler time, which is exactly
+/// what the fitted comparison should show.
+pub fn measure_burden_of(
+    runtime: &mut dyn LoopRuntime,
+    kind: WorkloadKind,
+    sweep: &[SweepPoint],
+    reps: usize,
+) -> (Vec<BurdenMeasurement>, Option<BurdenFit>) {
     let threads = runtime.threads();
     let mut measurements = Vec::with_capacity(sweep.len());
     for &point in sweep {
-        let t_seq = sequential_time(point, reps);
-        let t_par = parallel_time(runtime, point, reps).max(1e-12);
+        let t_seq = sequential_time_of(kind, point, reps);
+        let t_par = parallel_time_of(runtime, kind, point, reps).max(1e-12);
         measurements.push(BurdenMeasurement {
             t_seq,
             speedup: t_seq / t_par,
@@ -238,6 +338,18 @@ pub struct RosterEntry {
     pub build: fn(usize, &PlacementConfig) -> Box<dyn LoopRuntime>,
 }
 
+/// Roster key of the work-stealing chunk runtime.  The bins that need the concrete
+/// pool (to collect [`StealStats`](parlo_steal::StealStats) for the JSON report)
+/// match on this constant instead of a string literal.
+pub const STEAL_ROSTER_KEY: &str = "fine-grain-steal";
+
+/// Builds the stealing pool behind the [`STEAL_ROSTER_KEY`] roster entry — the single
+/// construction point shared by the roster's build closure and the bins that need the
+/// concrete type, so every binary measures an identically configured pool.
+pub fn build_steal_pool(threads: usize, placement: &PlacementConfig) -> parlo_steal::StealPool {
+    parlo_steal::StealPool::with_placement(threads, placement)
+}
+
 fn fine_grain_runtime(
     threads: usize,
     placement: &PlacementConfig,
@@ -282,6 +394,11 @@ pub fn fixed_roster() -> Vec<RosterEntry> {
             build: |t, p| fine_grain_runtime(t, p, BarrierKind::TreeFull, false),
         },
         RosterEntry {
+            key: STEAL_ROSTER_KEY,
+            label: "Fine-grain stealing",
+            build: |t, p| Box::new(build_steal_pool(t, p)),
+        },
+        RosterEntry {
             key: "openmp-static",
             label: "OpenMP static",
             build: |t, p| Box::new(ScheduledTeam::with_placement(t, Schedule::Static, p)),
@@ -297,6 +414,27 @@ pub fn fixed_roster() -> Vec<RosterEntry> {
             build: |t, p| Box::new(parlo_cilk::CilkPool::with_placement(t, p)),
         },
     ]
+}
+
+/// Builds a roster entry's runtime, runs `measure` on it, and — when the entry is the
+/// stealing runtime — returns its [`StealStatsRow`] alongside the measurement.  This
+/// is the single place that knows the stealing entry needs its concrete type back, so
+/// every bin that reports `StealStats` dispatches identically.
+pub fn measure_roster_entry<R>(
+    entry: &RosterEntry,
+    threads: usize,
+    placement: &PlacementConfig,
+    measure: impl FnOnce(&mut dyn LoopRuntime) -> R,
+) -> (R, Option<StealStatsRow>) {
+    if entry.key == STEAL_ROSTER_KEY {
+        let mut pool = build_steal_pool(threads, placement);
+        let out = measure(&mut pool);
+        let stats = StealStatsRow::from_stats(entry.key, &pool.stats());
+        (out, Some(stats))
+    } else {
+        let mut runtime = (entry.build)(threads, placement);
+        (measure(runtime.as_mut()), None)
+    }
 }
 
 /// The sweep roster: the fixed schedulers plus the adaptive selection runtime (which
@@ -383,6 +521,35 @@ pub struct SweepRow {
     pub speedup: f64,
 }
 
+/// [`StealStats`](parlo_steal::StealStats) of one measured stealing runtime, included
+/// in the `BENCH_*.json` artifact so steal behaviour is trackable over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StealStatsRow {
+    /// Scheduler key the stats belong to (`"fine-grain-steal"`).
+    pub scheduler: String,
+    /// Steal attempts over the whole measurement run.
+    pub steals_attempted: u64,
+    /// Successful steals.
+    pub steals_hit: u64,
+    /// Total chunks executed.
+    pub chunks_executed: u64,
+    /// Chunks executed by each participant (index 0 is the master).
+    pub chunks_per_worker: Vec<u64>,
+}
+
+impl StealStatsRow {
+    /// Builds the report row from a pool's [`StealStats`](parlo_steal::StealStats).
+    pub fn from_stats(scheduler: &str, stats: &parlo_steal::StealStats) -> Self {
+        StealStatsRow {
+            scheduler: scheduler.to_string(),
+            steals_attempted: stats.steals_attempted,
+            steals_hit: stats.steals_hit,
+            chunks_executed: stats.chunks_executed(),
+            chunks_per_worker: stats.chunks_per_worker.clone(),
+        }
+    }
+}
+
 /// A machine-readable bench report, serialized by `--json <path>` so future runs can
 /// be compared as a perf trajectory (`BENCH_*.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -391,20 +558,36 @@ pub struct BenchReport {
     pub bench: String,
     /// Thread count of the run.
     pub threads: u64,
+    /// The loop body the run measured (a [`WorkloadKind`] key, or a bin-specific
+    /// marker like `"irregular"`).  Burdens measured under different workloads are
+    /// not comparable — an irregular workload inflates a static schedule's effective
+    /// burden by design — so `perfgate` refuses to gate across workloads.
+    pub workload: String,
     /// Fitted burden rows (`table1`; empty for raw sweeps).
     pub burdens: Vec<BurdenRow>,
     /// Raw sweep rows (`sweep`; empty for fit-only reports).
     pub points: Vec<SweepRow>,
+    /// Steal-behaviour accounting of any stealing runtime measured by the run.
+    pub steal: Vec<StealStatsRow>,
 }
 
 impl BenchReport {
-    /// An empty report for `bench` at `threads` threads.
+    /// An empty report for `bench` at `threads` threads, measuring the default
+    /// (uniform micro-benchmark) workload.
     pub fn new(bench: &str, threads: usize) -> Self {
+        Self::for_workload(bench, threads, WorkloadKind::Micro.key())
+    }
+
+    /// An empty report for `bench` at `threads` threads under an explicit workload
+    /// marker.
+    pub fn for_workload(bench: &str, threads: usize, workload: &str) -> Self {
         BenchReport {
             bench: bench.to_string(),
             threads: threads as u64,
+            workload: workload.to_string(),
             burdens: Vec::new(),
             points: Vec::new(),
+            steal: Vec::new(),
         }
     }
 }
@@ -418,10 +601,31 @@ pub fn write_json_report(path: &str, report: &BenchReport) -> std::io::Result<()
 }
 
 /// Parses a [`BenchReport`] from a JSON file.
+///
+/// Fields added to the report format after the first `BENCH_*.json` artifacts were
+/// produced (`steal`, `workload`) are filled with their defaults when absent, so
+/// older reports and user-kept baselines keep parsing — the vendored serde has no
+/// per-field default attribute, so the defaulting happens on the value tree here.
 pub fn read_json_report(path: &str) -> std::io::Result<BenchReport> {
+    let invalid =
+        |e: serde::Error| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string());
     let text = std::fs::read_to_string(path)?;
-    serde_json::from_str(text.trim())
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    let mut value: serde::Value = serde_json::from_str(text.trim()).map_err(invalid)?;
+    if let serde::Value::Map(entries) = &mut value {
+        let defaults = [
+            ("steal", serde::Value::Seq(Vec::new())),
+            (
+                "workload",
+                serde::Value::Str(WorkloadKind::Micro.key().to_string()),
+            ),
+        ];
+        for (key, default) in defaults {
+            if !entries.iter().any(|(k, _)| k == key) {
+                entries.push((key.to_string(), default));
+            }
+        }
+    }
+    Deserialize::from_value(&value).map_err(invalid)
 }
 
 // ---------------------------------------------------------------------------------
@@ -478,6 +682,29 @@ impl GateOutcome {
     /// disappeared.
     pub fn passed(&self) -> bool {
         self.missing.is_empty() && self.regressions().is_empty()
+    }
+
+    /// One line per failure — every regressed row with its delta and **every** missing
+    /// row by name — so a gate failure always reports the full list, never just the
+    /// first offender.  Empty when the gate passed.
+    pub fn failure_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for row in self.regressions() {
+            lines.push(format!(
+                "REGRESSED  {}: {:.3} us -> {:.3} us ({:+.1}%, threshold {}%)",
+                row.scheduler,
+                row.baseline_us,
+                row.current_us,
+                row.delta_pct(),
+                self.threshold_pct
+            ));
+        }
+        for missing in &self.missing {
+            lines.push(format!(
+                "MISSING    {missing}: present in the baseline but absent from the current report"
+            ));
+        }
+        lines
     }
 }
 
@@ -542,6 +769,47 @@ mod tests {
     }
 
     #[test]
+    fn workload_kinds_parse_and_produce_terms() {
+        assert_eq!(WorkloadKind::parse("micro"), Ok(WorkloadKind::Micro));
+        assert_eq!(
+            WorkloadKind::parse("skewed"),
+            Ok(WorkloadKind::SkewedGeometric)
+        );
+        assert_eq!(
+            WorkloadKind::parse("triangular"),
+            Ok(WorkloadKind::TriangularNest)
+        );
+        assert!(WorkloadKind::parse("banana").is_err());
+        for (kind, key) in WorkloadKind::ALL {
+            assert_eq!(kind.key(), key);
+            assert!(kind.term(3, 64, 2).is_finite());
+        }
+        // The workload-aware sweep agrees with a direct sequential fold.
+        let point = SweepPoint {
+            iterations: 64,
+            units: 2,
+        };
+        let t = sequential_time_of(WorkloadKind::SkewedGeometric, point, 2);
+        assert!(t > 0.0);
+        let mut seq = parlo_core::Sequential;
+        let (_, fit) = measure_burden_of(&mut seq, WorkloadKind::TriangularNest, &[point], 2);
+        assert!(fit.is_some());
+    }
+
+    #[test]
+    fn steal_stats_row_mirrors_the_pool_counters() {
+        let mut pool = parlo_steal::StealPool::with_threads(2);
+        pool.steal_for_with_chunk(0..100, 10, |_| {});
+        let stats = pool.stats();
+        let row = StealStatsRow::from_stats("fine-grain-steal", &stats);
+        assert_eq!(row.scheduler, "fine-grain-steal");
+        assert_eq!(row.chunks_executed, stats.chunks_executed());
+        assert_eq!(row.chunks_per_worker.len(), 2);
+        assert_eq!(row.steals_hit, stats.steals_hit);
+        assert!(row.steals_attempted >= row.steals_hit);
+    }
+
+    #[test]
     fn native_thread_sweep_starts_at_one() {
         let sweep = native_thread_sweep(Some(6));
         assert_eq!(sweep[0], 1);
@@ -576,6 +844,7 @@ mod tests {
         assert_eq!(roster.len(), fixed_roster().len() + 1);
         assert!(keys.contains(&"adaptive"));
         assert!(keys.contains(&"fine-grain-hier"));
+        assert!(keys.contains(&"fine-grain-steal"));
         for entry in roster {
             let mut runtime = (entry.build)(2, &placement);
             assert_eq!(runtime.threads(), 2, "entry {}", entry.key);
@@ -663,6 +932,10 @@ mod tests {
         assert_eq!(outcome.missing, vec!["C".to_string()]);
         assert_eq!(outcome.added, vec!["D".to_string()]);
         assert!((outcome.rows[0].delta_pct() - 30.0).abs() < 1e-9);
+        let lines = outcome.failure_lines();
+        assert_eq!(lines.len(), 2, "one line per failure");
+        assert!(lines[0].starts_with("REGRESSED  A:"), "{lines:?}");
+        assert!(lines[1].starts_with("MISSING    C:"), "{lines:?}");
 
         // Within threshold and complete: the gate passes.
         let outcome = compare_burdens(&baseline, &baseline, 25.0);
@@ -682,6 +955,83 @@ mod tests {
     }
 
     #[test]
+    fn every_missing_row_is_listed_not_just_the_first() {
+        let mut baseline = BenchReport::new("table1-simulated", 48);
+        for name in ["A", "B", "C", "D"] {
+            baseline.burdens.push(BurdenRow {
+                scheduler: name.into(),
+                burden_us: 10.0,
+                residual: 0.0,
+            });
+        }
+        let mut current = BenchReport::new("table1-simulated", 48);
+        current.burdens.push(BurdenRow {
+            scheduler: "B".into(),
+            burden_us: 10.0,
+            residual: 0.0,
+        });
+        let outcome = compare_burdens(&baseline, &current, 25.0);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.missing, vec!["A", "C", "D"]);
+        let lines = outcome.failure_lines();
+        assert_eq!(lines.len(), 3);
+        for (line, name) in lines.iter().zip(["A", "C", "D"]) {
+            assert!(
+                line.starts_with(&format!("MISSING    {name}:")),
+                "row {name} must appear in its own line: {lines:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn old_format_reports_without_steal_or_workload_still_parse() {
+        // BENCH_*.json artifacts produced before the `steal` and `workload` fields
+        // existed must keep parsing, with the missing fields defaulted.
+        let old = r#"{"bench":"table1-simulated","threads":48,"burdens":[
+            {"scheduler":"Fine-grain tree","burden_us":0.726,"residual":0.0}],"points":[]}"#
+            .replace('\n', "");
+        let dir = std::env::temp_dir().join("parlo_bench_old_format_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.json");
+        std::fs::write(&path, old).unwrap();
+        let report = read_json_report(path.to_str().unwrap()).expect("old format parses");
+        assert_eq!(report.bench, "table1-simulated");
+        assert_eq!(report.burdens.len(), 1);
+        assert!(report.steal.is_empty(), "missing steal defaults to empty");
+        assert_eq!(
+            report.workload, "micro",
+            "missing workload defaults to micro"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_marker_travels_with_the_report() {
+        let report = BenchReport::for_workload("sweep", 4, "skewed");
+        assert_eq!(report.workload, "skewed");
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: BenchReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.workload, "skewed");
+        assert_eq!(BenchReport::new("table1", 2).workload, "micro");
+    }
+
+    #[test]
+    fn steal_roster_entry_and_helper_share_one_construction_point() {
+        let placement = PlacementConfig::default();
+        let entry = fixed_roster()
+            .into_iter()
+            .find(|e| e.key == STEAL_ROSTER_KEY)
+            .expect("steal entry in the fixed roster");
+        let mut from_roster = (entry.build)(2, &placement);
+        let mut from_helper = build_steal_pool(2, &placement);
+        assert_eq!(from_roster.name(), LoopRuntime::name(&from_helper));
+        assert_eq!(from_roster.threads(), 2);
+        let a = from_roster.parallel_sum(0..100, &|i| i as f64);
+        let b = from_helper.parallel_sum(0..100, &|i| i as f64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn json_report_round_trips() {
         let mut report = BenchReport::new("table1", 4);
         report.burdens.push(BurdenRow {
@@ -696,6 +1046,13 @@ mod tests {
             t_seq_s: 1e-4,
             t_par_s: 3e-5,
             speedup: 3.33,
+        });
+        report.steal.push(StealStatsRow {
+            scheduler: "fine-grain-steal".into(),
+            steals_attempted: 12,
+            steals_hit: 7,
+            chunks_executed: 64,
+            chunks_per_worker: vec![40, 12, 8, 4],
         });
         let json = serde_json::to_string(&report).expect("serialize");
         let back: BenchReport = serde_json::from_str(&json).expect("parse");

@@ -191,6 +191,16 @@ pub fn hierarchical_half_barrier_ns(m: &SimMachine, nthreads: usize) -> f64 {
     hierarchical_release_ns(m, nthreads) + hierarchical_join_ns(m, nthreads)
 }
 
+/// Latency of one work-stealing loop's completion synchronization: the stealing pool
+/// reuses the **hierarchical half-barrier unchanged** for its release and join phases
+/// (per-worker deques replace the work distribution, not the synchronization), so its
+/// barrier term is identical to the fine-grain pool's hierarchical cost.  The extra
+/// burden of stealing — deque seeding, owner pops, the idle-tail steal traffic — is
+/// modelled on top of this in `scheduler_model`.
+pub fn steal_half_barrier_ns(m: &SimMachine, nthreads: usize) -> f64 {
+    hierarchical_half_barrier_ns(m, nthreads)
+}
+
 /// Latency of one half-barrier loop (release + join) with the tree structure.
 pub fn tree_half_barrier_ns(m: &SimMachine, nthreads: usize) -> f64 {
     let shape = runtime_shape(m, nthreads);
@@ -283,6 +293,18 @@ mod tests {
         // Single thread: a release phase with nothing to signal and a join with
         // nothing to collect.
         assert!(hierarchical_half_barrier_ns(&m, 1) <= 2.0 * m.cost.release_store_ns + 1e-9);
+    }
+
+    #[test]
+    fn steal_completion_matches_the_hierarchical_half_barrier() {
+        let m = SimMachine::paper_machine();
+        for p in [1usize, 2, 8, 48] {
+            assert_eq!(
+                steal_half_barrier_ns(&m, p),
+                hierarchical_half_barrier_ns(&m, p),
+                "the stealing pool reuses the hierarchical half-barrier at P={p}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! # parlo-steal — a work-stealing chunk runtime with half-barrier completion
+//!
+//! The roster's other dynamic schedulers hand out work from a **shared** source: the
+//! OpenMP-like dynamic/guided schedules fetch chunks from one contended dispenser, and
+//! the Cilk-like pool materialises tasks by recursive splitting.  Both regimes pay for
+//! that sharing on every chunk.  This crate adds the third classic design point — a
+//! **per-worker chunk deque** with randomized stealing:
+//!
+//! * each loop is **pre-split** into per-worker chunk runs (the worker's static block,
+//!   subdivided into chunks), so the distribution arithmetic is communication-free,
+//!   exactly like the fine-grain pool's static partition;
+//! * every worker seeds its own bounded deque with its run and executes it with
+//!   **owner-LIFO** pops (front to back through the block — cache friendly), while
+//!   exhausted workers take chunks **thief-FIFO** from the back of randomized victims'
+//!   runs, so skewed iteration costs rebalance without a shared dispenser;
+//! * loop completion is detected by the **same half-barrier** as the fine-grain pool
+//!   (hierarchical, socket-composed flavor included): 2 barrier phases per loop and
+//!   exactly `P − 1` combines per merged reduction, keeping the burden comparison with
+//!   the rest of the roster structural, not incidental.
+//!
+//! The schedule is nondeterministic by nature, so the crate also exposes the hooks the
+//! test battery is built on: [`SchedulePerturbation`] lets a test drive the pool
+//! through seeded steal schedules, and [`StealStats`] accounts every chunk (per
+//! worker) and every steal attempt/hit, so "no chunk lost or duplicated" is checkable
+//! exactly.
+//!
+//! ```
+//! use parlo_steal::StealPool;
+//!
+//! let mut pool = StealPool::with_threads(4);
+//! // A skewed body: late iterations are much heavier. Thieves pick up the tail.
+//! let sum = pool.steal_reduce(0..10_000, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+//! assert_eq!(sum, (0..10_000u64).sum());
+//! let stats = pool.stats();
+//! assert_eq!(stats.combine_ops, 3, "P-1 combines, merged into the join phase");
+//! ```
+
+#![warn(missing_docs)]
+
+mod chunk;
+mod deque;
+mod perturb;
+mod pool;
+mod runtime;
+
+pub use chunk::{default_chunk, total_chunks, worker_run_rev, ChunkRange, CHUNKS_PER_WORKER};
+pub use deque::{ChunkDeque, Full, Steal};
+pub use perturb::{SchedulePerturbation, SeededPerturbation, SweepPlan, MAX_PERTURB_SPINS};
+pub use pool::{StealConfig, StealPool, StealStats};
+
+// Re-export the trait so depending on `parlo-steal` alone is enough to drive the pool
+// generically.
+pub use parlo_core::{LoopRuntime, SyncStats};

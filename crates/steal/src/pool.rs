@@ -1,0 +1,884 @@
+//! The persistent work-stealing chunk pool.
+//!
+//! A [`StealPool`] owns `P − 1` workers bound to one master, like the fine-grain pool,
+//! but distributes each loop through per-worker **chunk deques** instead of pure static
+//! blocks:
+//!
+//! 1. the master publishes the loop descriptor and performs the **release phase** of
+//!    the half-barrier — it never waits at the fork point;
+//! 2. every participant seeds its own deque with its pre-split chunk run
+//!    (its static block subdivided into chunks, pushed back-to-front) and executes it
+//!    with owner-LIFO pops, so the run proceeds front to back;
+//! 3. a participant whose own run is exhausted performs randomized-victim steal sweeps,
+//!    taking chunks thief-FIFO from the *back* of other workers' runs, until a full
+//!    sweep observes only empty deques;
+//! 4. every participant then performs the **join phase** of the same half-barrier,
+//!    folding reduction views pairwise on the way up — completion detection costs
+//!    exactly the 2 barrier phases of the fine-grain pool, so the burden comparison
+//!    with the other runtimes stays apples-to-apples.
+//!
+//! Completion needs no outstanding-iteration counter: chunks exist only in deques
+//! (filled once per loop, never refilled), a participant arrives at the join only
+//! after every deque it can see is empty, and whoever claimed a chunk executes it
+//! before arriving — so when the master's join completes, every chunk has run.
+
+use crate::chunk::{default_chunk, worker_run_rev, ChunkRange};
+use crate::deque::ChunkDeque;
+use crate::perturb::{SchedulePerturbation, SweepPlan, MAX_PERTURB_SPINS};
+use crossbeam::utils::CachePadded;
+use parlo_affinity::{PinPolicy, Topology};
+use parlo_barrier::{Epoch, HalfBarrier, TreeShape, WaitPolicy};
+use parlo_cilk::Steal;
+use std::cell::{Cell, UnsafeCell};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of a [`StealPool`].
+#[derive(Clone)]
+pub struct StealConfig {
+    /// Number of participants (the master counts as worker 0).
+    pub num_threads: usize,
+    /// Machine topology (pinning and half-barrier layout).
+    pub topology: Topology,
+    /// Thread pinning policy.
+    pub pin: PinPolicy,
+    /// Waiting policy of the half-barrier phases.
+    pub wait: WaitPolicy,
+    /// Compose the half-barrier per socket ([`parlo_barrier::HierarchicalHalfBarrier`])
+    /// instead of one flat topology-aware tree.
+    pub hierarchical: bool,
+    /// Explicit chunk size for every loop; `None` derives one per loop from
+    /// [`default_chunk`].
+    pub chunk: Option<usize>,
+    /// Schedule-perturbation hook consulted before every steal sweep (`None` uses a
+    /// per-worker xorshift victim rotation with no injected delays).
+    pub perturb: Option<Arc<dyn SchedulePerturbation>>,
+}
+
+impl std::fmt::Debug for StealConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealConfig")
+            .field("num_threads", &self.num_threads)
+            .field("pin", &self.pin)
+            .field("hierarchical", &self.hierarchical)
+            .field("chunk", &self.chunk)
+            .field("perturbed", &self.perturb.is_some())
+            .finish()
+    }
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        let topology = Topology::detect();
+        let num_threads = topology.num_cores().max(1);
+        StealConfig {
+            num_threads,
+            pin: PinPolicy::Compact,
+            wait: WaitPolicy::auto_for(num_threads),
+            hierarchical: true,
+            chunk: None,
+            perturb: None,
+            topology,
+        }
+    }
+}
+
+impl StealConfig {
+    /// A configuration with `num_threads` participants and defaults for the rest.
+    pub fn with_threads(num_threads: usize) -> Self {
+        let num_threads = num_threads.max(1);
+        StealConfig {
+            num_threads,
+            wait: WaitPolicy::auto_for(num_threads),
+            ..StealConfig::default()
+        }
+    }
+
+    /// A configuration with `num_threads` participants placed according to a shared
+    /// [`parlo_affinity::PlacementConfig`] (topology source, pin policy, hierarchical
+    /// half-barrier on/off).
+    pub fn from_placement(num_threads: usize, placement: &parlo_affinity::PlacementConfig) -> Self {
+        StealConfig {
+            topology: placement.topology(),
+            pin: placement.pin,
+            hierarchical: placement.hierarchical,
+            ..Self::with_threads(num_threads)
+        }
+    }
+
+    /// Replaces the schedule-perturbation hook.
+    pub fn with_perturbation(mut self, perturb: Arc<dyn SchedulePerturbation>) -> Self {
+        self.perturb = Some(perturb);
+        self
+    }
+
+    /// Replaces the fixed chunk size.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = Some(chunk.max(1));
+        self
+    }
+}
+
+/// A point-in-time copy of a [`StealPool`]'s instrumentation counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StealStats {
+    /// Parallel loops executed (reductions included).
+    pub loops: u64,
+    /// Parallel reductions executed.
+    pub reductions: u64,
+    /// Barrier phases executed (always 2 per loop: one release, one join).
+    pub barrier_phases: u64,
+    /// Reduction-view combine operations (exactly `P − 1` per reduction).
+    pub combine_ops: u64,
+    /// Steal attempts (successful or not).
+    pub steals_attempted: u64,
+    /// Successful steals; every hit transfers exactly one chunk, so this is also the
+    /// number of chunks executed away from their pre-split owner.
+    pub steals_hit: u64,
+    /// Chunks executed by each participant (index 0 is the master).  The sum equals
+    /// the pre-split chunk count of every loop executed — the exact-coverage account.
+    pub chunks_per_worker: Vec<u64>,
+}
+
+impl StealStats {
+    /// Total chunks executed across all participants.
+    pub fn chunks_executed(&self) -> u64 {
+        self.chunks_per_worker.iter().sum()
+    }
+
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &StealStats) -> StealStats {
+        StealStats {
+            loops: self.loops - earlier.loops,
+            reductions: self.reductions - earlier.reductions,
+            barrier_phases: self.barrier_phases - earlier.barrier_phases,
+            combine_ops: self.combine_ops - earlier.combine_ops,
+            steals_attempted: self.steals_attempted - earlier.steals_attempted,
+            steals_hit: self.steals_hit - earlier.steals_hit,
+            chunks_per_worker: self
+                .chunks_per_worker
+                .iter()
+                .zip(&earlier.chunks_per_worker)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+/// One participant's private hot-path counters, padded to a cache line so the steal
+/// tail (one attempt bump per victim probe) never bounces a line between workers.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    chunks: AtomicU64,
+    steals_attempted: AtomicU64,
+    steals_hit: AtomicU64,
+}
+
+/// Internal counters (relaxed atomics).  Everything a worker touches while executing
+/// a loop — chunk counts and steal attempt/hit counts — lives in that worker's own
+/// padded [`WorkerCounters`] line; only the master's per-loop bookkeeping and the
+/// join-phase combine count use shared words.
+#[derive(Debug)]
+struct StealCounters {
+    loops: AtomicU64,
+    reductions: AtomicU64,
+    barrier_phases: AtomicU64,
+    combine_ops: AtomicU64,
+    per_worker: Vec<CachePadded<WorkerCounters>>,
+}
+
+impl StealCounters {
+    fn new(nthreads: usize) -> Self {
+        StealCounters {
+            loops: AtomicU64::new(0),
+            reductions: AtomicU64::new(0),
+            barrier_phases: AtomicU64::new(0),
+            combine_ops: AtomicU64::new(0),
+            per_worker: (0..nthreads)
+                .map(|_| CachePadded::new(WorkerCounters::default()))
+                .collect(),
+        }
+    }
+
+    fn snapshot(&self) -> StealStats {
+        StealStats {
+            loops: self.loops.load(Ordering::Relaxed),
+            reductions: self.reductions.load(Ordering::Relaxed),
+            barrier_phases: self.barrier_phases.load(Ordering::Relaxed),
+            combine_ops: self.combine_ops.load(Ordering::Relaxed),
+            steals_attempted: self
+                .per_worker
+                .iter()
+                .map(|w| w.steals_attempted.load(Ordering::Relaxed))
+                .sum(),
+            steals_hit: self
+                .per_worker
+                .iter()
+                .map(|w| w.steals_hit.load(Ordering::Relaxed))
+                .sum(),
+            chunks_per_worker: self
+                .per_worker
+                .iter()
+                .map(|w| w.chunks.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Type-erased descriptor of the current loop.
+#[derive(Clone, Copy)]
+struct StealJob {
+    data: *const (),
+    /// Runs iterations `lo..hi` on behalf of participant `worker`.
+    run_chunk: unsafe fn(*const (), usize, usize, usize),
+    /// Folds participant `from`'s reduction view into participant `to`'s.
+    combine: Option<unsafe fn(*const (), usize, usize)>,
+    /// The loop range every participant pre-splits independently.
+    start: usize,
+    end: usize,
+    /// Chunk size of the pre-split.
+    chunk: usize,
+}
+
+impl StealJob {
+    fn noop() -> Self {
+        unsafe fn nop(_: *const (), _: usize, _: usize, _: usize) {}
+        StealJob {
+            data: std::ptr::null(),
+            run_chunk: nop,
+            combine: None,
+            start: 0,
+            end: 0,
+            chunk: 1,
+        }
+    }
+}
+
+struct StealShared {
+    nthreads: usize,
+    deques: Vec<ChunkDeque>,
+    job: UnsafeCell<StealJob>,
+    sync: HalfBarrier,
+    shutdown: AtomicBool,
+    policy: WaitPolicy,
+    stats: StealCounters,
+    perturb: Option<Arc<dyn SchedulePerturbation>>,
+    config: StealConfig,
+}
+
+// SAFETY: the job cell is written only by the master, strictly before the half-barrier
+// release edge the workers synchronize on; every other shared field is atomic, the
+// sync-internal structures, or immutable after construction.  Deque `i` is pushed and
+// popped only by participant `i` (its owner) and stolen from by any participant, which
+// is exactly the Chase–Lev contract.
+unsafe impl Sync for StealShared {}
+unsafe impl Send for StealShared {}
+
+/// The work-stealing chunk scheduler.
+///
+/// Loop methods take `&mut self`: a pool serves exactly one master thread and loops do
+/// not nest — the same structural property the half-barrier completion detection relies
+/// on in the fine-grain pool.
+pub struct StealPool {
+    shared: Arc<StealShared>,
+    handles: Vec<JoinHandle<()>>,
+    epoch: Cell<Epoch>,
+    rng: Cell<u64>,
+}
+
+impl std::fmt::Debug for StealPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealPool")
+            .field("num_threads", &self.shared.nthreads)
+            .finish()
+    }
+}
+
+/// xorshift64* step for the unperturbed victim rotation.
+#[inline]
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+impl StealPool {
+    /// Creates a pool with `num_threads` participants and defaults for the rest.
+    pub fn with_threads(num_threads: usize) -> Self {
+        Self::new(StealConfig::with_threads(num_threads))
+    }
+
+    /// Creates a pool with `num_threads` participants placed according to a shared
+    /// [`parlo_affinity::PlacementConfig`].
+    pub fn with_placement(num_threads: usize, placement: &parlo_affinity::PlacementConfig) -> Self {
+        Self::new(StealConfig::from_placement(num_threads, placement))
+    }
+
+    /// Creates a pool from an explicit configuration.
+    pub fn new(config: StealConfig) -> Self {
+        let nthreads = config.num_threads.max(1);
+        let fanin = config.topology.suggested_arrival_fanin();
+        let sync = if config.hierarchical {
+            HalfBarrier::new_hierarchical(&config.topology, nthreads, fanin)
+        } else {
+            HalfBarrier::new_tree(TreeShape::topology_aware(&config.topology, nthreads, fanin))
+        };
+        let shared = Arc::new(StealShared {
+            nthreads,
+            deques: (0..nthreads).map(|_| ChunkDeque::new(1024)).collect(),
+            job: UnsafeCell::new(StealJob::noop()),
+            sync,
+            shutdown: AtomicBool::new(false),
+            policy: config.wait,
+            stats: StealCounters::new(nthreads),
+            perturb: config.perturb.clone(),
+            config: config.clone(),
+        });
+        if let Some(core) = config.topology.core_for_worker(0, config.pin) {
+            let _ = parlo_affinity::pin_to_core(core);
+        }
+        let mut handles = Vec::with_capacity(nthreads.saturating_sub(1));
+        for id in 1..nthreads {
+            let shared = shared.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("parlo-steal-{id}"))
+                    .spawn(move || worker_main(shared, id))
+                    .expect("failed to spawn steal worker thread"),
+            );
+        }
+        StealPool {
+            shared,
+            handles,
+            epoch: Cell::new(0),
+            rng: Cell::new(0xD1B5_4A32_D192_ED03),
+        }
+    }
+
+    /// Number of participants (master included).
+    pub fn num_threads(&self) -> usize {
+        self.shared.nthreads
+    }
+
+    /// The configuration the pool was built with.
+    pub fn config(&self) -> &StealConfig {
+        &self.shared.config
+    }
+
+    /// A snapshot of the pool's instrumentation counters.
+    pub fn stats(&self) -> StealStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Instrumentation counters of the hierarchical half-barrier, or `None` when the
+    /// pool was configured with a flat tree.
+    pub fn hierarchy_stats(&self) -> Option<parlo_barrier::HierarchyStats> {
+        self.shared.sync.hierarchy_stats()
+    }
+
+    /// The chunk size a loop of `n` iterations uses on this pool.
+    pub fn effective_chunk(&self, n: usize) -> usize {
+        self.shared
+            .config
+            .chunk
+            .unwrap_or_else(|| default_chunk(n, self.shared.nthreads))
+            .max(1)
+    }
+
+    /// Runs one type-erased stealing loop.
+    ///
+    /// # Safety
+    /// The harness behind `job.data` must stay alive until this call returns and its
+    /// entry points must be safe to call concurrently from all participants.
+    unsafe fn run_job(&self, job: StealJob) {
+        let shared = &*self.shared;
+        let epoch = self.epoch.get() + 1;
+        self.epoch.set(epoch);
+        let has_combine = job.combine.is_some();
+        shared.stats.barrier_phases.fetch_add(2, Ordering::Relaxed);
+        // Publish the loop descriptor, then perform the release phase of the fork.
+        // SAFETY (job cell): the previous loop's join completed (run_job is not
+        // reentrant thanks to the &mut self public API), so no worker reads the cell.
+        unsafe { *shared.job.get() = job };
+        shared.sync.release(epoch);
+        // The master participates like any worker: seed its run, drain, steal.
+        let mut rng = self.rng.get();
+        participate(shared, 0, epoch, &job, &mut rng);
+        self.rng.set(rng);
+        // Join phase: collect arrivals, folding reduction views on the way.
+        shared.sync.join(epoch, &shared.policy, |from| {
+            if has_combine {
+                shared.stats.combine_ops.fetch_add(1, Ordering::Relaxed);
+                if let Some(comb) = job.combine {
+                    // SAFETY: `from` has arrived, so its view is final and no longer
+                    // accessed by its owner.
+                    unsafe { comb(job.data, 0, from) };
+                }
+            }
+        });
+    }
+}
+
+impl Drop for StealPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let epoch = self.epoch.get() + 1;
+        self.epoch.set(epoch);
+        // SAFETY: workers check the shutdown flag before touching the job cell.
+        unsafe { *self.shared.job.get() = StealJob::noop() };
+        self.shared.sync.release(epoch);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One participant's share of one loop: seed the own deque with the pre-split run,
+/// drain it LIFO, then steal FIFO from randomized victims until a full sweep finds
+/// every deque empty.
+fn participate(shared: &StealShared, id: usize, epoch: Epoch, job: &StealJob, rng: &mut u64) {
+    let n = shared.nthreads;
+    let deque = &shared.deques[id];
+    let range = job.start..job.end;
+    // Seed the own run, back to front, so owner-LIFO pops execute it front to back and
+    // thieves take from the back.  A full deque (pathologically small explicit chunk
+    // size) degrades gracefully: the overflowing chunk runs inline right away.
+    for c in worker_run_rev(&range, n, id, job.chunk) {
+        // SAFETY: deque `id` is owned by this participant.
+        if unsafe { deque.push(c) }.is_err() {
+            execute_chunk(shared, id, job, c);
+        }
+    }
+    let mut attempt: u64 = 0;
+    loop {
+        // Own run first (LIFO pop = front-to-back execution order).
+        // SAFETY: deque `id` is owned by this participant.
+        if let Some(c) = unsafe { deque.pop() } {
+            execute_chunk(shared, id, job, c);
+            continue;
+        }
+        if n == 1 {
+            break;
+        }
+        // One perturbed randomized-victim sweep.
+        attempt += 1;
+        let plan = match &shared.perturb {
+            Some(p) => {
+                let plan = p.steal_sweep(id, epoch, attempt);
+                SweepPlan {
+                    delay_spins: plan.delay_spins.min(MAX_PERTURB_SPINS),
+                    ..plan
+                }
+            }
+            None => SweepPlan {
+                victim_seed: xorshift(rng),
+                delay_spins: 0,
+            },
+        };
+        for _ in 0..plan.delay_spins {
+            std::hint::spin_loop();
+        }
+        let start = (plan.victim_seed % n as u64) as usize;
+        let mut stolen = None;
+        let mut saw_retry = false;
+        // Probe counters live on this worker's own padded line, so the per-probe
+        // bumps stay core-local even while every idle worker sweeps at once.
+        let my_counters = &*shared.stats.per_worker[id];
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == id {
+                continue;
+            }
+            my_counters.steals_attempted.fetch_add(1, Ordering::Relaxed);
+            match shared.deques[victim].steal() {
+                Steal::Success(c) => {
+                    my_counters.steals_hit.fetch_add(1, Ordering::Relaxed);
+                    stolen = Some(c);
+                    break;
+                }
+                Steal::Retry => saw_retry = true,
+                Steal::Empty => {}
+            }
+        }
+        match stolen {
+            Some(c) => execute_chunk(shared, id, job, c),
+            // A Retry means another participant claimed a chunk concurrently (top
+            // moved under our CAS), so the loop is still live: sweep again.  Chunks
+            // are finite and never re-pushed, so this terminates.
+            None if saw_retry => continue,
+            // Every deque observed empty: all chunks are claimed, and each claimer
+            // executes its chunks before arriving — safe to arrive.
+            None => break,
+        }
+    }
+}
+
+#[inline]
+fn execute_chunk(shared: &StealShared, id: usize, job: &StealJob, c: ChunkRange) {
+    shared.stats.per_worker[id]
+        .chunks
+        .fetch_add(1, Ordering::Relaxed);
+    // SAFETY: contract of `run_job` — the harness outlives the loop.
+    unsafe { (job.run_chunk)(job.data, id, c.start, c.end) };
+}
+
+fn worker_main(shared: Arc<StealShared>, id: usize) {
+    let config = &shared.config;
+    if let Some(core) = config.topology.core_for_worker(id, config.pin) {
+        let _ = parlo_affinity::pin_to_core(core);
+    }
+    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (id as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut epoch: Epoch = 0;
+    loop {
+        epoch += 1;
+        shared.sync.wait_release(id, epoch, &shared.policy);
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // SAFETY: ordered by the half-barrier release edge.
+        let job = unsafe { *shared.job.get() };
+        let has_combine = job.combine.is_some();
+        participate(&shared, id, epoch, &job, &mut rng);
+        shared.sync.arrive(id, epoch, &shared.policy, |from| {
+            if has_combine {
+                shared.stats.combine_ops.fetch_add(1, Ordering::Relaxed);
+                if let Some(comb) = job.combine {
+                    // SAFETY: `from` has arrived; its view is final.
+                    unsafe { comb(job.data, id, from) };
+                }
+            }
+        });
+    }
+}
+
+// --------------------------------------------------------------------------------------
+// Typed loop entry points
+// --------------------------------------------------------------------------------------
+
+struct ForHarness<'a, F> {
+    body: &'a F,
+}
+
+unsafe fn exec_for_chunk<F: Fn(usize) + Sync>(
+    data: *const (),
+    _worker: usize,
+    lo: usize,
+    hi: usize,
+) {
+    let h = unsafe { &*(data as *const ForHarness<'_, F>) };
+    for i in lo..hi {
+        (h.body)(i);
+    }
+}
+
+struct ReduceHarness<'a, T, Fold, Comb> {
+    views: Vec<CachePadded<UnsafeCell<Option<T>>>>,
+    fold: &'a Fold,
+    comb: &'a Comb,
+}
+
+unsafe fn exec_reduce_chunk<T, Fold, Comb>(data: *const (), worker: usize, lo: usize, hi: usize)
+where
+    T: Send,
+    Fold: Fn(T, usize) -> T + Sync,
+    Comb: Fn(T, T) -> T + Sync,
+{
+    let h = unsafe { &*(data as *const ReduceHarness<'_, T, Fold, Comb>) };
+    // SAFETY: view `worker` is accessed only by participant `worker` until it arrives.
+    let view = unsafe { &mut *h.views[worker].get() };
+    let mut acc = view.take().expect("view seeded with the neutral element");
+    for i in lo..hi {
+        acc = (h.fold)(acc, i);
+    }
+    *view = Some(acc);
+}
+
+unsafe fn combine_views<T, Fold, Comb>(data: *const (), to: usize, from: usize)
+where
+    T: Send,
+    Fold: Fn(T, usize) -> T + Sync,
+    Comb: Fn(T, T) -> T + Sync,
+{
+    let h = unsafe { &*(data as *const ReduceHarness<'_, T, Fold, Comb>) };
+    // SAFETY: the half-barrier guarantees `from` has arrived (its view is final) and
+    // that `to` is the unique combiner touching either view at this point.
+    let a = unsafe { (*h.views[to].get()).take().expect("to-view present") };
+    let b = unsafe { (*h.views[from].get()).take().expect("from-view present") };
+    unsafe { *h.views[to].get() = Some((h.comb)(a, b)) };
+}
+
+impl StealPool {
+    /// Work-stealing parallel loop: pre-split chunk runs, owner-LIFO execution,
+    /// thief-FIFO stealing.  `body` is called exactly once per index.
+    pub fn steal_for<F>(&mut self, range: Range<usize>, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let chunk = self.effective_chunk(range.end.saturating_sub(range.start));
+        self.steal_for_with_chunk(range, chunk, body);
+    }
+
+    /// [`StealPool::steal_for`] with an explicit chunk size.
+    pub fn steal_for_with_chunk<F>(&mut self, range: Range<usize>, chunk: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if range.end <= range.start {
+            return;
+        }
+        let harness = ForHarness { body: &body };
+        self.shared.stats.loops.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the harness outlives the loop; `exec_for_chunk::<F>` matches its type.
+        unsafe {
+            self.run_job(StealJob {
+                data: &harness as *const _ as *const (),
+                run_chunk: exec_for_chunk::<F>,
+                combine: None,
+                start: range.start,
+                end: range.end,
+                chunk: chunk.max(1),
+            });
+        }
+    }
+
+    /// Work-stealing parallel reduction.  Every participant folds the chunks it
+    /// executes (own and stolen) into a private view seeded with `init()`, and the
+    /// views are merged pairwise inside the join phase — exactly `P − 1` combines,
+    /// like the fine-grain pool's merged reduction.  `init` must produce the neutral
+    /// element of `comb`, and `comb` must be associative and commutative.
+    pub fn steal_reduce<T, Init, Fold, Comb>(
+        &mut self,
+        range: Range<usize>,
+        init: Init,
+        fold: Fold,
+        comb: Comb,
+    ) -> T
+    where
+        T: Send,
+        Init: Fn() -> T,
+        Fold: Fn(T, usize) -> T + Sync,
+        Comb: Fn(T, T) -> T + Sync,
+    {
+        let chunk = self.effective_chunk(range.end.saturating_sub(range.start));
+        self.steal_reduce_with_chunk(range, chunk, init, fold, comb)
+    }
+
+    /// [`StealPool::steal_reduce`] with an explicit chunk size.
+    pub fn steal_reduce_with_chunk<T, Init, Fold, Comb>(
+        &mut self,
+        range: Range<usize>,
+        chunk: usize,
+        init: Init,
+        fold: Fold,
+        comb: Comb,
+    ) -> T
+    where
+        T: Send,
+        Init: Fn() -> T,
+        Fold: Fn(T, usize) -> T + Sync,
+        Comb: Fn(T, T) -> T + Sync,
+    {
+        if range.end <= range.start {
+            return init();
+        }
+        let harness = ReduceHarness {
+            views: (0..self.num_threads())
+                .map(|_| CachePadded::new(UnsafeCell::new(Some(init()))))
+                .collect(),
+            fold: &fold,
+            comb: &comb,
+        };
+        self.shared.stats.loops.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.reductions.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the harness outlives the loop; the entry points match its type.
+        unsafe {
+            self.run_job(StealJob {
+                data: &harness as *const _ as *const (),
+                run_chunk: exec_reduce_chunk::<T, Fold, Comb>,
+                combine: Some(combine_views::<T, Fold, Comb>),
+                start: range.start,
+                end: range.end,
+                chunk: chunk.max(1),
+            });
+        }
+        // After the join the master's view holds the full fold.
+        let result = unsafe { (*harness.views[0].get()).take() };
+        result.expect("master view present after the join phase")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::total_chunks;
+    use crate::perturb::SeededPerturbation;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_creation_and_teardown() {
+        for threads in [1, 2, 4] {
+            let p = StealPool::with_threads(threads);
+            assert_eq!(p.num_threads(), threads);
+            drop(p);
+        }
+    }
+
+    #[test]
+    fn steal_for_visits_each_index_once() {
+        for threads in [1usize, 2, 4] {
+            let mut p = StealPool::with_threads(threads);
+            for round in 0..5 {
+                let hits: Vec<AtomicUsize> = (0..1013).map(|_| AtomicUsize::new(0)).collect();
+                p.steal_for_with_chunk(0..1013, 16, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads {threads} round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn offset_ranges_and_empty_ranges() {
+        let mut p = StealPool::with_threads(3);
+        let hits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        p.steal_for_with_chunk(50..150, 8, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            let expected = usize::from((50..150).contains(&i));
+            assert_eq!(h.load(Ordering::Relaxed), expected, "index {i}");
+        }
+        p.steal_for(5..5, |_| panic!("must not run"));
+        let got = p.steal_reduce(7..7, || 1.5f64, |_, _| panic!(), |a, _| a);
+        assert!((got - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_matches_sequential_fold_with_p_minus_1_combines() {
+        for threads in 1..=5usize {
+            let mut p = StealPool::with_threads(threads);
+            let before = p.stats();
+            let sum = p.steal_reduce(0..1000, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(sum, (0..1000u64).sum());
+            let d = p.stats().since(&before);
+            assert_eq!(d.reductions, 1);
+            assert_eq!(d.combine_ops, threads as u64 - 1, "{threads} threads");
+            assert_eq!(d.barrier_phases, 2, "one half-barrier per loop");
+        }
+    }
+
+    #[test]
+    fn chunk_accounting_is_exact() {
+        let mut p = StealPool::with_threads(4);
+        let before = p.stats();
+        const LOOPS: usize = 7;
+        for _ in 0..LOOPS {
+            p.steal_for_with_chunk(0..997, 13, |_| {});
+        }
+        let d = p.stats().since(&before);
+        assert_eq!(d.loops, LOOPS as u64);
+        assert_eq!(d.barrier_phases, 2 * LOOPS as u64);
+        let expected = LOOPS as u64 * total_chunks(&(0..997), 4, 13);
+        assert_eq!(d.chunks_executed(), expected, "no chunk lost or duplicated");
+        assert!(d.steals_hit <= d.steals_attempted);
+        assert!(d.steals_hit <= d.chunks_executed());
+    }
+
+    #[test]
+    fn perturbed_schedules_preserve_results() {
+        for seed in [1u64, 7, 0xDEAD_BEEF] {
+            let config = StealConfig::with_threads(4)
+                .with_perturbation(Arc::new(SeededPerturbation::new(seed)))
+                .with_chunk(5);
+            let mut p = StealPool::new(config);
+            let hits: Vec<AtomicUsize> = (0..503).map(|_| AtomicUsize::new(0)).collect();
+            p.steal_for(0..503, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "seed {seed}"
+            );
+            assert_eq!(p.stats().chunks_executed(), total_chunks(&(0..503), 4, 5));
+        }
+    }
+
+    #[test]
+    fn tiny_chunks_overflowing_the_deque_still_cover_the_range() {
+        // 4096 one-iteration chunks on one worker exceed the 1024-entry deque; the
+        // overflow must execute inline, not disappear.
+        let mut p = StealPool::with_threads(1);
+        let counter = AtomicUsize::new(0);
+        p.steal_for_with_chunk(0..4096, 1, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4096);
+        assert_eq!(p.stats().chunks_executed(), 4096);
+    }
+
+    #[test]
+    fn placement_pool_uses_hierarchical_half_barrier() {
+        use parlo_affinity::PlacementConfig;
+        let placement = PlacementConfig::synthetic(2, 2).with_pin(PinPolicy::None);
+        let mut p = StealPool::with_placement(4, &placement);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            p.steal_for(0..100, |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        let h = p.hierarchy_stats().expect("hierarchical sync enabled");
+        assert_eq!(h.cycles, 10);
+        assert_eq!(h.cross_socket_rendezvous, 10, "one rendezvous per loop");
+
+        let flat = StealPool::new(StealConfig {
+            hierarchical: false,
+            ..StealConfig::from_placement(4, &placement)
+        });
+        assert!(flat.hierarchy_stats().is_none());
+    }
+
+    #[test]
+    fn skewed_bodies_actually_get_stolen() {
+        // One worker's static block carries almost all the work; with many small
+        // chunks the idle workers must lift some of them.  Run enough rounds that at
+        // least one steal is overwhelmingly likely, but assert only consistency plus
+        // coverage so a single-core machine cannot make this flaky.
+        let mut p = StealPool::with_threads(4);
+        let total = AtomicUsize::new(0);
+        for _ in 0..10 {
+            p.steal_for_with_chunk(0..512, 4, |i| {
+                if i >= 384 {
+                    // The last block is heavy.
+                    let mut x = i as f64;
+                    for _ in 0..2000 {
+                        x = x.mul_add(1.000_000_1, 1e-9);
+                    }
+                    std::hint::black_box(x);
+                }
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 5120);
+        let s = p.stats();
+        assert!(s.steals_attempted >= s.steals_hit);
+        assert_eq!(s.chunks_executed(), 10 * total_chunks(&(0..512), 4, 4));
+    }
+
+    #[test]
+    fn effective_chunk_uses_config_override() {
+        let p = StealPool::new(StealConfig::with_threads(2).with_chunk(32));
+        assert_eq!(p.effective_chunk(1_000_000), 32);
+        let q = StealPool::with_threads(2);
+        assert_eq!(q.effective_chunk(1000), default_chunk(1000, 2));
+    }
+}

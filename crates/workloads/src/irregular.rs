@@ -1,0 +1,138 @@
+//! Irregular (load-imbalanced) workloads.
+//!
+//! The granularity micro-benchmark gives every iteration the same cost, which is the
+//! regime where static schedules win and the paper's burden comparison is cleanest.
+//! These two kernels populate the opposite regime — skewed per-iteration cost — where
+//! a static block partition leaves one worker holding a straggler and the balancing
+//! runtimes (dynamic chunks, guided, work stealing) earn their larger burden back:
+//!
+//! * [`skewed-geometric`](self::skewed_weight): iteration weights follow geometric
+//!   tiers — the first half of the range has weight 1, the next quarter weight 2, the
+//!   next eighth weight 4, … — so the *last* static block concentrates almost all of
+//!   the work;
+//! * [`triangular-nest`](self::triangular_row): the classic triangular loop nest
+//!   `for i { for j in 0..=i { … } }` flattened over its outer loop, whose row cost
+//!   grows linearly with the row index.
+//!
+//! Both kernels produce **exactly representable** `f64` sums (integer-valued terms),
+//! so cross-runtime result equality can be asserted bit-for-bit regardless of the
+//! combine order a schedule produces.
+
+use crate::microbench::work_unit;
+use parlo_core::LoopRuntime;
+
+/// Cap on the geometric weight, so the heaviest iterations stay a bounded multiple of
+/// the lightest and the total work is `Θ(n log n)` rather than quadratic.
+pub const MAX_SKEW_WEIGHT: usize = 64;
+
+/// The geometric weight of iteration `i` in a loop of `n` iterations: the first `n/2`
+/// iterations weigh 1, the next `n/4` weigh 2, the next `n/8` weigh 4, …, capped at
+/// [`MAX_SKEW_WEIGHT`].  Deterministic, so every schedule sees the same skew.
+pub fn skewed_weight(mut i: usize, n: usize) -> usize {
+    let mut weight = 1usize;
+    let mut tier = n / 2;
+    while tier > 0 && i >= tier && weight < MAX_SKEW_WEIGHT {
+        i -= tier;
+        tier /= 2;
+        weight *= 2;
+    }
+    weight
+}
+
+/// One iteration of the skewed-geometric workload: `units × weight(i)` rounds of the
+/// micro-benchmark's dependent multiply-add chain, floored to an integer so parallel
+/// sums are exact.
+pub fn skewed_term(i: usize, n: usize, units: usize) -> f64 {
+    work_unit(i, units * skewed_weight(i, n)).floor()
+}
+
+/// Sequential reference sum of the skewed-geometric workload.
+pub fn skewed_sequential(n: usize, units: usize) -> f64 {
+    (0..n).map(|i| skewed_term(i, n, units)).sum()
+}
+
+/// The skewed-geometric workload on any [`LoopRuntime`]: sums [`skewed_term`] over
+/// `0..n`.  Must equal [`skewed_sequential`] exactly on every runtime.
+pub fn skewed_sum(runtime: &mut dyn LoopRuntime, n: usize, units: usize) -> f64 {
+    runtime.parallel_sum(0..n, &move |i| skewed_term(i, n, units))
+}
+
+/// One row of the triangular-nest kernel: folds the flattened inner loop
+/// `j in 0..=i` of a lower-triangular update.  The terms are small integers, so the
+/// row sum (and the total) is exactly representable in `f64`.
+pub fn triangular_row(i: usize) -> f64 {
+    let mut acc = 0.0f64;
+    for j in 0..=i {
+        acc += ((i.wrapping_mul(31) + j) % 97) as f64;
+    }
+    acc
+}
+
+/// Sequential reference sum of the triangular-nest kernel over `n` rows.
+pub fn triangular_sequential(n: usize) -> f64 {
+    (0..n).map(triangular_row).sum()
+}
+
+/// The triangular-nest kernel on any [`LoopRuntime`]: sums [`triangular_row`] over the
+/// outer loop.  Must equal [`triangular_sequential`] exactly on every runtime.
+pub fn triangular_sum(runtime: &mut dyn LoopRuntime, n: usize) -> f64 {
+    runtime.parallel_sum(0..n, &triangular_row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlo_core::Sequential;
+
+    #[test]
+    fn skew_weights_are_geometric_and_monotone() {
+        let n = 1024;
+        assert_eq!(skewed_weight(0, n), 1);
+        assert_eq!(skewed_weight(n / 2 - 1, n), 1);
+        assert_eq!(skewed_weight(n / 2, n), 2);
+        assert_eq!(skewed_weight(n / 2 + n / 4, n), 4);
+        assert_eq!(skewed_weight(n - 1, n), MAX_SKEW_WEIGHT);
+        for i in 1..n {
+            assert!(skewed_weight(i, n) >= skewed_weight(i - 1, n), "at {i}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_work_in_the_last_block() {
+        // With 4 static blocks, the last block carries more weight than the first
+        // three together — the imbalance the stealing runtime exists for.
+        let n = 1024;
+        let block = |b: usize| -> usize {
+            (b * n / 4..(b + 1) * n / 4)
+                .map(|i| skewed_weight(i, n))
+                .sum()
+        };
+        assert!(block(3) > block(0) + block(1) + block(2));
+    }
+
+    #[test]
+    fn skewed_sum_matches_sequential_reference() {
+        let mut seq = Sequential;
+        let got = skewed_sum(&mut seq, 500, 3);
+        assert_eq!(got, skewed_sequential(500, 3), "bit-identical");
+        assert!(got.fract() == 0.0, "terms are integer-valued");
+    }
+
+    #[test]
+    fn triangular_rows_grow_and_sum_exactly() {
+        assert_eq!(triangular_row(0), 0.0);
+        let mut seq = Sequential;
+        let got = triangular_sum(&mut seq, 300);
+        assert_eq!(got, triangular_sequential(300));
+        assert_eq!(got.fract(), 0.0);
+        // Row cost grows linearly: the last row folds n terms.
+        assert!(triangular_row(299) > triangular_row(10));
+    }
+
+    #[test]
+    fn empty_workloads_are_zero() {
+        let mut seq = Sequential;
+        assert_eq!(skewed_sum(&mut seq, 0, 4), 0.0);
+        assert_eq!(triangular_sum(&mut seq, 0), 0.0);
+    }
+}

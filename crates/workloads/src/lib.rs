@@ -7,6 +7,8 @@
 //!   workload;
 //! * [`phoenix`] — Phoenix++-style map-reduce kernels: linear regression (Figure 3),
 //!   histogram and k-means;
+//! * [`irregular`] — load-imbalanced kernels (skewed-geometric iteration cost and a
+//!   triangular loop nest) where balancing schedulers earn their burden back;
 //! * [`runner`] — runtime dispatch: the workloads program against the unified
 //!   [`LoopRuntime`] trait from `parlo-core`, so the same code runs on the fine-grain
 //!   scheduler, the OpenMP-like team, the Cilk-like pool, the adaptive runtime or
@@ -15,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod irregular;
 pub mod mesh;
 pub mod microbench;
 pub mod mpdata;

@@ -19,9 +19,10 @@ pub use parlo_core::{LoopRuntime, Sequential, SyncStats};
 
 /// The standard cross-runtime evaluation roster on `threads` threads: sequential
 /// reference, fine-grain pool, the OpenMP-like team under its three main worksharing
-/// schedules, and both paths of the Cilk-like pool.  Workers are placed (topology,
-/// pinning, hierarchical synchronization) by the default [`PlacementConfig`]: detected
-/// machine, compact pinning, socket-composed half-barriers.
+/// schedules, both paths of the Cilk-like pool, and the work-stealing chunk pool.
+/// Workers are placed (topology, pinning, hierarchical synchronization) by the default
+/// [`PlacementConfig`]: detected machine, compact pinning, socket-composed
+/// half-barriers.
 pub fn all_runtimes(threads: usize) -> Vec<Box<dyn LoopRuntime>> {
     all_runtimes_with_placement(threads, &PlacementConfig::default())
 }
@@ -57,6 +58,7 @@ pub fn all_runtimes_with_placement(
         Box::new(parlo_cilk::CilkFineGrain::with_placement(
             threads, placement,
         )),
+        Box::new(parlo_steal::StealPool::with_placement(threads, placement)),
     ]
 }
 
@@ -113,10 +115,36 @@ mod tests {
     }
 
     #[test]
-    fn roster_exposes_all_three_omp_schedules() {
+    fn roster_exposes_all_three_omp_schedules_and_the_stealing_pool() {
         let names: Vec<String> = all_runtimes(2).iter().map(|r| r.name()).collect();
-        for expected in ["OpenMP static", "OpenMP dynamic", "OpenMP guided"] {
+        for expected in [
+            "OpenMP static",
+            "OpenMP dynamic",
+            "OpenMP guided",
+            "fine-grain stealing",
+        ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn irregular_workloads_agree_with_sequential_on_every_runtime() {
+        use crate::irregular;
+        let skewed = irregular::skewed_sequential(400, 2);
+        let triangular = irregular::triangular_sequential(250);
+        for r in all_runtimes(3).iter_mut() {
+            assert_eq!(
+                irregular::skewed_sum(r.as_mut(), 400, 2),
+                skewed,
+                "skewed-geometric on {}",
+                r.name()
+            );
+            assert_eq!(
+                irregular::triangular_sum(r.as_mut(), 250),
+                triangular,
+                "triangular-nest on {}",
+                r.name()
+            );
         }
     }
 }

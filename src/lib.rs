@@ -2,10 +2,11 @@
 //!
 //! This meta-crate re-exports the whole workspace: the fine-grain half-barrier
 //! scheduler ([`core`]), the OpenMP-like and Cilk-like baseline runtimes ([`omp`],
-//! [`cilk`]), the online scheduler-selection runtime ([`adaptive`]), the barrier and
-//! affinity substrates ([`barrier`], [`affinity`]), the evaluation workloads
-//! ([`workloads`]), the measurement utilities ([`analysis`]) and the many-core
-//! cost-model simulator ([`sim`]).
+//! [`cilk`]), the work-stealing chunk runtime ([`steal`]), the online
+//! scheduler-selection runtime ([`adaptive`]), the barrier and affinity substrates
+//! ([`barrier`], [`affinity`]), the evaluation workloads ([`workloads`]), the
+//! measurement utilities ([`analysis`]) and the many-core cost-model simulator
+//! ([`sim`]).
 //!
 //! See the repository README for the architecture overview, `DESIGN.md` for the system
 //! inventory and per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured
@@ -29,6 +30,7 @@ pub use parlo_cilk as cilk;
 pub use parlo_core as core;
 pub use parlo_omp as omp;
 pub use parlo_sim as sim;
+pub use parlo_steal as steal;
 pub use parlo_workloads as workloads;
 
 /// The most commonly used types, re-exported in one place.
@@ -39,5 +41,8 @@ pub mod prelude {
     pub use parlo_cilk::{CilkFineGrain, CilkPool};
     pub use parlo_core::{BarrierKind, Config, FineGrainPool, LoopRuntime, Sequential, SyncStats};
     pub use parlo_omp::{OmpTeam, Schedule, ScheduledTeam};
+    pub use parlo_steal::{
+        SchedulePerturbation, SeededPerturbation, StealConfig, StealPool, StealStats,
+    };
     pub use parlo_workloads::{all_runtimes, all_runtimes_with_placement};
 }

@@ -23,7 +23,9 @@ const PER_ITER: f64 = 1e-6;
 const MICRO_SITE: LoopSite = LoopSite::new(1);
 const SKEWED_SITE: LoopSite = LoopSite::new(2);
 
-/// Table-1 burdens (48-thread machine), in seconds.
+/// Table-1 burdens (48-thread machine), in seconds.  The stealing runtime's burden is
+/// the simulated "Fine-grain stealing" row's order of magnitude: above the static
+/// schedules (deque traffic, steal tail), well below the shared chunk dispenser.
 fn sim_burden(backend: Backend) -> f64 {
     match backend {
         Backend::Sequential => 0.0,
@@ -31,6 +33,7 @@ fn sim_burden(backend: Backend) -> f64 {
         Backend::OmpStatic => 8.12e-6,
         Backend::OmpDynamic => 31.94e-6,
         Backend::OmpGuided => 20.0e-6,
+        Backend::Steal => 12.94e-6,
         Backend::CilkSteal => 68.80e-6,
     }
 }
@@ -39,7 +42,7 @@ fn sim_burden(backend: Backend) -> f64 {
 fn is_balancing(backend: Backend) -> bool {
     matches!(
         backend,
-        Backend::OmpDynamic | Backend::OmpGuided | Backend::CilkSteal
+        Backend::OmpDynamic | Backend::OmpGuided | Backend::Steal | Backend::CilkSteal
     )
 }
 
@@ -121,6 +124,32 @@ fn skewed_loops_converge_to_a_balancing_backend() {
     assert!(
         static_fit.burden > 100e-6,
         "imbalance must inflate the static burden, got {static_fit:?}"
+    );
+}
+
+#[test]
+fn skewed_geometric_workload_routes_to_the_stealing_backend() {
+    // The skewed-geometric workload (geometric weight tiers, the straggler block
+    // carrying ~half of T) under the deterministic sim timer: every non-balancing
+    // schedule waits for the straggler, and among the balancing candidates the
+    // stealing runtime has the lowest burden — the router must select it.
+    let mut pool = sim_pool();
+    let decision = calibrate(&mut pool, SKEWED_SITE, 512);
+    assert_eq!(
+        decision.backend,
+        Backend::Steal,
+        "the stealing runtime is the cheapest balancing backend: {decision:?}"
+    );
+    // Sanity: its fitted burden recovers the model's stealing burden, not the
+    // straggler-inflated effective burden the static backends show.
+    let fit = pool
+        .fitted_burden(SKEWED_SITE, Backend::Steal)
+        .expect("fitted");
+    assert!(
+        (fit.burden - sim_burden(Backend::Steal)).abs() / sim_burden(Backend::Steal) < 0.05,
+        "fitted {} vs model {}",
+        fit.burden,
+        sim_burden(Backend::Steal)
     );
 }
 

@@ -6,8 +6,9 @@
 //! (barrier phases per loop, combines per reduction) must hold end to end.
 
 use parlo::prelude::*;
+use parlo_steal::total_chunks;
 use parlo_workloads::phoenix::{histogram, kmeans, linear_regression as linreg};
-use parlo_workloads::{Mpdata, Sequential};
+use parlo_workloads::{irregular, Mpdata, Sequential};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The full evaluation roster (including the adaptive runtime) as trait objects.
@@ -48,6 +49,7 @@ fn all_three_omp_schedules_are_reachable_behind_dyn_loop_runtime() {
         "OpenMP guided",
         "Cilk",
         "fine-grain Cilk",
+        "fine-grain stealing",
         "adaptive",
     ] {
         assert!(names.iter().any(|n| n == expected), "missing {expected}");
@@ -171,6 +173,82 @@ fn structural_claims_of_the_paper_hold() {
 }
 
 #[test]
+fn irregular_workloads_are_runtime_independent_on_flat_and_synthetic_topologies() {
+    // The two irregular workloads produce exactly representable sums, so every
+    // runtime — the stealing pool included — must agree with sequential execution
+    // bit-for-bit, on the flat detected machine and on synthetic 2x4 / 4x8 shapes
+    // with hierarchical synchronization.
+    let skewed_expected = irregular::skewed_sequential(600, 2);
+    let tri_expected = irregular::triangular_sequential(300);
+    let placements = [
+        None,
+        Some(PlacementConfig::synthetic(2, 4).with_pin(PinPolicy::None)),
+        Some(PlacementConfig::synthetic(4, 8).with_pin(PinPolicy::None)),
+    ];
+    for placement in placements {
+        let mut roster = match placement {
+            None => runtimes(4),
+            Some(p) => all_runtimes_with_placement(4, &p),
+        };
+        for r in roster.iter_mut() {
+            assert_eq!(
+                irregular::skewed_sum(r.as_mut(), 600, 2),
+                skewed_expected,
+                "skewed-geometric on {} ({placement:?})",
+                r.name()
+            );
+            assert_eq!(
+                irregular::triangular_sum(r.as_mut(), 300),
+                tri_expected,
+                "triangular-nest on {} ({placement:?})",
+                r.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn stealing_runtime_accounts_every_chunk_and_steal_on_irregular_workloads() {
+    // Exact chunk-coverage and steal accounting through StealStats: across several
+    // irregular loops, the executed chunk count equals the pre-split count, the
+    // per-worker counts sum to the total, and hits never exceed attempts.
+    for (sockets, cores) in [(1usize, 4usize), (2, 4), (4, 8)] {
+        let threads = 4;
+        let placement = PlacementConfig::synthetic(sockets, cores).with_pin(PinPolicy::None);
+        let mut pool =
+            StealPool::new(StealConfig::from_placement(threads, &placement).with_chunk(9));
+        let before = pool.stats();
+        let n = 500;
+        assert_eq!(
+            irregular::skewed_sum(&mut pool, n, 2),
+            irregular::skewed_sequential(n, 2)
+        );
+        assert_eq!(
+            irregular::triangular_sum(&mut pool, n),
+            irregular::triangular_sequential(n)
+        );
+        let d = pool.stats().since(&before);
+        assert_eq!(d.loops, 2, "{sockets}x{cores}");
+        assert_eq!(d.reductions, 2);
+        assert_eq!(d.barrier_phases, 4, "one half-barrier per loop");
+        assert_eq!(d.combine_ops, 2 * (threads as u64 - 1), "P-1 combines each");
+        assert_eq!(
+            d.chunks_executed(),
+            2 * total_chunks(&(0..n), threads, 9),
+            "exact chunk coverage on {sockets}x{cores}"
+        );
+        assert_eq!(d.chunks_per_worker.len(), threads);
+        assert_eq!(
+            d.chunks_per_worker.iter().sum::<u64>(),
+            d.chunks_executed(),
+            "per-worker counts sum to the total"
+        );
+        assert!(d.steals_hit <= d.steals_attempted);
+        assert!(d.steals_hit <= d.chunks_executed());
+    }
+}
+
+#[test]
 fn hierarchical_sync_preserves_results_on_synthetic_topologies() {
     // The whole roster runs on synthetic multi-socket shapes with the hierarchical
     // half-barrier enabled; every runtime must still agree with sequential execution.
@@ -229,20 +307,33 @@ fn simulated_experiments_reproduce_the_paper_shape() {
     // particular no worse than the flat tree half-barrier), Cilk the highest.
     let t1 = experiments::table1(&m);
     let burdens: Vec<f64> = t1.rows.iter().map(|(_, v)| v[0]).collect();
-    assert_eq!(t1.rows.len(), 7);
+    assert_eq!(t1.rows.len(), 8);
     assert_eq!(t1.rows[0].0, "Fine-grain hierarchical");
     assert_eq!(t1.rows[1].0, "Fine-grain tree");
+    assert_eq!(t1.rows[4].0, "Fine-grain stealing");
     assert!(
         burdens[0] <= burdens[1],
         "hierarchical must not regress the flat half-barrier"
     );
     assert!(burdens[1..].iter().all(|&d| d >= burdens[0]));
-    assert_eq!(t1.rows[6].0, "Cilk");
+    assert_eq!(t1.rows[7].0, "Cilk");
     assert!(
-        burdens[6]
-            >= *burdens[..6]
+        burdens[7]
+            >= *burdens[..7]
                 .iter()
                 .fold(&0.0, |a, b| if b > a { b } else { a })
+    );
+    // The stealing runtime's per-worker deques stay far below the shared chunk
+    // dispenser (OpenMP dynamic) and the recursive splitter (Cilk).
+    let dynamic = burdens[t1
+        .rows
+        .iter()
+        .position(|r| r.0 == "OpenMP dynamic")
+        .unwrap()];
+    assert!(burdens[4] < dynamic, "stealing beats the shared dispenser");
+    assert!(
+        burdens[4] < burdens[7],
+        "stealing beats recursive splitting"
     );
 
     // Figure 2 shape: the fine-grain scheduler beats OpenMP at 48 threads.

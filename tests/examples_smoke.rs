@@ -1,5 +1,6 @@
 //! Smoke check for the `examples/` directory: every example must build, and the
-//! `quickstart` and `adaptive_quickstart` examples must run successfully end to end.
+//! `quickstart`, `adaptive_quickstart` and `steal_quickstart` examples must run
+//! successfully end to end.
 //!
 //! `cargo test` already compiles examples for the dev profile, so the nested build
 //! below is normally a cache hit; its purpose is to fail this *test* (not just the
@@ -74,5 +75,32 @@ fn adaptive_quickstart_example_runs() {
     assert!(
         stdout.contains("adaptive quickstart done"),
         "adaptive_quickstart did not complete:\n{stdout}"
+    );
+}
+
+#[test]
+fn steal_quickstart_example_runs() {
+    let output = cargo()
+        .args(["run", "--quiet", "--example", "steal_quickstart"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "steal_quickstart exited with {:?}:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("sum = 499999500000"),
+        "steal_quickstart output missing the reduction sum:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("steals:"),
+        "steal_quickstart output missing the StealStats line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("steal quickstart done"),
+        "steal_quickstart did not complete:\n{stdout}"
     );
 }

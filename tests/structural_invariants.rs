@@ -15,6 +15,9 @@
 //! * the OpenMP-like baseline pays 2 full barriers per plain loop and 3 per
 //!   reduction loop;
 //! * the Cilk hybrid's fine-grain path has the same structure as the fine-grain pool;
+//! * the work-stealing chunk pool pays exactly the same synchronization (one
+//!   half-barrier cycle per loop, `P − 1` combines per reduction) and accounts every
+//!   pre-split chunk exactly once;
 //! * the hierarchical half-barrier performs exactly one cross-socket rendezvous per
 //!   cycle and exactly one arrival per worker per cycle on each socket.
 
@@ -22,6 +25,7 @@ use parlo_affinity::{PinPolicy, PlacementConfig, Topology};
 use parlo_cilk::CilkPool;
 use parlo_core::{BarrierKind, Config, FineGrainPool};
 use parlo_omp::{OmpTeam, Schedule};
+use parlo_steal::{total_chunks, StealConfig, StealPool};
 
 const HALF_KINDS: [BarrierKind; 2] = [BarrierKind::TreeHalf, BarrierKind::CentralizedHalf];
 const FULL_KINDS: [BarrierKind; 2] = [BarrierKind::TreeFull, BarrierKind::CentralizedFull];
@@ -232,6 +236,96 @@ fn partially_populated_sockets_keep_the_invariants() {
             threads as u64 - 1,
             "every worker arrives exactly once ({threads} threads)"
         );
+    }
+}
+
+#[test]
+fn stealing_pool_pays_exactly_one_half_barrier_cycle_per_loop() {
+    const REPS: u64 = 7;
+    for threads in 1..=4 {
+        let mut pool = StealPool::with_threads(threads);
+        let before = pool.stats();
+        for _ in 0..REPS {
+            pool.steal_for(0..200, |_| {});
+        }
+        let d = pool.stats().since(&before);
+        assert_eq!(d.loops, REPS);
+        assert_eq!(
+            d.barrier_phases,
+            REPS * 2,
+            "one release + one join phase per stealing loop at {threads}T"
+        );
+    }
+}
+
+#[test]
+fn stealing_reduction_performs_exactly_p_minus_1_combines_and_no_extra_barrier() {
+    const REPS: u64 = 5;
+    for threads in 1..=6 {
+        let mut pool = StealPool::with_threads(threads);
+        let before = pool.stats();
+        for _ in 0..REPS {
+            let sum = pool.steal_reduce(0..500, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(sum, (0..500u64).sum());
+        }
+        let d = pool.stats().since(&before);
+        assert_eq!(d.reductions, REPS);
+        assert_eq!(
+            d.combine_ops,
+            REPS * (threads as u64 - 1),
+            "exactly P-1 combines per stealing reduction at {threads} threads"
+        );
+        assert_eq!(
+            d.barrier_phases,
+            REPS * 2,
+            "the reduction is merged into the loop's own half-barrier"
+        );
+    }
+}
+
+#[test]
+fn stealing_pool_chunk_accounting_is_exact_across_thread_counts() {
+    for threads in 1..=4usize {
+        for chunk in [1usize, 7, 64] {
+            let mut pool = StealPool::new(StealConfig::with_threads(threads).with_chunk(chunk));
+            let before = pool.stats();
+            pool.steal_for(0..613, |_| {});
+            let d = pool.stats().since(&before);
+            assert_eq!(
+                d.chunks_executed(),
+                total_chunks(&(0..613), threads, chunk),
+                "{threads}T chunk {chunk}: every pre-split chunk executed exactly once"
+            );
+            assert_eq!(d.chunks_per_worker.len(), threads);
+            assert!(d.steals_hit <= d.steals_attempted);
+        }
+    }
+}
+
+#[test]
+fn stealing_pool_keeps_hierarchical_invariants_on_synthetic_topologies() {
+    const LOOPS: u64 = 6;
+    for (sockets, cores) in [(2usize, 4usize), (4, 8)] {
+        let threads = sockets * cores;
+        let placement = PlacementConfig::synthetic(sockets, cores).with_pin(PinPolicy::None);
+        let mut pool = StealPool::with_placement(threads, &placement);
+        for _ in 0..LOOPS {
+            pool.steal_for(0..threads * 5, |_| {});
+        }
+        let h = pool
+            .hierarchy_stats()
+            .expect("synthetic placement enables the hierarchical half-barrier");
+        assert_eq!(h.cycles, LOOPS, "{sockets}x{cores}");
+        assert_eq!(
+            h.cross_socket_rendezvous, LOOPS,
+            "exactly one cross-socket rendezvous per stealing loop on {sockets}x{cores}"
+        );
+        assert_eq!(
+            h.socket_arrivals.iter().sum::<u64>(),
+            LOOPS * (threads as u64 - 1),
+            "every worker arrives exactly once per loop"
+        );
+        assert_eq!(pool.stats().barrier_phases, LOOPS * 2);
     }
 }
 
