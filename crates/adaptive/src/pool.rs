@@ -1,9 +1,11 @@
 //! The adaptive pool: per-site calibration, burden fitting, and routing.
 
 use crate::{Backend, LoopSite, ProbeTimer, WallClock};
+use parlo_affinity::PlacementConfig;
 use parlo_analysis::{fit_burden, BurdenFit, BurdenMeasurement};
 use parlo_cilk::{default_grain, CilkPool};
 use parlo_core::{FineGrainPool, LoopRuntime, SyncStats};
+use parlo_exec::Executor;
 use parlo_omp::{OmpTeam, Schedule};
 use parlo_steal::StealPool;
 use std::collections::HashMap;
@@ -30,6 +32,14 @@ pub struct AdaptiveConfig {
     pub max_measurements: usize,
     /// Probe timing hook (wall clock by default; tests inject a cost model).
     pub timer: Arc<dyn ProbeTimer>,
+    /// Worker placement shared by every backend (topology source, pin policy,
+    /// hierarchical synchronization).
+    pub placement: PlacementConfig,
+    /// The worker substrate the backends lease their threads from.  `None` creates a
+    /// private one — the backends still share it with *each other*, so an adaptive
+    /// pool holds at most `threads − 1` worker threads, not four times that.  Pass the
+    /// roster's executor to share with an entire evaluation.
+    pub executor: Option<Arc<Executor>>,
 }
 
 impl AdaptiveConfig {
@@ -42,6 +52,8 @@ impl AdaptiveConfig {
             reprobe_interval: 512,
             max_measurements: 8,
             timer: Arc::new(WallClock),
+            placement: PlacementConfig::default(),
+            executor: None,
         }
     }
 }
@@ -176,6 +188,9 @@ pub struct AdaptivePool {
     team: OmpTeam,
     cilk: CilkPool,
     steal: StealPool,
+    /// The substrate all four backends lease their workers from: the pool holds at
+    /// most `threads − 1` live worker threads no matter how many backends it owns.
+    executor: Arc<Executor>,
     backends: Vec<Backend>,
     probes_per_backend: usize,
     reprobe_interval: u64,
@@ -203,6 +218,14 @@ const DRIFT_FACTOR: f64 = 4.0;
 /// Consecutive drifted executions before an early re-calibration fires.
 const DRIFT_STRIKES: u32 = 3;
 
+/// Drift is only scored when the routed call's iteration count is within this factor
+/// of the calibrated one (in either direction).  The prediction scales the work term
+/// *linearly* in `n`, which is only trustworthy near the calibration point — cache
+/// footprints and per-iteration costs shift across orders of magnitude, so a wildly
+/// different `n` would rack up `drift_strikes` from prediction-scaling error alone
+/// and trigger spurious re-calibration of a site whose workload never changed.
+const DRIFT_N_WINDOW: f64 = 8.0;
+
 impl AdaptivePool {
     /// Creates an adaptive pool with `threads` threads per backend and defaults for
     /// everything else.
@@ -222,11 +245,17 @@ impl AdaptivePool {
         if backends.is_empty() {
             backends = Backend::DEFAULT.to_vec();
         }
+        let placement = config.placement;
+        let executor = config
+            .executor
+            .clone()
+            .unwrap_or_else(|| Executor::for_placement(&placement));
         AdaptivePool {
-            fine: FineGrainPool::with_threads(threads),
-            team: OmpTeam::with_threads(threads),
-            cilk: CilkPool::with_threads(threads),
-            steal: StealPool::with_threads(threads),
+            fine: FineGrainPool::with_placement_on(threads, &placement, &executor),
+            team: OmpTeam::with_placement_on(threads, &placement, &executor),
+            cilk: CilkPool::with_placement_on(threads, &placement, &executor),
+            steal: StealPool::with_placement_on(threads, &placement, &executor),
+            executor,
             backends,
             probes_per_backend: config.probes_per_backend.max(1),
             reprobe_interval: config.reprobe_interval.max(1),
@@ -243,6 +272,12 @@ impl AdaptivePool {
     /// Number of threads each backend uses (master included).
     pub fn num_threads(&self) -> usize {
         self.threads
+    }
+
+    /// The worker substrate shared by all four backends (and by whatever else the
+    /// caller built on the same executor).
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.executor
     }
 
     /// The candidate parallel backends probed for every site, in probe order.
@@ -373,22 +408,32 @@ impl AdaptivePool {
                 // call's iteration count with the burden term held fixed (only the
                 // work term scales — a shorter range must not shrink `d`).  Three
                 // consecutive strikes trigger an early re-calibration; only the slow
-                // side counts, so warm-vs-cold timing bias cannot trigger it.
-                let p = threads as f64;
-                let predicted = state
-                    .decision
-                    .map(|d| {
-                        let t_n = state.t_seq_for(n);
-                        match d.backend {
-                            Backend::Sequential => t_n,
-                            _ => d.burden_secs + t_n / p,
-                        }
-                    })
-                    .unwrap_or(observed);
-                if observed > predicted * DRIFT_FACTOR {
-                    state.drift_strikes += 1;
-                } else {
-                    state.drift_strikes = 0;
+                // side counts, so warm-vs-cold timing bias cannot trigger it.  Calls
+                // whose `n` is outside the trust window of the linear scaling leave
+                // the strike counter untouched in both directions (see
+                // `DRIFT_N_WINDOW`): they can neither accuse the site of drifting
+                // nor acquit it.
+                let comparable = state.seq_n > 0 && {
+                    let ratio = n as f64 / state.seq_n as f64;
+                    (DRIFT_N_WINDOW.recip()..=DRIFT_N_WINDOW).contains(&ratio)
+                };
+                if comparable {
+                    let p = threads as f64;
+                    let predicted = state
+                        .decision
+                        .map(|d| {
+                            let t_n = state.t_seq_for(n);
+                            match d.backend {
+                                Backend::Sequential => t_n,
+                                _ => d.burden_secs + t_n / p,
+                            }
+                        })
+                        .unwrap_or(observed);
+                    if observed > predicted * DRIFT_FACTOR {
+                        state.drift_strikes += 1;
+                    } else {
+                        state.drift_strikes = 0;
+                    }
                 }
                 if state.routed_since_probe >= reprobe_interval
                     || state.drift_strikes >= DRIFT_STRIKES
@@ -795,6 +840,83 @@ mod tests {
         let got = pool.parallel_reduce_at(site, 5..5, 1.5, |_, _| panic!(), |a, _| a);
         assert_eq!(got, 1.5);
         assert_eq!(pool.adaptive_stats().sites, 0, "no site state created");
+    }
+
+    #[test]
+    fn all_backends_share_one_worker_substrate() {
+        let threads = 4;
+        let mut pool = AdaptivePool::with_threads(threads);
+        let site = LoopSite::new(21);
+        // Drive the full calibration round so every parallel backend runs at least
+        // one loop (sequential probe + one probe per backend + routed calls).
+        for _ in 0..8 {
+            pool.parallel_for_at(site, 0..256, |_| {});
+        }
+        let stats = pool.executor().stats();
+        assert!(
+            stats.workers < threads,
+            "4 live backends must hold at most P-1 worker threads, got {stats:?}"
+        );
+        assert_eq!(stats.leases, 4, "one lease per backend");
+        assert!(
+            stats.switches >= 4,
+            "probing rotates the lease through the backends: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn drift_is_not_scored_on_wildly_different_iteration_counts() {
+        use std::sync::atomic::AtomicU64;
+        /// A model whose per-iteration cost is 10x higher beyond 1k iterations —
+        /// linear scaling from a small-n calibration under-predicts large-n calls by
+        /// far more than DRIFT_FACTOR, but the workload itself never changes.
+        struct NonLinearModel {
+            threads: usize,
+            observes: AtomicU64,
+        }
+        impl ProbeTimer for NonLinearModel {
+            fn observe(&self, backend: Backend, _: LoopSite, n: usize, _: f64) -> f64 {
+                self.observes.fetch_add(1, Ordering::Relaxed);
+                let per_iter = if n > 1000 { 1e-5 } else { 1e-6 };
+                let t = per_iter * n as f64;
+                let p = self.threads as f64;
+                match backend {
+                    Backend::Sequential => t,
+                    Backend::FineGrain => 5.67e-6 + t / p,
+                    Backend::OmpStatic => 8.12e-6 + t / p,
+                    Backend::OmpDynamic => 31.94e-6 + t / p,
+                    Backend::OmpGuided => 20.0e-6 + t / p,
+                    Backend::Steal => 12.94e-6 + t / p,
+                    Backend::CilkSteal => 68.80e-6 + t / p,
+                }
+            }
+        }
+
+        let mut config = AdaptiveConfig::with_threads(4);
+        config.timer = Arc::new(NonLinearModel {
+            threads: 4,
+            observes: AtomicU64::new(0),
+        });
+        config.reprobe_interval = u64::MAX; // only drift could trigger re-calibration
+        let mut pool = AdaptivePool::new(config);
+        let site = LoopSite::new(13);
+        // Calibrate at n = 64, then alternate routed calls at a 1000x larger n with
+        // calls at the calibrated n.  The large-n calls run 10x slower per iteration
+        // than the linear prediction, but must not strike: their n is far outside
+        // the trust window of the linear scaling.
+        for _ in 0..6 {
+            pool.parallel_for_at(site, 0..64, |_| {});
+        }
+        assert!(pool.decision(site).is_some(), "calibrated");
+        for _ in 0..12 {
+            pool.parallel_for_at(site, 0..64_000, |_| {});
+            pool.parallel_for_at(site, 0..64, |_| {});
+        }
+        assert_eq!(
+            pool.adaptive_stats().reprobes,
+            0,
+            "benign n changes must not trigger spurious re-calibration"
+        );
     }
 
     #[test]

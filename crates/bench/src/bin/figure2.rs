@@ -13,6 +13,7 @@
 use parlo_analysis::{series_to_csv, series_to_text, Series};
 use parlo_bench::{arg_value, has_flag, native_thread_sweep, placement_args, time_secs};
 use parlo_core::{FineGrainPool, Sequential};
+use parlo_exec::Executor;
 use parlo_omp::ScheduledTeam;
 use parlo_sim::SimMachine;
 use parlo_workloads::{Mpdata, PlacementConfig};
@@ -33,16 +34,23 @@ fn measure_native(
     });
     eprintln!("figure2: sequential baseline {t_seq:.3}s for {steps} steps");
 
+    // One substrate for the whole sweep: both runtimes at every thread count lease
+    // the same workers (the substrate grows to the largest count measured).
+    let executor = Executor::for_placement(placement);
     for threads in native_thread_sweep(max_threads) {
-        let mut fine_runner = FineGrainPool::with_placement(threads, placement);
+        let mut fine_runner = FineGrainPool::with_placement_on(threads, placement, &executor);
         let mut solver = Mpdata::paper_problem();
         let t = time_secs(|| {
             solver.run(&mut fine_runner, steps, false);
         });
         fine.push(threads, t_seq / t);
 
-        let mut omp_runner =
-            ScheduledTeam::with_placement(threads, parlo_omp::Schedule::Static, placement);
+        let mut omp_runner = ScheduledTeam::with_placement_on(
+            threads,
+            parlo_omp::Schedule::Static,
+            placement,
+            &executor,
+        );
         let mut solver = Mpdata::paper_problem();
         let t = time_secs(|| {
             solver.run(&mut omp_runner, steps, false);
@@ -54,6 +62,11 @@ fn measure_native(
             omp.at(threads).unwrap()
         );
     }
+    let stats = executor.stats();
+    eprintln!(
+        "figure2: substrate held {} worker threads across the sweep ({} lease switches)",
+        stats.workers, stats.switches
+    );
     let ratio = fine.ratio_over(&omp, "fine-grain / OpenMP");
     (fine, omp, ratio)
 }

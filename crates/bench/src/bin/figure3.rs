@@ -62,9 +62,12 @@ fn measure_native(
     let mut omp_static = Series::empty("OpenMP static");
     let mut omp_dynamic = Series::empty("OpenMP dynamic");
 
+    // One substrate for the whole sweep: all three pool families lease the same
+    // workers at every thread count.
+    let executor = parlo_exec::Executor::for_placement(placement);
     for threads in native_thread_sweep(max_threads) {
         // Fine-grain scheduler (merged half-barrier reductions).
-        let mut pool = parlo_core::FineGrainPool::with_placement(threads, placement);
+        let mut pool = parlo_core::FineGrainPool::with_placement_on(threads, placement, &executor);
         let t = time_secs(|| {
             let mut total = linreg::RegressionSums::default();
             for chunk in regression_chunks(points) {
@@ -76,7 +79,7 @@ fn measure_native(
         fine.push(threads, t_seq / t);
 
         // Baseline Cilk and the hybrid fine-grain path of the same pool.
-        let mut cpool = parlo_cilk::CilkPool::with_placement(threads, placement);
+        let mut cpool = parlo_cilk::CilkPool::with_placement_on(threads, placement, &executor);
         let t = time_secs(|| {
             let mut total = linreg::RegressionSums::default();
             for chunk in regression_chunks(points) {
@@ -95,7 +98,7 @@ fn measure_native(
         cilk_fine.push(threads, t_seq / t);
 
         // OpenMP baselines.
-        let mut team = parlo_omp::OmpTeam::with_placement(threads, placement);
+        let mut team = parlo_omp::OmpTeam::with_placement_on(threads, placement, &executor);
         for (schedule, series) in [
             (parlo_omp::Schedule::Static, &mut omp_static),
             (parlo_omp::Schedule::Dynamic(64), &mut omp_dynamic),
@@ -111,6 +114,11 @@ fn measure_native(
         }
         eprintln!("  threads {threads} done");
     }
+    let stats = executor.stats();
+    eprintln!(
+        "figure3: substrate held {} worker threads across the sweep ({} lease switches)",
+        stats.workers, stats.switches
+    );
     vec![fine, cilk, cilk_fine, omp_static, omp_dynamic]
 }
 

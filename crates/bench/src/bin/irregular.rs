@@ -16,8 +16,8 @@
 use parlo_analysis::Table;
 use parlo_bench::{
     arg_value, has_flag, json_path_arg, measure_roster_entry, parallel_time_of, placement_args,
-    sequential_time_of, sweep_roster, threads_arg, write_json_report, BenchReport, SweepRow,
-    WorkloadKind,
+    sequential_time_of, sweep_roster, threads_arg, write_json_report, BenchReport, RosterContext,
+    SweepRow, WorkloadKind,
 };
 use parlo_workloads::microbench::SweepPoint;
 use parlo_workloads::LoopRuntime;
@@ -79,10 +79,12 @@ fn main() {
         .map(|&k| sequential_time_of(k, point, reps))
         .collect();
 
+    // One substrate for the whole run (see `RosterContext`).
+    let ctx = RosterContext::new(threads, placement);
     for entry in sweep_roster() {
         // The stealing entry is measured through its concrete type so its StealStats
         // land in the report next to the timings.
-        let (speedups, steal_stats) = measure_roster_entry(&entry, threads, &placement, |rt| {
+        let (speedups, steal_stats) = measure_roster_entry(&entry, &ctx, |rt| {
             measure(rt, entry.key, point, &t_seq, reps, &mut report)
         });
         report.steal.extend(steal_stats);
@@ -98,4 +100,5 @@ fn main() {
         write_json_report(path, &report).expect("failed to write --json report");
         eprintln!("irregular: wrote JSON report to {path}");
     }
+    eprintln!("irregular: {}", ctx.exec_summary());
 }

@@ -12,7 +12,7 @@
 use parlo_bench::{
     arg_str, arg_value, has_flag, json_path_arg, measure_roster_entry, parallel_time_of,
     placement_args, sequential_time_of, sweep_roster, threads_arg, workload_arg, write_json_report,
-    BenchReport, SweepRow, DEFAULT_REPS,
+    BenchReport, RosterContext, SweepRow, DEFAULT_REPS,
 };
 use parlo_workloads::microbench::SweepPoint;
 use parlo_workloads::{microbench, LoopRuntime};
@@ -75,10 +75,13 @@ fn main() {
 
     let mut report = BenchReport::for_workload("sweep", threads, kind.key());
     println!("scheduler,iterations,units,t_seq_s,t_par_s,speedup");
+    // One substrate for the whole run: every measured runtime leases the same
+    // workers, so the sweep never oversubscribes the machine against itself.
+    let ctx = RosterContext::new(threads, placement);
     for entry in roster {
         // The stealing entry is measured through its concrete type so its StealStats
         // (steal attempts/hits, per-worker chunk counts) ride along in the report.
-        let ((), steal_stats) = measure_roster_entry(&entry, threads, &placement, |runtime| {
+        let ((), steal_stats) = measure_roster_entry(&entry, &ctx, |runtime| {
             run_points(runtime, entry.key, kind, &sweep, reps, &mut report)
         });
         report.steal.extend(steal_stats);
@@ -87,4 +90,5 @@ fn main() {
         write_json_report(path, &report).expect("failed to write --json report");
         eprintln!("sweep: wrote JSON report to {path}");
     }
+    eprintln!("sweep: {}", ctx.exec_summary());
 }

@@ -21,7 +21,7 @@ use parlo_analysis::Table;
 use parlo_bench::{
     arg_value, fixed_roster, hardware_threads, has_flag, json_path_arg, measure_burden_of,
     placement_args, threads_arg, workload_arg, write_json_report, BenchReport, BurdenRow,
-    DEFAULT_REPS,
+    RosterContext, DEFAULT_REPS,
 };
 use parlo_sim::SimMachine;
 use parlo_workloads::microbench;
@@ -53,10 +53,12 @@ fn native(args: &[String]) {
     let mut report = BenchReport::for_workload("table1", threads, kind.key());
 
     // The shared roster (see `parlo_bench::fixed_roster`): each runtime is built
-    // lazily, measured, and dropped before the next one spawns its pool.
+    // lazily and leases its workers from the run's one substrate, so measuring the
+    // whole table keeps at most `threads - 1` worker threads alive.
+    let ctx = RosterContext::new(threads, placement);
     for entry in fixed_roster() {
         let label = entry.label;
-        let mut runtime = (entry.build)(threads, &placement);
+        let mut runtime = (entry.build)(&ctx);
         let (_, fit) = measure_burden_of(runtime.as_mut(), kind, &sweep, reps);
         match fit {
             Some(fit) => {
@@ -81,6 +83,7 @@ fn native(args: &[String]) {
         write_json_report(path, &report).expect("failed to write --json report");
         eprintln!("table1: wrote JSON report to {path}");
     }
+    eprintln!("table1: {}", ctx.exec_summary());
     println!(
         "note: absolute burdens depend on the machine; the paper reports (48 threads) \
          fine tree 5.67us, fine centralized 7.55us, fine tree full 12.00us, \

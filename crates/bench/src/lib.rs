@@ -19,9 +19,11 @@
 
 use parlo_affinity::{parse_pin_policy, TopologySource};
 use parlo_analysis::{fit_burden, BurdenFit, BurdenMeasurement};
+use parlo_exec::Executor;
 use parlo_workloads::microbench::{self, SweepPoint};
 use parlo_workloads::{irregular, LoopRuntime, PlacementConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Default number of repetitions per sweep point (each repetition runs the whole loop).
@@ -225,21 +227,34 @@ pub fn hardware_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// The `PARLO_THREADS` environment override, if set to a positive integer.  CI uses it
-/// to run the same bench/test commands at several fixed thread counts (matrix jobs)
-/// without editing every invocation.
+/// Parses a thread-count specification (`PARLO_THREADS`, `--threads`): the input is
+/// trimmed, must be a positive integer, and `0` is rejected.  This is the **single**
+/// parse site for thread counts — every consumer (the `--threads` flag, the
+/// environment override, the test batteries) goes through it, so none can diverge on
+/// trimming or zero handling again.  A rejected spec means "use the fallback": a
+/// zero/garbage thread count must fall back to the hardware parallelism, never build
+/// a zero- or one-thread pool silently.
+pub fn parse_threads_spec(spec: &str) -> Option<usize> {
+    spec.trim().parse().ok().filter(|&n| n >= 1)
+}
+
+/// The `PARLO_THREADS` environment override, if set to a positive integer
+/// (whitespace-trimmed; `0` and garbage fall through to the caller's fallback).  CI
+/// uses it to run the same bench/test commands at several fixed thread counts (matrix
+/// jobs) without editing every invocation.
 pub fn env_threads() -> Option<usize> {
     std::env::var("PARLO_THREADS")
         .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .filter(|&n| n >= 1)
+        .and_then(|v| parse_threads_spec(&v))
 }
 
 /// The thread count a bench binary should use: `--threads N` if given, then the
 /// `PARLO_THREADS` environment override, otherwise the hardware parallelism.  Every
-/// bin shares this helper instead of carrying its own parsing copy.
+/// bin shares this helper instead of carrying its own parsing copy; `--threads 0`
+/// falls through to the next source exactly like `PARLO_THREADS=0` does.
 pub fn threads_arg(args: &[String]) -> usize {
-    arg_value(args, "--threads")
+    arg_str(args, "--threads")
+        .and_then(parse_threads_spec)
         .or_else(env_threads)
         .unwrap_or_else(hardware_threads)
         .max(1)
@@ -325,6 +340,44 @@ pub fn time_secs(f: impl FnOnce()) -> f64 {
 // Shared scheduler roster
 // ---------------------------------------------------------------------------------
 
+/// Everything a roster entry needs to build its runtime: the thread count, the worker
+/// placement, and the **shared worker substrate** every runtime of one measurement run
+/// leases its threads from.  One context per bin invocation means a whole `table1` or
+/// `sweep` run holds at most `threads − 1` live worker threads, no matter how many
+/// schedulers it measures — burdens are measured without self-inflicted
+/// oversubscription.
+pub struct RosterContext {
+    /// Threads per runtime (master included).
+    pub threads: usize,
+    /// Worker placement shared by every runtime.
+    pub placement: PlacementConfig,
+    /// The substrate every runtime leases its workers from.
+    pub executor: Arc<Executor>,
+}
+
+impl RosterContext {
+    /// A context with its own substrate for the given placement.
+    pub fn new(threads: usize, placement: PlacementConfig) -> Self {
+        RosterContext {
+            threads,
+            executor: Executor::for_placement(&placement),
+            placement,
+        }
+    }
+
+    /// One-line thread-accounting summary for a bin's stderr trailer.
+    pub fn exec_summary(&self) -> String {
+        let stats = self.executor.stats();
+        format!(
+            "substrate: {} worker threads (<= threads-1 = {}), {} leases, {} lease switches",
+            stats.workers,
+            self.threads.saturating_sub(1),
+            stats.leases,
+            stats.switches
+        )
+    }
+}
+
 /// One scheduler configuration of the shared evaluation roster.  `table1` rows and
 /// `sweep` CSV series are built from the same entries, so both always measure
 /// identical configurations.
@@ -333,9 +386,9 @@ pub struct RosterEntry {
     pub key: &'static str,
     /// Human-readable label (the Table-1 row name, matching the simulated table).
     pub label: &'static str,
-    /// Builds the runtime on the given thread count under the given placement.
-    /// Called lazily, so filtered-out entries never spawn worker pools.
-    pub build: fn(usize, &PlacementConfig) -> Box<dyn LoopRuntime>,
+    /// Builds the runtime under the given [`RosterContext`] (thread count, placement,
+    /// shared substrate).  Called lazily, so filtered-out entries never lease workers.
+    pub build: fn(&RosterContext) -> Box<dyn LoopRuntime>,
 }
 
 /// Roster key of the work-stealing chunk runtime.  The bins that need the concrete
@@ -346,22 +399,22 @@ pub const STEAL_ROSTER_KEY: &str = "fine-grain-steal";
 /// Builds the stealing pool behind the [`STEAL_ROSTER_KEY`] roster entry — the single
 /// construction point shared by the roster's build closure and the bins that need the
 /// concrete type, so every binary measures an identically configured pool.
-pub fn build_steal_pool(threads: usize, placement: &PlacementConfig) -> parlo_steal::StealPool {
-    parlo_steal::StealPool::with_placement(threads, placement)
+pub fn build_steal_pool(ctx: &RosterContext) -> parlo_steal::StealPool {
+    parlo_steal::StealPool::with_placement_on(ctx.threads, &ctx.placement, &ctx.executor)
 }
 
 fn fine_grain_runtime(
-    threads: usize,
-    placement: &PlacementConfig,
+    ctx: &RosterContext,
     barrier: parlo_core::BarrierKind,
     hierarchical: bool,
 ) -> Box<dyn LoopRuntime> {
-    Box::new(parlo_core::FineGrainPool::new(
-        parlo_core::Config::builder(threads)
-            .placement(placement)
+    Box::new(parlo_core::FineGrainPool::new_on(
+        parlo_core::Config::builder(ctx.threads)
+            .placement(&ctx.placement)
             .barrier(barrier)
             .hierarchical(hierarchical)
             .build(),
+        &ctx.executor,
     ))
 }
 
@@ -376,42 +429,62 @@ pub fn fixed_roster() -> Vec<RosterEntry> {
         RosterEntry {
             key: "fine-grain-hier",
             label: "Fine-grain hierarchical",
-            build: |t, p| fine_grain_runtime(t, p, BarrierKind::TreeHalf, true),
+            build: |ctx| fine_grain_runtime(ctx, BarrierKind::TreeHalf, true),
         },
         RosterEntry {
             key: "fine-grain-tree",
             label: "Fine-grain tree",
-            build: |t, p| fine_grain_runtime(t, p, BarrierKind::TreeHalf, false),
+            build: |ctx| fine_grain_runtime(ctx, BarrierKind::TreeHalf, false),
         },
         RosterEntry {
             key: "fine-grain-centralized",
             label: "Fine-grain centralized",
-            build: |t, p| fine_grain_runtime(t, p, BarrierKind::CentralizedHalf, false),
+            build: |ctx| fine_grain_runtime(ctx, BarrierKind::CentralizedHalf, false),
         },
         RosterEntry {
             key: "fine-grain-tree-full-barrier",
             label: "Fine-grain tree with full-barrier",
-            build: |t, p| fine_grain_runtime(t, p, BarrierKind::TreeFull, false),
+            build: |ctx| fine_grain_runtime(ctx, BarrierKind::TreeFull, false),
         },
         RosterEntry {
             key: STEAL_ROSTER_KEY,
             label: "Fine-grain stealing",
-            build: |t, p| Box::new(build_steal_pool(t, p)),
+            build: |ctx| Box::new(build_steal_pool(ctx)),
         },
         RosterEntry {
             key: "openmp-static",
             label: "OpenMP static",
-            build: |t, p| Box::new(ScheduledTeam::with_placement(t, Schedule::Static, p)),
+            build: |ctx| {
+                Box::new(ScheduledTeam::with_placement_on(
+                    ctx.threads,
+                    Schedule::Static,
+                    &ctx.placement,
+                    &ctx.executor,
+                ))
+            },
         },
         RosterEntry {
             key: "openmp-dynamic",
             label: "OpenMP dynamic",
-            build: |t, p| Box::new(ScheduledTeam::with_placement(t, Schedule::Dynamic(1), p)),
+            build: |ctx| {
+                Box::new(ScheduledTeam::with_placement_on(
+                    ctx.threads,
+                    Schedule::Dynamic(1),
+                    &ctx.placement,
+                    &ctx.executor,
+                ))
+            },
         },
         RosterEntry {
             key: "cilk",
             label: "Cilk",
-            build: |t, p| Box::new(parlo_cilk::CilkPool::with_placement(t, p)),
+            build: |ctx| {
+                Box::new(parlo_cilk::CilkPool::with_placement_on(
+                    ctx.threads,
+                    &ctx.placement,
+                    &ctx.executor,
+                ))
+            },
         },
     ]
 }
@@ -422,29 +495,34 @@ pub fn fixed_roster() -> Vec<RosterEntry> {
 /// every bin that reports `StealStats` dispatches identically.
 pub fn measure_roster_entry<R>(
     entry: &RosterEntry,
-    threads: usize,
-    placement: &PlacementConfig,
+    ctx: &RosterContext,
     measure: impl FnOnce(&mut dyn LoopRuntime) -> R,
 ) -> (R, Option<StealStatsRow>) {
     if entry.key == STEAL_ROSTER_KEY {
-        let mut pool = build_steal_pool(threads, placement);
+        let mut pool = build_steal_pool(ctx);
         let out = measure(&mut pool);
         let stats = StealStatsRow::from_stats(entry.key, &pool.stats());
         (out, Some(stats))
     } else {
-        let mut runtime = (entry.build)(threads, placement);
+        let mut runtime = (entry.build)(ctx);
         (measure(runtime.as_mut()), None)
     }
 }
 
-/// The sweep roster: the fixed schedulers plus the adaptive selection runtime (which
-/// builds its candidate backends itself and therefore ignores the placement).
+/// The sweep roster: the fixed schedulers plus the adaptive selection runtime, whose
+/// candidate backends lease their workers from the same shared substrate as every
+/// other entry.
 pub fn sweep_roster() -> Vec<RosterEntry> {
     let mut roster = fixed_roster();
     roster.push(RosterEntry {
         key: "adaptive",
         label: "Adaptive",
-        build: |t, _| Box::new(parlo_adaptive::AdaptivePool::with_threads(t)),
+        build: |ctx| {
+            let mut config = parlo_adaptive::AdaptiveConfig::with_threads(ctx.threads);
+            config.placement = ctx.placement;
+            config.executor = Some(ctx.executor.clone());
+            Box::new(parlo_adaptive::AdaptivePool::new(config))
+        },
     });
     roster
 }
@@ -769,6 +847,35 @@ mod tests {
     }
 
     #[test]
+    fn thread_spec_parsing_trims_and_rejects_zero() {
+        // The single parse site behind `--threads` and `PARLO_THREADS`: whitespace is
+        // trimmed, zero and garbage are rejected so the caller falls back to the
+        // hardware parallelism instead of silently building a degenerate pool.
+        assert_eq!(parse_threads_spec("4"), Some(4));
+        assert_eq!(parse_threads_spec(" 4 "), Some(4));
+        assert_eq!(parse_threads_spec("4\n"), Some(4));
+        assert_eq!(parse_threads_spec("0"), None, "zero must use the fallback");
+        assert_eq!(parse_threads_spec(" 0 "), None);
+        assert_eq!(parse_threads_spec(""), None);
+        assert_eq!(parse_threads_spec("banana"), None);
+        assert_eq!(parse_threads_spec("-2"), None);
+    }
+
+    #[test]
+    fn threads_arg_zero_falls_back_instead_of_building_a_one_thread_pool() {
+        // `--threads 0` behaves exactly like an absent flag: the fallback chain
+        // (PARLO_THREADS, then hardware parallelism) decides, whatever the current
+        // environment says — never a silent 1-thread pool.
+        let zero: Vec<String> = ["--threads", "0"].iter().map(|s| s.to_string()).collect();
+        let absent: Vec<String> = vec!["--quick".to_string()];
+        assert_eq!(threads_arg(&zero), threads_arg(&absent));
+        assert!(threads_arg(&zero) >= 1);
+        // A non-degenerate explicit flag still wins over every fallback.
+        let three: Vec<String> = ["--threads", " 3 "].iter().map(|s| s.to_string()).collect();
+        assert_eq!(threads_arg(&three), 3, "explicit flag wins, trimmed");
+    }
+
+    #[test]
     fn workload_kinds_parse_and_produce_terms() {
         assert_eq!(WorkloadKind::parse("micro"), Ok(WorkloadKind::Micro));
         assert_eq!(
@@ -834,7 +941,7 @@ mod tests {
 
     #[test]
     fn rosters_have_unique_keys_and_build_working_runtimes() {
-        let placement = PlacementConfig::default();
+        let ctx = RosterContext::new(2, PlacementConfig::default());
         let roster = sweep_roster();
         let keys: Vec<&str> = roster.iter().map(|e| e.key).collect();
         let mut deduped = keys.clone();
@@ -846,11 +953,17 @@ mod tests {
         assert!(keys.contains(&"fine-grain-hier"));
         assert!(keys.contains(&"fine-grain-steal"));
         for entry in roster {
-            let mut runtime = (entry.build)(2, &placement);
+            let mut runtime = (entry.build)(&ctx);
             assert_eq!(runtime.threads(), 2, "entry {}", entry.key);
             let sum = runtime.parallel_sum(0..100, &|i| i as f64);
             assert!((sum - 4950.0).abs() < 1e-9, "entry {}", entry.key);
         }
+        // Every entry leased its worker from the one shared substrate.
+        let stats = ctx.executor.stats();
+        assert!(
+            stats.workers <= 1,
+            "a 2-thread roster context holds at most 1 worker thread: {stats:?}"
+        );
     }
 
     #[test]
@@ -873,12 +986,17 @@ mod tests {
     #[test]
     fn roster_builds_on_a_synthetic_placement() {
         use parlo_affinity::PinPolicy;
-        let placement = PlacementConfig::synthetic(2, 2).with_pin(PinPolicy::None);
+        let ctx = RosterContext::new(
+            4,
+            PlacementConfig::synthetic(2, 2).with_pin(PinPolicy::None),
+        );
         for entry in fixed_roster() {
-            let mut runtime = (entry.build)(4, &placement);
+            let mut runtime = (entry.build)(&ctx);
             let sum = runtime.parallel_sum(0..100, &|i| i as f64);
             assert!((sum - 4950.0).abs() < 1e-9, "entry {}", entry.key);
         }
+        assert!(ctx.executor.stats().workers <= 3);
+        assert!(!ctx.exec_summary().is_empty());
     }
 
     #[test]
@@ -1017,13 +1135,13 @@ mod tests {
 
     #[test]
     fn steal_roster_entry_and_helper_share_one_construction_point() {
-        let placement = PlacementConfig::default();
+        let ctx = RosterContext::new(2, PlacementConfig::default());
         let entry = fixed_roster()
             .into_iter()
             .find(|e| e.key == STEAL_ROSTER_KEY)
             .expect("steal entry in the fixed roster");
-        let mut from_roster = (entry.build)(2, &placement);
-        let mut from_helper = build_steal_pool(2, &placement);
+        let mut from_roster = (entry.build)(&ctx);
+        let mut from_helper = build_steal_pool(&ctx);
         assert_eq!(from_roster.name(), LoopRuntime::name(&from_helper));
         assert_eq!(from_roster.threads(), 2);
         let a = from_roster.parallel_sum(0..100, &|i| i as f64);

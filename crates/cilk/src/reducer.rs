@@ -165,6 +165,10 @@ impl CilkPool {
         Fold: Fn(T, usize) -> T + Sync,
         Comb: Fn(T, T) -> T + Sync,
     {
+        // Empty reductions return the identity without touching any counter.
+        if range.is_empty() {
+            return identity();
+        }
         let nthreads = self.num_threads();
         let harness = CilkReduceHarness {
             identity: &identity,
@@ -247,6 +251,10 @@ impl CilkPool {
         Fold: Fn(T, usize) -> T + Sync,
         Comb: Fn(T, T) -> T + Sync,
     {
+        // Empty reductions return the identity without a barrier cycle.
+        if range.is_empty() {
+            return identity();
+        }
         let nthreads = self.num_threads();
         let harness = FineReduceHarness {
             identity: &identity,

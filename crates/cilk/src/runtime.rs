@@ -72,6 +72,16 @@ impl CilkFineGrain {
     pub fn with_placement(threads: usize, placement: &parlo_affinity::PlacementConfig) -> Self {
         Self::new(CilkPool::with_placement(threads, placement))
     }
+
+    /// [`CilkFineGrain::with_placement`] with the workers leased from a shared
+    /// [`parlo_exec::Executor`] instead of a private one.
+    pub fn with_placement_on(
+        threads: usize,
+        placement: &parlo_affinity::PlacementConfig,
+        executor: &std::sync::Arc<parlo_exec::Executor>,
+    ) -> Self {
+        Self::new(CilkPool::with_placement_on(threads, placement, executor))
+    }
 }
 
 impl LoopRuntime for CilkFineGrain {

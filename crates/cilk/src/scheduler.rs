@@ -18,14 +18,15 @@
 //! ([`CilkPool::cilk_for`]).
 
 use crate::deque::{Steal, WorkStealingDeque};
+use crossbeam::utils::CachePadded;
 use parlo_affinity::{PinPolicy, Topology};
 use parlo_barrier::{Epoch, HalfBarrier, TreeShape, WaitPolicy};
 use parlo_core::static_block;
+use parlo_exec::{ClientHooks, Executor, Lease};
 use std::cell::{Cell, UnsafeCell};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Configuration of a [`CilkPool`].
 #[derive(Debug, Clone)]
@@ -85,6 +86,11 @@ impl CilkConfig {
 }
 
 /// The Cilkplus grain-size heuristic: `min(2048, max(1, n / (8 p)))`.
+///
+/// Degenerate inputs are clamped rather than propagated: `n = 0` (and any `n < 8 p`)
+/// yields grain 1, which is harmless because **empty loops never reach the splitter**
+/// — every runtime in the workspace treats an empty range as a fast-path no-op (no
+/// barrier cycle, no dispenser traffic, all `SyncStats` counters untouched).
 pub fn default_grain(n: usize, nthreads: usize) -> usize {
     (n / (8 * nthreads.max(1))).clamp(1, 2048)
 }
@@ -186,12 +192,30 @@ pub(crate) struct CilkShared {
     pub(crate) deques: Vec<WorkStealingDeque<Task>>,
     descriptor: UnsafeCell<LoopDescriptor>,
     remaining: AtomicUsize,
-    shutdown: AtomicBool,
+    /// Asks the leased workers to exit the polling body and park in the substrate.
+    detach: AtomicBool,
+    /// Where each worker's fine-grain epoch counter resumes after a detach/re-attach
+    /// cycle (the workers never block between loops — they poll — so the detach hook
+    /// only has to raise the flag).
+    worker_fine_epochs: Vec<CachePadded<AtomicU64>>,
+    /// Diagnostic: a lease revoked while a loop is in flight is a contract bug.
+    in_loop: AtomicBool,
     pub(crate) policy: WaitPolicy,
     pub(crate) stats: CilkStats,
     fine: HalfBarrier,
     fine_job: UnsafeCell<FineJob>,
     config: CilkConfig,
+}
+
+/// The pool's detach hook.  Cilk workers poll (they never block on a barrier between
+/// loops), so raising the flag is enough; no synchronization episode is consumed.
+fn detach_workers(shared: &CilkShared) {
+    assert!(
+        !shared.in_loop.load(Ordering::Relaxed),
+        "Cilk pool lease revoked while a loop is in flight; all clients of a shared \
+         Executor must be driven from one thread at a time"
+    );
+    shared.detach.store(true, Ordering::Release);
 }
 
 // SAFETY: the descriptor/fine_job cells are only written by the master strictly before
@@ -206,7 +230,8 @@ unsafe impl Send for CilkShared {}
 /// nest.
 pub struct CilkPool {
     shared: Arc<CilkShared>,
-    handles: Vec<JoinHandle<()>>,
+    /// The pool's claim on the shared worker substrate (the pool spawns no threads).
+    lease: Lease,
     fine_epoch: Cell<Epoch>,
     rng: Cell<u64>,
 }
@@ -242,8 +267,25 @@ impl CilkPool {
         Self::new(CilkConfig::from_placement(num_threads, placement))
     }
 
-    /// Creates a pool from an explicit configuration.
+    /// [`CilkPool::with_placement`] with the workers leased from a shared [`Executor`]
+    /// instead of a private one.
+    pub fn with_placement_on(
+        num_threads: usize,
+        placement: &parlo_affinity::PlacementConfig,
+        executor: &Arc<Executor>,
+    ) -> Self {
+        Self::new_on(CilkConfig::from_placement(num_threads, placement), executor)
+    }
+
+    /// Creates a pool from an explicit configuration, with a private worker substrate.
     pub fn new(config: CilkConfig) -> Self {
+        let executor = Executor::new(&config.topology, config.pin);
+        Self::new_on(config, &executor)
+    }
+
+    /// Creates a pool from an explicit configuration, leasing its workers from the
+    /// given substrate.
+    pub fn new_on(config: CilkConfig, executor: &Arc<Executor>) -> Self {
         let nthreads = config.num_threads.max(1);
         let fanin = config.topology.suggested_arrival_fanin();
         let fine = if config.hierarchical {
@@ -258,7 +300,11 @@ impl CilkPool {
                 .collect(),
             descriptor: UnsafeCell::new(LoopDescriptor::noop()),
             remaining: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
+            detach: AtomicBool::new(false),
+            worker_fine_epochs: (0..nthreads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            in_loop: AtomicBool::new(false),
             policy: config.wait,
             stats: CilkStats::default(),
             fine,
@@ -268,22 +314,41 @@ impl CilkPool {
         if let Some(core) = config.topology.core_for_worker(0, config.pin) {
             let _ = parlo_affinity::pin_to_core(core);
         }
-        let mut handles = Vec::with_capacity(nthreads.saturating_sub(1));
-        for id in 1..nthreads {
+        let body = {
             let shared = shared.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("parlo-cilk-{id}"))
-                    .spawn(move || worker_main(shared, id))
-                    .expect("failed to spawn cilk worker thread"),
-            );
-        }
+            Arc::new(move |id: usize| worker_body(&shared, id))
+        };
+        let detach = {
+            let shared = shared.clone();
+            Arc::new(move || detach_workers(&shared))
+        };
+        let lease = executor.register(ClientHooks {
+            name: "cilk".to_string(),
+            participants: nthreads,
+            body,
+            detach,
+        });
         CilkPool {
             shared,
-            handles,
+            lease,
             fine_epoch: Cell::new(0),
             rng: Cell::new(0x9E3779B97F4A7C15),
         }
+    }
+
+    /// Makes sure the pool's lease on the substrate workers is active (one atomic load
+    /// when it already is).
+    fn ensure_workers(&self) {
+        if self.shared.nthreads <= 1 {
+            return;
+        }
+        self.lease
+            .ensure_active(|| self.shared.detach.store(false, Ordering::Relaxed));
+    }
+
+    /// The substrate this pool leases its workers from.
+    pub fn executor(&self) -> &Arc<Executor> {
+        self.lease.executor()
     }
 
     /// Number of workers (master included).
@@ -344,6 +409,8 @@ impl CilkPool {
         if n == 0 {
             return;
         }
+        self.ensure_workers();
+        shared.in_loop.store(true, Ordering::Relaxed);
         // Publish the descriptor, then open the loop by making `remaining` non-zero.
         unsafe { *shared.descriptor.get() = descriptor };
         shared.remaining.store(n, Ordering::Release);
@@ -371,6 +438,7 @@ impl CilkPool {
             }
         }
         self.rng.set(rng);
+        shared.in_loop.store(false, Ordering::Relaxed);
     }
 
     // ----- fine-grain (hybrid) path --------------------------------------------------
@@ -381,6 +449,8 @@ impl CilkPool {
     /// As for [`CilkPool::run_cilk_loop`].
     pub(crate) unsafe fn run_fine_loop(&self, job: FineJob) {
         let shared = &*self.shared;
+        self.ensure_workers();
+        shared.in_loop.store(true, Ordering::Relaxed);
         let epoch = self.fine_epoch.get() + 1;
         self.fine_epoch.set(epoch);
         let has_combine = job.combine.is_some();
@@ -399,15 +469,7 @@ impl CilkPool {
                 }
             }
         });
-    }
-}
-
-impl Drop for CilkPool {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        shared.in_loop.store(false, Ordering::Relaxed);
     }
 }
 
@@ -471,17 +533,17 @@ fn process_task(shared: &CilkShared, id: usize, mut task: Task) {
     }
 }
 
-fn worker_main(shared: Arc<CilkShared>, id: usize) {
-    let config = &shared.config;
-    if let Some(core) = config.topology.core_for_worker(id, config.pin) {
-        let _ = parlo_affinity::pin_to_core(core);
-    }
+/// One leased worker's scheduling loop: the hybrid poll cycle (half-barrier release
+/// probe alternating with a steal attempt), resuming the fine-grain epoch stored on
+/// the last detach and parking back in the substrate when the detach flag rises.
+fn worker_body(shared: &CilkShared, id: usize) {
     let mut rng: u64 = 0xA076_1D64_78BD_642F ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    let mut fine_epoch: Epoch = 0;
+    let mut fine_epoch: Epoch = shared.worker_fine_epochs[id].load(Ordering::Relaxed);
     let mut idle_spins: u32 = 0;
     loop {
-        if shared.shutdown.load(Ordering::Acquire) {
-            break;
+        if shared.detach.load(Ordering::Acquire) {
+            shared.worker_fine_epochs[id].store(fine_epoch, Ordering::Relaxed);
+            return;
         }
         // Alternate: poll the half-barrier for a fine-grain static loop ...
         if shared.fine.poll_release(id, fine_epoch + 1) {
@@ -508,7 +570,7 @@ fn worker_main(shared: Arc<CilkShared>, id: usize) {
         }
         // ... with one cycle of the random work-stealing algorithm.
         if shared.remaining.load(Ordering::Acquire) > 0 {
-            if let Some((task, stolen)) = obtain_task(&shared, id, &mut rng) {
+            if let Some((task, stolen)) = obtain_task(shared, id, &mut rng) {
                 if stolen {
                     // SAFETY: a task exists, so the descriptor is the current loop's.
                     let desc = unsafe { *shared.descriptor.get() };
@@ -516,7 +578,7 @@ fn worker_main(shared: Arc<CilkShared>, id: usize) {
                         unsafe { f(desc.data, id) };
                     }
                 }
-                process_task(&shared, id, task);
+                process_task(shared, id, task);
                 idle_spins = 0;
                 continue;
             }
@@ -581,6 +643,10 @@ impl CilkPool {
     where
         F: Fn(usize) + Sync,
     {
+        // Empty loops are a fast-path no-op (no dispenser traffic, no counters).
+        if range.is_empty() {
+            return;
+        }
         let harness = CilkForHarness { body: &body };
         self.shared().stats.loops.fetch_add(1, Ordering::Relaxed);
         // SAFETY: the harness outlives the loop; `exec_cilk_range::<F>` matches its type.
@@ -603,6 +669,10 @@ impl CilkPool {
     where
         F: Fn(usize) + Sync,
     {
+        // Empty loops are a fast-path no-op (no barrier cycle, no counters).
+        if range.is_empty() {
+            return;
+        }
         let harness = FineForHarness {
             body: &body,
             range,

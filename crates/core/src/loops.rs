@@ -110,10 +110,17 @@ impl FineGrainPool {
 
     /// Statically scheduled parallel loop over `range`: each participant executes one
     /// contiguous block of iterations.  `body` is called exactly once per index.
+    ///
+    /// An empty range is a fast-path no-op — no barrier cycle runs and no
+    /// instrumentation counter moves, a guarantee every runtime in the workspace
+    /// shares so empty loops have identical (zero) `SyncStats` everywhere.
     pub fn parallel_for<F>(&mut self, range: Range<usize>, body: F)
     where
         F: Fn(usize) + Sync,
     {
+        if range.is_empty() {
+            return;
+        }
         let harness = ForHarness {
             body: &body,
             range,
@@ -137,6 +144,9 @@ impl FineGrainPool {
     where
         F: Fn(Range<usize>) + Sync,
     {
+        if range.is_empty() {
+            return;
+        }
         let harness = ForHarness {
             body: &body,
             range,
@@ -159,6 +169,9 @@ impl FineGrainPool {
     where
         F: Fn(usize) + Sync,
     {
+        if range.is_empty() {
+            return;
+        }
         let harness = ChunkedHarness {
             body: &body,
             range,
@@ -183,6 +196,9 @@ impl FineGrainPool {
     where
         F: Fn(usize) + Sync,
     {
+        if range.is_empty() {
+            return;
+        }
         let harness = DynamicHarness {
             body: &body,
             chunks: DynamicChunks::new(range, chunk),

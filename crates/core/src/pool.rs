@@ -19,11 +19,11 @@
 use crate::config::{BarrierKind, Config};
 use crate::job::{Job, JobSlot};
 use crate::stats::{PoolStats, StatsSnapshot};
+use crossbeam::utils::CachePadded;
 use parlo_barrier::{Epoch, FullBarrier, HalfBarrier, TreeShape, WaitPolicy};
-use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use parlo_exec::{ClientHooks, Executor, Lease};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Identity of a participant inside a parallel region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,16 +123,54 @@ impl SyncImpl {
     }
 }
 
-/// State shared between the master and the workers.
+/// State shared between the master and the (leased) workers.
 #[derive(Debug)]
 pub(crate) struct PoolShared {
     nthreads: usize,
     sync: SyncImpl,
     slot: JobSlot,
-    shutdown: AtomicBool,
+    /// Asks the leased workers to exit [`worker_body`] and park back in the substrate
+    /// (reset by the master before re-activating its lease).
+    detach: AtomicBool,
+    /// The master's loop epoch (mutated only by the driving thread; an atomic so the
+    /// detach hook — a closure held by the substrate — can advance it too).
+    epoch: AtomicU64,
+    /// Where each worker's scheduling loop resumes after a detach/re-attach cycle.
+    worker_epochs: Vec<CachePadded<AtomicU64>>,
+    /// Diagnostic: set while a loop is in flight, so revoking the lease mid-loop (a
+    /// violation of the substrate's single-driver contract) fails loudly.  Reliable
+    /// when the revocation runs on the driving thread; best-effort otherwise.
+    in_loop: AtomicBool,
     policy: WaitPolicy,
     pub(crate) stats: PoolStats,
     config: Config,
+}
+
+impl PoolShared {
+    /// Advances and returns the master-side epoch.
+    fn next_epoch(&self) -> Epoch {
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        self.epoch.store(epoch, Ordering::Relaxed);
+        epoch
+    }
+}
+
+/// Drives one no-op loop cycle that every attached worker answers by exiting
+/// [`worker_body`]: the detach hook the pool registers with the substrate.  The cycle
+/// is symmetric (the workers arrive at the join before parking) so cumulative-arrival
+/// synchronization stays aligned across detach/re-attach.
+fn detach_workers(shared: &PoolShared) {
+    assert!(
+        !shared.in_loop.load(Ordering::Relaxed),
+        "fine-grain pool lease revoked while a loop is in flight; all clients of a \
+         shared Executor must be driven from one thread at a time"
+    );
+    shared.detach.store(true, Ordering::Release);
+    let epoch = shared.next_epoch();
+    // SAFETY: no loop is in flight, so no worker reads the slot concurrently.
+    unsafe { shared.slot.publish(Job::noop()) };
+    shared.sync.master_fork(epoch, &shared.policy);
+    shared.sync.master_join(epoch, &shared.policy, |_| {});
 }
 
 /// The fine-grain parallel loop scheduler of the paper: a persistent worker pool whose
@@ -144,8 +182,9 @@ pub(crate) struct PoolShared {
 #[derive(Debug)]
 pub struct FineGrainPool {
     shared: Arc<PoolShared>,
-    handles: Vec<JoinHandle<()>>,
-    epoch: Cell<Epoch>,
+    /// The pool's claim on the shared worker substrate; dropping it detaches the
+    /// workers (which the substrate owns — the pool spawns no threads itself).
+    lease: Lease,
 }
 
 impl FineGrainPool {
@@ -167,14 +206,41 @@ impl FineGrainPool {
         Self::new(Config::builder(num_threads).placement(placement).build())
     }
 
-    /// Creates a pool from an explicit configuration.
+    /// [`FineGrainPool::with_placement`] with the workers leased from a shared
+    /// [`Executor`] instead of a private one, so several runtimes can coexist without
+    /// oversubscribing the machine.
+    pub fn with_placement_on(
+        num_threads: usize,
+        placement: &parlo_affinity::PlacementConfig,
+        executor: &Arc<Executor>,
+    ) -> Self {
+        Self::new_on(
+            Config::builder(num_threads).placement(placement).build(),
+            executor,
+        )
+    }
+
+    /// Creates a pool from an explicit configuration, with a private worker substrate.
     pub fn new(config: Config) -> Self {
+        let executor = Executor::new(&config.topology, config.pin);
+        Self::new_on(config, &executor)
+    }
+
+    /// Creates a pool from an explicit configuration, leasing its workers from the
+    /// given substrate.  The pool spawns no threads of its own; the substrate grows to
+    /// at most `num_threads − 1` workers on the pool's first loop.
+    pub fn new_on(config: Config, executor: &Arc<Executor>) -> Self {
         let nthreads = config.num_threads.max(1);
         let shared = Arc::new(PoolShared {
             nthreads,
             sync: SyncImpl::build(&config),
             slot: JobSlot::new(),
-            shutdown: AtomicBool::new(false),
+            detach: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            worker_epochs: (0..nthreads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            in_loop: AtomicBool::new(false),
             policy: config.wait,
             stats: PoolStats::default(),
             config: config.clone(),
@@ -183,21 +249,37 @@ impl FineGrainPool {
         if let Some(core) = config.topology.core_for_worker(0, config.pin) {
             let _ = parlo_affinity::pin_to_core(core);
         }
-        let mut handles = Vec::with_capacity(nthreads.saturating_sub(1));
-        for id in 1..nthreads {
+        let body = {
             let shared = shared.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("parlo-worker-{id}"))
-                    .spawn(move || worker_main(shared, id))
-                    .expect("failed to spawn parlo worker thread"),
-            );
+            Arc::new(move |id: usize| worker_body(&shared, id))
+        };
+        let detach = {
+            let shared = shared.clone();
+            Arc::new(move || detach_workers(&shared))
+        };
+        let lease = executor.register(ClientHooks {
+            name: format!("fine-grain ({})", config.barrier.label()),
+            participants: nthreads,
+            body,
+            detach,
+        });
+        FineGrainPool { shared, lease }
+    }
+
+    /// Makes sure the pool's lease on the substrate workers is active (re-acquiring
+    /// it if another runtime ran in between).  Costs one atomic load when the lease is
+    /// already held — the common case.
+    fn ensure_workers(&self) {
+        if self.shared.nthreads <= 1 {
+            return;
         }
-        FineGrainPool {
-            shared,
-            handles,
-            epoch: Cell::new(0),
-        }
+        self.lease
+            .ensure_active(|| self.shared.detach.store(false, Ordering::Relaxed));
+    }
+
+    /// The substrate this pool leases its workers from.
+    pub fn executor(&self) -> &Arc<Executor> {
+        self.lease.executor()
     }
 
     /// Number of threads in the pool (master included).
@@ -239,9 +321,10 @@ impl FineGrainPool {
     /// entry points must be safe to call concurrently from all participants.
     pub(crate) unsafe fn run_job(&self, job: Job) {
         let shared = &*self.shared;
-        let epoch = self.epoch.get() + 1;
-        self.epoch.set(epoch);
+        self.ensure_workers();
+        let epoch = shared.next_epoch();
         let has_combine = job.has_combine();
+        shared.in_loop.store(true, Ordering::Relaxed);
         // Publish the work description, then perform the fork-side synchronization.
         // SAFETY (slot): the previous loop's join phase has completed (run_job is not
         // reentrant thanks to the &mut self public API), so no worker reads the slot.
@@ -258,36 +341,23 @@ impl FineGrainPool {
                 unsafe { job.combine(0, from) };
             }
         });
+        shared.in_loop.store(false, Ordering::Relaxed);
     }
 }
 
-impl Drop for FineGrainPool {
-    fn drop(&mut self) {
-        // Tell the workers to exit, then run one final fork so every worker observes the
-        // flag, and reap the threads.
-        self.shared.shutdown.store(true, Ordering::Release);
-        let epoch = self.epoch.get() + 1;
-        self.epoch.set(epoch);
-        // SAFETY: workers check the shutdown flag before touching the slot.
-        unsafe { self.shared.slot.publish(Job::noop()) };
-        self.shared.sync.master_fork(epoch, &self.shared.policy);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-fn worker_main(shared: Arc<PoolShared>, id: usize) {
-    let config = &shared.config;
-    if let Some(core) = config.topology.core_for_worker(id, config.pin) {
-        let _ = parlo_affinity::pin_to_core(core);
-    }
-    let mut epoch: Epoch = 0;
+/// One leased worker's scheduling loop: resumes at the epoch stored on its last
+/// detach, serves loop after loop, and parks back in the substrate when the pool's
+/// detach hook fires (completing the detach cycle's join phase first so the epoch
+/// accounting stays aligned across re-attachment).
+fn worker_body(shared: &PoolShared, id: usize) {
+    let mut epoch: Epoch = shared.worker_epochs[id].load(Ordering::Relaxed);
     loop {
         epoch += 1;
         shared.sync.worker_fork(id, epoch, &shared.policy);
-        if shared.shutdown.load(Ordering::Acquire) {
-            break;
+        if shared.detach.load(Ordering::Acquire) {
+            shared.sync.worker_join(id, epoch, &shared.policy, |_| {});
+            shared.worker_epochs[id].store(epoch, Ordering::Relaxed);
+            return;
         }
         // SAFETY: the fork release established a happens-before edge with the master's
         // publish of the job for this epoch.

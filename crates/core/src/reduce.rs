@@ -105,7 +105,9 @@ impl FineGrainPool {
     /// * `combine(a, b)` merges two accumulators and must be **associative and
     ///   commutative** (use [`FineGrainPool::parallel_reduce_ordered`] otherwise).
     ///
-    /// Exactly `num_threads − 1` combine operations are performed per call.
+    /// Exactly `num_threads − 1` combine operations are performed per call.  An empty
+    /// range returns `identity()` without running a barrier cycle or moving any
+    /// counter.
     pub fn parallel_reduce<T, Id, Fold, Comb>(
         &mut self,
         range: Range<usize>,
@@ -119,6 +121,9 @@ impl FineGrainPool {
         Fold: Fn(T, usize) -> T + Sync,
         Comb: Fn(T, T) -> T + Sync,
     {
+        if range.is_empty() {
+            return identity();
+        }
         let nthreads = self.num_threads();
         let harness = ReduceHarness {
             identity: &identity,
@@ -164,6 +169,9 @@ impl FineGrainPool {
         Fold: Fn(T, usize) -> T + Sync,
         Comb: Fn(T, T) -> T + Sync,
     {
+        if range.is_empty() {
+            return identity();
+        }
         let nthreads = self.num_threads();
         let harness = ReduceHarness {
             identity: &identity,

@@ -1,0 +1,598 @@
+//! # parlo-exec — the shared worker substrate
+//!
+//! Every loop runtime in the workspace (the fine-grain half-barrier pool, the
+//! OpenMP-like team, the Cilk-like pool and the work-stealing chunk pool) needs `P − 1`
+//! worker threads bound to one master.  Before this crate existed each pool spawned its
+//! own set, so a roster of seven runtimes plus an adaptive pool holding four backends
+//! kept up to **8 × (P − 1)** parked-but-live OS threads, all compact-pinned to the
+//! *same* cores — self-inflicted oversubscription that inflated every measured burden.
+//!
+//! An [`Executor`] owns the OS threads instead: at most `P − 1` pinned workers per
+//! placement, created lazily and exactly once.  Runtimes *lease* the workers:
+//!
+//! * a pool [`register`](Executor::register)s itself at construction, providing a
+//!   **worker body** (its scheduling loop, resumable at a stored epoch) and a
+//!   **detach hook** (drives the pool's synchronization through one no-op cycle so
+//!   every worker exits the body and parks back in the substrate);
+//! * the first loop after construction — or after another pool ran — *activates* the
+//!   lease: the substrate detaches the previous holder, waits for its workers to park,
+//!   and runs the new pool's body on every worker it needs (the **attach rendezvous**:
+//!   the activation does not complete until every participating worker has entered the
+//!   body, so no worker can lag an activation and miss barrier epochs);
+//! * while a pool holds the lease, its loops run exactly as they always did — the
+//!   substrate adds **zero** work to the per-loop hot path (one relaxed atomic load to
+//!   confirm the lease is still held);
+//! * dropping a pool releases its lease; dropping the last handle to an executor joins
+//!   the workers, so nothing leaks.
+//!
+//! The invariant this buys: **the total number of live OS worker threads is bounded by
+//! the executor capacity (`P − 1`), no matter how many runtimes are alive** — testable
+//! through [`ExecStats`] and [`process_thread_count`].
+//!
+//! ## The single-driver contract
+//!
+//! Lease hand-off assumes the departing pool is quiescent: all clients of one executor
+//! must be driven from a single master thread at a time (the roster, the adaptive pool
+//! and every bench binary satisfy this trivially — they interleave loops from one
+//! thread).  Pools assert the contract at detach time with a per-pool in-flight flag:
+//! when the revocation happens on the driving thread (the only correct place), the
+//! check is reliable and a mid-loop revocation panics instead of corrupting the
+//! hand-off.  The check is **best-effort** against a genuinely racing second driver —
+//! the flag is a relaxed cross-thread read there, so a concurrent violation may
+//! escape it; the contract itself, not the assert, is the safety boundary.
+
+#![warn(missing_docs)]
+
+use parlo_affinity::{PinPolicy, PlacementConfig, Topology};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// What a runtime hands the substrate when registering: how many participants it has,
+/// how a leased worker serves it, and how to make those workers leave again.
+pub struct ClientHooks {
+    /// Diagnostic label shown in [`ExecStats::active`].
+    pub name: String,
+    /// Participants of the runtime, master included.  Workers `1..participants` take
+    /// part while the client is active; an executor worker passes its substrate id to
+    /// the body unchanged, so substrate worker `i` *is* pool participant `i`.
+    pub participants: usize,
+    /// The worker's scheduling loop: called with the worker id, runs until the client
+    /// detaches it (and must return promptly once the detach hook has fired).  Must be
+    /// resumable: a body that is re-entered after a detach continues from the state it
+    /// saved on the way out.
+    pub body: Arc<dyn Fn(usize) + Send + Sync>,
+    /// Drives the client's synchronization through one no-op cycle such that every
+    /// attached worker exits the body.  Called from the substrate while switching
+    /// leases (always on the thread that drives the runtimes; may block on the
+    /// client's own barrier).
+    pub detach: Arc<dyn Fn() + Send + Sync>,
+}
+
+/// One activation of a client on the workers.
+struct Activation {
+    client: u64,
+    name: String,
+    participants: usize,
+    body: Arc<dyn Fn(usize) + Send + Sync>,
+    detach: Arc<dyn Fn() + Send + Sync>,
+}
+
+/// State shared with the worker threads.
+struct ExecState {
+    /// Bumped once per activation; workers watch it to pick up new bodies.
+    generation: u64,
+    /// The client currently holding the workers, if any.
+    active: Option<Activation>,
+    /// Workers currently inside a client body.
+    in_body: usize,
+    /// Workers spawned so far (ids `1..=spawned`).
+    spawned: usize,
+    /// Live leases.
+    registered: usize,
+    /// Id source for leases (0 is reserved for "no client").
+    next_client: u64,
+    /// Set once, when the last executor handle drops.
+    shutdown: bool,
+}
+
+/// The part of the executor the worker threads reference.  Workers hold only this
+/// (not the [`Executor`] itself), so dropping the last executor handle can join them.
+struct WorkerShared {
+    topology: Topology,
+    pin: PinPolicy,
+    state: Mutex<ExecState>,
+    /// Workers wait here for a new generation.
+    worker_cv: Condvar,
+    /// The driving thread waits here for `in_body` to reach a rendezvous target.
+    master_cv: Condvar,
+}
+
+/// A snapshot of a substrate's thread accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Live OS worker threads owned by the substrate (grows on demand, never beyond
+    /// the largest `participants − 1` any client asked for).
+    pub workers: usize,
+    /// Live leases (registered clients).
+    pub leases: usize,
+    /// Label of the client currently holding the workers, if any.
+    pub active: Option<String>,
+    /// Lease activations performed so far.
+    pub switches: u64,
+    /// `pin_map[i]` is the core worker `i + 1` was pinned to at spawn (`None` when the
+    /// pin policy placed it nowhere).
+    pub pin_map: Vec<Option<usize>>,
+}
+
+/// The shared worker substrate: owns up to `P − 1` pinned OS threads and leases them
+/// to loop runtimes.  See the crate docs for the protocol.
+pub struct Executor {
+    shared: Arc<WorkerShared>,
+    /// Fast-path copy of the active client id (0 = none); lets
+    /// [`Lease::is_active`] cost one atomic load on the per-loop hot path.
+    active_client: AtomicU64,
+    switches: AtomicU64,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.lock_state();
+        f.debug_struct("Executor")
+            .field("workers", &st.spawned)
+            .field("leases", &st.registered)
+            .field("active", &st.active.as_ref().map(|a| a.name.as_str()))
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates a substrate for the given machine shape and pin policy.  No threads are
+    /// spawned until a client's first activation asks for them.
+    pub fn new(topology: &Topology, pin: PinPolicy) -> Arc<Executor> {
+        Arc::new(Executor {
+            shared: Arc::new(WorkerShared {
+                topology: topology.clone(),
+                pin,
+                state: Mutex::new(ExecState {
+                    generation: 0,
+                    active: None,
+                    in_body: 0,
+                    spawned: 0,
+                    registered: 0,
+                    next_client: 0,
+                    shutdown: false,
+                }),
+                worker_cv: Condvar::new(),
+                master_cv: Condvar::new(),
+            }),
+            active_client: AtomicU64::new(0),
+            switches: AtomicU64::new(0),
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates a substrate for a shared [`PlacementConfig`] (resolves its topology
+    /// source and takes its pin policy).
+    pub fn for_placement(placement: &PlacementConfig) -> Arc<Executor> {
+        Self::new(&placement.topology(), placement.pin)
+    }
+
+    /// The machine shape the workers are pinned to.
+    pub fn topology(&self) -> &Topology {
+        &self.shared.topology
+    }
+
+    /// The pin policy workers are placed with at spawn.
+    pub fn pin(&self) -> PinPolicy {
+        self.shared.pin
+    }
+
+    /// Registers a client and returns its lease.  Until the lease is
+    /// [`activate`](Lease::activate)d, the registration costs nothing.
+    pub fn register(self: &Arc<Self>, hooks: ClientHooks) -> Lease {
+        let mut st = self.lock_state();
+        st.registered += 1;
+        st.next_client += 1;
+        let id = st.next_client;
+        drop(st);
+        Lease {
+            exec: Arc::clone(self),
+            id,
+            hooks,
+        }
+    }
+
+    /// A snapshot of the substrate's thread accounting.
+    pub fn stats(&self) -> ExecStats {
+        let st = self.lock_state();
+        ExecStats {
+            workers: st.spawned,
+            leases: st.registered,
+            active: st.active.as_ref().map(|a| a.name.clone()),
+            switches: self.switches.load(Ordering::Relaxed),
+            pin_map: (1..=st.spawned)
+                .map(|id| self.shared.topology.core_for_worker(id, self.shared.pin))
+                .collect(),
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, ExecState> {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Detaches the active client (if any) and waits until every worker has parked
+    /// back in the substrate.  Must be called with the state lock held; returns it.
+    fn detach_active_locked<'a>(
+        &self,
+        mut st: MutexGuard<'a, ExecState>,
+    ) -> MutexGuard<'a, ExecState> {
+        if let Some(active) = st.active.take() {
+            self.active_client.store(0, Ordering::Release);
+            // The hook drives the departing client's own synchronization; workers in
+            // the body reach their exit without needing the state lock.
+            (active.detach)();
+            while st.in_body > 0 {
+                st = self
+                    .shared
+                    .master_cv
+                    .wait(st)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+        }
+        st
+    }
+
+    /// Hands the workers to `client`: detaches the current holder, grows capacity if
+    /// needed, publishes the new body and waits for the attach rendezvous.
+    fn switch_to(&self, client: u64, hooks: &ClientHooks) {
+        let mut st = self.lock_state();
+        if st.active.as_ref().map(|a| a.client) == Some(client) {
+            return;
+        }
+        st = self.detach_active_locked(st);
+        let needed = hooks.participants.saturating_sub(1);
+        while st.spawned < needed {
+            let id = st.spawned + 1;
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("parlo-exec-{id}"))
+                .spawn(move || worker_loop(shared, id))
+                .expect("failed to spawn substrate worker thread");
+            self.handles
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .push(handle);
+            st.spawned += 1;
+        }
+        st.generation += 1;
+        st.active = Some(Activation {
+            client,
+            name: hooks.name.clone(),
+            participants: hooks.participants,
+            body: hooks.body.clone(),
+            detach: hooks.detach.clone(),
+        });
+        self.shared.worker_cv.notify_all();
+        // Attach rendezvous: a worker that missed an activation would miss the
+        // client's barrier epochs and desynchronize it, so the switch completes only
+        // when every participating worker is inside the body.
+        while st.in_body < needed {
+            st = self
+                .shared
+                .master_cv
+                .wait(st)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+        self.switches.fetch_add(1, Ordering::Relaxed);
+        self.active_client.store(client, Ordering::Release);
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut st = self.lock_state();
+            // Every lease holds an Arc to the executor, so by the time the last
+            // handle drops, all clients are deregistered and detached.
+            debug_assert!(st.active.is_none(), "executor dropped with an active lease");
+            st.shutdown = true;
+            self.shared.worker_cv.notify_all();
+        }
+        let handles = std::mem::take(
+            &mut *self
+                .handles
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner()),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<WorkerShared>, id: usize) {
+    if let Some(core) = shared.topology.core_for_worker(id, shared.pin) {
+        let _ = parlo_affinity::pin_to_core(core);
+    }
+    let mut seen: u64 = 0;
+    loop {
+        // Park until a new generation covers this worker.  Entering a body and
+        // bumping `in_body` happen under the same lock section as reading the
+        // generation, so the switch path's rendezvous counts are never stale.
+        let body = {
+            let mut st = shared
+                .state
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    seen = st.generation;
+                    let body = match &st.active {
+                        Some(a) if id < a.participants => Some(a.body.clone()),
+                        // This generation does not need this worker: wait for the
+                        // next one.
+                        _ => None,
+                    };
+                    if let Some(body) = body {
+                        st.in_body += 1;
+                        shared.master_cv.notify_all();
+                        break body;
+                    }
+                    continue;
+                }
+                st = shared
+                    .worker_cv
+                    .wait(st)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+        };
+        // A panic inside a scheduling-loop body leaves the client's barrier protocol
+        // undrainable (its master is already blocked in a join that the dead worker
+        // will never arrive at) and would leak the `in_body` count, turning every
+        // *other* pool's next lease switch into a silent distributed hang.  Abort
+        // instead: an immediate, attributable crash at the panic site.
+        let abort_guard = AbortOnUnwind(id);
+        body(id);
+        std::mem::forget(abort_guard);
+        let mut st = shared
+            .state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        st.in_body -= 1;
+        if st.in_body == 0 {
+            shared.master_cv.notify_all();
+        }
+    }
+}
+
+/// Aborts the process if dropped during an unwind (see the call site in
+/// [`worker_loop`]); forgotten on the normal path.
+struct AbortOnUnwind(usize);
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        eprintln!(
+            "parlo-exec worker {} panicked inside a client's scheduling loop; the \
+             client's synchronization cannot be drained — aborting",
+            self.0
+        );
+        std::process::abort();
+    }
+}
+
+/// A client's handle on the substrate.  Dropping it detaches the client's workers (if
+/// attached) and deregisters the client.
+pub struct Lease {
+    exec: Arc<Executor>,
+    id: u64,
+    hooks: ClientHooks,
+}
+
+impl std::fmt::Debug for Lease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lease")
+            .field("client", &self.hooks.name)
+            .field("participants", &self.hooks.participants)
+            .field("active", &self.is_active())
+            .finish()
+    }
+}
+
+impl Lease {
+    /// Whether this client currently holds the workers.  One atomic load — this is
+    /// the per-loop hot-path check.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.exec.active_client.load(Ordering::Acquire) == self.id
+    }
+
+    /// Makes this client the holder of the workers, detaching the previous holder
+    /// first.  A no-op when the client is already active; clients with at most one
+    /// participant never need workers and may skip the call entirely.
+    ///
+    /// The caller (the pool) must reset its own detach flag *before* activating, so
+    /// workers entering the body see a live client — prefer
+    /// [`Lease::ensure_active`], which enforces that ordering.
+    pub fn activate(&self) {
+        if self.is_active() {
+            return;
+        }
+        self.exec.switch_to(self.id, &self.hooks);
+    }
+
+    /// The standard client fast path: returns immediately (one atomic load) when the
+    /// client already holds the workers; otherwise runs `prepare` — where the client
+    /// resets its detach flag — strictly before the hand-off begins, then activates.
+    /// Having the reset-before-activate ordering live here keeps every pool's
+    /// `ensure_workers` from re-deriving it.
+    #[inline]
+    pub fn ensure_active(&self, prepare: impl FnOnce()) {
+        if self.is_active() {
+            return;
+        }
+        prepare();
+        self.exec.switch_to(self.id, &self.hooks);
+    }
+
+    /// The substrate this lease draws workers from.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.exec
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let mut st = self.exec.lock_state();
+        st.registered -= 1;
+        if st.active.as_ref().map(|a| a.client) == Some(self.id) {
+            let _st = self.exec.detach_active_locked(st);
+        }
+    }
+}
+
+/// The number of OS threads of the current process (`/proc/self/task`), or `None`
+/// where that interface does not exist.  The substrate tests use it to assert the
+/// whole-process census, not just the substrate's own accounting.
+pub fn process_thread_count() -> Option<usize> {
+    std::fs::read_dir("/proc/self/task")
+        .ok()
+        .map(|dir| dir.flatten().count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+
+    /// A minimal client: its "scheduling loop" parks on a flag and counts entries.
+    struct FlagClient {
+        detach: Arc<AtomicBool>,
+        entered: Arc<AtomicUsize>,
+    }
+
+    impl FlagClient {
+        fn hooks(name: &str, participants: usize) -> (ClientHooks, FlagClient) {
+            let detach = Arc::new(AtomicBool::new(false));
+            let entered = Arc::new(AtomicUsize::new(0));
+            let client = FlagClient {
+                detach: detach.clone(),
+                entered: entered.clone(),
+            };
+            let body_detach = detach.clone();
+            let hooks = ClientHooks {
+                name: name.to_string(),
+                participants,
+                body: Arc::new(move |_id| {
+                    entered.fetch_add(1, Ordering::SeqCst);
+                    while !body_detach.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }),
+                detach: Arc::new(move || detach.store(true, Ordering::Release)),
+            };
+            (hooks, client)
+        }
+
+        fn reset(&self) {
+            self.detach.store(false, Ordering::Release);
+        }
+    }
+
+    #[test]
+    fn lazy_spawn_and_capacity_growth() {
+        let topo = Topology::flat(8).unwrap();
+        let exec = Executor::new(&topo, PinPolicy::None);
+        assert_eq!(
+            exec.stats().workers,
+            0,
+            "no threads before first activation"
+        );
+
+        let (hooks_a, a) = FlagClient::hooks("a", 3);
+        let lease_a = exec.register(hooks_a);
+        a.reset();
+        lease_a.activate();
+        assert_eq!(exec.stats().workers, 2);
+        assert!(lease_a.is_active());
+        assert_eq!(exec.stats().active.as_deref(), Some("a"));
+
+        // A larger client grows the capacity; the first client's workers are reused.
+        let (hooks_b, b) = FlagClient::hooks("b", 5);
+        let lease_b = exec.register(hooks_b);
+        b.reset();
+        lease_b.activate();
+        assert!(!lease_a.is_active());
+        assert!(lease_b.is_active());
+        let stats = exec.stats();
+        assert_eq!(stats.workers, 4, "grown to the largest client, not summed");
+        assert_eq!(stats.leases, 2);
+        assert_eq!(stats.switches, 2);
+        assert_eq!(stats.pin_map.len(), 4);
+    }
+
+    #[test]
+    fn attach_rendezvous_enters_every_participant() {
+        let topo = Topology::flat(4).unwrap();
+        let exec = Executor::new(&topo, PinPolicy::None);
+        let (hooks, client) = FlagClient::hooks("rendezvous", 4);
+        let lease = exec.register(hooks);
+        for round in 1..=3u64 {
+            client.reset();
+            lease.activate();
+            // activate() returning means all 3 workers are inside the body (the
+            // body-side counter may trail the rendezvous by an instant: the worker
+            // bumps `in_body` under the lock just before running the closure).
+            let expected = 3 * round as usize;
+            while client.entered.load(Ordering::SeqCst) < expected {
+                std::thread::yield_now();
+            }
+            assert_eq!(client.entered.load(Ordering::SeqCst), expected);
+            // Force a detach by activating another client.
+            let (other_hooks, other) = FlagClient::hooks("other", 2);
+            let other_lease = exec.register(other_hooks);
+            other.reset();
+            other_lease.activate();
+            assert!(!lease.is_active());
+        }
+    }
+
+    #[test]
+    fn dropping_the_last_handle_joins_the_workers() {
+        let before = process_thread_count();
+        {
+            let topo = Topology::flat(4).unwrap();
+            let exec = Executor::new(&topo, PinPolicy::None);
+            let (hooks, client) = FlagClient::hooks("c", 4);
+            let lease = exec.register(hooks);
+            client.reset();
+            lease.activate();
+            assert_eq!(exec.stats().workers, 3);
+            drop(lease);
+            assert_eq!(exec.stats().leases, 0);
+            assert!(exec.stats().active.is_none(), "lease drop detaches");
+        }
+        // Executor::drop joins synchronously, so the census is back immediately.
+        if let (Some(b), Some(a)) = (before, process_thread_count()) {
+            assert_eq!(a, b, "no leaked substrate threads");
+        }
+    }
+
+    #[test]
+    fn single_participant_clients_never_need_workers() {
+        let topo = Topology::flat(2).unwrap();
+        let exec = Executor::new(&topo, PinPolicy::None);
+        let (hooks, _client) = FlagClient::hooks("solo", 1);
+        let lease = exec.register(hooks);
+        // A 1-participant client may activate, but needs no workers.
+        lease.activate();
+        assert_eq!(exec.stats().workers, 0);
+    }
+}

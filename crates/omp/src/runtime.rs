@@ -51,6 +51,20 @@ impl ScheduledTeam {
     ) -> Self {
         Self::new(OmpTeam::with_placement(threads, placement), schedule)
     }
+
+    /// [`ScheduledTeam::with_placement`] with the workers leased from a shared
+    /// [`parlo_exec::Executor`] instead of a private one.
+    pub fn with_placement_on(
+        threads: usize,
+        schedule: Schedule,
+        placement: &parlo_affinity::PlacementConfig,
+        executor: &std::sync::Arc<parlo_exec::Executor>,
+    ) -> Self {
+        Self::new(
+            OmpTeam::with_placement_on(threads, placement, executor),
+            schedule,
+        )
+    }
 }
 
 impl LoopRuntime for ScheduledTeam {

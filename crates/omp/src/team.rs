@@ -15,13 +15,14 @@
 //! schedules (see [`crate::Schedule`]).
 
 use crate::schedule::Schedule;
+use crossbeam::utils::CachePadded;
 use parlo_affinity::{PinPolicy, Topology};
 use parlo_barrier::{Epoch, FullBarrier, TreeShape, WaitPolicy};
-use std::cell::{Cell, UnsafeCell};
+use parlo_exec::{ClientHooks, Executor, Lease};
+use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Configuration of an [`OmpTeam`].
 #[derive(Debug, Clone)]
@@ -129,10 +130,44 @@ struct TeamShared {
     nthreads: usize,
     barrier: FullBarrier,
     job: UnsafeCell<TeamJob>,
-    shutdown: AtomicBool,
+    /// Asks the leased workers to exit the team body and park back in the substrate.
+    detach: AtomicBool,
+    /// The master's barrier-episode counter (mutated only by the driving thread; an
+    /// atomic so the substrate-held detach hook can advance it).
+    episode: AtomicU64,
+    /// Where each worker's episode counter resumes after a detach/re-attach cycle.
+    worker_episodes: Vec<CachePadded<AtomicU64>>,
+    /// Diagnostic: a lease revoked while a region is in flight is a contract bug.
+    in_loop: AtomicBool,
     policy: WaitPolicy,
     stats: TeamStats,
     config: TeamConfig,
+}
+
+impl TeamShared {
+    /// Advances and returns the next barrier episode number.
+    fn next_episode(&self) -> Epoch {
+        let e = self.episode.load(Ordering::Relaxed) + 1;
+        self.episode.store(e, Ordering::Relaxed);
+        e
+    }
+}
+
+/// The team's detach hook: one no-op full-barrier episode that every attached worker
+/// answers by exiting the body.  A full barrier is already symmetric (each participant
+/// arrives and is released within the one episode), so nothing else is needed to keep
+/// the episode numbering aligned across re-attachment.
+fn detach_workers(shared: &TeamShared) {
+    assert!(
+        !shared.in_loop.load(Ordering::Relaxed),
+        "OpenMP-like team lease revoked while a region is in flight; all clients of a \
+         shared Executor must be driven from one thread at a time"
+    );
+    shared.detach.store(true, Ordering::Release);
+    let episode = shared.next_episode();
+    // SAFETY: no region is in flight, so no worker reads the job cell concurrently.
+    unsafe { *shared.job.get() = TeamJob::noop() };
+    shared.barrier.master_wait(episode, &shared.policy);
 }
 
 // SAFETY: the job cell is only written by the master strictly before the fork barrier's
@@ -147,12 +182,12 @@ unsafe impl Send for TeamShared {}
 /// not nest (matching the single-level parallelism the paper evaluates).
 pub struct OmpTeam {
     shared: Arc<TeamShared>,
-    handles: Vec<JoinHandle<()>>,
-    /// Number of barrier episodes executed so far.  Each plain loop consumes two
-    /// episodes (fork + join) and each reduction loop three (fork + reduction + join);
-    /// the workers advance their local episode counters identically because they see
-    /// whether the published job carries a reduction.
-    episode: Cell<Epoch>,
+    /// The team's claim on the shared worker substrate; the team spawns no threads of
+    /// its own.  Each plain loop consumes two barrier episodes (fork + join) and each
+    /// reduction loop three (fork + reduction + join); the workers advance their local
+    /// episode counters identically because they see whether the published job carries
+    /// a reduction.
+    lease: Lease,
 }
 
 impl std::fmt::Debug for OmpTeam {
@@ -175,8 +210,25 @@ impl OmpTeam {
         Self::new(TeamConfig::from_placement(num_threads, placement))
     }
 
-    /// Creates a team from an explicit configuration.
+    /// [`OmpTeam::with_placement`] with the workers leased from a shared [`Executor`]
+    /// instead of a private one.
+    pub fn with_placement_on(
+        num_threads: usize,
+        placement: &parlo_affinity::PlacementConfig,
+        executor: &Arc<Executor>,
+    ) -> Self {
+        Self::new_on(TeamConfig::from_placement(num_threads, placement), executor)
+    }
+
+    /// Creates a team from an explicit configuration, with a private worker substrate.
     pub fn new(config: TeamConfig) -> Self {
+        let executor = Executor::new(&config.topology, config.pin);
+        Self::new_on(config, &executor)
+    }
+
+    /// Creates a team from an explicit configuration, leasing its workers from the
+    /// given substrate.
+    pub fn new_on(config: TeamConfig, executor: &Arc<Executor>) -> Self {
         let nthreads = config.num_threads.max(1);
         let barrier = if config.centralized_barrier {
             FullBarrier::new_centralized(nthreads)
@@ -191,7 +243,12 @@ impl OmpTeam {
             nthreads,
             barrier,
             job: UnsafeCell::new(TeamJob::noop()),
-            shutdown: AtomicBool::new(false),
+            detach: AtomicBool::new(false),
+            episode: AtomicU64::new(0),
+            worker_episodes: (0..nthreads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            in_loop: AtomicBool::new(false),
             policy: config.wait,
             stats: TeamStats::default(),
             config: config.clone(),
@@ -199,28 +256,36 @@ impl OmpTeam {
         if let Some(core) = config.topology.core_for_worker(0, config.pin) {
             let _ = parlo_affinity::pin_to_core(core);
         }
-        let mut handles = Vec::with_capacity(nthreads.saturating_sub(1));
-        for id in 1..nthreads {
+        let body = {
             let shared = shared.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("parlo-omp-{id}"))
-                    .spawn(move || worker_main(shared, id))
-                    .expect("failed to spawn OpenMP-like team thread"),
-            );
-        }
-        OmpTeam {
-            shared,
-            handles,
-            episode: Cell::new(0),
-        }
+            Arc::new(move |id: usize| worker_body(&shared, id))
+        };
+        let detach = {
+            let shared = shared.clone();
+            Arc::new(move || detach_workers(&shared))
+        };
+        let lease = executor.register(ClientHooks {
+            name: "omp-team".to_string(),
+            participants: nthreads,
+            body,
+            detach,
+        });
+        OmpTeam { shared, lease }
     }
 
-    /// Advances and returns the next barrier episode number.
-    fn next_episode(&self) -> Epoch {
-        let e = self.episode.get() + 1;
-        self.episode.set(e);
-        e
+    /// Makes sure the team's lease on the substrate workers is active (one atomic load
+    /// when it already is).
+    fn ensure_workers(&self) {
+        if self.shared.nthreads <= 1 {
+            return;
+        }
+        self.lease
+            .ensure_active(|| self.shared.detach.store(false, Ordering::Relaxed));
+    }
+
+    /// The substrate this team leases its workers from.
+    pub fn executor(&self) -> &Arc<Executor> {
+        self.lease.executor()
     }
 
     /// Number of threads in the team (master included).
@@ -252,7 +317,9 @@ impl OmpTeam {
     /// safe to execute concurrently from all participants.
     pub(crate) unsafe fn run_region(&self, job: TeamJob, with_reduction: bool) {
         let shared = &*self.shared;
-        let fork_e = self.next_episode();
+        self.ensure_workers();
+        shared.in_loop.store(true, Ordering::Relaxed);
+        let fork_e = shared.next_episode();
         // Publish the work description, then the full fork barrier (join + release).
         unsafe { *shared.job.get() = job };
         shared.barrier.master_wait(fork_e, &shared.policy);
@@ -260,7 +327,7 @@ impl OmpTeam {
         // The master executes its share like every team member.
         unsafe { (job.execute)(job.data, 0) };
         if with_reduction {
-            let red_e = self.next_episode();
+            let red_e = shared.next_episode();
             // Extra tree barrier whose join phase aggregates per-thread results.
             shared
                 .barrier
@@ -275,9 +342,10 @@ impl OmpTeam {
             shared.stats.barrier_phases.fetch_add(2, Ordering::Relaxed);
         }
         // Full join barrier (join + release).
-        let join_e = self.next_episode();
+        let join_e = shared.next_episode();
         shared.barrier.master_wait(join_e, &shared.policy);
         shared.stats.barrier_phases.fetch_add(2, Ordering::Relaxed);
+        shared.in_loop.store(false, Ordering::Relaxed);
     }
 
     pub(crate) fn stats_ref(&self) -> &'_ TeamStatsShim {
@@ -314,34 +382,19 @@ impl TeamStatsShim {
     }
 }
 
-impl Drop for OmpTeam {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        let fork_e = self.next_episode();
-        // SAFETY: workers check the shutdown flag before reading the job.
-        unsafe { *self.shared.job.get() = TeamJob::noop() };
-        self.shared.barrier.master_wait(fork_e, &self.shared.policy);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-fn worker_main(shared: Arc<TeamShared>, id: usize) {
-    let config = &shared.config;
-    if let Some(core) = config.topology.core_for_worker(id, config.pin) {
-        let _ = parlo_affinity::pin_to_core(core);
-    }
-    // Local barrier-episode counter; advances in lockstep with the master's because
-    // both sides consume episodes based on the same information (whether the published
-    // job carries a reduction).
-    let mut episode: Epoch = 0;
+/// One leased worker's scheduling loop.  The local barrier-episode counter resumes at
+/// the value stored on the last detach and advances in lockstep with the master's,
+/// because both sides consume episodes based on the same information (whether the
+/// published job carries a reduction, and the detach episode being a plain one).
+fn worker_body(shared: &TeamShared, id: usize) {
+    let mut episode: Epoch = shared.worker_episodes[id].load(Ordering::Relaxed);
     loop {
         episode += 1;
         // Full fork barrier: check in, wait to be released into the region.
         shared.barrier.worker_wait(id, episode, &shared.policy);
-        if shared.shutdown.load(Ordering::Acquire) {
-            break;
+        if shared.detach.load(Ordering::Acquire) {
+            shared.worker_episodes[id].store(episode, Ordering::Relaxed);
+            return;
         }
         // SAFETY: ordered by the fork barrier.
         let job = unsafe { *shared.job.get() };
@@ -501,6 +554,11 @@ impl OmpTeam {
     where
         F: Fn(usize) + Sync,
     {
+        // An empty range is a fast-path no-op: no barrier episode, no counters — the
+        // same guarantee every runtime in the workspace gives.
+        if range.is_empty() {
+            return;
+        }
         let nthreads = self.num_threads();
         let (dyn_chunk, guided_min) = match schedule {
             Schedule::Dynamic(c) => (c.max(1), 1),
@@ -548,6 +606,10 @@ impl OmpTeam {
         Fold: Fn(T, usize) -> T + Sync,
         Comb: Fn(T, T) -> T + Sync,
     {
+        // Empty reductions return the identity without a barrier episode.
+        if range.is_empty() {
+            return identity();
+        }
         let nthreads = self.num_threads();
         let (dyn_chunk, guided_min) = match schedule {
             Schedule::Dynamic(c) => (c.max(1), 1),

@@ -29,11 +29,11 @@ use crossbeam::utils::CachePadded;
 use parlo_affinity::{PinPolicy, Topology};
 use parlo_barrier::{Epoch, HalfBarrier, TreeShape, WaitPolicy};
 use parlo_cilk::Steal;
+use parlo_exec::{ClientHooks, Executor, Lease};
 use std::cell::{Cell, UnsafeCell};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Configuration of a [`StealPool`].
 #[derive(Clone)]
@@ -261,11 +261,44 @@ struct StealShared {
     deques: Vec<ChunkDeque>,
     job: UnsafeCell<StealJob>,
     sync: HalfBarrier,
-    shutdown: AtomicBool,
+    /// Asks the leased workers to exit the scheduling loop and park in the substrate.
+    detach: AtomicBool,
+    /// The master's loop epoch (an atomic so the substrate-held detach hook can
+    /// advance it; mutated only by the driving thread).
+    epoch: AtomicU64,
+    /// Where each worker's epoch counter resumes after a detach/re-attach cycle.
+    worker_epochs: Vec<CachePadded<AtomicU64>>,
+    /// Diagnostic: a lease revoked while a loop is in flight is a contract bug.
+    in_loop: AtomicBool,
     policy: WaitPolicy,
     stats: StealCounters,
     perturb: Option<Arc<dyn SchedulePerturbation>>,
     config: StealConfig,
+}
+
+impl StealShared {
+    fn next_epoch(&self) -> Epoch {
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        self.epoch.store(epoch, Ordering::Relaxed);
+        epoch
+    }
+}
+
+/// The pool's detach hook: one symmetric no-op half-barrier cycle (release + join)
+/// that every attached worker answers by arriving and exiting its scheduling loop, so
+/// the epoch accounting stays aligned across re-attachment.
+fn detach_workers(shared: &StealShared) {
+    assert!(
+        !shared.in_loop.load(Ordering::Relaxed),
+        "steal pool lease revoked while a loop is in flight; all clients of a shared \
+         Executor must be driven from one thread at a time"
+    );
+    shared.detach.store(true, Ordering::Release);
+    let epoch = shared.next_epoch();
+    // SAFETY: no loop is in flight, so no worker reads the job cell concurrently.
+    unsafe { *shared.job.get() = StealJob::noop() };
+    shared.sync.release(epoch);
+    shared.sync.join(epoch, &shared.policy, |_| {});
 }
 
 // SAFETY: the job cell is written only by the master, strictly before the half-barrier
@@ -283,8 +316,8 @@ unsafe impl Send for StealShared {}
 /// on in the fine-grain pool.
 pub struct StealPool {
     shared: Arc<StealShared>,
-    handles: Vec<JoinHandle<()>>,
-    epoch: Cell<Epoch>,
+    /// The pool's claim on the shared worker substrate (the pool spawns no threads).
+    lease: Lease,
     rng: Cell<u64>,
 }
 
@@ -319,8 +352,28 @@ impl StealPool {
         Self::new(StealConfig::from_placement(num_threads, placement))
     }
 
-    /// Creates a pool from an explicit configuration.
+    /// [`StealPool::with_placement`] with the workers leased from a shared
+    /// [`Executor`] instead of a private one.
+    pub fn with_placement_on(
+        num_threads: usize,
+        placement: &parlo_affinity::PlacementConfig,
+        executor: &Arc<Executor>,
+    ) -> Self {
+        Self::new_on(
+            StealConfig::from_placement(num_threads, placement),
+            executor,
+        )
+    }
+
+    /// Creates a pool from an explicit configuration, with a private worker substrate.
     pub fn new(config: StealConfig) -> Self {
+        let executor = Executor::new(&config.topology, config.pin);
+        Self::new_on(config, &executor)
+    }
+
+    /// Creates a pool from an explicit configuration, leasing its workers from the
+    /// given substrate.
+    pub fn new_on(config: StealConfig, executor: &Arc<Executor>) -> Self {
         let nthreads = config.num_threads.max(1);
         let fanin = config.topology.suggested_arrival_fanin();
         let sync = if config.hierarchical {
@@ -333,7 +386,12 @@ impl StealPool {
             deques: (0..nthreads).map(|_| ChunkDeque::new(1024)).collect(),
             job: UnsafeCell::new(StealJob::noop()),
             sync,
-            shutdown: AtomicBool::new(false),
+            detach: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            worker_epochs: (0..nthreads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            in_loop: AtomicBool::new(false),
             policy: config.wait,
             stats: StealCounters::new(nthreads),
             perturb: config.perturb.clone(),
@@ -342,22 +400,40 @@ impl StealPool {
         if let Some(core) = config.topology.core_for_worker(0, config.pin) {
             let _ = parlo_affinity::pin_to_core(core);
         }
-        let mut handles = Vec::with_capacity(nthreads.saturating_sub(1));
-        for id in 1..nthreads {
+        let body = {
             let shared = shared.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("parlo-steal-{id}"))
-                    .spawn(move || worker_main(shared, id))
-                    .expect("failed to spawn steal worker thread"),
-            );
-        }
+            Arc::new(move |id: usize| worker_body(&shared, id))
+        };
+        let detach = {
+            let shared = shared.clone();
+            Arc::new(move || detach_workers(&shared))
+        };
+        let lease = executor.register(ClientHooks {
+            name: "steal".to_string(),
+            participants: nthreads,
+            body,
+            detach,
+        });
         StealPool {
             shared,
-            handles,
-            epoch: Cell::new(0),
+            lease,
             rng: Cell::new(0xD1B5_4A32_D192_ED03),
         }
+    }
+
+    /// Makes sure the pool's lease on the substrate workers is active (one atomic load
+    /// when it already is).
+    fn ensure_workers(&self) {
+        if self.shared.nthreads <= 1 {
+            return;
+        }
+        self.lease
+            .ensure_active(|| self.shared.detach.store(false, Ordering::Relaxed));
+    }
+
+    /// The substrate this pool leases its workers from.
+    pub fn executor(&self) -> &Arc<Executor> {
+        self.lease.executor()
     }
 
     /// Number of participants (master included).
@@ -397,8 +473,9 @@ impl StealPool {
     /// entry points must be safe to call concurrently from all participants.
     unsafe fn run_job(&self, job: StealJob) {
         let shared = &*self.shared;
-        let epoch = self.epoch.get() + 1;
-        self.epoch.set(epoch);
+        self.ensure_workers();
+        shared.in_loop.store(true, Ordering::Relaxed);
+        let epoch = shared.next_epoch();
         let has_combine = job.combine.is_some();
         shared.stats.barrier_phases.fetch_add(2, Ordering::Relaxed);
         // Publish the loop descriptor, then perform the release phase of the fork.
@@ -421,20 +498,7 @@ impl StealPool {
                 }
             }
         });
-    }
-}
-
-impl Drop for StealPool {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        let epoch = self.epoch.get() + 1;
-        self.epoch.set(epoch);
-        // SAFETY: workers check the shutdown flag before touching the job cell.
-        unsafe { *self.shared.job.get() = StealJob::noop() };
-        self.shared.sync.release(epoch);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        shared.in_loop.store(false, Ordering::Relaxed);
     }
 }
 
@@ -527,23 +591,24 @@ fn execute_chunk(shared: &StealShared, id: usize, job: &StealJob, c: ChunkRange)
     unsafe { (job.run_chunk)(job.data, id, c.start, c.end) };
 }
 
-fn worker_main(shared: Arc<StealShared>, id: usize) {
-    let config = &shared.config;
-    if let Some(core) = config.topology.core_for_worker(id, config.pin) {
-        let _ = parlo_affinity::pin_to_core(core);
-    }
+/// One leased worker's scheduling loop: resumes at the epoch stored on its last
+/// detach, and answers the detach cycle by arriving at its join phase (keeping the
+/// epoch accounting aligned) before parking back in the substrate.
+fn worker_body(shared: &StealShared, id: usize) {
     let mut rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (id as u64).wrapping_mul(0xA076_1D64_78BD_642F);
-    let mut epoch: Epoch = 0;
+    let mut epoch: Epoch = shared.worker_epochs[id].load(Ordering::Relaxed);
     loop {
         epoch += 1;
         shared.sync.wait_release(id, epoch, &shared.policy);
-        if shared.shutdown.load(Ordering::Acquire) {
-            break;
+        if shared.detach.load(Ordering::Acquire) {
+            shared.sync.arrive(id, epoch, &shared.policy, |_| {});
+            shared.worker_epochs[id].store(epoch, Ordering::Relaxed);
+            return;
         }
         // SAFETY: ordered by the half-barrier release edge.
         let job = unsafe { *shared.job.get() };
         let has_combine = job.combine.is_some();
-        participate(&shared, id, epoch, &job, &mut rng);
+        participate(shared, id, epoch, &job, &mut rng);
         shared.sync.arrive(id, epoch, &shared.policy, |from| {
             if has_combine {
                 shared.stats.combine_ops.fetch_add(1, Ordering::Relaxed);

@@ -28,6 +28,7 @@ pub mod util;
 pub use mesh::Mesh;
 pub use mpdata::Mpdata;
 pub use runner::{
-    all_runtimes, all_runtimes_with_placement, LoopRuntime, PlacementConfig, Sequential, SyncStats,
+    all_runtimes, all_runtimes_on, all_runtimes_with_placement, Executor, LoopRuntime,
+    PlacementConfig, Sequential, SyncStats,
 };
 pub use util::UnsafeSlice;

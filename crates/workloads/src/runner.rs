@@ -16,6 +16,9 @@
 
 pub use parlo_affinity::PlacementConfig;
 pub use parlo_core::{LoopRuntime, Sequential, SyncStats};
+pub use parlo_exec::Executor;
+
+use std::sync::Arc;
 
 /// The standard cross-runtime evaluation roster on `threads` threads: sequential
 /// reference, fine-grain pool, the OpenMP-like team under its three main worksharing
@@ -30,35 +33,58 @@ pub fn all_runtimes(threads: usize) -> Vec<Box<dyn LoopRuntime>> {
 /// The standard roster with every worker pool built from a shared [`PlacementConfig`],
 /// so the whole evaluation can run on a synthetic machine shape (deterministic
 /// hierarchy, CI-testable) or with a non-default pin policy.
+///
+/// All seven parallel runtimes lease their workers from **one** [`Executor`] created
+/// here, so the whole roster holds at most `threads − 1` live OS worker threads —
+/// keeping many pools alive no longer multiplies the thread count by the roster size.
 pub fn all_runtimes_with_placement(
     threads: usize,
     placement: &PlacementConfig,
 ) -> Vec<Box<dyn LoopRuntime>> {
+    all_runtimes_on(threads, placement, &Executor::for_placement(placement))
+}
+
+/// [`all_runtimes_with_placement`] on an explicit worker substrate, so callers can
+/// share the executor beyond the roster (e.g. with an
+/// `AdaptivePool` holding its own backends) and observe the census through
+/// [`Executor::stats`](parlo_exec::Executor::stats).
+pub fn all_runtimes_on(
+    threads: usize,
+    placement: &PlacementConfig,
+    executor: &Arc<Executor>,
+) -> Vec<Box<dyn LoopRuntime>> {
     vec![
         Box::new(Sequential),
-        Box::new(parlo_core::FineGrainPool::with_placement(
-            threads, placement,
+        Box::new(parlo_core::FineGrainPool::with_placement_on(
+            threads, placement, executor,
         )),
-        Box::new(parlo_omp::ScheduledTeam::with_placement(
+        Box::new(parlo_omp::ScheduledTeam::with_placement_on(
             threads,
             parlo_omp::Schedule::Static,
             placement,
+            executor,
         )),
-        Box::new(parlo_omp::ScheduledTeam::with_placement(
+        Box::new(parlo_omp::ScheduledTeam::with_placement_on(
             threads,
             parlo_omp::Schedule::Dynamic(8),
             placement,
+            executor,
         )),
-        Box::new(parlo_omp::ScheduledTeam::with_placement(
+        Box::new(parlo_omp::ScheduledTeam::with_placement_on(
             threads,
             parlo_omp::Schedule::Guided(2),
             placement,
+            executor,
         )),
-        Box::new(parlo_cilk::CilkPool::with_placement(threads, placement)),
-        Box::new(parlo_cilk::CilkFineGrain::with_placement(
-            threads, placement,
+        Box::new(parlo_cilk::CilkPool::with_placement_on(
+            threads, placement, executor,
         )),
-        Box::new(parlo_steal::StealPool::with_placement(threads, placement)),
+        Box::new(parlo_cilk::CilkFineGrain::with_placement_on(
+            threads, placement, executor,
+        )),
+        Box::new(parlo_steal::StealPool::with_placement_on(
+            threads, placement, executor,
+        )),
     ]
 }
 

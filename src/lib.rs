@@ -3,8 +3,9 @@
 //! This meta-crate re-exports the whole workspace: the fine-grain half-barrier
 //! scheduler ([`core`]), the OpenMP-like and Cilk-like baseline runtimes ([`omp`],
 //! [`cilk`]), the work-stealing chunk runtime ([`steal`]), the online
-//! scheduler-selection runtime ([`adaptive`]), the barrier and affinity substrates
-//! ([`barrier`], [`affinity`]), the evaluation workloads ([`workloads`]), the
+//! scheduler-selection runtime ([`adaptive`]), the barrier, affinity and shared-worker
+//! substrates ([`barrier`], [`affinity`], [`exec`]), the evaluation workloads
+//! ([`workloads`]), the
 //! measurement utilities ([`analysis`]) and the many-core cost-model simulator
 //! ([`sim`]).
 //!
@@ -28,6 +29,7 @@ pub use parlo_analysis as analysis;
 pub use parlo_barrier as barrier;
 pub use parlo_cilk as cilk;
 pub use parlo_core as core;
+pub use parlo_exec as exec;
 pub use parlo_omp as omp;
 pub use parlo_sim as sim;
 pub use parlo_steal as steal;
@@ -40,6 +42,7 @@ pub mod prelude {
     pub use parlo_barrier::{HierarchicalHalfBarrier, HierarchyStats, WaitMode, WaitPolicy};
     pub use parlo_cilk::{CilkFineGrain, CilkPool};
     pub use parlo_core::{BarrierKind, Config, FineGrainPool, LoopRuntime, Sequential, SyncStats};
+    pub use parlo_exec::{ExecStats, Executor};
     pub use parlo_omp::{OmpTeam, Schedule, ScheduledTeam};
     pub use parlo_steal::{
         SchedulePerturbation, SeededPerturbation, StealConfig, StealPool, StealStats,

@@ -30,13 +30,11 @@ fn splitmix64(x: &mut u64) -> u64 {
 }
 
 /// The pool size the CI matrix pins via `PARLO_THREADS` (4 when unset/invalid, so a
-/// local run still exercises a multi-worker pool).
+/// local run still exercises a multi-worker pool).  Parsing goes through the single
+/// shared helper in `parlo-bench`, so the battery can never diverge from the bench
+/// bins on trimming or zero rejection.
 fn env_threads() -> usize {
-    std::env::var("PARLO_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(4)
+    parlo_bench::env_threads().unwrap_or(4)
 }
 
 /// The exactly-once and exact-accounting invariants at the *matrix-pinned* pool size:
