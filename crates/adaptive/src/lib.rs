@@ -60,7 +60,7 @@ mod pool;
 mod site;
 mod timer;
 
-pub use pool::{AdaptiveConfig, AdaptivePool, AdaptiveStats, Decision};
+pub use pool::{gang_size_hint, AdaptiveConfig, AdaptivePool, AdaptiveStats, Decision};
 pub use site::LoopSite;
 pub use timer::{ProbeTimer, WallClock};
 

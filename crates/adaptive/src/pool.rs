@@ -58,6 +58,33 @@ impl AdaptiveConfig {
     }
 }
 
+/// The gang size the burden model recommends for a loop with sequential time
+/// `t_secs` and per-loop scheduling burden `burden_secs`, capped at `max` workers.
+///
+/// Under the paper's model a gang of `g` workers executes the loop in
+/// `d + T/g` seconds.  Growing the gang past `g* = sqrt(T/d)` is wasteful for a
+/// *shared* substrate: at `g*` the burden term `d` matched against the per-worker
+/// work share `T/g` balance (both equal `sqrt(T*d)` when scaled by `g`), and every
+/// additional worker removes less work than it could contribute to another
+/// tenant's loop.  Hence the hint is `ceil(sqrt(T/d))` clamped to `[1, max]`,
+/// with the degenerate cases resolved conservatively: a non-positive burden means
+/// synchronization is free (take everything, `max`), a non-positive `T` means the
+/// loop is trivial (take the minimum, 1).
+pub fn gang_size_hint(t_secs: f64, burden_secs: f64, max: usize) -> usize {
+    let max = max.max(1);
+    if t_secs <= 0.0 {
+        return 1;
+    }
+    if burden_secs <= 0.0 {
+        return max;
+    }
+    let g = (t_secs / burden_secs).sqrt().ceil();
+    if !g.is_finite() {
+        return max;
+    }
+    (g as usize).clamp(1, max)
+}
+
 /// The routing decision calibrated for one loop site.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Decision {
@@ -309,6 +336,19 @@ impl AdaptivePool {
             .get(&site)
             .filter(|s| s.seq_n > 0)
             .map(|s| (s.seq_secs, s.seq_n))
+    }
+
+    /// The gang size the burden model recommends for `site` when its loops are
+    /// served from a shared substrate (see `parlo-serve`), or `None` before the
+    /// site's first calibration completes.
+    ///
+    /// Uses the site's latest sequential-time estimate `T` and the winning
+    /// backend's fitted burden `d` through [`gang_size_hint`]; `max` caps the hint
+    /// at the workers a tenant may actually lease.
+    pub fn gang_hint(&self, site: LoopSite, max: usize) -> Option<usize> {
+        let (t_secs, _) = self.t_seq_estimate(site)?;
+        let d = self.decision(site)?.burden_secs;
+        Some(gang_size_hint(t_secs, d, max))
     }
 
     /// A snapshot of the adaptive runtime's own counters.
@@ -647,6 +687,30 @@ impl LoopRuntime for AdaptivePool {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn gang_size_hint_follows_the_burden_model() {
+        // g* = ceil(sqrt(T/d)): T = 100us, d = 1us -> sqrt(100) = 10.
+        assert_eq!(gang_size_hint(100e-6, 1e-6, 16), 10);
+        // Clamped by the available workers.
+        assert_eq!(gang_size_hint(100e-6, 1e-6, 4), 4);
+        // Non-square ratios round up: sqrt(50) ~ 7.07 -> 8.
+        assert_eq!(gang_size_hint(50e-6, 1e-6, 16), 8);
+        // A loop barely worth parallelising still gets at least one worker.
+        assert_eq!(gang_size_hint(1e-9, 1e-6, 16), 1);
+    }
+
+    #[test]
+    fn gang_size_hint_degenerate_inputs() {
+        // Trivial loop: minimum gang.
+        assert_eq!(gang_size_hint(0.0, 1e-6, 8), 1);
+        assert_eq!(gang_size_hint(-1.0, 1e-6, 8), 1);
+        // Free synchronization: take everything available.
+        assert_eq!(gang_size_hint(1e-3, 0.0, 8), 8);
+        assert_eq!(gang_size_hint(1e-3, -1e-9, 8), 8);
+        // A zero cap still means one worker.
+        assert_eq!(gang_size_hint(1e-3, 1e-6, 0), 1);
+    }
 
     /// A deterministic cost model: per-backend burden plus perfectly parallel work,
     /// with `work_per_iter` seconds per iteration.

@@ -113,6 +113,23 @@ fn main() {
             row.scheduler, row.baseline_us, row.current_us, delta
         );
     }
+    for row in &outcome.serve_rows {
+        let verdict = if row.worst_delta_pct() > threshold_pct {
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "serve:{:<34} {:>10.0} -> {:>8.0} loops/s ({:+.1}%), p99 {:.1} -> {:.1} us ({:+.1}%){verdict}",
+            row.scenario,
+            row.baseline_lps,
+            row.current_lps,
+            row.throughput_drop_pct(),
+            row.baseline_p99_us,
+            row.current_p99_us,
+            row.p99_rise_pct()
+        );
+    }
     for missing in &outcome.missing {
         println!("{missing:<40} missing from the current report  REGRESSED");
     }
@@ -121,11 +138,13 @@ fn main() {
     }
 
     if outcome.passed() {
-        println!("perfgate: OK — no burden regressed by more than {threshold_pct}%");
+        println!(
+            "perfgate: OK — no burden or serve scenario regressed by more than {threshold_pct}%"
+        );
     } else {
         println!(
-            "perfgate: FAILED — {} regression(s), {} missing scheduler(s):",
-            outcome.regressions().len(),
+            "perfgate: FAILED — {} regression(s), {} missing row(s):",
+            outcome.regressions().len() + outcome.serve_regressions().len(),
             outcome.missing.len()
         );
         // Row-by-row failure listing: every regressed row and every missing row by

@@ -1,0 +1,184 @@
+//! Serving throughput/latency bench for `parlo-serve` (multi-tenant loop serving).
+//!
+//! Open-loop arrival model: all requests are queued up front (the arrival process
+//! does not wait for completions), then the server drains the backlog.  Reported per
+//! scenario: loops served per second over the whole drain, plus p50/p99 request
+//! latency (submit to completion).
+//!
+//! ```text
+//! serve [--threads N] [--gang G] [--requests R] [--iters I] [--batch B]
+//!       [--simulate] [--json out.json] [--csv]
+//! ```
+//!
+//! * `--threads N` — worker budget (default `PARLO_THREADS`, then hardware);
+//! * `--gang G` — fixed gang size (default 2: one driver + one pool worker);
+//! * `--requests R` — queued requests of the *measured* scenario (default 1000;
+//!   scenarios below R are also measured on the way up, decades from 1000);
+//! * `--iters I` — iterations per requested micro-loop (default 2048);
+//! * `--batch B` — server batching limit (default 8);
+//! * `--simulate` — deterministic cost-model mode (no threads, no timers): scenario
+//!   rows are computed from the paper-machine barrier model, covering queue depths
+//!   10³–10⁶.  This is what generates and gates `bench/serve_baseline.json`;
+//! * `--json <path>` — write a [`BenchReport`] with the serve rows.
+//!
+//! The simulated batch cost is `c = h(g) + B·T/g` (one hierarchical half-barrier
+//! cycle over the gang plus the batched work split `g` ways), giving a steady-state
+//! throughput of `gangs · B / c` loops per second; queue latency percentiles follow
+//! from the open-loop backlog draining at that rate.
+
+use parlo_bench::{arg_value, has_flag, json_path_arg, write_json_report, BenchReport, ServeRow};
+use parlo_serve::{GangSizing, LoopRequest, LoopSite, ServeConfig, Server};
+use parlo_sim::SimMachine;
+use std::time::Instant;
+
+/// Work per iteration of the requested micro-loops in the simulated mode, in
+/// nanoseconds (matches the uniform micro-workload's per-unit cost scale).
+const SIM_WORK_PER_ITER_NS: f64 = 5.0;
+
+fn scenario_key(requests: usize) -> String {
+    format!("q{requests}")
+}
+
+/// Queue depths measured: decades from 1000 up to and including `max_requests`.
+fn scenario_depths(max_requests: usize) -> Vec<usize> {
+    let mut depths = Vec::new();
+    let mut d = 1000usize;
+    while d < max_requests {
+        depths.push(d);
+        d = d.saturating_mul(10);
+    }
+    depths.push(max_requests.max(1));
+    depths
+}
+
+/// One deterministic cost-model row (see the module docs for the model).
+fn simulate_row(
+    machine: &SimMachine,
+    threads: usize,
+    gang: usize,
+    batch: usize,
+    iters: usize,
+    requests: usize,
+) -> ServeRow {
+    let gang = gang.clamp(1, threads.max(1));
+    let gangs = (threads / gang).max(1);
+    let batch = batch.max(1) as f64;
+    let work_ns = iters as f64 * SIM_WORK_PER_ITER_NS;
+    // One batch: a hierarchical half-barrier cycle over the gang, plus the batched
+    // work split across the gang.  A 1-worker gang pays no barrier at all.
+    let barrier_ns = if gang > 1 {
+        parlo_sim::barrier_model::hierarchical_half_barrier_ns(machine, gang)
+    } else {
+        0.0
+    };
+    let batch_ns = barrier_ns + batch * work_ns / gang as f64;
+    let loops_per_sec = gangs as f64 * batch * 1e9 / batch_ns;
+    // Open-loop backlog: request k completes after ~k/throughput seconds; the median
+    // waits for half the queue, the p99 for 99% of it, plus its own batch.
+    let r = requests as f64;
+    let p50_us = (r * 0.5 / loops_per_sec) * 1e6 + batch_ns / 1e3;
+    let p99_us = (r * 0.99 / loops_per_sec) * 1e6 + batch_ns / 1e3;
+    ServeRow {
+        scenario: scenario_key(requests),
+        gangs: gangs as u64,
+        gang_size: gang as u64,
+        queued_requests: requests as u64,
+        loops_per_sec,
+        p50_us,
+        p99_us,
+    }
+}
+
+/// One measured row: queue `requests` micro-loops open-loop, drain, report.
+fn measure_row(server: &Server, iters: usize, requests: usize) -> ServeRow {
+    let stats = server.stats();
+    let sites = stats.gangs.max(1) * 2;
+    let start = Instant::now();
+    let mut submitted_at = Vec::with_capacity(requests);
+    let mut handles = Vec::with_capacity(requests);
+    for k in 0..requests {
+        let site = LoopSite::new((k % sites) as u64);
+        submitted_at.push(start.elapsed());
+        let h = server
+            .submit(LoopRequest::sum(site, 0..iters, |i| (i % 7) as f64))
+            .expect("bench server accepts while alive");
+        handles.push(h);
+    }
+    // Waiting in submission order approximates each request's completion time well
+    // enough for percentiles: a request that finished earlier than its predecessor
+    // is charged its predecessor's completion instant, never more.
+    let mut latencies_us: Vec<f64> = handles
+        .iter()
+        .zip(&submitted_at)
+        .map(|(h, t_submit)| {
+            h.wait();
+            (start.elapsed().saturating_sub(*t_submit)).as_secs_f64() * 1e6
+        })
+        .collect();
+    let total_s = start.elapsed().as_secs_f64();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+    ServeRow {
+        scenario: scenario_key(requests),
+        gangs: stats.gangs as u64,
+        gang_size: stats.gang_size as u64,
+        queued_requests: requests as u64,
+        loops_per_sec: requests as f64 / total_s,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = parlo_bench::threads_arg(&args).saturating_sub(1).max(1);
+    let gang = arg_value(&args, "--gang").unwrap_or(2);
+    let max_requests = arg_value(&args, "--requests").unwrap_or(1000).max(1);
+    let iters = arg_value(&args, "--iters").unwrap_or(2048).max(1);
+    let batch = arg_value(&args, "--batch").unwrap_or(8).max(1);
+    let simulate = has_flag(&args, "--simulate");
+
+    let mut report = BenchReport::new("serve", threads);
+    if simulate {
+        let machine = SimMachine::paper_machine();
+        // The simulated sweep always covers the full 10^3..10^6 open-loop range so
+        // the checked-in baseline gates every decade.
+        let max = max_requests.max(1_000_000);
+        for depth in scenario_depths(max) {
+            report
+                .serve
+                .push(simulate_row(&machine, threads, gang, batch, iters, depth));
+        }
+    } else {
+        let server = Server::new(
+            ServeConfig::default()
+                .with_workers(threads)
+                .with_gang(GangSizing::Fixed(gang))
+                .with_queue_capacity(max_requests.max(1024))
+                .with_batch_max(batch),
+        );
+        for depth in scenario_depths(max_requests) {
+            report.serve.push(measure_row(&server, iters, depth));
+        }
+    }
+
+    println!(
+        "# serve bench ({}): threads={threads} gang={gang} batch={batch} iters={iters}",
+        if simulate { "simulated" } else { "measured" }
+    );
+    println!(
+        "{:<10} {:>6} {:>10} {:>14} {:>12} {:>12}",
+        "scenario", "gangs", "gang_size", "loops/s", "p50_us", "p99_us"
+    );
+    for row in &report.serve {
+        println!(
+            "{:<10} {:>6} {:>10} {:>14.0} {:>12.1} {:>12.1}",
+            row.scenario, row.gangs, row.gang_size, row.loops_per_sec, row.p50_us, row.p99_us
+        );
+    }
+
+    if let Some(path) = json_path_arg(&args) {
+        write_json_report(path, &report).expect("write json report");
+        println!("# wrote {path}");
+    }
+}

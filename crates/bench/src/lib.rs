@@ -628,6 +628,26 @@ impl StealStatsRow {
     }
 }
 
+/// One serving-throughput row of a `serve` run: latency and throughput of an
+/// open-loop queue of micro-loop requests against a `parlo-serve` server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRow {
+    /// Scenario key (`"q1000"` = one thousand queued requests, etc.).
+    pub scenario: String,
+    /// Gangs the server cut the substrate into.
+    pub gangs: u64,
+    /// Workers per gang (driver included).
+    pub gang_size: u64,
+    /// Requests in the open-loop queue.
+    pub queued_requests: u64,
+    /// Served loops per second over the whole drain.
+    pub loops_per_sec: f64,
+    /// Median request latency (submit to completion), microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+}
+
 /// A machine-readable bench report, serialized by `--json <path>` so future runs can
 /// be compared as a perf trajectory (`BENCH_*.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -647,6 +667,8 @@ pub struct BenchReport {
     pub points: Vec<SweepRow>,
     /// Steal-behaviour accounting of any stealing runtime measured by the run.
     pub steal: Vec<StealStatsRow>,
+    /// Serving throughput/latency rows (`serve`; empty for every other bin).
+    pub serve: Vec<ServeRow>,
 }
 
 impl BenchReport {
@@ -666,6 +688,7 @@ impl BenchReport {
             burdens: Vec::new(),
             points: Vec::new(),
             steal: Vec::new(),
+            serve: Vec::new(),
         }
     }
 }
@@ -692,6 +715,7 @@ pub fn read_json_report(path: &str) -> std::io::Result<BenchReport> {
     if let serde::Value::Map(entries) = &mut value {
         let defaults = [
             ("steal", serde::Value::Seq(Vec::new())),
+            ("serve", serde::Value::Seq(Vec::new())),
             (
                 "workload",
                 serde::Value::Str(WorkloadKind::Micro.key().to_string()),
@@ -733,6 +757,50 @@ impl GateRow {
     }
 }
 
+/// One serve scenario's baseline-vs-current comparison.  Two independent failure
+/// axes: a throughput drop and a tail-latency rise are both regressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeGateRow {
+    /// Scenario key (see [`ServeRow::scenario`]).
+    pub scenario: String,
+    /// Baseline throughput, loops per second.
+    pub baseline_lps: f64,
+    /// Current throughput, loops per second.
+    pub current_lps: f64,
+    /// Baseline p99 latency, µs.
+    pub baseline_p99_us: f64,
+    /// Current p99 latency, µs.
+    pub current_p99_us: f64,
+}
+
+impl ServeGateRow {
+    /// Relative throughput drop in percent (positive = regression).  A current
+    /// throughput that is not a finite positive number counts as an unbounded
+    /// regression, mirroring [`GateRow::delta_pct`].
+    pub fn throughput_drop_pct(&self) -> f64 {
+        if !(self.current_lps.is_finite() && self.current_lps > 0.0) || self.baseline_lps <= 0.0 {
+            return f64::INFINITY;
+        }
+        (1.0 - self.current_lps / self.baseline_lps) * 100.0
+    }
+
+    /// Relative p99-latency rise in percent (positive = regression), with the same
+    /// degenerate-value handling.
+    pub fn p99_rise_pct(&self) -> f64 {
+        if !(self.current_p99_us.is_finite() && self.current_p99_us > 0.0)
+            || self.baseline_p99_us <= 0.0
+        {
+            return f64::INFINITY;
+        }
+        (self.current_p99_us / self.baseline_p99_us - 1.0) * 100.0
+    }
+
+    /// The worse of the two axes — what the gate compares against the threshold.
+    pub fn worst_delta_pct(&self) -> f64 {
+        self.throughput_drop_pct().max(self.p99_rise_pct())
+    }
+}
+
 /// Outcome of comparing a current bench report against the checked-in baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateOutcome {
@@ -740,9 +808,13 @@ pub struct GateOutcome {
     pub threshold_pct: f64,
     /// Per-scheduler comparisons for every baseline row found in the current report.
     pub rows: Vec<GateRow>,
-    /// Baseline schedulers absent from the current report (a silent drop must fail).
+    /// Per-scenario serve comparisons for every baseline serve row found in the
+    /// current report.
+    pub serve_rows: Vec<ServeGateRow>,
+    /// Baseline rows absent from the current report (a silent drop must fail);
+    /// serve scenarios are listed as `serve:<scenario>`.
     pub missing: Vec<String>,
-    /// Current schedulers absent from the baseline (informational; suggests the
+    /// Current rows absent from the baseline (informational; suggests the
     /// baseline needs regenerating).
     pub added: Vec<String>,
 }
@@ -756,10 +828,21 @@ impl GateOutcome {
             .collect()
     }
 
-    /// `true` when no scheduler regressed beyond the threshold and no baseline row
-    /// disappeared.
+    /// The serve scenarios that regressed beyond the threshold on either axis
+    /// (throughput drop or p99 rise).
+    pub fn serve_regressions(&self) -> Vec<&ServeGateRow> {
+        self.serve_rows
+            .iter()
+            .filter(|r| r.worst_delta_pct() > self.threshold_pct)
+            .collect()
+    }
+
+    /// `true` when no scheduler or serve scenario regressed beyond the threshold and
+    /// no baseline row disappeared.
     pub fn passed(&self) -> bool {
-        self.missing.is_empty() && self.regressions().is_empty()
+        self.missing.is_empty()
+            && self.regressions().is_empty()
+            && self.serve_regressions().is_empty()
     }
 
     /// One line per failure — every regressed row with its delta and **every** missing
@@ -777,6 +860,20 @@ impl GateOutcome {
                 self.threshold_pct
             ));
         }
+        for row in self.serve_regressions() {
+            lines.push(format!(
+                "REGRESSED  serve:{}: {:.0} -> {:.0} loops/s ({:+.1}% drop), p99 {:.1} -> \
+                 {:.1} us ({:+.1}%), threshold {}%",
+                row.scenario,
+                row.baseline_lps,
+                row.current_lps,
+                row.throughput_drop_pct(),
+                row.baseline_p99_us,
+                row.current_p99_us,
+                row.p99_rise_pct(),
+                self.threshold_pct
+            ));
+        }
         for missing in &self.missing {
             lines.push(format!(
                 "MISSING    {missing}: present in the baseline but absent from the current report"
@@ -786,8 +883,11 @@ impl GateOutcome {
     }
 }
 
-/// Compares the fitted burdens of `current` against `baseline`: a scheduler fails the
-/// gate when its burden grew by more than `threshold_pct` percent.
+/// Compares `current` against `baseline`: a scheduler fails the gate when its fitted
+/// burden grew by more than `threshold_pct` percent, and a serve scenario fails when
+/// its throughput dropped — or its p99 latency rose — by more than the threshold.
+/// Reports carrying only one kind of row simply contribute no comparisons of the
+/// other kind.
 pub fn compare_burdens(
     baseline: &BenchReport,
     current: &BenchReport,
@@ -809,15 +909,36 @@ pub fn compare_burdens(
             None => missing.push(base.scheduler.clone()),
         }
     }
-    let added = current
+    let mut serve_rows = Vec::new();
+    for base in &baseline.serve {
+        match current.serve.iter().find(|c| c.scenario == base.scenario) {
+            Some(cur) => serve_rows.push(ServeGateRow {
+                scenario: base.scenario.clone(),
+                baseline_lps: base.loops_per_sec,
+                current_lps: cur.loops_per_sec,
+                baseline_p99_us: base.p99_us,
+                current_p99_us: cur.p99_us,
+            }),
+            None => missing.push(format!("serve:{}", base.scenario)),
+        }
+    }
+    let mut added: Vec<String> = current
         .burdens
         .iter()
         .filter(|c| !baseline.burdens.iter().any(|b| b.scheduler == c.scheduler))
         .map(|c| c.scheduler.clone())
         .collect();
+    added.extend(
+        current
+            .serve
+            .iter()
+            .filter(|c| !baseline.serve.iter().any(|b| b.scenario == c.scenario))
+            .map(|c| format!("serve:{}", c.scenario)),
+    );
     GateOutcome {
         threshold_pct,
         rows,
+        serve_rows,
         missing,
         added,
     }

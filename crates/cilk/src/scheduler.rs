@@ -211,11 +211,12 @@ pub(crate) struct CilkShared {
 /// loops), so raising the flag is enough; no synchronization episode is consumed.
 fn detach_workers(shared: &CilkShared) {
     assert!(
-        !shared.in_loop.load(Ordering::Relaxed),
-        "Cilk pool lease revoked while a loop is in flight; all clients of a shared \
-         Executor must be driven from one thread at a time"
+        !shared.in_loop.swap(true, Ordering::Relaxed),
+        "Cilk pool lease revoked while a loop is in flight; concurrent drivers of one \
+         pool must coordinate (see the parlo-exec multi-driver contract)"
     );
     shared.detach.store(true, Ordering::Release);
+    shared.in_loop.store(false, Ordering::Relaxed);
 }
 
 // SAFETY: the descriptor/fine_job cells are only written by the master strictly before
@@ -286,6 +287,27 @@ impl CilkPool {
     /// Creates a pool from an explicit configuration, leasing its workers from the
     /// given substrate.
     pub fn new_on(config: CilkConfig, executor: &Arc<Executor>) -> Self {
+        Self::build(config, executor, None)
+    }
+
+    /// Creates a gang-sized pool over an explicit partition of substrate worker ids
+    /// (see `Executor::register_partition` for the partition contract).  The
+    /// configuration's `num_threads` must equal `workers.len() + 1`; the calling
+    /// thread is never re-pinned.
+    pub fn new_on_partition(
+        config: CilkConfig,
+        executor: &Arc<Executor>,
+        workers: &[usize],
+    ) -> Self {
+        assert_eq!(
+            config.num_threads,
+            workers.len() + 1,
+            "a partition pool has one thread per leased worker plus its master"
+        );
+        Self::build(config, executor, Some(workers))
+    }
+
+    fn build(config: CilkConfig, executor: &Arc<Executor>, partition: Option<&[usize]>) -> Self {
         let nthreads = config.num_threads.max(1);
         let fanin = config.topology.suggested_arrival_fanin();
         let fine = if config.hierarchical {
@@ -311,8 +333,10 @@ impl CilkPool {
             fine_job: UnsafeCell::new(FineJob::noop()),
             config: config.clone(),
         });
-        if let Some(core) = config.topology.core_for_worker(0, config.pin) {
-            let _ = parlo_affinity::pin_to_core(core);
+        if partition.is_none() {
+            if let Some(core) = config.topology.core_for_worker(0, config.pin) {
+                let _ = parlo_affinity::pin_to_core(core);
+            }
         }
         let body = {
             let shared = shared.clone();
@@ -322,12 +346,16 @@ impl CilkPool {
             let shared = shared.clone();
             Arc::new(move || detach_workers(&shared))
         };
-        let lease = executor.register(ClientHooks {
+        let hooks = ClientHooks {
             name: "cilk".to_string(),
             participants: nthreads,
             body,
             detach,
-        });
+        };
+        let lease = match partition {
+            None => executor.register(hooks),
+            Some(workers) => executor.register_partition(hooks, workers.to_vec()),
+        };
         CilkPool {
             shared,
             lease,
@@ -409,8 +437,14 @@ impl CilkPool {
         if n == 0 {
             return;
         }
+        // Claim the pool before touching any loop state: a racing second driver
+        // panics deterministically on its own swap instead of corrupting the deques.
+        assert!(
+            !shared.in_loop.swap(true, Ordering::Relaxed),
+            "Cilk pool driven by two threads at once: a pool serves exactly one \
+             master thread (see the parlo-exec multi-driver contract)"
+        );
         self.ensure_workers();
-        shared.in_loop.store(true, Ordering::Relaxed);
         // Publish the descriptor, then open the loop by making `remaining` non-zero.
         unsafe { *shared.descriptor.get() = descriptor };
         shared.remaining.store(n, Ordering::Release);
@@ -449,8 +483,13 @@ impl CilkPool {
     /// As for [`CilkPool::run_cilk_loop`].
     pub(crate) unsafe fn run_fine_loop(&self, job: FineJob) {
         let shared = &*self.shared;
+        // Same deterministic two-driver guard as `run_cilk_loop`.
+        assert!(
+            !shared.in_loop.swap(true, Ordering::Relaxed),
+            "Cilk pool driven by two threads at once: a pool serves exactly one \
+             master thread (see the parlo-exec multi-driver contract)"
+        );
         self.ensure_workers();
-        shared.in_loop.store(true, Ordering::Relaxed);
         let epoch = self.fine_epoch.get() + 1;
         self.fine_epoch.set(epoch);
         let has_combine = job.combine.is_some();

@@ -163,6 +163,39 @@ impl FineGrainPool {
         }
     }
 
+    /// [`FineGrainPool::parallel_for`] through `&self`, bypassing the `&mut`
+    /// single-driver exclusivity — the regression hook for the concurrent-drivers
+    /// battery, not an API (a second simultaneous caller panics on the pool's
+    /// in-flight `swap` guard, which is exactly what the battery asserts).
+    ///
+    /// # Safety
+    /// As for `parallel_for`; additionally the caller asserts that no other thread
+    /// drives this pool concurrently, or accepts the deterministic panic when one
+    /// does.
+    #[doc(hidden)]
+    pub unsafe fn parallel_for_unsynchronized<F>(&self, range: Range<usize>, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if range.is_empty() {
+            return;
+        }
+        let harness = ForHarness {
+            body: &body,
+            range,
+            nthreads: self.num_threads(),
+        };
+        self.shared().stats.record_loop(self.phases_per_loop());
+        // SAFETY: as in `broadcast`; single-driver coordination is the caller's.
+        unsafe {
+            self.run_job(Job::new(
+                &harness as *const _ as *const (),
+                exec_for::<F>,
+                None,
+            ));
+        }
+    }
+
     /// Block-cyclic statically scheduled loop: chunks of `chunk` iterations are dealt to
     /// the participants round-robin before the loop starts.
     pub fn parallel_for_chunked<F>(&mut self, range: Range<usize>, chunk: usize, body: F)

@@ -137,9 +137,11 @@ pub(crate) struct PoolShared {
     epoch: AtomicU64,
     /// Where each worker's scheduling loop resumes after a detach/re-attach cycle.
     worker_epochs: Vec<CachePadded<AtomicU64>>,
-    /// Diagnostic: set while a loop is in flight, so revoking the lease mid-loop (a
-    /// violation of the substrate's single-driver contract) fails loudly.  Reliable
-    /// when the revocation runs on the driving thread; best-effort otherwise.
+    /// Set while a loop (or the detach cycle) is in flight.  Loop entry and the
+    /// detach hook both claim it with a `swap`, so a racing second driver — or a
+    /// lease revocation overlapping a loop — panics deterministically on whichever
+    /// side comes second, instead of corrupting the hand-off.  One atomic RMW per
+    /// loop, same hot-path cost as the plain store it replaces.
     in_loop: AtomicBool,
     policy: WaitPolicy,
     pub(crate) stats: PoolStats,
@@ -161,16 +163,18 @@ impl PoolShared {
 /// synchronization stays aligned across detach/re-attach.
 fn detach_workers(shared: &PoolShared) {
     assert!(
-        !shared.in_loop.load(Ordering::Relaxed),
-        "fine-grain pool lease revoked while a loop is in flight; all clients of a \
-         shared Executor must be driven from one thread at a time"
+        !shared.in_loop.swap(true, Ordering::Relaxed),
+        "fine-grain pool lease revoked while a loop is in flight; concurrent drivers \
+         of one pool must coordinate (see the parlo-exec multi-driver contract)"
     );
     shared.detach.store(true, Ordering::Release);
     let epoch = shared.next_epoch();
-    // SAFETY: no loop is in flight, so no worker reads the slot concurrently.
+    // SAFETY: no loop is in flight (the swap above claimed the pool), so no worker
+    // reads the slot concurrently.
     unsafe { shared.slot.publish(Job::noop()) };
     shared.sync.master_fork(epoch, &shared.policy);
     shared.sync.master_join(epoch, &shared.policy, |_| {});
+    shared.in_loop.store(false, Ordering::Relaxed);
 }
 
 /// The fine-grain parallel loop scheduler of the paper: a persistent worker pool whose
@@ -230,6 +234,26 @@ impl FineGrainPool {
     /// given substrate.  The pool spawns no threads of its own; the substrate grows to
     /// at most `num_threads − 1` workers on the pool's first loop.
     pub fn new_on(config: Config, executor: &Arc<Executor>) -> Self {
+        Self::build(config, executor, None)
+    }
+
+    /// Creates a gang-sized pool over an explicit partition of substrate worker ids
+    /// (see [`Executor::register_partition`] for the partition contract).  The
+    /// configuration's `num_threads` must equal `workers.len() + 1`: the driving
+    /// master plus one participant per leased worker.  Unlike the exclusive
+    /// constructors this never re-pins the calling thread — a gang pool is typically
+    /// constructed on a control thread and *driven* by a substrate worker that is
+    /// already pinned.
+    pub fn new_on_partition(config: Config, executor: &Arc<Executor>, workers: &[usize]) -> Self {
+        assert_eq!(
+            config.num_threads,
+            workers.len() + 1,
+            "a partition pool has one thread per leased worker plus its master"
+        );
+        Self::build(config, executor, Some(workers))
+    }
+
+    fn build(config: Config, executor: &Arc<Executor>, partition: Option<&[usize]>) -> Self {
         let nthreads = config.num_threads.max(1);
         let shared = Arc::new(PoolShared {
             nthreads,
@@ -245,9 +269,11 @@ impl FineGrainPool {
             stats: PoolStats::default(),
             config: config.clone(),
         });
-        // Pin the master according to the policy (worker index 0).
-        if let Some(core) = config.topology.core_for_worker(0, config.pin) {
-            let _ = parlo_affinity::pin_to_core(core);
+        if partition.is_none() {
+            // Pin the master according to the policy (worker index 0).
+            if let Some(core) = config.topology.core_for_worker(0, config.pin) {
+                let _ = parlo_affinity::pin_to_core(core);
+            }
         }
         let body = {
             let shared = shared.clone();
@@ -257,12 +283,16 @@ impl FineGrainPool {
             let shared = shared.clone();
             Arc::new(move || detach_workers(&shared))
         };
-        let lease = executor.register(ClientHooks {
+        let hooks = ClientHooks {
             name: format!("fine-grain ({})", config.barrier.label()),
             participants: nthreads,
             body,
             detach,
-        });
+        };
+        let lease = match partition {
+            None => executor.register(hooks),
+            Some(workers) => executor.register_partition(hooks, workers.to_vec()),
+        };
         FineGrainPool { shared, lease }
     }
 
@@ -321,13 +351,20 @@ impl FineGrainPool {
     /// entry points must be safe to call concurrently from all participants.
     pub(crate) unsafe fn run_job(&self, job: Job) {
         let shared = &*self.shared;
+        // Claim the pool before touching any loop state: a second driver racing this
+        // entry sees `true` from its own swap and panics deterministically, before
+        // either side can corrupt the epoch counter or the job slot.
+        assert!(
+            !shared.in_loop.swap(true, Ordering::Relaxed),
+            "fine-grain pool driven by two threads at once: a pool serves exactly one \
+             master thread (see the parlo-exec multi-driver contract)"
+        );
         self.ensure_workers();
         let epoch = shared.next_epoch();
         let has_combine = job.has_combine();
-        shared.in_loop.store(true, Ordering::Relaxed);
         // Publish the work description, then perform the fork-side synchronization.
         // SAFETY (slot): the previous loop's join phase has completed (run_job is not
-        // reentrant thanks to the &mut self public API), so no worker reads the slot.
+        // reentrant: the swap above claimed the pool), so no worker reads the slot.
         unsafe { shared.slot.publish(job) };
         shared.sync.master_fork(epoch, &shared.policy);
         // The master executes its own share like any other participant.

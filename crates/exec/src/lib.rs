@@ -17,8 +17,8 @@
 //! * the first loop after construction — or after another pool ran — *activates* the
 //!   lease: the substrate detaches the previous holder, waits for its workers to park,
 //!   and runs the new pool's body on every worker it needs (the **attach rendezvous**:
-//!   the activation does not complete until every participating worker has entered the
-//!   body, so no worker can lag an activation and miss barrier epochs);
+//!   the activation does not complete until every participating worker is in the body,
+//!   so no worker can lag an activation and miss barrier epochs);
 //! * while a pool holds the lease, its loops run exactly as they always did — the
 //!   substrate adds **zero** work to the per-loop hot path (one relaxed atomic load to
 //!   confirm the lease is still held);
@@ -29,22 +29,37 @@
 //! the executor capacity (`P − 1`), no matter how many runtimes are alive** — testable
 //! through [`ExecStats`] and [`process_thread_count`].
 //!
-//! ## The single-driver contract
+//! ## Partitioned leases: the multi-driver contract
 //!
-//! Lease hand-off assumes the departing pool is quiescent: all clients of one executor
-//! must be driven from a single master thread at a time (the roster, the adaptive pool
-//! and every bench binary satisfy this trivially — they interleave loops from one
-//! thread).  Pools assert the contract at detach time with a per-pool in-flight flag:
-//! when the revocation happens on the driving thread (the only correct place), the
-//! check is reliable and a mid-loop revocation panics instead of corrupting the
-//! hand-off.  The check is **best-effort** against a genuinely racing second driver —
-//! the flag is a relaxed cross-thread read there, so a concurrent violation may
-//! escape it; the contract itself, not the assert, is the safety boundary.
+//! An [exclusive lease](Executor::register) owns *all* the workers while active, so
+//! clients taking turns on one executor must be driven from a single master thread at
+//! a time.  A [partition lease](Executor::register_partition) instead names an
+//! explicit subset of substrate worker ids, and **any number of partition leases over
+//! pairwise-disjoint subsets may be active simultaneously, each driven by its own
+//! thread** — this is how `parlo-serve` space-shares one substrate across concurrent
+//! tenants without ever exceeding the `P − 1` census.  The contract:
+//!
+//! * a partition names sorted, unique substrate worker ids (`1..`); its client has
+//!   `participants == ids.len() + 1` and its body receives **pool-local** participant
+//!   ids (`1..=ids.len()`, position in the partition plus one), so a pool built on a
+//!   sub-lease is oblivious to which substrate workers serve it;
+//! * activating a partition detaches an exclusive holder (which owns every worker,
+//!   including the partition's) but **panics deterministically** if it overlaps
+//!   another *active partition* — overlap means two drivers claimed the same worker,
+//!   which is an allocation bug, never a timing accident;
+//! * activating an exclusive lease detaches every active client, partitions included;
+//! * all activation, rendezvous and detach accounting is per client, under one lock,
+//!   so concurrent drivers can attach and detach disjoint partitions freely.
+//!
+//! Pools assert their own half of the contract with a per-pool in-flight flag: loop
+//! entry and lease revocation both `swap` the flag, so whichever of a racing second
+//! driver or a mid-loop revocation comes second panics deterministically instead of
+//! corrupting the hand-off.
 
 #![warn(missing_docs)]
 
 use parlo_affinity::{PinPolicy, PlacementConfig, Topology};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -53,39 +68,60 @@ use std::thread::JoinHandle;
 pub struct ClientHooks {
     /// Diagnostic label shown in [`ExecStats::active`].
     pub name: String,
-    /// Participants of the runtime, master included.  Workers `1..participants` take
-    /// part while the client is active; an executor worker passes its substrate id to
-    /// the body unchanged, so substrate worker `i` *is* pool participant `i`.
+    /// Participants of the runtime, master included.  For an exclusive lease, workers
+    /// `1..participants` take part while the client is active and the body receives
+    /// the substrate worker id unchanged (substrate worker `i` *is* pool participant
+    /// `i`).  For a partition lease, `participants` must equal the partition size plus
+    /// one and the body receives pool-local ids.
     pub participants: usize,
-    /// The worker's scheduling loop: called with the worker id, runs until the client
-    /// detaches it (and must return promptly once the detach hook has fired).  Must be
-    /// resumable: a body that is re-entered after a detach continues from the state it
-    /// saved on the way out.
+    /// The worker's scheduling loop: called with the participant id, runs until the
+    /// client detaches it (and must return promptly once the detach hook has fired).
+    /// Must be resumable: a body that is re-entered after a detach continues from the
+    /// state it saved on the way out.
     pub body: Arc<dyn Fn(usize) + Send + Sync>,
     /// Drives the client's synchronization through one no-op cycle such that every
     /// attached worker exits the body.  Called from the substrate while switching
-    /// leases (always on the thread that drives the runtimes; may block on the
-    /// client's own barrier).
+    /// leases (on whichever thread triggered the switch; may block on the client's
+    /// own barrier).
     pub detach: Arc<dyn Fn() + Send + Sync>,
 }
 
-/// One activation of a client on the workers.
+/// One activation of a client on (a subset of) the workers.
 struct Activation {
     client: u64,
     name: String,
-    participants: usize,
+    /// Substrate worker ids serving this activation, sorted ascending.  For an
+    /// exclusive activation this is `1..=needed`, so position-plus-one equals the
+    /// substrate id and the body sees the id unchanged.
+    workers: Arc<Vec<usize>>,
+    /// Whether this activation owns the whole substrate (detached by any activation)
+    /// or only its listed workers (coexists with disjoint partitions).
+    exclusive: bool,
+    /// The lease's hot-path flag; true from rendezvous completion to detach start.
+    attached: Arc<AtomicBool>,
     body: Arc<dyn Fn(usize) + Send + Sync>,
     detach: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl Activation {
+    /// The pool-local participant id substrate worker `id` serves this activation
+    /// with, or `None` when the activation does not cover the worker.
+    fn local_id(&self, id: usize) -> Option<usize> {
+        self.workers.iter().position(|&w| w == id).map(|p| p + 1)
+    }
 }
 
 /// State shared with the worker threads.
 struct ExecState {
     /// Bumped once per activation; workers watch it to pick up new bodies.
     generation: u64,
-    /// The client currently holding the workers, if any.
-    active: Option<Activation>,
-    /// Workers currently inside a client body.
-    in_body: usize,
+    /// The clients currently holding workers (at most one exclusive, or any number of
+    /// pairwise-disjoint partitions).
+    actives: Vec<Activation>,
+    /// Per-client count of workers currently inside that client's body.  Entries
+    /// outlive the activation (a detach waits on the count draining to zero after the
+    /// activation is removed), and are dropped when the count reaches zero.
+    in_body: Vec<(u64, usize)>,
     /// Workers spawned so far (ids `1..=spawned`).
     spawned: usize,
     /// Live leases.
@@ -96,6 +132,31 @@ struct ExecState {
     shutdown: bool,
 }
 
+impl ExecState {
+    fn in_body_of(&self, client: u64) -> usize {
+        self.in_body
+            .iter()
+            .find(|(c, _)| *c == client)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    fn enter_body(&mut self, client: u64) {
+        match self.in_body.iter_mut().find(|(c, _)| *c == client) {
+            Some((_, n)) => *n += 1,
+            None => self.in_body.push((client, 1)),
+        }
+    }
+
+    fn exit_body(&mut self, client: u64) {
+        if let Some(pos) = self.in_body.iter().position(|(c, _)| *c == client) {
+            self.in_body[pos].1 -= 1;
+            if self.in_body[pos].1 == 0 {
+                self.in_body.swap_remove(pos);
+            }
+        }
+    }
+}
+
 /// The part of the executor the worker threads reference.  Workers hold only this
 /// (not the [`Executor`] itself), so dropping the last executor handle can join them.
 struct WorkerShared {
@@ -104,7 +165,8 @@ struct WorkerShared {
     state: Mutex<ExecState>,
     /// Workers wait here for a new generation.
     worker_cv: Condvar,
-    /// The driving thread waits here for `in_body` to reach a rendezvous target.
+    /// Activating/detaching threads wait here for per-client `in_body` counts to
+    /// reach a rendezvous target (all entered) or drain (all parked).
     master_cv: Condvar,
 }
 
@@ -112,12 +174,13 @@ struct WorkerShared {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecStats {
     /// Live OS worker threads owned by the substrate (grows on demand, never beyond
-    /// the largest `participants − 1` any client asked for).
+    /// the largest worker id any client asked for).
     pub workers: usize,
     /// Live leases (registered clients).
     pub leases: usize,
-    /// Label of the client currently holding the workers, if any.
-    pub active: Option<String>,
+    /// Labels of the clients currently holding workers — at most one entry for an
+    /// exclusive holder, one entry per active partition otherwise.
+    pub active: Vec<String>,
     /// Lease activations performed so far.
     pub switches: u64,
     /// `pin_map[i]` is the core worker `i + 1` was pinned to at spawn (`None` when the
@@ -126,12 +189,10 @@ pub struct ExecStats {
 }
 
 /// The shared worker substrate: owns up to `P − 1` pinned OS threads and leases them
-/// to loop runtimes.  See the crate docs for the protocol.
+/// to loop runtimes, exclusively or in disjoint partitions.  See the crate docs for
+/// the protocol.
 pub struct Executor {
     shared: Arc<WorkerShared>,
-    /// Fast-path copy of the active client id (0 = none); lets
-    /// [`Lease::is_active`] cost one atomic load on the per-loop hot path.
-    active_client: AtomicU64,
     switches: AtomicU64,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -142,7 +203,13 @@ impl std::fmt::Debug for Executor {
         f.debug_struct("Executor")
             .field("workers", &st.spawned)
             .field("leases", &st.registered)
-            .field("active", &st.active.as_ref().map(|a| a.name.as_str()))
+            .field(
+                "active",
+                &st.actives
+                    .iter()
+                    .map(|a| a.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -157,8 +224,8 @@ impl Executor {
                 pin,
                 state: Mutex::new(ExecState {
                     generation: 0,
-                    active: None,
-                    in_body: 0,
+                    actives: Vec::new(),
+                    in_body: Vec::new(),
                     spawned: 0,
                     registered: 0,
                     next_client: 0,
@@ -167,7 +234,6 @@ impl Executor {
                 worker_cv: Condvar::new(),
                 master_cv: Condvar::new(),
             }),
-            active_client: AtomicU64::new(0),
             switches: AtomicU64::new(0),
             handles: Mutex::new(Vec::new()),
         })
@@ -189,9 +255,48 @@ impl Executor {
         self.shared.pin
     }
 
-    /// Registers a client and returns its lease.  Until the lease is
+    /// The substrate's natural worker capacity, `P − 1` for a `P`-core placement:
+    /// one core is the (or *a*) master's, the rest can each host one worker.  A
+    /// partition allocator (such as `parlo-serve`) must not hand out ids beyond it.
+    pub fn capacity(&self) -> usize {
+        self.shared.topology.num_cores().saturating_sub(1)
+    }
+
+    /// Registers an exclusive client and returns its lease.  Until the lease is
     /// [`activate`](Lease::activate)d, the registration costs nothing.
     pub fn register(self: &Arc<Self>, hooks: ClientHooks) -> Lease {
+        self.register_lease(hooks, None)
+    }
+
+    /// Registers a client over an explicit partition of substrate worker ids and
+    /// returns its lease.  `workers` must be sorted ascending, unique, with every id
+    /// at least 1, and `hooks.participants` must equal `workers.len() + 1` (the
+    /// driving master plus one participant per listed worker) — violations panic, as
+    /// they are allocation bugs, not runtime conditions.  Disjoint partitions may be
+    /// active at the same time, each driven by its own thread; see the crate docs for
+    /// the full contract.
+    pub fn register_partition(self: &Arc<Self>, hooks: ClientHooks, workers: Vec<usize>) -> Lease {
+        assert!(
+            workers.windows(2).all(|w| w[0] < w[1]),
+            "partition worker ids must be sorted and unique: {workers:?}"
+        );
+        assert!(
+            workers.iter().all(|&w| w >= 1),
+            "partition worker ids start at 1 (0 is the client's own master): {workers:?}"
+        );
+        assert_eq!(
+            hooks.participants,
+            workers.len() + 1,
+            "a partition client has one participant per leased worker plus its master"
+        );
+        self.register_lease(hooks, Some(Arc::new(workers)))
+    }
+
+    fn register_lease(
+        self: &Arc<Self>,
+        hooks: ClientHooks,
+        partition: Option<Arc<Vec<usize>>>,
+    ) -> Lease {
         let mut st = self.lock_state();
         st.registered += 1;
         st.next_client += 1;
@@ -201,6 +306,8 @@ impl Executor {
             exec: Arc::clone(self),
             id,
             hooks,
+            partition,
+            attached: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -210,7 +317,7 @@ impl Executor {
         ExecStats {
             workers: st.spawned,
             leases: st.registered,
-            active: st.active.as_ref().map(|a| a.name.clone()),
+            active: st.actives.iter().map(|a| a.name.clone()).collect(),
             switches: self.switches.load(Ordering::Relaxed),
             pin_map: (1..=st.spawned)
                 .map(|id| self.shared.topology.core_for_worker(id, self.shared.pin))
@@ -225,38 +332,52 @@ impl Executor {
             .unwrap_or_else(|poison| poison.into_inner())
     }
 
-    /// Detaches the active client (if any) and waits until every worker has parked
-    /// back in the substrate.  Must be called with the state lock held; returns it.
-    fn detach_active_locked<'a>(
+    fn wait_master<'a>(&self, st: MutexGuard<'a, ExecState>) -> MutexGuard<'a, ExecState> {
+        self.shared
+            .master_cv
+            .wait(st)
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Detaches `client` (if active) and waits until every one of its workers has
+    /// parked back in the substrate.  Must be called with the state lock held;
+    /// returns it.
+    fn detach_client_locked<'a>(
         &self,
         mut st: MutexGuard<'a, ExecState>,
+        client: u64,
     ) -> MutexGuard<'a, ExecState> {
-        if let Some(active) = st.active.take() {
-            self.active_client.store(0, Ordering::Release);
-            // The hook drives the departing client's own synchronization; workers in
-            // the body reach their exit without needing the state lock.
-            (active.detach)();
-            while st.in_body > 0 {
-                st = self
-                    .shared
-                    .master_cv
-                    .wait(st)
-                    .unwrap_or_else(|poison| poison.into_inner());
+        // A concurrent activation of this client may still be mid-rendezvous; let it
+        // complete first, or its late workers would scan an empty `actives` and the
+        // detach hook below would wait for arrivals that never come.
+        loop {
+            let Some(a) = st.actives.iter().find(|a| a.client == client) else {
+                return st;
+            };
+            if st.in_body_of(client) >= a.workers.len() {
+                break;
             }
+            st = self.wait_master(st);
+        }
+        let pos = st
+            .actives
+            .iter()
+            .position(|a| a.client == client)
+            .expect("activation present: checked above under the same lock");
+        let active = st.actives.remove(pos);
+        active.attached.store(false, Ordering::Release);
+        // The hook drives the departing client's own synchronization; workers in
+        // the body reach their exit without needing the state lock.
+        (active.detach)();
+        while st.in_body_of(client) > 0 {
+            st = self.wait_master(st);
         }
         st
     }
 
-    /// Hands the workers to `client`: detaches the current holder, grows capacity if
-    /// needed, publishes the new body and waits for the attach rendezvous.
-    fn switch_to(&self, client: u64, hooks: &ClientHooks) {
-        let mut st = self.lock_state();
-        if st.active.as_ref().map(|a| a.client) == Some(client) {
-            return;
-        }
-        st = self.detach_active_locked(st);
-        let needed = hooks.participants.saturating_sub(1);
-        while st.spawned < needed {
+    /// Spawns substrate workers until ids `1..=upto` exist.
+    fn spawn_to(&self, st: &mut MutexGuard<'_, ExecState>, upto: usize) {
+        while st.spawned < upto {
             let id = st.spawned + 1;
             let shared = Arc::clone(&self.shared);
             let handle = std::thread::Builder::new()
@@ -269,27 +390,77 @@ impl Executor {
                 .push(handle);
             st.spawned += 1;
         }
+    }
+
+    /// Hands workers to `lease`'s client: detaches whatever holds them (everything
+    /// for an exclusive lease, only an exclusive holder for a partition), grows
+    /// capacity if needed, publishes the new body and waits for the attach
+    /// rendezvous.
+    fn switch_to(&self, lease: &Lease) {
+        let mut st = self.lock_state();
+        if let Some(a) = st.actives.iter().find(|a| a.client == lease.id) {
+            // Already active (possibly attached by another thread of the same
+            // tenant): return only once the rendezvous is complete, so the caller
+            // can rely on every participant being inside the body.
+            let need = a.workers.len();
+            while st.in_body_of(lease.id) < need {
+                st = self.wait_master(st);
+            }
+            return;
+        }
+        let (workers, exclusive) = match &lease.partition {
+            None => {
+                // Exclusive: every active client must leave, partitions included.
+                while let Some(a) = st.actives.first() {
+                    let client = a.client;
+                    st = self.detach_client_locked(st, client);
+                }
+                let needed = lease.hooks.participants.saturating_sub(1);
+                (Arc::new((1..=needed).collect::<Vec<_>>()), true)
+            }
+            Some(part) => {
+                // A partition evicts an exclusive holder (it owns every worker,
+                // including ours)...
+                while let Some(a) = st.actives.iter().find(|a| a.exclusive) {
+                    let client = a.client;
+                    st = self.detach_client_locked(st, client);
+                }
+                // ...but overlapping another active partition means two drivers
+                // claimed the same worker: an allocation bug, so panic — loudly and
+                // deterministically, never racily.
+                for a in &st.actives {
+                    if let Some(shared_id) = part.iter().find(|id| a.workers.contains(id)) {
+                        panic!(
+                            "partition lease '{}' overlaps active partition '{}' on \
+                             substrate worker {shared_id}: partitions of one executor \
+                             must be pairwise disjoint",
+                            lease.hooks.name, a.name
+                        );
+                    }
+                }
+                (Arc::clone(part), false)
+            }
+        };
+        self.spawn_to(&mut st, workers.last().copied().unwrap_or(0));
         st.generation += 1;
-        st.active = Some(Activation {
-            client,
-            name: hooks.name.clone(),
-            participants: hooks.participants,
-            body: hooks.body.clone(),
-            detach: hooks.detach.clone(),
+        st.actives.push(Activation {
+            client: lease.id,
+            name: lease.hooks.name.clone(),
+            workers: Arc::clone(&workers),
+            exclusive,
+            attached: Arc::clone(&lease.attached),
+            body: lease.hooks.body.clone(),
+            detach: lease.hooks.detach.clone(),
         });
         self.shared.worker_cv.notify_all();
         // Attach rendezvous: a worker that missed an activation would miss the
         // client's barrier epochs and desynchronize it, so the switch completes only
         // when every participating worker is inside the body.
-        while st.in_body < needed {
-            st = self
-                .shared
-                .master_cv
-                .wait(st)
-                .unwrap_or_else(|poison| poison.into_inner());
+        while st.in_body_of(lease.id) < workers.len() {
+            st = self.wait_master(st);
         }
         self.switches.fetch_add(1, Ordering::Relaxed);
-        self.active_client.store(client, Ordering::Release);
+        lease.attached.store(true, Ordering::Release);
     }
 }
 
@@ -299,7 +470,10 @@ impl Drop for Executor {
             let mut st = self.lock_state();
             // Every lease holds an Arc to the executor, so by the time the last
             // handle drops, all clients are deregistered and detached.
-            debug_assert!(st.active.is_none(), "executor dropped with an active lease");
+            debug_assert!(
+                st.actives.is_empty(),
+                "executor dropped with an active lease"
+            );
             st.shutdown = true;
             self.shared.worker_cv.notify_all();
         }
@@ -322,9 +496,9 @@ fn worker_loop(shared: Arc<WorkerShared>, id: usize) {
     let mut seen: u64 = 0;
     loop {
         // Park until a new generation covers this worker.  Entering a body and
-        // bumping `in_body` happen under the same lock section as reading the
-        // generation, so the switch path's rendezvous counts are never stale.
-        let body = {
+        // bumping the per-client count happen under the same lock section as reading
+        // the generation, so the switch path's rendezvous counts are never stale.
+        let (client, local, body) = {
             let mut st = shared
                 .state
                 .lock()
@@ -335,16 +509,18 @@ fn worker_loop(shared: Arc<WorkerShared>, id: usize) {
                 }
                 if st.generation != seen {
                     seen = st.generation;
-                    let body = match &st.active {
-                        Some(a) if id < a.participants => Some(a.body.clone()),
-                        // This generation does not need this worker: wait for the
-                        // next one.
-                        _ => None,
-                    };
-                    if let Some(body) = body {
-                        st.in_body += 1;
+                    // Scan every active client (not just the newest): with disjoint
+                    // partitions attaching concurrently, the activation that covers
+                    // this worker is not necessarily the one that bumped the
+                    // generation last.
+                    let found = st.actives.iter().find_map(|a| {
+                        a.local_id(id)
+                            .map(|local| (a.client, local, a.body.clone()))
+                    });
+                    if let Some((client, local, body)) = found {
+                        st.enter_body(client);
                         shared.master_cv.notify_all();
-                        break body;
+                        break (client, local, body);
                     }
                     continue;
                 }
@@ -356,20 +532,18 @@ fn worker_loop(shared: Arc<WorkerShared>, id: usize) {
         };
         // A panic inside a scheduling-loop body leaves the client's barrier protocol
         // undrainable (its master is already blocked in a join that the dead worker
-        // will never arrive at) and would leak the `in_body` count, turning every
-        // *other* pool's next lease switch into a silent distributed hang.  Abort
-        // instead: an immediate, attributable crash at the panic site.
+        // will never arrive at) and would leak the body count, turning every *other*
+        // pool's next lease switch into a silent distributed hang.  Abort instead:
+        // an immediate, attributable crash at the panic site.
         let abort_guard = AbortOnUnwind(id);
-        body(id);
+        body(local);
         std::mem::forget(abort_guard);
         let mut st = shared
             .state
             .lock()
             .unwrap_or_else(|poison| poison.into_inner());
-        st.in_body -= 1;
-        if st.in_body == 0 {
-            shared.master_cv.notify_all();
-        }
+        st.exit_body(client);
+        shared.master_cv.notify_all();
     }
 }
 
@@ -394,6 +568,10 @@ pub struct Lease {
     exec: Arc<Executor>,
     id: u64,
     hooks: ClientHooks,
+    /// The substrate worker ids this lease covers (`None` = exclusive: all of them).
+    partition: Option<Arc<Vec<usize>>>,
+    /// The hot-path flag: true while this client holds its workers.
+    attached: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for Lease {
@@ -401,21 +579,28 @@ impl std::fmt::Debug for Lease {
         f.debug_struct("Lease")
             .field("client", &self.hooks.name)
             .field("participants", &self.hooks.participants)
+            .field("partition", &self.partition)
             .field("active", &self.is_active())
             .finish()
     }
 }
 
 impl Lease {
-    /// Whether this client currently holds the workers.  One atomic load — this is
+    /// Whether this client currently holds its workers.  One atomic load — this is
     /// the per-loop hot-path check.
     #[inline]
     pub fn is_active(&self) -> bool {
-        self.exec.active_client.load(Ordering::Acquire) == self.id
+        self.attached.load(Ordering::Acquire)
     }
 
-    /// Makes this client the holder of the workers, detaching the previous holder
-    /// first.  A no-op when the client is already active; clients with at most one
+    /// The substrate worker ids this lease covers, or `None` for an exclusive lease.
+    pub fn partition(&self) -> Option<&[usize]> {
+        self.partition.as_deref().map(|v| v.as_slice())
+    }
+
+    /// Makes this client a holder of workers, detaching whatever holds them first
+    /// (everything for an exclusive lease, only an exclusive holder for a partition
+    /// lease).  A no-op when the client is already active; clients with at most one
     /// participant never need workers and may skip the call entirely.
     ///
     /// The caller (the pool) must reset its own detach flag *before* activating, so
@@ -425,7 +610,7 @@ impl Lease {
         if self.is_active() {
             return;
         }
-        self.exec.switch_to(self.id, &self.hooks);
+        self.exec.switch_to(self);
     }
 
     /// The standard client fast path: returns immediately (one atomic load) when the
@@ -439,7 +624,7 @@ impl Lease {
             return;
         }
         prepare();
-        self.exec.switch_to(self.id, &self.hooks);
+        self.exec.switch_to(self);
     }
 
     /// The substrate this lease draws workers from.
@@ -452,8 +637,8 @@ impl Drop for Lease {
     fn drop(&mut self) {
         let mut st = self.exec.lock_state();
         st.registered -= 1;
-        if st.active.as_ref().map(|a| a.client) == Some(self.id) {
-            let _st = self.exec.detach_active_locked(st);
+        if st.actives.iter().any(|a| a.client == self.id) {
+            let _st = self.exec.detach_client_locked(st, self.id);
         }
     }
 }
@@ -476,22 +661,26 @@ mod tests {
     struct FlagClient {
         detach: Arc<AtomicBool>,
         entered: Arc<AtomicUsize>,
+        ids: Arc<Mutex<Vec<usize>>>,
     }
 
     impl FlagClient {
         fn hooks(name: &str, participants: usize) -> (ClientHooks, FlagClient) {
             let detach = Arc::new(AtomicBool::new(false));
             let entered = Arc::new(AtomicUsize::new(0));
+            let ids = Arc::new(Mutex::new(Vec::new()));
             let client = FlagClient {
                 detach: detach.clone(),
                 entered: entered.clone(),
+                ids: ids.clone(),
             };
             let body_detach = detach.clone();
             let hooks = ClientHooks {
                 name: name.to_string(),
                 participants,
-                body: Arc::new(move |_id| {
+                body: Arc::new(move |id| {
                     entered.fetch_add(1, Ordering::SeqCst);
+                    ids.lock().unwrap().push(id);
                     while !body_detach.load(Ordering::Acquire) {
                         std::thread::yield_now();
                     }
@@ -503,6 +692,7 @@ mod tests {
 
         fn reset(&self) {
             self.detach.store(false, Ordering::Release);
+            self.ids.lock().unwrap().clear();
         }
     }
 
@@ -515,6 +705,7 @@ mod tests {
             0,
             "no threads before first activation"
         );
+        assert_eq!(exec.capacity(), 7);
 
         let (hooks_a, a) = FlagClient::hooks("a", 3);
         let lease_a = exec.register(hooks_a);
@@ -522,7 +713,7 @@ mod tests {
         lease_a.activate();
         assert_eq!(exec.stats().workers, 2);
         assert!(lease_a.is_active());
-        assert_eq!(exec.stats().active.as_deref(), Some("a"));
+        assert_eq!(exec.stats().active, vec!["a".to_string()]);
 
         // A larger client grows the capacity; the first client's workers are reused.
         let (hooks_b, b) = FlagClient::hooks("b", 5);
@@ -549,7 +740,7 @@ mod tests {
             lease.activate();
             // activate() returning means all 3 workers are inside the body (the
             // body-side counter may trail the rendezvous by an instant: the worker
-            // bumps `in_body` under the lock just before running the closure).
+            // bumps the count under the lock just before running the closure).
             let expected = 3 * round as usize;
             while client.entered.load(Ordering::SeqCst) < expected {
                 std::thread::yield_now();
@@ -577,7 +768,7 @@ mod tests {
             assert_eq!(exec.stats().workers, 3);
             drop(lease);
             assert_eq!(exec.stats().leases, 0);
-            assert!(exec.stats().active.is_none(), "lease drop detaches");
+            assert!(exec.stats().active.is_empty(), "lease drop detaches");
         }
         // Executor::drop joins synchronously, so the census is back immediately.
         if let (Some(b), Some(a)) = (before, process_thread_count()) {
@@ -594,5 +785,125 @@ mod tests {
         // A 1-participant client may activate, but needs no workers.
         lease.activate();
         assert_eq!(exec.stats().workers, 0);
+    }
+
+    #[test]
+    fn disjoint_partitions_are_simultaneously_active() {
+        let topo = Topology::flat(8).unwrap();
+        let exec = Executor::new(&topo, PinPolicy::None);
+        let (hooks_a, a) = FlagClient::hooks("part-a", 3);
+        let lease_a = exec.register_partition(hooks_a, vec![1, 2]);
+        let (hooks_b, b) = FlagClient::hooks("part-b", 3);
+        let lease_b = exec.register_partition(hooks_b, vec![3, 4]);
+        a.reset();
+        b.reset();
+        lease_a.activate();
+        lease_b.activate();
+        assert!(
+            lease_a.is_active() && lease_b.is_active(),
+            "disjoint partitions coexist"
+        );
+        let stats = exec.stats();
+        assert_eq!(stats.workers, 4);
+        assert_eq!(
+            stats.active,
+            vec!["part-a".to_string(), "part-b".to_string()]
+        );
+        // Partition bodies receive pool-local participant ids, not substrate ids.
+        while b.entered.load(Ordering::SeqCst) < 2 {
+            std::thread::yield_now();
+        }
+        let mut ids = b.ids.lock().unwrap().clone();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2], "substrate workers 3,4 serve as locals 1,2");
+    }
+
+    #[test]
+    fn overlapping_partitions_panic_deterministically() {
+        let topo = Topology::flat(8).unwrap();
+        let exec = Executor::new(&topo, PinPolicy::None);
+        let (hooks_a, a) = FlagClient::hooks("part-a", 3);
+        let lease_a = exec.register_partition(hooks_a, vec![1, 2]);
+        a.reset();
+        lease_a.activate();
+        let (hooks_b, _b) = FlagClient::hooks("part-b", 2);
+        let lease_b = exec.register_partition(hooks_b, vec![2]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lease_b.activate();
+        }))
+        .expect_err("activating an overlapping partition must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("overlaps"), "panic message: {msg}");
+        // The first partition is untouched by the failed activation.
+        assert!(lease_a.is_active());
+        drop(lease_b);
+        drop(lease_a);
+    }
+
+    #[test]
+    fn exclusive_activation_detaches_partitions_and_vice_versa() {
+        let topo = Topology::flat(8).unwrap();
+        let exec = Executor::new(&topo, PinPolicy::None);
+        let (hooks_a, a) = FlagClient::hooks("part-a", 2);
+        let lease_a = exec.register_partition(hooks_a, vec![1]);
+        let (hooks_x, x) = FlagClient::hooks("excl", 3);
+        let lease_x = exec.register(hooks_x);
+        a.reset();
+        lease_a.activate();
+        x.reset();
+        lease_x.activate();
+        assert!(!lease_a.is_active(), "exclusive evicts partitions");
+        assert!(lease_x.is_active());
+        a.reset();
+        lease_a.activate();
+        assert!(
+            !lease_x.is_active(),
+            "a partition evicts an exclusive holder"
+        );
+        assert!(lease_a.is_active());
+    }
+
+    #[test]
+    fn partitions_activated_from_concurrent_threads() {
+        let topo = Topology::flat(8).unwrap();
+        let exec = Executor::new(&topo, PinPolicy::None);
+        let mut joins = Vec::new();
+        for t in 0..3usize {
+            let exec = Arc::clone(&exec);
+            joins.push(std::thread::spawn(move || {
+                let (hooks, c) = FlagClient::hooks(&format!("t{t}"), 3);
+                let ids = vec![2 * t + 1, 2 * t + 2];
+                let lease = exec.register_partition(hooks, ids);
+                c.reset();
+                for _ in 0..10 {
+                    lease.activate();
+                    assert!(lease.is_active());
+                    std::thread::yield_now();
+                }
+                drop(lease);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let stats = exec.stats();
+        assert!(stats.active.is_empty());
+        assert_eq!(stats.leases, 0);
+        assert!(stats.workers <= 6);
+    }
+
+    #[test]
+    fn register_partition_validates_its_shape() {
+        let topo = Topology::flat(4).unwrap();
+        let exec = Executor::new(&topo, PinPolicy::None);
+        for workers in [vec![2, 1], vec![1, 1], vec![0]] {
+            let exec = Arc::clone(&exec);
+            let workers_clone = workers.clone();
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let (hooks, _c) = FlagClient::hooks("bad", workers_clone.len() + 1);
+                exec.register_partition(hooks, workers_clone)
+            }));
+            assert!(res.is_err(), "malformed partition {workers:?} must panic");
+        }
     }
 }

@@ -159,15 +159,17 @@ impl TeamShared {
 /// the episode numbering aligned across re-attachment.
 fn detach_workers(shared: &TeamShared) {
     assert!(
-        !shared.in_loop.load(Ordering::Relaxed),
-        "OpenMP-like team lease revoked while a region is in flight; all clients of a \
-         shared Executor must be driven from one thread at a time"
+        !shared.in_loop.swap(true, Ordering::Relaxed),
+        "OpenMP-like team lease revoked while a region is in flight; concurrent \
+         drivers of one team must coordinate (see the parlo-exec multi-driver contract)"
     );
     shared.detach.store(true, Ordering::Release);
     let episode = shared.next_episode();
-    // SAFETY: no region is in flight, so no worker reads the job cell concurrently.
+    // SAFETY: no region is in flight (the swap above claimed the team), so no worker
+    // reads the job cell concurrently.
     unsafe { *shared.job.get() = TeamJob::noop() };
     shared.barrier.master_wait(episode, &shared.policy);
+    shared.in_loop.store(false, Ordering::Relaxed);
 }
 
 // SAFETY: the job cell is only written by the master strictly before the fork barrier's
@@ -229,6 +231,27 @@ impl OmpTeam {
     /// Creates a team from an explicit configuration, leasing its workers from the
     /// given substrate.
     pub fn new_on(config: TeamConfig, executor: &Arc<Executor>) -> Self {
+        Self::build(config, executor, None)
+    }
+
+    /// Creates a gang-sized team over an explicit partition of substrate worker ids
+    /// (see `Executor::register_partition` for the partition contract).  The
+    /// configuration's `num_threads` must equal `workers.len() + 1`; the calling
+    /// thread is never re-pinned.
+    pub fn new_on_partition(
+        config: TeamConfig,
+        executor: &Arc<Executor>,
+        workers: &[usize],
+    ) -> Self {
+        assert_eq!(
+            config.num_threads,
+            workers.len() + 1,
+            "a partition team has one thread per leased worker plus its master"
+        );
+        Self::build(config, executor, Some(workers))
+    }
+
+    fn build(config: TeamConfig, executor: &Arc<Executor>, partition: Option<&[usize]>) -> Self {
         let nthreads = config.num_threads.max(1);
         let barrier = if config.centralized_barrier {
             FullBarrier::new_centralized(nthreads)
@@ -253,8 +276,10 @@ impl OmpTeam {
             stats: TeamStats::default(),
             config: config.clone(),
         });
-        if let Some(core) = config.topology.core_for_worker(0, config.pin) {
-            let _ = parlo_affinity::pin_to_core(core);
+        if partition.is_none() {
+            if let Some(core) = config.topology.core_for_worker(0, config.pin) {
+                let _ = parlo_affinity::pin_to_core(core);
+            }
         }
         let body = {
             let shared = shared.clone();
@@ -264,12 +289,16 @@ impl OmpTeam {
             let shared = shared.clone();
             Arc::new(move || detach_workers(&shared))
         };
-        let lease = executor.register(ClientHooks {
+        let hooks = ClientHooks {
             name: "omp-team".to_string(),
             participants: nthreads,
             body,
             detach,
-        });
+        };
+        let lease = match partition {
+            None => executor.register(hooks),
+            Some(workers) => executor.register_partition(hooks, workers.to_vec()),
+        };
         OmpTeam { shared, lease }
     }
 
@@ -317,8 +346,14 @@ impl OmpTeam {
     /// safe to execute concurrently from all participants.
     pub(crate) unsafe fn run_region(&self, job: TeamJob, with_reduction: bool) {
         let shared = &*self.shared;
+        // Claim the team before touching any region state: a racing second driver
+        // panics deterministically on its own swap instead of corrupting episodes.
+        assert!(
+            !shared.in_loop.swap(true, Ordering::Relaxed),
+            "OpenMP-like team driven by two threads at once: a team serves exactly \
+             one master thread (see the parlo-exec multi-driver contract)"
+        );
         self.ensure_workers();
-        shared.in_loop.store(true, Ordering::Relaxed);
         let fork_e = shared.next_episode();
         // Publish the work description, then the full fork barrier (join + release).
         unsafe { *shared.job.get() = job };

@@ -1,0 +1,453 @@
+//! The bounded admission queue and the completion handle.
+//!
+//! One queue is shared by every gang driver of a [`crate::Server`].  It holds one
+//! FIFO per [`LoopSite`] and pops round-robin across the sites, so per-site order is
+//! preserved while no site can starve another.  Both waiting directions — a tenant
+//! waiting for queue room and a tenant waiting on a completion — use the same
+//! bounded-spin → yield → park discipline: short waits stay cheap, long waits cost
+//! no CPU.
+
+use crate::server::LoopKind;
+use parlo_adaptive::LoopSite;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Spin iterations before a waiter starts yielding.
+const SPIN_LIMIT: u32 = 128;
+/// Yield iterations before a waiter parks on the condvar.
+const YIELD_LIMIT: u32 = 160;
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The admission queue is at capacity (only from [`crate::Server::try_submit`];
+    /// the blocking path waits for room instead).
+    QueueFull,
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "serve admission queue is full"),
+            Rejected::ShuttingDown => write!(f, "serve server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Shared completion state of one submitted loop.
+pub(crate) struct Completion {
+    /// Fast-path flag; set (release) strictly after the result slot is written.
+    done: AtomicBool,
+    result: Mutex<Option<f64>>,
+    cv: Condvar,
+}
+
+impl Completion {
+    pub(crate) fn new() -> Arc<Completion> {
+        Arc::new(Completion {
+            done: AtomicBool::new(false),
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Publishes the loop's result and wakes every parked waiter.
+    pub(crate) fn complete(&self, value: f64) {
+        let mut slot = self.result.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(value);
+        drop(slot);
+        self.done.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+/// A tenant's handle on one submitted loop.  Cloneable; any number of threads may
+/// wait on the same handle.
+#[derive(Clone)]
+pub struct JobHandle {
+    inner: Arc<Completion>,
+}
+
+impl JobHandle {
+    pub(crate) fn new(inner: Arc<Completion>) -> JobHandle {
+        JobHandle { inner }
+    }
+
+    /// Whether the loop has completed (one atomic load).
+    pub fn is_done(&self) -> bool {
+        self.inner.done.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the loop completes and returns its result (`0.0` for a plain
+    /// `for` loop, the reduction value for a sum).  Bounded spin, then yields, then
+    /// parks — a waiter behind a long queue costs no CPU.
+    pub fn wait(&self) -> f64 {
+        let mut attempts: u32 = 0;
+        while !self.is_done() {
+            if attempts < SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else if attempts < YIELD_LIMIT {
+                std::thread::yield_now();
+            } else {
+                let mut slot = self.inner.result.lock().unwrap_or_else(|p| p.into_inner());
+                while slot.is_none() {
+                    slot = self.inner.cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+                }
+                break;
+            }
+            attempts += 1;
+        }
+        self.inner
+            .result
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .expect("done implies a published result")
+    }
+}
+
+/// One queued request: the loop to run and where to publish its result.
+pub(crate) struct QueuedJob {
+    pub(crate) kind: LoopKind,
+    pub(crate) done: Arc<Completion>,
+}
+
+struct SiteQueue {
+    site: LoopSite,
+    jobs: VecDeque<QueuedJob>,
+}
+
+struct QueueState {
+    sites: Vec<SiteQueue>,
+    /// Round-robin cursor into `sites` (next site to pop from).
+    rr: usize,
+    /// Total queued jobs across all sites.
+    len: usize,
+    closed: bool,
+}
+
+impl QueueState {
+    /// Pops the head job of the next non-empty site after the cursor, advancing it.
+    fn pop_rr(&mut self) -> Option<QueuedJob> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.sites.len();
+        for k in 0..n {
+            let idx = (self.rr + k) % n;
+            if let Some(job) = self.sites[idx].jobs.pop_front() {
+                self.rr = (idx + 1) % n;
+                self.len -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Pops the next round-robin job only if it is a fusable `for` loop.
+    fn pop_rr_for(&mut self) -> Option<QueuedJob> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.sites.len();
+        for k in 0..n {
+            let idx = (self.rr + k) % n;
+            let head_is_for = self.sites[idx]
+                .jobs
+                .front()
+                .map(|j| matches!(j.kind, LoopKind::For { .. }))
+                .unwrap_or(false);
+            if head_is_for {
+                let job = self.sites[idx].jobs.pop_front().expect("head checked");
+                self.rr = (idx + 1) % n;
+                self.len -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// The bounded multi-site admission queue (see the module docs for the discipline).
+pub(crate) struct ServeQueue {
+    state: Mutex<QueueState>,
+    /// Drivers park here for work.
+    jobs_cv: Condvar,
+    /// Submitters park here for queue room.
+    space_cv: Condvar,
+    capacity: usize,
+}
+
+impl ServeQueue {
+    pub(crate) fn new(capacity: usize) -> Arc<ServeQueue> {
+        Arc::new(ServeQueue {
+            state: Mutex::new(QueueState {
+                sites: Vec::new(),
+                rr: 0,
+                len: 0,
+                closed: false,
+            }),
+            jobs_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn push_locked(&self, st: &mut QueueState, site: LoopSite, job: QueuedJob) {
+        match st.sites.iter_mut().find(|s| s.site == site) {
+            Some(s) => s.jobs.push_back(job),
+            None => st.sites.push(SiteQueue {
+                site,
+                jobs: VecDeque::from([job]),
+            }),
+        }
+        st.len += 1;
+        self.jobs_cv.notify_all();
+    }
+
+    /// Fail-fast admission: rejects when closed or at capacity.
+    pub(crate) fn try_push(&self, site: LoopSite, job: QueuedJob) -> Result<(), Rejected> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(Rejected::ShuttingDown);
+        }
+        if st.len >= self.capacity {
+            return Err(Rejected::QueueFull);
+        }
+        self.push_locked(&mut st, site, job);
+        Ok(())
+    }
+
+    /// Backpressure admission: waits for room (bounded spin → yield → park); fails
+    /// only when the server closes while waiting.
+    pub(crate) fn push_wait(&self, site: LoopSite, job: QueuedJob) -> Result<(), Rejected> {
+        let mut attempts: u32 = 0;
+        let mut st = self.lock();
+        loop {
+            if st.closed {
+                return Err(Rejected::ShuttingDown);
+            }
+            if st.len < self.capacity {
+                self.push_locked(&mut st, site, job);
+                return Ok(());
+            }
+            if attempts < SPIN_LIMIT {
+                drop(st);
+                std::hint::spin_loop();
+            } else if attempts < YIELD_LIMIT {
+                drop(st);
+                std::thread::yield_now();
+            } else {
+                st = self.space_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                continue;
+            }
+            attempts += 1;
+            st = self.lock();
+        }
+    }
+
+    /// A driver's pop: blocks until work is available, then takes up to `batch_max`
+    /// jobs in round-robin site order.  A batch of more than one job contains only
+    /// `for` loops (those are the fusable kind); a reduction always rides alone.
+    /// Returns `None` when `stop` is raised (the caller's detach flag).
+    pub(crate) fn pop_batch(&self, batch_max: usize, stop: &AtomicBool) -> Option<Vec<QueuedJob>> {
+        let mut st = self.lock();
+        let first = loop {
+            if stop.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(job) = st.pop_rr() {
+                break job;
+            }
+            st = self.jobs_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        };
+        let mut batch = vec![first];
+        if matches!(batch[0].kind, LoopKind::For { .. }) {
+            while batch.len() < batch_max.max(1) {
+                match st.pop_rr_for() {
+                    Some(job) => batch.push(job),
+                    None => break,
+                }
+            }
+        }
+        drop(st);
+        self.space_cv.notify_all();
+        Some(batch)
+    }
+
+    /// Closes admission and wakes every parked submitter and driver.
+    pub(crate) fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        drop(st);
+        self.jobs_cv.notify_all();
+        self.space_cv.notify_all();
+    }
+
+    /// Wakes parked drivers so they re-check their detach flags (called from a
+    /// gang's detach hook; may run with the executor's state lock held, so it takes
+    /// only the queue lock — the one place the exec → queue lock order appears).
+    pub(crate) fn wake_drivers(&self) {
+        let st = self.lock();
+        drop(st);
+        self.jobs_cv.notify_all();
+    }
+
+    /// Empties the queue (shutdown path: the server completes the leftovers inline).
+    pub(crate) fn drain(&self) -> Vec<QueuedJob> {
+        let mut st = self.lock();
+        let mut out = Vec::with_capacity(st.len);
+        while let Some(job) = st.pop_rr() {
+            out.push(job);
+        }
+        drop(st);
+        self.space_cv.notify_all();
+        out
+    }
+
+    /// Jobs currently queued (admission snapshot).
+    pub(crate) fn len(&self) -> usize {
+        self.lock().len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::LoopKind;
+    use std::ops::Range;
+
+    fn for_job(range: Range<usize>) -> QueuedJob {
+        QueuedJob {
+            kind: LoopKind::For {
+                range,
+                body: Arc::new(|_| {}),
+            },
+            done: Completion::new(),
+        }
+    }
+
+    fn sum_job(range: Range<usize>) -> QueuedJob {
+        QueuedJob {
+            kind: LoopKind::Sum {
+                range,
+                f: Arc::new(|i| i as f64),
+            },
+            done: Completion::new(),
+        }
+    }
+
+    fn job_len(j: &QueuedJob) -> usize {
+        match &j.kind {
+            LoopKind::For { range, .. } | LoopKind::Sum { range, .. } => range.len(),
+        }
+    }
+
+    #[test]
+    fn pops_round_robin_across_sites() {
+        let q = ServeQueue::new(16);
+        let (a, b) = (LoopSite::new(1), LoopSite::new(2));
+        // Two jobs per site, distinguishable by length: a=10,11  b=20,21.
+        q.try_push(a, for_job(0..10)).unwrap();
+        q.try_push(a, for_job(0..11)).unwrap();
+        q.try_push(b, for_job(0..20)).unwrap();
+        q.try_push(b, for_job(0..21)).unwrap();
+        let stop = AtomicBool::new(false);
+        let order: Vec<usize> = (0..4)
+            .map(|_| job_len(&q.pop_batch(1, &stop).unwrap()[0]))
+            .collect();
+        assert_eq!(
+            order,
+            vec![10, 20, 11, 21],
+            "sites alternate, FIFO within a site"
+        );
+    }
+
+    #[test]
+    fn batches_fuse_consecutive_for_loops_only() {
+        let q = ServeQueue::new(16);
+        let site = LoopSite::new(1);
+        q.try_push(site, for_job(0..5)).unwrap();
+        q.try_push(site, for_job(0..6)).unwrap();
+        q.try_push(site, for_job(0..7)).unwrap();
+        q.try_push(site, sum_job(0..8)).unwrap();
+        q.try_push(site, for_job(0..9)).unwrap();
+        let stop = AtomicBool::new(false);
+        let b1 = q.pop_batch(8, &stop).unwrap();
+        assert_eq!(
+            b1.iter().map(job_len).collect::<Vec<_>>(),
+            vec![5, 6, 7],
+            "fusion stops at the reduction"
+        );
+        let b2 = q.pop_batch(8, &stop).unwrap();
+        assert_eq!(b2.len(), 1, "a reduction rides alone");
+        assert_eq!(job_len(&b2[0]), 8);
+        let b3 = q.pop_batch(8, &stop).unwrap();
+        assert_eq!(job_len(&b3[0]), 9);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn batch_max_caps_fusion() {
+        let q = ServeQueue::new(16);
+        let site = LoopSite::new(1);
+        for _ in 0..5 {
+            q.try_push(site, for_job(0..4)).unwrap();
+        }
+        let stop = AtomicBool::new(false);
+        assert_eq!(q.pop_batch(3, &stop).unwrap().len(), 3);
+        assert_eq!(q.pop_batch(3, &stop).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn admission_control_rejects_at_capacity_and_after_close() {
+        let q = ServeQueue::new(2);
+        let site = LoopSite::new(1);
+        q.try_push(site, for_job(0..1)).unwrap();
+        q.try_push(site, for_job(0..1)).unwrap();
+        assert_eq!(
+            q.try_push(site, for_job(0..1)).unwrap_err(),
+            Rejected::QueueFull
+        );
+        q.close();
+        assert_eq!(
+            q.try_push(site, for_job(0..1)).unwrap_err(),
+            Rejected::ShuttingDown
+        );
+        assert_eq!(
+            q.push_wait(site, for_job(0..1)).unwrap_err(),
+            Rejected::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn pop_batch_returns_none_on_stop() {
+        let q = ServeQueue::new(4);
+        let stop = AtomicBool::new(true);
+        assert!(q.pop_batch(4, &stop).is_none());
+    }
+
+    #[test]
+    fn parked_submitter_wakes_when_room_appears() {
+        let q = ServeQueue::new(1);
+        let site = LoopSite::new(1);
+        q.try_push(site, for_job(0..1)).unwrap();
+        let q2 = Arc::clone(&q);
+        let submitter = std::thread::spawn(move || q2.push_wait(site, for_job(0..2)));
+        // Give the submitter time to reach the parked phase, then free a slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let stop = AtomicBool::new(false);
+        let popped = q.pop_batch(1, &stop).unwrap();
+        assert_eq!(job_len(&popped[0]), 1);
+        submitter.join().unwrap().unwrap();
+        assert_eq!(q.len(), 1);
+    }
+}

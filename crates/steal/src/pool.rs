@@ -289,16 +289,18 @@ impl StealShared {
 /// the epoch accounting stays aligned across re-attachment.
 fn detach_workers(shared: &StealShared) {
     assert!(
-        !shared.in_loop.load(Ordering::Relaxed),
-        "steal pool lease revoked while a loop is in flight; all clients of a shared \
-         Executor must be driven from one thread at a time"
+        !shared.in_loop.swap(true, Ordering::Relaxed),
+        "steal pool lease revoked while a loop is in flight; concurrent drivers of one \
+         pool must coordinate (see the parlo-exec multi-driver contract)"
     );
     shared.detach.store(true, Ordering::Release);
     let epoch = shared.next_epoch();
-    // SAFETY: no loop is in flight, so no worker reads the job cell concurrently.
+    // SAFETY: no loop is in flight (we hold the `in_loop` claim), so no worker reads
+    // the job cell concurrently.
     unsafe { *shared.job.get() = StealJob::noop() };
     shared.sync.release(epoch);
     shared.sync.join(epoch, &shared.policy, |_| {});
+    shared.in_loop.store(false, Ordering::Relaxed);
 }
 
 // SAFETY: the job cell is written only by the master, strictly before the half-barrier
@@ -330,14 +332,35 @@ impl std::fmt::Debug for StealPool {
 }
 
 /// xorshift64* step for the unperturbed victim rotation.
+///
+/// Zero is the fixed point of every xorshift map: a state of 0 stays 0 forever,
+/// which would pin the victim rotation to deque 0 for the rest of the process.
+/// The guard reseeds a dead state with the golden-ratio constant, so the rotation
+/// recovers in one step no matter what the caller fed in.
 #[inline]
 fn xorshift(state: &mut u64) -> u64 {
     let mut x = *state;
+    if x == 0 {
+        x = 0x9E37_79B9_7F4A_7C15;
+    }
     x ^= x << 13;
     x ^= x >> 7;
     x ^= x << 17;
     *state = x;
     x
+}
+
+/// A guaranteed-nonzero xorshift seed for participant `id`.  The id mix alone can
+/// produce 0 for exactly one (pathological) id, which would strand that worker on
+/// the xorshift fixed point; route every seed through here instead.
+#[inline]
+fn victim_seed(id: usize) -> u64 {
+    let seed = 0x9E37_79B9_7F4A_7C15u64 ^ (id as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    if seed == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        seed
+    }
 }
 
 impl StealPool {
@@ -374,6 +397,27 @@ impl StealPool {
     /// Creates a pool from an explicit configuration, leasing its workers from the
     /// given substrate.
     pub fn new_on(config: StealConfig, executor: &Arc<Executor>) -> Self {
+        Self::build(config, executor, None)
+    }
+
+    /// Creates a gang-sized pool over an explicit partition of substrate worker ids
+    /// (see `Executor::register_partition` for the partition contract).  The
+    /// configuration's `num_threads` must equal `workers.len() + 1`; the calling
+    /// thread is never re-pinned.
+    pub fn new_on_partition(
+        config: StealConfig,
+        executor: &Arc<Executor>,
+        workers: &[usize],
+    ) -> Self {
+        assert_eq!(
+            config.num_threads,
+            workers.len() + 1,
+            "a partition pool has one thread per leased worker plus its master"
+        );
+        Self::build(config, executor, Some(workers))
+    }
+
+    fn build(config: StealConfig, executor: &Arc<Executor>, partition: Option<&[usize]>) -> Self {
         let nthreads = config.num_threads.max(1);
         let fanin = config.topology.suggested_arrival_fanin();
         let sync = if config.hierarchical {
@@ -397,8 +441,10 @@ impl StealPool {
             perturb: config.perturb.clone(),
             config: config.clone(),
         });
-        if let Some(core) = config.topology.core_for_worker(0, config.pin) {
-            let _ = parlo_affinity::pin_to_core(core);
+        if partition.is_none() {
+            if let Some(core) = config.topology.core_for_worker(0, config.pin) {
+                let _ = parlo_affinity::pin_to_core(core);
+            }
         }
         let body = {
             let shared = shared.clone();
@@ -408,12 +454,16 @@ impl StealPool {
             let shared = shared.clone();
             Arc::new(move || detach_workers(&shared))
         };
-        let lease = executor.register(ClientHooks {
+        let hooks = ClientHooks {
             name: "steal".to_string(),
             participants: nthreads,
             body,
             detach,
-        });
+        };
+        let lease = match partition {
+            None => executor.register(hooks),
+            Some(workers) => executor.register_partition(hooks, workers.to_vec()),
+        };
         StealPool {
             shared,
             lease,
@@ -473,8 +523,14 @@ impl StealPool {
     /// entry points must be safe to call concurrently from all participants.
     unsafe fn run_job(&self, job: StealJob) {
         let shared = &*self.shared;
+        // Claim the pool before touching any loop state: a racing second driver
+        // panics deterministically on its own swap instead of corrupting the epoch.
+        assert!(
+            !shared.in_loop.swap(true, Ordering::Relaxed),
+            "steal pool driven by two threads at once: a pool serves exactly one \
+             master thread (see the parlo-exec multi-driver contract)"
+        );
         self.ensure_workers();
-        shared.in_loop.store(true, Ordering::Relaxed);
         let epoch = shared.next_epoch();
         let has_combine = job.combine.is_some();
         shared.stats.barrier_phases.fetch_add(2, Ordering::Relaxed);
@@ -595,7 +651,7 @@ fn execute_chunk(shared: &StealShared, id: usize, job: &StealJob, c: ChunkRange)
 /// detach, and answers the detach cycle by arriving at its join phase (keeping the
 /// epoch accounting aligned) before parking back in the substrate.
 fn worker_body(shared: &StealShared, id: usize) {
-    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (id as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut rng: u64 = victim_seed(id);
     let mut epoch: Epoch = shared.worker_epochs[id].load(Ordering::Relaxed);
     loop {
         epoch += 1;
@@ -783,6 +839,47 @@ mod tests {
     use crate::chunk::total_chunks;
     use crate::perturb::SeededPerturbation;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn xorshift_escapes_the_zero_fixed_point() {
+        // Regression: xorshift64 maps 0 to 0 forever; a zero state must recover
+        // (and keep producing distinct values) instead of pinning the victim
+        // rotation to deque 0.
+        let mut state = 0u64;
+        let first = xorshift(&mut state);
+        assert_ne!(first, 0);
+        assert_ne!(state, 0);
+        let second = xorshift(&mut state);
+        assert_ne!(second, 0);
+        assert_ne!(second, first);
+    }
+
+    #[test]
+    fn victim_seed_is_nonzero_for_every_id() {
+        // The one id whose mix would cancel the golden constant must still get a
+        // nonzero seed; spot-check it along with ordinary ids.
+        let inv = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(inverse_of_mix());
+        assert_eq!(victim_seed(inv as usize), 0x9E37_79B9_7F4A_7C15);
+        for id in 0..64 {
+            assert_ne!(
+                victim_seed(id),
+                0,
+                "id {id} seeded the xorshift fixed point"
+            );
+        }
+    }
+
+    /// Multiplicative inverse of the seed-mix constant mod 2^64 (it is odd, so one
+    /// exists); used to construct the pathological id in the seed test.
+    fn inverse_of_mix() -> u64 {
+        let m = 0xA076_1D64_78BD_642Fu64;
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(inv)));
+        }
+        assert_eq!(m.wrapping_mul(inv), 1);
+        inv
+    }
 
     #[test]
     fn pool_creation_and_teardown() {

@@ -1,0 +1,69 @@
+//! Multi-tenant serving quick start: one [`Server`] leases disjoint worker gangs
+//! from a shared substrate and serves queued parallel loops from several tenant
+//! threads at once — no tenant ever drives another tenant's workers.
+//!
+//! ```sh
+//! cargo run --example serve_quickstart
+//! ```
+
+use parlo::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2);
+    // Worker budget P − 1 (one core stays the tenants'), cut into gangs of 2:
+    // each gang is one driver worker plus a fine-grain pool over the rest.
+    let server = Arc::new(Server::new(
+        ServeConfig::default()
+            .with_workers(threads.saturating_sub(1))
+            .with_gang(GangSizing::Fixed(2)),
+    ));
+    let stats = server.stats();
+    println!(
+        "serving with {} gang(s) of {} worker(s)",
+        stats.gangs, stats.gang_size
+    );
+
+    // A single request first: submit returns a handle; wait parks until done.
+    let site = LoopSite::new(0);
+    let handle = server
+        .submit(LoopRequest::sum(site, 0..1_000_000, |i| i as f64))
+        .expect("server accepts while alive");
+    let sum = handle.wait();
+    println!("sum = {sum:.0}");
+    assert_eq!(sum, 499_999_500_000.0);
+
+    // Two tenants now, each from its own thread and loop site.  Queued micro-loops
+    // of one site batch through a single half-barrier cycle when a backlog forms.
+    let tenants: Vec<_> = (1..=2u64)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let site = LoopSite::new(t);
+                let handles: Vec<_> = (0..50)
+                    .map(|k| {
+                        server
+                            .submit(LoopRequest::sum(site, 0..1000 + k, |i| i as f64))
+                            .expect("server accepts while alive")
+                    })
+                    .collect();
+                for (k, h) in handles.iter().enumerate() {
+                    let expected: f64 = (0..1000 + k).map(|i| i as f64).sum();
+                    assert_eq!(h.wait(), expected, "tenant {t} request {k}");
+                }
+            })
+        })
+        .collect();
+    for tenant in tenants {
+        tenant.join().expect("tenant thread");
+    }
+
+    let stats = server.stats();
+    println!(
+        "served {} requests in {} batches ({} fused), {} rejected",
+        stats.completed, stats.batches, stats.fused, stats.rejected
+    );
+    println!("serve quickstart done");
+}

@@ -3,7 +3,8 @@
 //! This meta-crate re-exports the whole workspace: the fine-grain half-barrier
 //! scheduler ([`core`]), the OpenMP-like and Cilk-like baseline runtimes ([`omp`],
 //! [`cilk`]), the work-stealing chunk runtime ([`steal`]), the online
-//! scheduler-selection runtime ([`adaptive`]), the barrier, affinity and shared-worker
+//! scheduler-selection runtime ([`adaptive`]), the multi-tenant loop server
+//! ([`serve`]), the barrier, affinity and shared-worker
 //! substrates ([`barrier`], [`affinity`], [`exec`]), the evaluation workloads
 //! ([`workloads`]), the
 //! measurement utilities ([`analysis`]) and the many-core cost-model simulator
@@ -31,6 +32,7 @@ pub use parlo_cilk as cilk;
 pub use parlo_core as core;
 pub use parlo_exec as exec;
 pub use parlo_omp as omp;
+pub use parlo_serve as serve;
 pub use parlo_sim as sim;
 pub use parlo_steal as steal;
 pub use parlo_workloads as workloads;
@@ -44,6 +46,7 @@ pub mod prelude {
     pub use parlo_core::{BarrierKind, Config, FineGrainPool, LoopRuntime, Sequential, SyncStats};
     pub use parlo_exec::{ExecStats, Executor};
     pub use parlo_omp::{OmpTeam, Schedule, ScheduledTeam};
+    pub use parlo_serve::{GangSizing, LoopRequest, ServeConfig, Server};
     pub use parlo_steal::{
         SchedulePerturbation, SeededPerturbation, StealConfig, StealPool, StealStats,
     };

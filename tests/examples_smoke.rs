@@ -104,3 +104,30 @@ fn steal_quickstart_example_runs() {
         "steal_quickstart did not complete:\n{stdout}"
     );
 }
+
+#[test]
+fn serve_quickstart_example_runs() {
+    let output = cargo()
+        .args(["run", "--quiet", "--example", "serve_quickstart"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "serve_quickstart exited with {:?}:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("sum = 499999500000"),
+        "serve_quickstart output missing the served reduction sum:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("served 101 requests"),
+        "serve_quickstart output missing the ServeStats line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("serve quickstart done"),
+        "serve_quickstart did not complete:\n{stdout}"
+    );
+}
