@@ -104,19 +104,21 @@ pub struct Decision {
     pub calibrated_n: usize,
 }
 
-/// Counters describing the adaptive runtime's own activity (probing vs routing).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct AdaptiveStats {
-    /// Distinct loop sites seen.
-    pub sites: u64,
-    /// Sequential calibration runs performed.
-    pub seq_probes: u64,
-    /// Parallel backend probes performed.
-    pub probes: u64,
-    /// Loop executions routed by a fitted decision.
-    pub routed_loops: u64,
-    /// Re-calibrations triggered by the re-probe interval.
-    pub reprobes: u64,
+parlo_core::stats_family! {
+    /// Counters describing the adaptive runtime's own activity (probing vs routing).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct AdaptiveStats: "adaptive" {
+        /// Distinct loop sites seen.
+        pub sites: u64,
+        /// Sequential calibration runs performed.
+        pub seq_probes: u64,
+        /// Parallel backend probes performed.
+        pub probes: u64,
+        /// Loop executions routed by a fitted decision.
+        pub routed_loops: u64,
+        /// Re-calibrations triggered by the re-probe interval.
+        pub reprobes: u64,
+    }
 }
 
 /// Calibration progress of one site.
@@ -201,6 +203,12 @@ impl Action {
             Action::Probe(b) | Action::Routed(b) => b,
         }
     }
+}
+
+/// Stable numeric code of a backend on the trace timeline: its position in
+/// [`Backend::ALL`].
+fn backend_trace_code(b: Backend) -> u64 {
+    Backend::ALL.iter().position(|x| *x == b).unwrap_or(0) as u64
 }
 
 /// The online scheduler-selection runtime (see the crate docs for the algorithm).
@@ -436,6 +444,11 @@ impl AdaptivePool {
         match action {
             Action::Routed(backend) => {
                 self.stats.routed_loops += 1;
+                parlo_trace::instant(
+                    parlo_trace::Phase::Route,
+                    site.0,
+                    backend_trace_code(backend),
+                );
                 let observed = self.timer.observe(backend, site, n, wall).max(1e-12);
                 let reprobe_interval = self.reprobe_interval;
                 let threads = self.threads.max(1);
@@ -480,6 +493,7 @@ impl AdaptivePool {
                 {
                     state.start_recalibration();
                     self.stats.reprobes += 1;
+                    parlo_trace::instant(parlo_trace::Phase::Reprobe, site.0, 0);
                 }
             }
             Action::Probe(Backend::Sequential) => {
@@ -488,6 +502,11 @@ impl AdaptivePool {
                     .observe(Backend::Sequential, site, n, wall)
                     .max(1e-12);
                 self.stats.seq_probes += 1;
+                parlo_trace::instant(
+                    parlo_trace::Phase::Probe,
+                    site.0,
+                    backend_trace_code(Backend::Sequential),
+                );
                 let state = self.sites.get_mut(&site).expect("site exists");
                 state.seq_secs = secs;
                 state.seq_n = n;
@@ -499,6 +518,11 @@ impl AdaptivePool {
             Action::Probe(backend) => {
                 let secs = self.timer.observe(backend, site, n, wall).max(1e-12);
                 self.stats.probes += 1;
+                parlo_trace::instant(
+                    parlo_trace::Phase::Probe,
+                    site.0,
+                    backend_trace_code(backend),
+                );
                 let threads = self.threads;
                 let max_measurements = self.max_measurements;
                 let probes_per_backend = self.probes_per_backend;

@@ -144,6 +144,7 @@ impl HalfBarrier {
     /// to workers that observe the epoch.
     #[inline]
     pub fn release(&self, epoch: Epoch) {
+        parlo_trace::instant(parlo_trace::Phase::Release, epoch, 0);
         match &self.flavor {
             Flavor::Centralized { release, .. } => release.signal(epoch),
             Flavor::Tree { release, .. } => release.signal_root(epoch),
@@ -157,6 +158,7 @@ impl HalfBarrier {
     /// centralized flavor: every worker, after all have arrived).
     #[inline]
     pub fn join<F: FnMut(usize)>(&self, epoch: Epoch, policy: &WaitPolicy, mut on_child: F) {
+        parlo_trace::span_begin(parlo_trace::Phase::Join, epoch, 0);
         match &self.flavor {
             Flavor::Centralized { join, .. } => {
                 join.wait_all(epoch, policy);
@@ -167,6 +169,7 @@ impl HalfBarrier {
             Flavor::Tree { join, .. } => join.arrive_and_combine(0, epoch, policy, on_child),
             Flavor::Hierarchical(h) => h.join(epoch, policy, on_child),
         }
+        parlo_trace::span_end(parlo_trace::Phase::Join);
     }
 
     /// Master: non-blocking probe of the join phase.
@@ -186,11 +189,13 @@ impl HalfBarrier {
     #[inline]
     pub fn wait_release(&self, id: usize, epoch: Epoch, policy: &WaitPolicy) {
         debug_assert!(id > 0 && id < self.nthreads);
+        parlo_trace::span_begin(parlo_trace::Phase::Dispatch, epoch, id as u64);
         match &self.flavor {
             Flavor::Centralized { release, .. } => release.wait(epoch, policy),
             Flavor::Tree { release, .. } => release.wait_and_forward(id, epoch, policy),
             Flavor::Hierarchical(h) => h.wait_release(id, epoch, policy),
         }
+        parlo_trace::span_end(parlo_trace::Phase::Dispatch);
     }
 
     /// Worker `id`: non-blocking release probe, used by the hybrid scheduler which
@@ -226,6 +231,7 @@ impl HalfBarrier {
         on_child: F,
     ) {
         debug_assert!(id > 0 && id < self.nthreads);
+        parlo_trace::span_begin(parlo_trace::Phase::Arrival, epoch, id as u64);
         match &self.flavor {
             Flavor::Centralized { join, .. } => {
                 let _ = on_child;
@@ -234,6 +240,7 @@ impl HalfBarrier {
             Flavor::Tree { join, .. } => join.arrive_and_combine(id, epoch, policy, on_child),
             Flavor::Hierarchical(h) => h.arrive(id, epoch, policy, on_child),
         }
+        parlo_trace::span_end(parlo_trace::Phase::Arrival);
     }
 }
 

@@ -1,0 +1,73 @@
+//! Criterion bench of the trace-emission hot path: the cost of one recorded event
+//! (instant, span begin+end pair, counter) with tracing armed, the cost of the same
+//! call with tracing compiled in but runtime-disabled (one relaxed flag load), and
+//! an instrumented fine-grain loop cycle against the trace-off baseline of
+//! `barrier_cycle` in `barriers.rs`.  This is the number behind the overhead-guard
+//! test in `tests/trace_battery.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parlo_bench::bench_threads as threads;
+use parlo_core::FineGrainPool;
+use parlo_trace::Phase;
+use std::time::Duration;
+
+fn bench_trace_emission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_emit");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+
+    parlo_trace::enable();
+    parlo_trace::set_thread_label("bench-trace-emit");
+    group.bench_function("instant/enabled", |b| {
+        b.iter(|| parlo_trace::instant(Phase::StealSweep, criterion::black_box(1), 2))
+    });
+    group.bench_function("span_pair/enabled", |b| {
+        b.iter(|| {
+            parlo_trace::span_begin(Phase::Loop, criterion::black_box(1), 2);
+            parlo_trace::span_end(Phase::Loop);
+        })
+    });
+    group.bench_function("counter/enabled", |b| {
+        b.iter(|| parlo_trace::counter(Phase::QueueDepth, criterion::black_box(3)))
+    });
+
+    parlo_trace::disable();
+    // With the flag down the call is one relaxed load and a branch (or, without the
+    // `trace` feature, nothing at all).
+    group.bench_function("instant/disabled", |b| {
+        b.iter(|| parlo_trace::instant(Phase::StealSweep, criterion::black_box(1), 2))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("trace_loop_cycle");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    // One empty fork/join cycle with tracing armed vs disarmed: the gap is the
+    // whole-cycle cost of the hooks (a handful of events per cycle).
+    let mut pool = FineGrainPool::with_threads(threads());
+    parlo_trace::enable();
+    group.bench_function("broadcast/traced", |b| {
+        b.iter(|| {
+            pool.broadcast(|info| {
+                criterion::black_box(info.id);
+            })
+        })
+    });
+    parlo_trace::disable();
+    group.bench_function("broadcast/untraced", |b| {
+        b.iter(|| {
+            pool.broadcast(|info| {
+                criterion::black_box(info.id);
+            })
+        })
+    });
+    group.finish();
+    parlo_trace::clear();
+}
+
+criterion_group!(benches, bench_trace_emission);
+criterion_main!(benches);

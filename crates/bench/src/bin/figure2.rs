@@ -7,11 +7,14 @@
 //! cost model on the 48-core paper machine.
 //!
 //! Flags: `--steps N` (time steps per measurement, default 20), `--max-threads N`,
-//! `--quick`, `--csv`, `--simulate` (simulation only), `--topology detect|paper|SxC`,
+//! `--quick`, `--csv`, `--simulate` (simulation only), `--trace <path>` (Chrome
+//! trace-event timeline), `--topology detect|paper|SxC`,
 //! `--pin compact|scatter|none`, `--flat-sync` (worker placement).
 
 use parlo_analysis::{series_to_csv, series_to_text, Series};
-use parlo_bench::{arg_value, has_flag, native_thread_sweep, placement_args, time_secs};
+use parlo_bench::{
+    arg_value, has_flag, native_thread_sweep, placement_args, time_secs, trace_finish, trace_setup,
+};
 use parlo_core::{FineGrainPool, Sequential};
 use parlo_exec::Executor;
 use parlo_omp::ScheduledTeam;
@@ -81,6 +84,7 @@ fn print_series(title: &str, series: &[&Series], csv: bool) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = trace_setup(&args);
     let csv = has_flag(&args, "--csv");
     let steps =
         arg_value(&args, "--steps").unwrap_or(if has_flag(&args, "--quick") { 5 } else { 20 });
@@ -115,6 +119,7 @@ fn main() {
         &[&ratio_s],
         csv,
     );
+    trace_finish(trace);
     println!(
         "paper reference: OpenMP speedup stagnates with increasing threads; the fine-grain \
          scheduler improves MPDATA by up to 22% over OpenMP at 48 threads."

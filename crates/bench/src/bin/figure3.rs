@@ -9,11 +9,14 @@
 //! hardware parallelism; the simulated 48-core series are printed as well.
 //!
 //! Flags: `--points N` (default 2,000,000 native; 25,000,000 simulated), `--max-threads N`,
-//! `--quick`, `--csv`, `--simulate` (simulation only), `--topology detect|paper|SxC`,
+//! `--quick`, `--csv`, `--simulate` (simulation only), `--trace <path>` (Chrome
+//! trace-event timeline), `--topology detect|paper|SxC`,
 //! `--pin compact|scatter|none`, `--flat-sync` (worker placement).
 
 use parlo_analysis::{series_to_csv, series_to_text, Series};
-use parlo_bench::{arg_value, has_flag, native_thread_sweep, placement_args, time_secs};
+use parlo_bench::{
+    arg_value, has_flag, native_thread_sweep, placement_args, time_secs, trace_finish, trace_setup,
+};
 use parlo_sim::SimMachine;
 use parlo_workloads::phoenix::linear_regression as linreg;
 use parlo_workloads::PlacementConfig;
@@ -132,6 +135,7 @@ fn print_series(title: &str, series: &[&Series], csv: bool) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = trace_setup(&args);
     let csv = has_flag(&args, "--csv");
 
     if !has_flag(&args, "--simulate") {
@@ -170,6 +174,7 @@ fn main() {
         &[&omp_s, &omp_d, &fine_b],
         csv,
     );
+    trace_finish(trace);
     println!(
         "paper reference: the fine-grain scheduler achieves higher parallel efficiency than \
          baseline Cilk and OpenMP, with a best-case speedup of 2.8x."

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! irregular [--threads N] [--reps N] [--n ITERS] [--units U] [--csv] [--json <path>]
-//!           [--topology detect|paper|SxC] [--pin compact|scatter|none] [--flat-sync]
+//!           [--trace <path>] [--topology detect|paper|SxC]
+//!           [--pin compact|scatter|none] [--flat-sync]
 //! ```
 //!
 //! The JSON report carries one `SweepRow` per (scheduler, workload) with the
@@ -16,8 +17,8 @@
 use parlo_analysis::Table;
 use parlo_bench::{
     arg_value, has_flag, json_path_arg, measure_roster_entry, parallel_time_of, placement_args,
-    sequential_time_of, sweep_roster, threads_arg, write_json_report, BenchReport, RosterContext,
-    SweepRow, WorkloadKind,
+    sequential_time_of, sweep_roster, threads_arg, trace_finish, trace_setup, write_json_report,
+    BenchReport, RosterContext, SweepRow, WorkloadKind,
 };
 use parlo_workloads::microbench::SweepPoint;
 use parlo_workloads::LoopRuntime;
@@ -58,6 +59,7 @@ fn measure(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let _ = json_path_arg(&args);
+    let trace = trace_setup(&args);
     let threads = threads_arg(&args);
     let placement = placement_args(&args);
     let reps = arg_value(&args, "--reps").unwrap_or(5);
@@ -101,4 +103,5 @@ fn main() {
         eprintln!("irregular: wrote JSON report to {path}");
     }
     eprintln!("irregular: {}", ctx.exec_summary());
+    trace_finish(trace);
 }

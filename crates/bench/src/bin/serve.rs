@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! serve [--threads N] [--gang G] [--requests R] [--iters I] [--batch B]
-//!       [--simulate] [--json out.json] [--csv]
+//!       [--simulate] [--json out.json] [--trace out-trace.json] [--csv]
 //! ```
 //!
 //! * `--threads N` — worker budget (default `PARLO_THREADS`, then hardware);
@@ -26,7 +26,10 @@
 //! throughput of `gangs · B / c` loops per second; queue latency percentiles follow
 //! from the open-loop backlog draining at that rate.
 
-use parlo_bench::{arg_value, has_flag, json_path_arg, write_json_report, BenchReport, ServeRow};
+use parlo_bench::{
+    arg_value, has_flag, json_path_arg, trace_finish, trace_setup, write_json_report, BenchReport,
+    ServeRow,
+};
 use parlo_serve::{GangSizing, LoopRequest, LoopSite, ServeConfig, Server};
 use parlo_sim::SimMachine;
 use std::time::Instant;
@@ -131,6 +134,7 @@ fn measure_row(server: &Server, iters: usize, requests: usize) -> ServeRow {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = trace_setup(&args);
     let threads = parlo_bench::threads_arg(&args).saturating_sub(1).max(1);
     let gang = arg_value(&args, "--gang").unwrap_or(2);
     let max_requests = arg_value(&args, "--requests").unwrap_or(1000).max(1);
@@ -181,4 +185,5 @@ fn main() {
         write_json_report(path, &report).expect("write json report");
         println!("# wrote {path}");
     }
+    trace_finish(trace);
 }

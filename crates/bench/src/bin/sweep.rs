@@ -6,13 +6,14 @@
 //! only — `adaptive` selects the online scheduler-selection runtime), `--workload
 //! micro|skewed|triangular` (loop body: uniform micro-benchmark or one of the
 //! irregular kernels), `--json <path>` (machine-readable report of the measured
-//! points, including the stealing runtime's `StealStats`), `--topology
-//! detect|paper|SxC`, `--pin compact|scatter|none`, `--flat-sync` (worker placement).
+//! points, including the stealing runtime's `StealStats`), `--trace <path>` (Chrome
+//! trace-event timeline), `--topology detect|paper|SxC`,
+//! `--pin compact|scatter|none`, `--flat-sync` (worker placement).
 
 use parlo_bench::{
     arg_str, arg_value, has_flag, json_path_arg, measure_roster_entry, parallel_time_of,
-    placement_args, sequential_time_of, sweep_roster, threads_arg, workload_arg, write_json_report,
-    BenchReport, RosterContext, SweepRow, DEFAULT_REPS,
+    placement_args, sequential_time_of, sweep_roster, threads_arg, trace_finish, trace_setup,
+    workload_arg, write_json_report, BenchReport, RosterContext, SweepRow, DEFAULT_REPS,
 };
 use parlo_workloads::microbench::SweepPoint;
 use parlo_workloads::{microbench, LoopRuntime};
@@ -51,6 +52,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Validate --json before any measurement runs (fail fast on a malformed flag).
     let _ = json_path_arg(&args);
+    let trace = trace_setup(&args);
     let threads = threads_arg(&args);
     let placement = placement_args(&args);
     let kind = workload_arg(&args);
@@ -91,4 +93,5 @@ fn main() {
         eprintln!("sweep: wrote JSON report to {path}");
     }
     eprintln!("sweep: {}", ctx.exec_summary());
+    trace_finish(trace);
 }

@@ -11,6 +11,8 @@
 //! Other flags: `--threads N` (native thread count, default = `PARLO_THREADS` or the
 //! hardware parallelism), `--reps N`, `--quick` (reduced sweep), `--csv`,
 //! `--json <path>` (machine-readable report of the fitted burdens),
+//! `--trace <path>` (Chrome trace-event timeline of the whole run, one track per
+//! worker; load it in Perfetto or `chrome://tracing`),
 //! `--workload micro|skewed|triangular` (native loop body: the uniform
 //! micro-benchmark or one of the irregular kernels, whose straggler time inflates a
 //! static schedule's *effective* burden), `--topology detect|paper|SxC`,
@@ -20,8 +22,8 @@
 use parlo_analysis::Table;
 use parlo_bench::{
     arg_value, fixed_roster, hardware_threads, has_flag, json_path_arg, measure_burden_of,
-    placement_args, threads_arg, workload_arg, write_json_report, BenchReport, BurdenRow,
-    RosterContext, DEFAULT_REPS,
+    placement_args, threads_arg, trace_finish, trace_setup, workload_arg, write_json_report,
+    BenchReport, BurdenRow, RosterContext, DEFAULT_REPS,
 };
 use parlo_sim::SimMachine;
 use parlo_workloads::microbench;
@@ -127,6 +129,7 @@ fn main() {
     // Validate --json before any measurement runs: a malformed flag must fail fast,
     // not after minutes of native sweeping.
     let _ = json_path_arg(&args);
+    let trace = trace_setup(&args);
     if has_flag(&args, "--simulate") {
         simulate(&args, true);
     } else {
@@ -136,4 +139,5 @@ fn main() {
             simulate(&args, false);
         }
     }
+    trace_finish(trace);
 }

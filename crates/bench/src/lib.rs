@@ -220,6 +220,50 @@ pub fn json_path_arg(args: &[String]) -> Option<&str> {
     }
 }
 
+/// The value of `--trace <path>`, if the flag is present.  Like `--json`, a
+/// `--trace` flag without a usable path is a hard error: asking for a trace and
+/// silently not getting one would waste the whole instrumented run.
+pub fn trace_path_arg(args: &[String]) -> Option<&str> {
+    if !has_flag(args, "--trace") {
+        return None;
+    }
+    match arg_str(args, "--trace") {
+        Some(path) if !path.starts_with("--") => Some(path),
+        _ => {
+            eprintln!("error: --trace requires a file path argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Arms event tracing if `--trace <path>` was given and returns the output path.
+/// Call once at the top of a bench `main`, before any pool is built, so worker
+/// registration and the first loops are captured.  In a build without the `trace`
+/// feature the flag still parses but the run warns that the trace will be empty.
+pub fn trace_setup(args: &[String]) -> Option<&str> {
+    let path = trace_path_arg(args)?;
+    if !parlo_trace::COMPILED {
+        eprintln!(
+            "warning: --trace given but this binary was built without the `trace` \
+             feature; {path} will contain no events"
+        );
+    }
+    parlo_trace::enable();
+    Some(path)
+}
+
+/// Writes the collected trace as Chrome trace-event JSON to `path` (the value
+/// returned by [`trace_setup`]) and prints a per-track digest.  A write failure is
+/// a hard error, mirroring the `--json` contract.
+pub fn trace_finish(path: Option<&str>) {
+    let Some(path) = path else { return };
+    parlo_trace::disable();
+    let snap = parlo_trace::snapshot();
+    parlo_trace::write_chrome_trace(path, &snap).expect("failed to write --trace output");
+    eprintln!("trace: wrote Chrome trace to {path}");
+    eprint!("{}", snap.summary());
+}
+
 /// The machine's hardware parallelism (1 if it cannot be detected).
 pub fn hardware_threads() -> usize {
     std::thread::available_parallelism()

@@ -43,6 +43,15 @@
 //! * [`LoopRuntime`] / [`SyncStats`] — the object-safe runtime abstraction every
 //!   scheduler in the workspace implements, with [`Sequential`] as the inline
 //!   reference; workloads and harnesses program against `dyn LoopRuntime`.
+//! * [`StatsSource`] / [`StatsRegistry`] / [`stats_family!`] — the unified stats
+//!   surface: every counter family in the workspace is declared through the macro
+//!   (deriving `since`/`merged` and a flattened sample view) and any set of live
+//!   families can be rendered as one text metrics page.
+//!
+//! Building with `--features stats-off` compiles the pool's counters down to nothing:
+//! every `record_*` call becomes an empty inline function and [`StatsSnapshot`] /
+//! [`SyncStats`] read as all-zero.  Results are unaffected — only the accounting
+//! disappears.
 
 #![warn(missing_docs)]
 
@@ -53,12 +62,14 @@ mod pool;
 mod range;
 mod reduce;
 mod runtime;
+mod source;
 mod stats;
 
 pub use config::{BarrierKind, Config, ConfigBuilder};
 pub use pool::{FineGrainPool, WorkerInfo};
 pub use range::{static_block, static_chunks, DynamicChunks, GuidedChunks, StaticSchedule};
 pub use runtime::{LoopRuntime, Sequential, SyncStats};
+pub use source::{CounterField, StatsRegistry, StatsSource};
 pub use stats::StatsSnapshot;
 
 // Re-export the pieces callers commonly need to configure a pool.

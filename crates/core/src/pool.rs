@@ -169,11 +169,13 @@ fn detach_workers(shared: &PoolShared) {
     );
     shared.detach.store(true, Ordering::Release);
     let epoch = shared.next_epoch();
+    parlo_trace::span_begin(parlo_trace::Phase::DetachCycle, epoch, 0);
     // SAFETY: no loop is in flight (the swap above claimed the pool), so no worker
     // reads the slot concurrently.
     unsafe { shared.slot.publish(Job::noop()) };
     shared.sync.master_fork(epoch, &shared.policy);
     shared.sync.master_join(epoch, &shared.policy, |_| {});
+    parlo_trace::span_end(parlo_trace::Phase::DetachCycle);
     shared.in_loop.store(false, Ordering::Relaxed);
 }
 
@@ -266,7 +268,7 @@ impl FineGrainPool {
                 .collect(),
             in_loop: AtomicBool::new(false),
             policy: config.wait,
-            stats: PoolStats::default(),
+            stats: PoolStats::new(),
             config: config.clone(),
         });
         if partition.is_none() {
@@ -361,6 +363,7 @@ impl FineGrainPool {
         );
         self.ensure_workers();
         let epoch = shared.next_epoch();
+        parlo_trace::span_begin(parlo_trace::Phase::Loop, epoch, shared.nthreads as u64);
         let has_combine = job.has_combine();
         // Publish the work description, then perform the fork-side synchronization.
         // SAFETY (slot): the previous loop's join phase has completed (run_job is not
@@ -373,11 +376,13 @@ impl FineGrainPool {
         shared.sync.master_join(epoch, &shared.policy, |from| {
             if has_combine {
                 shared.stats.record_combine();
+                parlo_trace::instant(parlo_trace::Phase::Combine, from as u64, 0);
                 // SAFETY: `from` has arrived, so its view is complete and no longer
                 // accessed by its owner; only the master touches it from here on.
                 unsafe { job.combine(0, from) };
             }
         });
+        parlo_trace::span_end(parlo_trace::Phase::Loop);
         shared.in_loop.store(false, Ordering::Relaxed);
     }
 }
@@ -406,6 +411,7 @@ fn worker_body(shared: &PoolShared, id: usize) {
         shared.sync.worker_join(id, epoch, &shared.policy, |from| {
             if has_combine {
                 shared.stats.record_combine();
+                parlo_trace::instant(parlo_trace::Phase::Combine, from as u64, 0);
                 // SAFETY: `from` has arrived; see `run_job`.
                 unsafe { job.combine(id, from) };
             }
@@ -468,6 +474,7 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), 100);
     }
 
+    #[cfg(not(feature = "stats-off"))]
     #[test]
     fn stats_count_loops_and_phases() {
         let mut p = pool(BarrierKind::TreeHalf, 2);

@@ -18,52 +18,28 @@
 use crate::pool::FineGrainPool;
 use std::ops::Range;
 
-/// Cumulative synchronization counters of a loop runtime, in one shape shared by every
-/// backend.  Counters a backend does not have (e.g. steals for a barrier runtime) stay
-/// zero.  Take a snapshot before and after a loop and subtract with
-/// [`SyncStats::since`] to obtain per-loop costs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct SyncStats {
-    /// Parallel loops executed (reductions included).
-    pub loops: u64,
-    /// Parallel reductions executed.
-    pub reductions: u64,
-    /// Barrier phases executed (a release phase or a join phase each count as one, so
-    /// a half-barrier loop costs 2 and a full-barrier loop 4).
-    pub barrier_phases: u64,
-    /// Reduction-view combine operations performed.
-    pub combine_ops: u64,
-    /// Dynamically dispensed chunks (OpenMP `dynamic`/`guided`) or executed leaf tasks
-    /// (Cilk-like splitting), i.e. units of dynamic work distribution paid for.
-    pub dynamic_chunks: u64,
-    /// Successful steals (work-stealing backends only).
-    pub steals: u64,
-}
-
-impl SyncStats {
-    /// Difference between two snapshots (`self` taken after `earlier`).
-    pub fn since(&self, earlier: &SyncStats) -> SyncStats {
-        SyncStats {
-            loops: self.loops - earlier.loops,
-            reductions: self.reductions - earlier.reductions,
-            barrier_phases: self.barrier_phases - earlier.barrier_phases,
-            combine_ops: self.combine_ops - earlier.combine_ops,
-            dynamic_chunks: self.dynamic_chunks - earlier.dynamic_chunks,
-            steals: self.steals - earlier.steals,
-        }
-    }
-
-    /// Component-wise sum of two snapshots (used by composite runtimes that own
-    /// several backends).
-    pub fn merged(&self, other: &SyncStats) -> SyncStats {
-        SyncStats {
-            loops: self.loops + other.loops,
-            reductions: self.reductions + other.reductions,
-            barrier_phases: self.barrier_phases + other.barrier_phases,
-            combine_ops: self.combine_ops + other.combine_ops,
-            dynamic_chunks: self.dynamic_chunks + other.dynamic_chunks,
-            steals: self.steals + other.steals,
-        }
+crate::stats_family! {
+    /// Cumulative synchronization counters of a loop runtime, in one shape shared by
+    /// every backend.  Counters a backend does not have (e.g. steals for a barrier
+    /// runtime) stay zero.  Take a snapshot before and after a loop and subtract with
+    /// [`SyncStats::since`] to obtain per-loop costs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct SyncStats: "sync" {
+        /// Parallel loops executed (reductions included).
+        pub loops: u64,
+        /// Parallel reductions executed.
+        pub reductions: u64,
+        /// Barrier phases executed (a release phase or a join phase each count as
+        /// one, so a half-barrier loop costs 2 and a full-barrier loop 4).
+        pub barrier_phases: u64,
+        /// Reduction-view combine operations performed.
+        pub combine_ops: u64,
+        /// Dynamically dispensed chunks (OpenMP `dynamic`/`guided`) or executed leaf
+        /// tasks (Cilk-like splitting), i.e. units of dynamic work distribution paid
+        /// for.
+        pub dynamic_chunks: u64,
+        /// Successful steals (work-stealing backends only).
+        pub steals: u64,
     }
 }
 
@@ -216,11 +192,16 @@ mod tests {
         let before = rt.sync_stats();
         let sum = rt.parallel_sum(0..1000, &|i| i as f64);
         assert!((sum - 499_500.0).abs() < 1e-9);
-        let delta = rt.sync_stats().since(&before);
-        assert_eq!(delta.loops, 1);
-        assert_eq!(delta.reductions, 1);
-        assert_eq!(delta.barrier_phases, 2, "one half-barrier per loop");
-        assert_eq!(delta.combine_ops, 2, "P-1 combines");
+        #[cfg(not(feature = "stats-off"))]
+        {
+            let delta = rt.sync_stats().since(&before);
+            assert_eq!(delta.loops, 1);
+            assert_eq!(delta.reductions, 1);
+            assert_eq!(delta.barrier_phases, 2, "one half-barrier per loop");
+            assert_eq!(delta.combine_ops, 2, "P-1 combines");
+        }
+        #[cfg(feature = "stats-off")]
+        assert_eq!(rt.sync_stats().since(&before), SyncStats::default());
     }
 
     #[test]

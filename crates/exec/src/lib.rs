@@ -359,6 +359,7 @@ impl Executor {
             }
             st = self.wait_master(st);
         }
+        parlo_trace::span_begin(parlo_trace::Phase::LeaseDetach, client, 0);
         let pos = st
             .actives
             .iter()
@@ -372,6 +373,7 @@ impl Executor {
         while st.in_body_of(client) > 0 {
             st = self.wait_master(st);
         }
+        parlo_trace::span_end(parlo_trace::Phase::LeaseDetach);
         st
     }
 
@@ -408,6 +410,11 @@ impl Executor {
             }
             return;
         }
+        parlo_trace::span_begin(
+            parlo_trace::Phase::LeaseAttach,
+            lease.id,
+            lease.hooks.participants as u64,
+        );
         let (workers, exclusive) = match &lease.partition {
             None => {
                 // Exclusive: every active client must leave, partitions included.
@@ -461,6 +468,14 @@ impl Executor {
         }
         self.switches.fetch_add(1, Ordering::Relaxed);
         lease.attached.store(true, Ordering::Release);
+        if !exclusive {
+            parlo_trace::instant(
+                parlo_trace::Phase::PartitionActivate,
+                lease.id,
+                workers.len() as u64,
+            );
+        }
+        parlo_trace::span_end(parlo_trace::Phase::LeaseAttach);
     }
 }
 
@@ -490,8 +505,12 @@ impl Drop for Executor {
 }
 
 fn worker_loop(shared: Arc<WorkerShared>, id: usize) {
-    if let Some(core) = shared.topology.core_for_worker(id, shared.pin) {
-        let _ = parlo_affinity::pin_to_core(core);
+    match shared.topology.core_for_worker(id, shared.pin) {
+        Some(core) => {
+            let _ = parlo_affinity::pin_to_core(core);
+            parlo_trace::set_thread_label(&format!("worker-{id} (core {core})"));
+        }
+        None => parlo_trace::set_thread_label(&format!("worker-{id} (unpinned)")),
     }
     let mut seen: u64 = 0;
     loop {

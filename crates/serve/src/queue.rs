@@ -210,6 +210,8 @@ impl ServeQueue {
             }),
         }
         st.len += 1;
+        parlo_trace::instant(parlo_trace::Phase::Enqueue, st.len as u64, 0);
+        parlo_trace::counter(parlo_trace::Phase::QueueDepth, st.len as u64);
         self.jobs_cv.notify_all();
     }
 
@@ -277,6 +279,10 @@ impl ServeQueue {
                     None => break,
                 }
             }
+        }
+        parlo_trace::counter(parlo_trace::Phase::QueueDepth, st.len as u64);
+        if batch.len() > 1 {
+            parlo_trace::instant(parlo_trace::Phase::Fuse, batch.len() as u64, 0);
         }
         drop(st);
         self.space_cv.notify_all();

@@ -3,7 +3,7 @@
 
 use crate::queue::{Completion, JobHandle, QueuedJob, Rejected, ServeQueue};
 use parlo_adaptive::{gang_size_hint, LoopSite};
-use parlo_core::{Config, FineGrainPool};
+use parlo_core::{Config, FineGrainPool, StatsRegistry};
 use parlo_exec::{ClientHooks, Executor, Lease};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -190,26 +190,28 @@ struct Counters {
     fused: AtomicU64,
 }
 
-/// A snapshot of a server's accounting.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ServeStats {
-    /// Gangs serving concurrently (0 in the degenerate inline mode).
-    pub gangs: usize,
-    /// Workers per gang (driver included).
-    pub gang_size: usize,
-    /// Requests currently queued.
-    pub queued: usize,
-    /// Requests accepted so far.
-    pub submitted: u64,
-    /// Requests completed so far.
-    pub completed: u64,
-    /// Requests turned away by admission control.
-    pub rejected: u64,
-    /// Half-barrier batches the drivers ran.
-    pub batches: u64,
-    /// Extra loops that rode along in a fused batch (each saved one full
-    /// half-barrier cycle relative to serving it alone).
-    pub fused: u64,
+parlo_core::stats_family! {
+    /// A snapshot of a server's accounting.
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct ServeStats: "serve" {
+        /// Gangs serving concurrently (0 in the degenerate inline mode).
+        pub gangs: usize,
+        /// Workers per gang (driver included).
+        pub gang_size: usize,
+        /// Requests currently queued.
+        pub queued: usize,
+        /// Requests accepted so far.
+        pub submitted: u64,
+        /// Requests completed so far.
+        pub completed: u64,
+        /// Requests turned away by admission control.
+        pub rejected: u64,
+        /// Half-barrier batches the drivers ran.
+        pub batches: u64,
+        /// Extra loops that rode along in a fused batch (each saved one full
+        /// half-barrier cycle relative to serving it alone).
+        pub fused: u64,
+    }
 }
 
 /// One gang's shared state: its detach flag, its (lazily activated) pool over the
@@ -243,6 +245,7 @@ fn driver_loop(gang: &GangState) {
 /// prefix sum and served as a single `parallel_for`, so the whole batch costs one
 /// half-barrier cycle.
 fn run_batch(gang: &GangState, batch: Vec<QueuedJob>) {
+    parlo_trace::span_begin(parlo_trace::Phase::Batch, batch.len() as u64, 0);
     let mut guard = gang.pool.lock().unwrap_or_else(|p| p.into_inner());
     match guard.as_mut() {
         None => {
@@ -294,6 +297,8 @@ fn run_batch(gang: &GangState, batch: Vec<QueuedJob>) {
     gang.counters
         .completed
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    parlo_trace::instant(parlo_trace::Phase::Complete, batch.len() as u64, 0);
+    parlo_trace::span_end(parlo_trace::Phase::Batch);
 }
 
 /// The multi-tenant loop server (see the crate docs for the architecture).  Methods
@@ -448,16 +453,52 @@ impl Server {
 
     /// A snapshot of the server's accounting.
     pub fn stats(&self) -> ServeStats {
-        ServeStats {
-            gangs: self.gangs.len(),
-            gang_size: self.gang_size,
-            queued: self.queue.len(),
-            submitted: self.counters.submitted.load(Ordering::Relaxed),
-            completed: self.counters.completed.load(Ordering::Relaxed),
-            rejected: self.counters.rejected.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            fused: self.counters.fused.load(Ordering::Relaxed),
-        }
+        snapshot_serve_stats(
+            &self.counters,
+            &self.queue,
+            self.gangs.len(),
+            self.gang_size,
+        )
+    }
+
+    /// A [`StatsRegistry`] over everything the server can observe: its own serving
+    /// counters (`serve.*`) and the substrate's executor accounting (`exec.*`).
+    /// The registry holds live handles — render it any time for current numbers.
+    pub fn stats_registry(&self) -> StatsRegistry {
+        let mut registry = StatsRegistry::new();
+        let counters = Arc::clone(&self.counters);
+        let queue = Arc::clone(&self.queue);
+        let (gangs, gang_size) = (self.gangs.len(), self.gang_size);
+        registry.register("serve", move || {
+            snapshot_serve_stats(&counters, &queue, gangs, gang_size)
+        });
+        let executor = Arc::clone(&self.executor);
+        registry.register("exec", move || executor.stats());
+        registry
+    }
+
+    /// The registry rendered as a text metrics page, one `family.name value` line
+    /// per counter.
+    pub fn metrics_text(&self) -> String {
+        self.stats_registry().render_text()
+    }
+}
+
+fn snapshot_serve_stats(
+    counters: &Counters,
+    queue: &ServeQueue,
+    gangs: usize,
+    gang_size: usize,
+) -> ServeStats {
+    ServeStats {
+        gangs,
+        gang_size,
+        queued: queue.len(),
+        submitted: counters.submitted.load(Ordering::Relaxed),
+        completed: counters.completed.load(Ordering::Relaxed),
+        rejected: counters.rejected.load(Ordering::Relaxed),
+        batches: counters.batches.load(Ordering::Relaxed),
+        fused: counters.fused.load(Ordering::Relaxed),
     }
 }
 
@@ -513,6 +554,34 @@ mod tests {
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         assert_eq!(s.wait(), 499_500.0);
         assert!(server.stats().completed >= 2);
+    }
+
+    #[test]
+    fn metrics_text_exposes_serve_and_exec_families() {
+        let exec = executor(4);
+        let server = Server::on_executor(
+            ServeConfig::default()
+                .with_workers(3)
+                .with_gang(GangSizing::Fixed(3)),
+            &exec,
+        );
+        let h = server
+            .submit(LoopRequest::for_each(LoopSite::new(7), 0..64, |_| {}))
+            .unwrap();
+        h.wait();
+        let registry = server.stats_registry();
+        assert_eq!(registry.len(), 2);
+        let text = server.metrics_text();
+        assert!(text.contains("serve.gangs 1"), "got:\n{text}");
+        assert!(text.contains("serve.submitted 1"), "got:\n{text}");
+        assert!(text.contains("exec.workers"), "got:\n{text}");
+        assert!(text.contains("exec.leases"), "got:\n{text}");
+        // The registry holds live handles: a later render sees newer counters.
+        server
+            .submit(LoopRequest::for_each(LoopSite::new(7), 0..64, |_| {}))
+            .unwrap()
+            .wait();
+        assert!(registry.render_text().contains("serve.submitted 2"));
     }
 
     #[test]

@@ -121,49 +121,34 @@ impl StealConfig {
     }
 }
 
-/// A point-in-time copy of a [`StealPool`]'s instrumentation counters.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct StealStats {
-    /// Parallel loops executed (reductions included).
-    pub loops: u64,
-    /// Parallel reductions executed.
-    pub reductions: u64,
-    /// Barrier phases executed (always 2 per loop: one release, one join).
-    pub barrier_phases: u64,
-    /// Reduction-view combine operations (exactly `P − 1` per reduction).
-    pub combine_ops: u64,
-    /// Steal attempts (successful or not).
-    pub steals_attempted: u64,
-    /// Successful steals; every hit transfers exactly one chunk, so this is also the
-    /// number of chunks executed away from their pre-split owner.
-    pub steals_hit: u64,
-    /// Chunks executed by each participant (index 0 is the master).  The sum equals
-    /// the pre-split chunk count of every loop executed — the exact-coverage account.
-    pub chunks_per_worker: Vec<u64>,
+parlo_core::stats_family! {
+    /// A point-in-time copy of a [`StealPool`]'s instrumentation counters.
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct StealStats: "steal" {
+        /// Parallel loops executed (reductions included).
+        pub loops: u64,
+        /// Parallel reductions executed.
+        pub reductions: u64,
+        /// Barrier phases executed (always 2 per loop: one release, one join).
+        pub barrier_phases: u64,
+        /// Reduction-view combine operations (exactly `P − 1` per reduction).
+        pub combine_ops: u64,
+        /// Steal attempts (successful or not).
+        pub steals_attempted: u64,
+        /// Successful steals; every hit transfers exactly one chunk, so this is also
+        /// the number of chunks executed away from their pre-split owner.
+        pub steals_hit: u64,
+        /// Chunks executed by each participant (index 0 is the master).  The sum
+        /// equals the pre-split chunk count of every loop executed — the
+        /// exact-coverage account.
+        pub chunks_per_worker: Vec<u64>,
+    }
 }
 
 impl StealStats {
     /// Total chunks executed across all participants.
     pub fn chunks_executed(&self) -> u64 {
         self.chunks_per_worker.iter().sum()
-    }
-
-    /// Difference between two snapshots (`self` taken after `earlier`).
-    pub fn since(&self, earlier: &StealStats) -> StealStats {
-        StealStats {
-            loops: self.loops - earlier.loops,
-            reductions: self.reductions - earlier.reductions,
-            barrier_phases: self.barrier_phases - earlier.barrier_phases,
-            combine_ops: self.combine_ops - earlier.combine_ops,
-            steals_attempted: self.steals_attempted - earlier.steals_attempted,
-            steals_hit: self.steals_hit - earlier.steals_hit,
-            chunks_per_worker: self
-                .chunks_per_worker
-                .iter()
-                .zip(&earlier.chunks_per_worker)
-                .map(|(a, b)| a - b)
-                .collect(),
-        }
     }
 }
 
@@ -295,11 +280,13 @@ fn detach_workers(shared: &StealShared) {
     );
     shared.detach.store(true, Ordering::Release);
     let epoch = shared.next_epoch();
+    parlo_trace::span_begin(parlo_trace::Phase::DetachCycle, epoch, 0);
     // SAFETY: no loop is in flight (we hold the `in_loop` claim), so no worker reads
     // the job cell concurrently.
     unsafe { *shared.job.get() = StealJob::noop() };
     shared.sync.release(epoch);
     shared.sync.join(epoch, &shared.policy, |_| {});
+    parlo_trace::span_end(parlo_trace::Phase::DetachCycle);
     shared.in_loop.store(false, Ordering::Relaxed);
 }
 
@@ -532,6 +519,7 @@ impl StealPool {
         );
         self.ensure_workers();
         let epoch = shared.next_epoch();
+        parlo_trace::span_begin(parlo_trace::Phase::Loop, epoch, shared.nthreads as u64);
         let has_combine = job.combine.is_some();
         shared.stats.barrier_phases.fetch_add(2, Ordering::Relaxed);
         // Publish the loop descriptor, then perform the release phase of the fork.
@@ -547,6 +535,7 @@ impl StealPool {
         shared.sync.join(epoch, &shared.policy, |from| {
             if has_combine {
                 shared.stats.combine_ops.fetch_add(1, Ordering::Relaxed);
+                parlo_trace::instant(parlo_trace::Phase::Combine, from as u64, 0);
                 if let Some(comb) = job.combine {
                     // SAFETY: `from` has arrived, so its view is final and no longer
                     // accessed by its owner.
@@ -554,6 +543,7 @@ impl StealPool {
                 }
             }
         });
+        parlo_trace::span_end(parlo_trace::Phase::Loop);
         shared.in_loop.store(false, Ordering::Relaxed);
     }
 }
@@ -603,6 +593,7 @@ fn participate(shared: &StealShared, id: usize, epoch: Epoch, job: &StealJob, rn
         for _ in 0..plan.delay_spins {
             std::hint::spin_loop();
         }
+        parlo_trace::instant(parlo_trace::Phase::StealSweep, id as u64, attempt);
         let start = (plan.victim_seed % n as u64) as usize;
         let mut stolen = None;
         let mut saw_retry = false;
@@ -618,6 +609,7 @@ fn participate(shared: &StealShared, id: usize, epoch: Epoch, job: &StealJob, rn
             match shared.deques[victim].steal() {
                 Steal::Success(c) => {
                     my_counters.steals_hit.fetch_add(1, Ordering::Relaxed);
+                    parlo_trace::instant(parlo_trace::Phase::StealHit, id as u64, victim as u64);
                     stolen = Some(c);
                     break;
                 }
@@ -668,6 +660,7 @@ fn worker_body(shared: &StealShared, id: usize) {
         shared.sync.arrive(id, epoch, &shared.policy, |from| {
             if has_combine {
                 shared.stats.combine_ops.fetch_add(1, Ordering::Relaxed);
+                parlo_trace::instant(parlo_trace::Phase::Combine, from as u64, 0);
                 if let Some(comb) = job.combine {
                     // SAFETY: `from` has arrived; its view is final.
                     unsafe { comb(job.data, id, from) };

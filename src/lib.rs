@@ -35,6 +35,7 @@ pub use parlo_omp as omp;
 pub use parlo_serve as serve;
 pub use parlo_sim as sim;
 pub use parlo_steal as steal;
+pub use parlo_trace as trace;
 pub use parlo_workloads as workloads;
 
 /// The most commonly used types, re-exported in one place.
@@ -43,7 +44,10 @@ pub mod prelude {
     pub use parlo_affinity::{PinPolicy, PlacementConfig, Topology, TopologySource};
     pub use parlo_barrier::{HierarchicalHalfBarrier, HierarchyStats, WaitMode, WaitPolicy};
     pub use parlo_cilk::{CilkFineGrain, CilkPool};
-    pub use parlo_core::{BarrierKind, Config, FineGrainPool, LoopRuntime, Sequential, SyncStats};
+    pub use parlo_core::{
+        BarrierKind, Config, FineGrainPool, LoopRuntime, Sequential, StatsRegistry, StatsSource,
+        SyncStats,
+    };
     pub use parlo_exec::{ExecStats, Executor};
     pub use parlo_omp::{OmpTeam, Schedule, ScheduledTeam};
     pub use parlo_serve::{GangSizing, LoopRequest, ServeConfig, Server};

@@ -1,5 +1,5 @@
 //! Smoke check for the `examples/` directory: every example must build, and the
-//! `quickstart`, `adaptive_quickstart` and `steal_quickstart` examples must run
+//! `*quickstart` examples (fine-grain, adaptive, steal, serve, trace) must run
 //! successfully end to end.
 //!
 //! `cargo test` already compiles examples for the dev profile, so the nested build
@@ -102,6 +102,41 @@ fn steal_quickstart_example_runs() {
     assert!(
         stdout.contains("steal quickstart done"),
         "steal_quickstart did not complete:\n{stdout}"
+    );
+}
+
+#[test]
+fn trace_quickstart_example_runs() {
+    let output = cargo()
+        .args(["run", "--quiet", "--example", "trace_quickstart"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "trace_quickstart exited with {:?}:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("sum = 499999500000"),
+        "trace_quickstart output missing the reduction sum:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("loop spans on master track: 9"),
+        "trace_quickstart output missing the loop-span/SyncStats match:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("chrome trace written to"),
+        "trace_quickstart output missing the export line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("sync.loops 9"),
+        "trace_quickstart output missing the registry render:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("trace quickstart done"),
+        "trace_quickstart did not complete:\n{stdout}"
     );
 }
 

@@ -1,0 +1,60 @@
+//! `stats-off` acceptance battery (ISSUE 7 satellite).
+//!
+//! Built only with `--features stats-off` (CI runs it explicitly).  Proves the two
+//! halves of the feature's contract: every counter the fine-grain pool exposes reads
+//! zero, and the *results* of parallel execution are bit-equal to the sequential
+//! reference — turning the accounting off must not change scheduling behaviour.
+
+#![cfg(feature = "stats-off")]
+
+use parlo_core::{BarrierKind, Config, FineGrainPool, LoopRuntime, Sequential, SyncStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn pool(kind: BarrierKind, threads: usize) -> FineGrainPool {
+    FineGrainPool::new(Config::builder(threads).barrier(kind).build())
+}
+
+#[test]
+fn all_counters_read_zero() {
+    for kind in BarrierKind::ALL {
+        let mut p = pool(kind, 3);
+        p.parallel_for(0..100, |_| {});
+        let _ = p.parallel_reduce(0..100, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+        p.parallel_for_dynamic(0..100, 8, |_| {});
+        assert_eq!(
+            p.stats(),
+            parlo_core::StatsSnapshot::default(),
+            "kind {kind:?}: stats-off must zero every counter"
+        );
+        assert_eq!(p.sync_stats(), SyncStats::default());
+    }
+}
+
+#[test]
+fn results_stay_bit_equal_to_sequential() {
+    let n = 10_000usize;
+    let mut seq = Sequential;
+    // Integer-valued f64 folds are exact (no rounding below 2^53), so the parallel
+    // combine order cannot perturb the sum — bit-equality is well-defined.
+    let expected_sum = seq.parallel_sum(0..n, &|i| i as f64);
+    let expected_hits: u64 = (0..n as u64).map(|i| i * 3 + 1).sum();
+
+    for kind in BarrierKind::ALL {
+        for threads in [1usize, 2, 4] {
+            let mut p = pool(kind, threads);
+            let got = LoopRuntime::parallel_sum(&mut p, 0..n, &|i| i as f64);
+            assert_eq!(
+                got.to_bits(),
+                expected_sum.to_bits(),
+                "kind {kind:?} threads {threads}: reduction must be bit-equal"
+            );
+            let acc = AtomicU64::new(0);
+            p.parallel_for(0..n, |i| {
+                acc.fetch_add(i as u64 * 3 + 1, Ordering::Relaxed);
+            });
+            assert_eq!(acc.load(Ordering::Relaxed), expected_hits);
+            let exact = p.parallel_reduce(0..n, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(exact, (n as u64 - 1) * n as u64 / 2);
+        }
+    }
+}

@@ -20,6 +20,12 @@
 //!   pre-split chunk exactly once;
 //! * the hierarchical half-barrier performs exactly one cross-socket rendezvous per
 //!   cycle and exactly one arrival per worker per cycle on each socket.
+//!
+//! These claims are only *observable* through the instrumentation counters, so the
+//! whole file is compiled out in a `stats-off` build (where every counter reads
+//! zero by design); `tests/stats_off.rs` covers that configuration instead.
+
+#![cfg(not(feature = "stats-off"))]
 
 use parlo_affinity::{PinPolicy, PlacementConfig, Topology};
 use parlo_cilk::CilkPool;
