@@ -40,6 +40,7 @@ impl CentralizedRelease {
     #[inline]
     pub fn signal(&self, epoch: Epoch) {
         self.epoch.store(epoch, Ordering::Release);
+        crate::wake_parked();
     }
 
     /// Worker side: wait until the master has published an epoch `>= epoch`.
@@ -96,6 +97,7 @@ impl CentralizedJoin {
     #[inline]
     pub fn arrive(&self) {
         self.arrivals.fetch_add(1, Ordering::AcqRel);
+        crate::wake_parked();
     }
 
     /// Master side: wait until every worker has arrived for `epoch`.
@@ -154,6 +156,7 @@ impl Barrier for CounterBarrier {
         if ticket == episode * n {
             // Last arrival of the episode releases everyone.
             self.release.store(episode, Ordering::Release);
+            crate::wake_parked();
         } else {
             self.policy
                 .wait_until(|| self.release.load(Ordering::Acquire) >= episode);

@@ -68,6 +68,7 @@ impl Barrier for DisseminationBarrier {
             let partner = (id + (1 << r)) % self.nthreads;
             // Signal the partner for this round.
             self.flags[partner][r].store(epoch, Ordering::Release);
+            crate::wake_parked();
             // Wait to be signalled ourselves.
             self.policy
                 .wait_until(|| self.flags[id][r].load(Ordering::Acquire) >= epoch);

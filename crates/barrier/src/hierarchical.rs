@@ -18,7 +18,11 @@
 //! * **socket-local release fan-out**: the master stores one padded per-socket release
 //!   line per remote socket *first* (the signals with the longest latency leave
 //!   earliest), then every socket fans the release out locally with the wakeup fan-out
-//!   the topology suggests ([`Topology::suggested_release_fanout`], MCS recommend 2);
+//!   the topology suggests ([`Topology::suggested_release_fanout`], MCS recommend 2).
+//!   On the fan-out path each releaser issues **prefetch hints** for all of its
+//!   children's lines before the first store, so the read-for-ownership misses overlap
+//!   instead of serializing — and, for the master, they overlap with the in-flight
+//!   remote-socket stores;
 //! * **per-socket flag grouping**: every per-thread flag is cache-line padded *and*
 //!   allocated in a per-socket array, so the lines a socket's threads spin on are never
 //!   interleaved with another socket's flags.
@@ -31,6 +35,23 @@ use crate::{Epoch, WaitPolicy};
 use crossbeam::utils::CachePadded;
 use parlo_affinity::Topology;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Best-effort prefetch of the cache line holding `line`, ahead of a store to it.
+/// A pure performance hint: no-op on architectures without a stable intrinsic.
+#[inline(always)]
+fn prefetch_line(line: &CachePadded<AtomicU64>) {
+    let p = line as *const CachePadded<AtomicU64> as *const i8;
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p);
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        core::arch::asm!("prfm pstl1keep, [{0}]", in(reg) p);
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
 
 /// One socket's share of the barrier: its members, its local arrival/release trees
 /// (over *local* indices) and its padded flag arrays.
@@ -221,7 +242,10 @@ impl HierarchicalHalfBarrier {
 
     /// Master: release phase.  Stores the per-socket release line of every remote
     /// socket first (the highest-latency signals leave earliest), then fans out over
-    /// the master's own socket-local release tree.  Never waits.
+    /// the master's own socket-local release tree.  The home-socket lines are
+    /// prefetched after the remote stores are issued and before the first local store,
+    /// so their ownership misses overlap with the in-flight cross-socket traffic.
+    /// Never waits.
     #[inline]
     pub fn release(&self, epoch: Epoch) {
         self.cycles.fetch_add(1, Ordering::Relaxed);
@@ -230,8 +254,12 @@ impl HierarchicalHalfBarrier {
         }
         let home = &self.groups[0];
         for &c in &home.release_children[0] {
+            prefetch_line(&home.release[c]);
+        }
+        for &c in &home.release_children[0] {
             home.release[c].store(epoch, Ordering::Release);
         }
+        crate::wake_parked();
     }
 
     /// Master: join phase.  Combines the master's socket-local arrival-tree children
@@ -301,14 +329,22 @@ impl HierarchicalHalfBarrier {
 
     /// Worker `id`: forward a release observed through
     /// [`poll_release`](HierarchicalHalfBarrier::poll_release) to the worker's
-    /// socket-local release-tree children.
+    /// socket-local release-tree children.  All child lines are prefetched before the
+    /// first store so the ownership misses overlap.
     #[inline]
     pub fn forward_release(&self, id: usize, epoch: Epoch) {
         let (g, l) = self.locate[id];
         let group = &self.groups[g];
+        if group.release_children[l].is_empty() {
+            return;
+        }
+        for &c in &group.release_children[l] {
+            prefetch_line(&group.release[c]);
+        }
         for &c in &group.release_children[l] {
             group.release[c].store(epoch, Ordering::Release);
         }
+        crate::wake_parked();
     }
 
     /// Worker `id`: arrive for `epoch`.  Waits for (and combines, via `on_child`) the
@@ -336,6 +372,7 @@ impl HierarchicalHalfBarrier {
         } else {
             group.arrival[l].store(epoch, Ordering::Release);
         }
+        crate::wake_parked();
     }
 }
 

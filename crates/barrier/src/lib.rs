@@ -16,7 +16,8 @@
 //!
 //! This crate provides the building blocks:
 //!
-//! * [`WaitPolicy`] — how a thread waits for a condition (spin, spin-then-yield, yield);
+//! * [`WaitPolicy`] — how a thread waits for a condition (spin, spin-then-yield,
+//!   yield, or park on the process-wide hub; releases call [`wake_parked`]);
 //! * centralized primitives: [`CentralizedRelease`], [`CentralizedJoin`];
 //! * tree primitives (MCS-style, tunable fan-in/fan-out, socket-aware layout):
 //!   [`TreeRelease`], [`TreeJoin`], [`TreeShape`];
@@ -38,6 +39,7 @@ mod dissemination;
 mod full;
 mod half;
 mod hierarchical;
+mod park;
 mod sense;
 mod traits;
 mod tree;
@@ -48,6 +50,7 @@ pub use dissemination::DisseminationBarrier;
 pub use full::FullBarrier;
 pub use half::HalfBarrier;
 pub use hierarchical::{HierarchicalHalfBarrier, HierarchyStats};
+pub use park::wake_parked;
 pub use sense::SenseBarrier;
 pub use traits::{Barrier, Epoch};
 pub use tree::{TreeBarrier, TreeJoin, TreeRelease, TreeShape};

@@ -55,6 +55,7 @@ impl Barrier for SenseBarrier {
             // by flipping the global sense.
             self.count.store(0, Ordering::Relaxed);
             self.global_sense.store(sense, Ordering::Release);
+            crate::wake_parked();
         } else {
             self.policy
                 .wait_until(|| self.global_sense.load(Ordering::Acquire) == sense);

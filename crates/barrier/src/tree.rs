@@ -185,6 +185,7 @@ impl TreeRelease {
         for &c in self.shape.children(0) {
             self.flags[c].store(epoch, Ordering::Release);
         }
+        crate::wake_parked();
     }
 
     /// Worker side: wait until this participant has been released for `epoch`, then
@@ -193,8 +194,11 @@ impl TreeRelease {
     pub fn wait_and_forward(&self, id: usize, epoch: Epoch, policy: &WaitPolicy) {
         debug_assert_ne!(id, 0, "the root releases, it is never released");
         policy.wait_until(|| self.flags[id].load(Ordering::Acquire) >= epoch);
-        for &c in self.shape.children(id) {
-            self.flags[c].store(epoch, Ordering::Release);
+        if !self.shape.children(id).is_empty() {
+            for &c in self.shape.children(id) {
+                self.flags[c].store(epoch, Ordering::Release);
+            }
+            crate::wake_parked();
         }
     }
 
@@ -210,8 +214,11 @@ impl TreeRelease {
     /// Forwards a release that was detected via [`TreeRelease::poll`].
     #[inline]
     pub fn forward(&self, id: usize, epoch: Epoch) {
-        for &c in self.shape.children(id) {
-            self.flags[c].store(epoch, Ordering::Release);
+        if !self.shape.children(id).is_empty() {
+            for &c in self.shape.children(id) {
+                self.flags[c].store(epoch, Ordering::Release);
+            }
+            crate::wake_parked();
         }
     }
 }
@@ -261,6 +268,7 @@ impl TreeJoin {
         }
         if id != 0 {
             self.flags[id].store(epoch, Ordering::Release);
+            crate::wake_parked();
         }
     }
 

@@ -1,0 +1,118 @@
+//! Criterion bench of the wait policies: one empty broadcast cycle (exactly one
+//! fork/join half-barrier synchronization) per policy, at the pinned thread count and
+//! at a deliberately oversubscribed one.  This is the bench behind the `Park` mode's
+//! claim: no slower than spin-then-yield on the broadcast cycle, while burning far
+//! less CPU time when workers outnumber hardware threads — the CPU-time diagnostic at
+//! the end prints the measured cpu-seconds per wall-second per policy for an
+//! idle-heavy cycle pattern (the serving shape: short loops separated by master-side
+//! idle gaps).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use parlo_bench::{bench_threads, hardware_threads};
+use parlo_core::{Config, FineGrainPool, WaitPolicy};
+use std::time::{Duration, Instant};
+
+fn policies() -> Vec<(&'static str, WaitPolicy)> {
+    vec![
+        ("spin-then-yield", WaitPolicy::default()),
+        ("yield", WaitPolicy::oversubscribed()),
+        ("park", WaitPolicy::park()),
+    ]
+}
+
+fn pool_with(threads: usize, policy: WaitPolicy) -> FineGrainPool {
+    FineGrainPool::new(Config::builder(threads).wait(policy).build())
+}
+
+/// Cumulative user+system CPU time of this process, seconds, from `/proc/self/stat`
+/// (fields 14/15 after the parenthesized comm, in clock ticks; Linux fixes
+/// `USER_HZ` at 100 for the architectures we run on).  `None` off Linux.
+fn cpu_time_secs() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    let rest = stat.rsplit_once(')')?.1;
+    let mut fields = rest.split_whitespace();
+    // `rest` starts at field 3 (state); utime/stime are 1-based fields 14/15, i.e.
+    // the 12th and 13th items of this iterator.
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some((utime + stime) as f64 / 100.0)
+}
+
+/// Prints cpu-seconds per wall-second per policy for an idle-heavy broadcast pattern
+/// on an oversubscribed pool: cycles separated by master-side sleeps, so the waiting
+/// behaviour between loops (spin vs yield vs park) dominates the CPU bill.
+fn cpu_burn_diagnostic(threads: usize) {
+    println!("\n== wait_cpu_burn (diagnostic, {threads} threads, idle-heavy cycles) ==");
+    for (label, policy) in policies() {
+        let mut pool = pool_with(threads, policy);
+        // Warm the lease so attach costs stay out of the measured window.
+        pool.broadcast(|info| {
+            black_box(info.id);
+        });
+        let Some(cpu0) = cpu_time_secs() else {
+            println!("{label:<44} (no /proc/self/stat; diagnostic skipped)");
+            return;
+        };
+        let wall0 = Instant::now();
+        for _ in 0..40 {
+            pool.broadcast(|info| {
+                black_box(info.id);
+            });
+            // The idle gap the policies differ on: workers wait here for the fork.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let wall = wall0.elapsed().as_secs_f64();
+        let cpu = cpu_time_secs().unwrap_or(cpu0) - cpu0;
+        println!(
+            "{label:<44} {:.2} cpu-s per wall-s ({cpu:.2}s cpu over {wall:.2}s wall)",
+            cpu / wall.max(1e-9)
+        );
+    }
+}
+
+fn bench_wait(c: &mut Criterion) {
+    // One empty broadcast = one half-barrier fork/join cycle: the latency the paper's
+    // burden d is made of.  First at the pinned thread count...
+    let t = bench_threads();
+    let mut group = c.benchmark_group("wait_broadcast");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400));
+    for (label, policy) in policies() {
+        let mut pool = pool_with(t, policy);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                pool.broadcast(|info| {
+                    black_box(info.id);
+                })
+            })
+        });
+    }
+    group.finish();
+
+    // ...then oversubscribed (more workers than hardware threads), the regime
+    // WaitPolicy::auto_for selects Park for.
+    let over = hardware_threads() * 2 + 2;
+    let mut group = c.benchmark_group("wait_broadcast_oversubscribed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400));
+    for (label, policy) in policies() {
+        let mut pool = pool_with(over, policy);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                pool.broadcast(|info| {
+                    black_box(info.id);
+                })
+            })
+        });
+    }
+    group.finish();
+
+    cpu_burn_diagnostic(over);
+}
+
+criterion_group!(benches, bench_wait);
+criterion_main!(benches);

@@ -135,6 +135,8 @@ fn print_series(title: &str, series: &[&Series], csv: bool) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // --wait exports PARLO_WAIT before any pool is constructed (see wait_arg).
+    parlo_bench::wait_arg(&args);
     let trace = trace_setup(&args);
     let csv = has_flag(&args, "--csv");
 

@@ -58,6 +58,8 @@ fn measure(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // --wait exports PARLO_WAIT before any pool is constructed (see wait_arg).
+    parlo_bench::wait_arg(&args);
     let _ = json_path_arg(&args);
     let trace = trace_setup(&args);
     let threads = threads_arg(&args);

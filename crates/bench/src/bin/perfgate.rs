@@ -1,55 +1,254 @@
-//! CI perf-regression gate over the burden model.
+//! CI perf-regression gate: simulated burdens and measured criterion medians.
 //!
-//! Compares the fitted (or simulated) scheduler burdens of a fresh `table1 --json`
-//! report against the checked-in baseline and fails when any runtime's burden `d`
-//! regressed by more than the threshold — the CI hook that finally makes
-//! `BENCH_*.json` trajectories actionable.
+//! **Simulated mode** (default) compares the fitted (or simulated) scheduler burdens
+//! of a fresh `table1 --json` report against the checked-in baseline and fails when
+//! any runtime's burden `d` regressed by more than the threshold — the CI hook that
+//! makes `BENCH_*.json` trajectories actionable.
+//!
+//! **Measured mode** (`--measured`) gates real-hardware numbers: it ingests one
+//! `CRITERION_JSON` file per repeated bench run (`--current`, repeatable), aggregates
+//! them min-of-k, and compares against a measured baseline with noise-tolerant
+//! thresholds — a bench fails only if it regresses beyond
+//! `max(threshold_pct · baseline, mad_k · MAD)` of the baseline's recorded
+//! dispersion.  Baselines record a host fingerprint (cpu count, `PARLO_THREADS`);
+//! gating or updating across fingerprints is refused with its own exit code, the same
+//! guard class as the simulated gate's cross-workload refusal.
 //!
 //! ```text
-//! perfgate --current bench_table1.json [--baseline bench/baseline.json]
-//!          [--threshold-pct 25] [--update]
+//! perfgate --current <report.json> [--baseline bench/baseline.json]
+//!          [--threshold-pct 25] [--update] [--soft]
+//! perfgate --measured --current <run1.json> [--current <run2.json> ...]
+//!          [--baseline bench/criterion_baseline.json] [--threshold-pct 10]
+//!          [--mad-k 6] [--out <aggregate.json>] [--update] [--soft]
 //! ```
 //!
-//! * `--current <path>` — the report to check (required);
-//! * `--baseline <path>` — the reference report (default `bench/baseline.json`);
-//! * `--threshold-pct N` — relative regression tolerated per scheduler (default 25);
-//! * `--update` — overwrite the baseline with the current report instead of gating
-//!   (run after an intentional model/scheduler change and commit the result).
+//! * `--current <path>` — the report to check (required; repeatable in measured mode:
+//!   one `CRITERION_JSON` file per repeated run);
+//! * `--baseline <path>` — the reference report (default `bench/baseline.json`, or
+//!   `bench/criterion_baseline.json` in measured mode);
+//! * `--threshold-pct N` — relative regression tolerated per row (default 25
+//!   simulated, 10 measured);
+//! * `--mad-k K` — measured mode: dispersion multiplier of the noise allowance
+//!   (`K · MAD`, default 6);
+//! * `--out <path>` — measured mode: also write the min-of-k aggregate (the
+//!   `MEASURED_<sha>.json` CI artifact);
+//! * `--update` — overwrite the baseline with the current report/aggregate instead of
+//!   gating (run after an intentional change and commit the result; refused across
+//!   workloads and, in measured mode, across host fingerprints);
+//! * `--soft` — warn-only: report regressions and fingerprint mismatches but exit 0
+//!   (for the first landing of a measured gate in CI).
 //!
-//! Exit status: 0 = gate passed (or baseline updated), 1 = regression or missing
-//! scheduler, 2 = usage/IO error.
+//! Exit status:
+//!
+//! * `0` — gate passed, baseline updated, or `--soft` downgraded a failure;
+//! * `1` — regression, or a baseline row missing from the current report;
+//! * `2` — usage/IO error, including the cross-workload refusal;
+//! * `3` — host-fingerprint mismatch (measured mode): the reports are not comparable
+//!   on this machine shape; re-baseline with `--update` on the target machine.
 
-use parlo_bench::{arg_str, compare_burdens, has_flag, read_json_report};
+use parlo_bench::measured::{
+    aggregate, check_fingerprint, compare_measured, read_criterion_run, read_measured_report,
+    write_measured_report, MeasuredReport,
+};
+use parlo_bench::{arg_str, arg_strs, compare_burdens, has_flag, read_json_report};
 
 const DEFAULT_BASELINE: &str = "bench/baseline.json";
+const DEFAULT_MEASURED_BASELINE: &str = "bench/criterion_baseline.json";
 const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+const DEFAULT_MEASURED_THRESHOLD_PCT: f64 = 10.0;
+const DEFAULT_MAD_K: f64 = 6.0;
+/// Exit code for the measured mode's cross-fingerprint refusal.
+const EXIT_FINGERPRINT: i32 = 3;
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("perfgate: {msg}");
-    eprintln!("usage: perfgate --current <report.json> [--baseline <baseline.json>] [--threshold-pct N] [--update]");
+    eprintln!(
+        "usage: perfgate --current <report.json> [--baseline <baseline.json>] \
+         [--threshold-pct N] [--update] [--soft]"
+    );
+    eprintln!(
+        "       perfgate --measured --current <run.json>... [--baseline <baseline.json>] \
+         [--threshold-pct N] [--mad-k K] [--out <aggregate.json>] [--update] [--soft]"
+    );
+    eprintln!(
+        "exit codes: 0 = pass/updated/soft, 1 = regression or missing row, \
+         2 = usage/IO error (incl. workload mismatch), 3 = host-fingerprint mismatch"
+    );
     std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(current_path) = arg_str(&args, "--current") else {
-        usage_error("--current <report.json> is required");
-    };
-    let baseline_path = arg_str(&args, "--baseline").unwrap_or(DEFAULT_BASELINE);
-    let threshold_pct = match arg_str(&args, "--threshold-pct") {
-        None => DEFAULT_THRESHOLD_PCT,
+fn threshold_arg(args: &[String], default: f64) -> f64 {
+    match arg_str(args, "--threshold-pct") {
+        None => default,
         Some(v) => match v.parse::<f64>() {
             Ok(t) if t.is_finite() && t >= 0.0 => t,
             _ => usage_error("--threshold-pct must be a non-negative number"),
         },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if has_flag(&args, "--measured") {
+        measured_main(&args);
+    } else {
+        simulated_main(&args);
+    }
+}
+
+// -------------------------------------------------------------------------------------
+// Measured mode
+// -------------------------------------------------------------------------------------
+
+/// Reads and aggregates every `--current` run file into one measured report.
+fn read_current_aggregate(args: &[String]) -> MeasuredReport {
+    let current_paths = arg_strs(args, "--current");
+    if current_paths.is_empty() {
+        usage_error("--measured requires at least one --current <CRITERION_JSON file>");
+    }
+    let runs: Vec<_> = current_paths
+        .iter()
+        .map(|path| match read_criterion_run(path) {
+            Ok(run) => run,
+            Err(e) => usage_error(&format!("cannot read criterion run `{path}`: {e}")),
+        })
+        .collect();
+    match aggregate(&runs) {
+        Ok(report) => report,
+        Err(e) => usage_error(&e),
+    }
+}
+
+fn measured_main(args: &[String]) {
+    let baseline_path = arg_str(args, "--baseline").unwrap_or(DEFAULT_MEASURED_BASELINE);
+    let threshold_pct = threshold_arg(args, DEFAULT_MEASURED_THRESHOLD_PCT);
+    let mad_k = match arg_str(args, "--mad-k") {
+        None => DEFAULT_MAD_K,
+        Some(v) => match v.parse::<f64>() {
+            Ok(k) if k.is_finite() && k >= 0.0 => k,
+            _ => usage_error("--mad-k must be a non-negative number"),
+        },
     };
+    let soft = has_flag(args, "--soft");
+
+    let current = read_current_aggregate(args);
+    println!(
+        "perfgate: measured aggregate of {} run(s), {} bench(es), host {}",
+        current.runs,
+        current.rows.len(),
+        current.host.describe()
+    );
+
+    if let Some(out_path) = arg_str(args, "--out") {
+        if let Err(e) = write_measured_report(out_path, &current) {
+            usage_error(&format!("cannot write aggregate `{out_path}`: {e}"));
+        }
+        println!("perfgate: wrote min-of-k aggregate to `{out_path}`");
+    }
+
+    if has_flag(args, "--update") {
+        // The measured twin of the simulated workload guard: overwriting a baseline
+        // taken on a different machine shape would poison every later gate run on
+        // the original machine, silently.  An intentional machine switch requires
+        // deleting the old baseline first, which makes the switch explicit in the
+        // diff.
+        if let Ok(existing) = read_measured_report(baseline_path) {
+            if let Err(e) = check_fingerprint(&current, &existing) {
+                eprintln!(
+                    "perfgate: refusing to overwrite `{baseline_path}`: {e}; delete the \
+                     baseline first if the machine switch is intentional"
+                );
+                std::process::exit(EXIT_FINGERPRINT);
+            }
+        }
+        if let Err(e) = write_measured_report(baseline_path, &current) {
+            usage_error(&format!("cannot update baseline `{baseline_path}`: {e}"));
+        }
+        println!("perfgate: measured baseline `{baseline_path}` updated");
+        return;
+    }
+
+    let baseline = match read_measured_report(baseline_path) {
+        Ok(r) => r,
+        Err(e) => usage_error(&format!(
+            "cannot read measured baseline `{baseline_path}`: {e} (generate one with \
+             `perfgate --measured --current <runs...> --update`)"
+        )),
+    };
+
+    if let Err(e) = check_fingerprint(&current, &baseline) {
+        if soft {
+            println!("perfgate: SOFT-SKIP (fingerprint) — {e}");
+            return;
+        }
+        eprintln!("perfgate: {e}");
+        std::process::exit(EXIT_FINGERPRINT);
+    }
+
+    let outcome = compare_measured(&current, &baseline, threshold_pct, mad_k);
+    println!(
+        "perfgate: measured gate vs `{baseline_path}` (threshold {threshold_pct}%, mad-k {mad_k})"
+    );
+    println!(
+        "{:<44} {:>12} {:>12} {:>12} {:>9}",
+        "bench", "baseline us", "current us", "allowed +us", "delta"
+    );
+    for row in &outcome.rows {
+        let verdict = if row.regressed() { "  REGRESSED" } else { "" };
+        println!(
+            "{:<44} {:>12.3} {:>12.3} {:>12.3} {:>8.1}%{verdict}",
+            row.name,
+            row.baseline_s * 1e6,
+            row.current_s * 1e6,
+            row.allowed_s * 1e6,
+            row.delta_pct()
+        );
+    }
+    for missing in &outcome.missing {
+        println!("{missing:<44} missing from the current runs  REGRESSED");
+    }
+    for added in &outcome.added {
+        println!(
+            "{added:<44} new bench (not in baseline; consider `perfgate --measured --update`)"
+        );
+    }
+
+    if outcome.passed() {
+        println!("perfgate: OK — no bench regressed beyond max({threshold_pct}%, {mad_k}*MAD)");
+    } else {
+        println!(
+            "perfgate: {} — {} regression(s), {} missing bench(es):",
+            if soft { "SOFT-FAIL" } else { "FAILED" },
+            outcome.regressions().len(),
+            outcome.missing.len()
+        );
+        for line in outcome.failure_lines() {
+            println!("  {line}");
+        }
+        if !soft {
+            std::process::exit(1);
+        }
+    }
+}
+
+// -------------------------------------------------------------------------------------
+// Simulated mode (the original gate)
+// -------------------------------------------------------------------------------------
+
+fn simulated_main(args: &[String]) {
+    let Some(current_path) = arg_str(args, "--current") else {
+        usage_error("--current <report.json> is required");
+    };
+    let baseline_path = arg_str(args, "--baseline").unwrap_or(DEFAULT_BASELINE);
+    let threshold_pct = threshold_arg(args, DEFAULT_THRESHOLD_PCT);
+    let soft = has_flag(args, "--soft");
 
     let current = match read_json_report(current_path) {
         Ok(r) => r,
         Err(e) => usage_error(&format!("cannot read current report `{current_path}`: {e}")),
     };
 
-    if has_flag(&args, "--update") {
+    if has_flag(args, "--update") {
         // The same workload guard as gating: silently replacing the micro-workload
         // baseline with, say, a `--workload skewed` report would poison every later
         // gate run.  An intentional workload switch requires removing the old
@@ -143,7 +342,8 @@ fn main() {
         );
     } else {
         println!(
-            "perfgate: FAILED — {} regression(s), {} missing row(s):",
+            "perfgate: {} — {} regression(s), {} missing row(s):",
+            if soft { "SOFT-FAIL" } else { "FAILED" },
             outcome.regressions().len() + outcome.serve_regressions().len(),
             outcome.missing.len()
         );
@@ -152,6 +352,8 @@ fn main() {
         for line in outcome.failure_lines() {
             println!("  {line}");
         }
-        std::process::exit(1);
+        if !soft {
+            std::process::exit(1);
+        }
     }
 }

@@ -134,6 +134,8 @@ fn measure_row(server: &Server, iters: usize, requests: usize) -> ServeRow {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // --wait exports PARLO_WAIT before any pool is constructed (see wait_arg).
+    parlo_bench::wait_arg(&args);
     let trace = trace_setup(&args);
     let threads = parlo_bench::threads_arg(&args).saturating_sub(1).max(1);
     let gang = arg_value(&args, "--gang").unwrap_or(2);

@@ -50,6 +50,8 @@ fn run_points(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // --wait exports PARLO_WAIT before any pool is constructed (see wait_arg).
+    parlo_bench::wait_arg(&args);
     // Validate --json before any measurement runs (fail fast on a malformed flag).
     let _ = json_path_arg(&args);
     let trace = trace_setup(&args);

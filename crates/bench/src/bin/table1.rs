@@ -17,7 +17,9 @@
 //! micro-benchmark or one of the irregular kernels, whose straggler time inflates a
 //! static schedule's *effective* burden), `--topology detect|paper|SxC`,
 //! `--pin compact|scatter|none`, `--flat-sync` (worker placement, see
-//! `parlo_bench::placement_args`).
+//! `parlo_bench::placement_args`), `--wait spin|spinyield|yield|park|auto` (wait
+//! policy of every constructed pool, exported as `PARLO_WAIT`; see
+//! `parlo_bench::wait_arg`).
 
 use parlo_analysis::Table;
 use parlo_bench::{
@@ -126,6 +128,8 @@ fn simulate(args: &[String], write_json: bool) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // --wait exports PARLO_WAIT before any pool is constructed (see wait_arg).
+    parlo_bench::wait_arg(&args);
     // Validate --json before any measurement runs: a malformed flag must fail fast,
     // not after minutes of native sweeping.
     let _ = json_path_arg(&args);

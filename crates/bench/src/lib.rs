@@ -26,6 +26,8 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
 
+pub mod measured;
+
 /// Default number of repetitions per sweep point (each repetition runs the whole loop).
 pub const DEFAULT_REPS: usize = 15;
 
@@ -202,6 +204,33 @@ pub fn arg_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 /// Returns `true` if the flag is present.
 pub fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Collects every value of a repeatable string-valued flag, in order
+/// (`--current a --current b` → `["a", "b"]`).
+pub fn arg_strs<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+/// Applies a `--wait <spec>` flag (spin|spinyield|yield|park|auto) by exporting
+/// `PARLO_WAIT`, which every pool family consults in `WaitPolicy::auto_for` — so one
+/// flag reaches every runtime a bench bin constructs, without threading a policy
+/// through each constructor.  Call this before building any pool.  An unparsable spec
+/// is a hard usage error (exit 2): a bench run under the wrong wait policy would
+/// silently measure the wrong thing.
+pub fn wait_arg(args: &[String]) {
+    if let Some(spec) = arg_str(args, "--wait") {
+        if let Err(e) = parlo_core::WaitPolicy::from_spec(spec) {
+            eprintln!("error: --wait: {e}");
+            std::process::exit(2);
+        }
+        std::env::set_var("PARLO_WAIT", spec);
+    }
 }
 
 /// The value of `--json <path>`, if the flag is present.  A `--json` flag without a

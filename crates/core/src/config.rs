@@ -65,7 +65,11 @@ pub struct Config {
     pub topology: Topology,
     /// Thread pinning policy.
     pub pin: PinPolicy,
-    /// Waiting policy for all synchronization.
+    /// Waiting policy for all synchronization.  Defaults to
+    /// [`WaitPolicy::auto_for`]: aggressive spin-then-yield when the thread count fits
+    /// the hardware, [`WaitMode::Park`](parlo_barrier::WaitMode::Park) (bounded spin →
+    /// yield → condvar park with wake-on-release) when oversubscribed; the `PARLO_WAIT`
+    /// environment variable overrides the automatic choice.
     pub wait: WaitPolicy,
     /// Explicit arrival-tree fan-in; `None` uses the topology's suggestion.
     pub fanin: Option<usize>,

@@ -368,8 +368,12 @@ impl Executor {
         let active = st.actives.remove(pos);
         active.attached.store(false, Ordering::Release);
         // The hook drives the departing client's own synchronization; workers in
-        // the body reach their exit without needing the state lock.
+        // the body reach their exit without needing the state lock.  Workers that
+        // chose WaitMode::Park and blocked between the client's loops are woken by
+        // the hook's own release stores; the explicit wake below also covers a
+        // worker that committed to park right as the lease flipped to detached.
         (active.detach)();
+        parlo_barrier::wake_parked();
         while st.in_body_of(client) > 0 {
             st = self.wait_master(st);
         }

@@ -1,0 +1,145 @@
+//! Property-based tests of the measured-gate statistics
+//! (`parlo_bench::measured`): min-of-k aggregation and the MAD-based
+//! noise-tolerant allowance.  Two properties anchor the gate's contract:
+//!
+//! * **no false positive at recorded noise** — a current measurement within the
+//!   baseline's own recorded dispersion (`mad_k · MAD`) never fails, no matter
+//!   how small the percentage threshold is;
+//! * **guaranteed catch of a genuine 2× regression** — as long as the noise
+//!   allowance is itself smaller than the baseline (i.e. the bench is not pure
+//!   noise), a doubling always fails for any threshold up to 25%.
+
+use parlo_bench::measured::{
+    aggregate, compare_measured, mad, median, CriterionBench, CriterionRun, HostFingerprint,
+    MeasuredReport, MeasuredRow,
+};
+use proptest::prelude::*;
+
+fn host() -> HostFingerprint {
+    HostFingerprint {
+        cpus: 4,
+        parlo_threads: 2,
+    }
+}
+
+fn report_row(min_s: f64, mad_s: f64) -> MeasuredReport {
+    MeasuredReport {
+        host: host(),
+        runs: 5,
+        rows: vec![MeasuredRow {
+            name: "g/bench".to_string(),
+            min_s,
+            mad_s,
+            runs: 5,
+        }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The median is always within the sample range and the MAD is non-negative
+    /// and bounded by the sample spread.
+    #[test]
+    fn median_and_mad_are_bounded_by_the_samples(
+        samples in prop::collection::vec(1e-9f64..1.0, 1..40),
+    ) {
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let m = median(&samples);
+        prop_assert!(lo <= m && m <= hi);
+        let d = mad(&samples);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= hi - lo + 1e-18);
+    }
+
+    /// Min-of-k is the minimum of the per-run medians for every bench, for any
+    /// partition of benches across runs.
+    #[test]
+    fn aggregate_min_is_the_smallest_per_run_median(
+        medians in prop::collection::vec(1e-9f64..1.0, 1..8),
+    ) {
+        let runs: Vec<CriterionRun> = medians
+            .iter()
+            .map(|&m| CriterionRun {
+                host: host(),
+                benches: vec![CriterionBench {
+                    name: "g/bench".to_string(),
+                    median_s: m,
+                    mad_s: 0.0,
+                }],
+            })
+            .collect();
+        let agg = aggregate(&runs).unwrap();
+        let expect = medians.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(agg.rows[0].min_s, expect);
+        prop_assert_eq!(agg.rows[0].runs, medians.len() as u64);
+    }
+
+    /// No false positive at recorded noise: any current value within
+    /// `mad_k · MAD` of the baseline passes, even at a 0.01% threshold.
+    #[test]
+    fn noise_within_recorded_dispersion_never_fails(
+        base_s in 1e-7f64..1e-2,
+        mad_frac in 0.0f64..0.2,
+        noise_frac in 0.0f64..1.0,
+        mad_k in 1.0f64..8.0,
+    ) {
+        let mad_s = base_s * mad_frac;
+        // Drift anywhere inside the noise allowance (scaled slightly under it to
+        // stay clear of floating-point equality at the boundary).
+        let current_s = base_s + noise_frac * 0.999 * mad_k * mad_s;
+        let baseline = report_row(base_s, mad_s);
+        let current = report_row(current_s, mad_s);
+        let outcome = compare_measured(&current, &baseline, 0.01, mad_k);
+        prop_assert!(
+            outcome.passed(),
+            "drift {:.3}% of a {}·MAD allowance failed: {:?}",
+            noise_frac * 100.0,
+            mad_k,
+            outcome.failure_lines()
+        );
+    }
+
+    /// Guaranteed catch: a 2× regression always fails whenever the noise
+    /// allowance is smaller than the baseline itself and the percentage
+    /// threshold is at most 25%.
+    #[test]
+    fn a_2x_regression_is_always_caught(
+        base_s in 1e-7f64..1e-2,
+        mad_frac in 0.0f64..0.1,
+        threshold_pct in 0.1f64..25.0,
+        mad_k in 1.0f64..8.0,
+    ) {
+        let mad_s = base_s * mad_frac;
+        // Precondition of the property: the bench is not pure noise (the vendored
+        // proptest has no prop_assume, so the case is vacuously true otherwise —
+        // with mad_frac < 0.1 and mad_k < 8 the precondition in fact always holds).
+        if mad_k * mad_s < base_s {
+            let baseline = report_row(base_s, mad_s);
+            let current = report_row(2.0 * base_s, mad_s);
+            let outcome = compare_measured(&current, &baseline, threshold_pct, mad_k);
+            prop_assert!(!outcome.passed(), "2x regression sailed through");
+            prop_assert_eq!(outcome.regressions().len(), 1);
+        }
+    }
+
+    /// The allowance is monotone: loosening either knob never turns a pass into
+    /// a failure.
+    #[test]
+    fn loosening_the_gate_never_fails_a_passing_bench(
+        base_s in 1e-7f64..1e-2,
+        mad_frac in 0.0f64..0.2,
+        drift_frac in 0.0f64..0.5,
+        threshold_pct in 0.1f64..20.0,
+        mad_k in 1.0f64..6.0,
+    ) {
+        let baseline = report_row(base_s, base_s * mad_frac);
+        let current = report_row(base_s * (1.0 + drift_frac), base_s * mad_frac);
+        let tight = compare_measured(&current, &baseline, threshold_pct, mad_k);
+        let loose = compare_measured(&current, &baseline, threshold_pct * 2.0, mad_k + 1.0);
+        if tight.passed() {
+            prop_assert!(loose.passed(), "loosening both knobs must keep passing");
+        }
+    }
+}

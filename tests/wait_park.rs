@@ -1,0 +1,135 @@
+//! Oversubscription battery for the `Park` wait mode.
+//!
+//! Park is the policy [`WaitPolicy::auto_for`] selects when workers outnumber
+//! hardware threads: a bounded spin, a bounded yield phase, then a timed condvar
+//! park on the process-wide hub (`parlo_barrier::wake_parked`).  The hazard class
+//! it must be immune to is the *lost wake*: a releaser stores the barrier flag
+//! and rings the hub in the instant between a waiter's last flag check and its
+//! sleep.  These tests drive the full pool stack — loops, reductions, every
+//! barrier flavor, executor lease detach/re-attach, long master pauses — at
+//! thread counts far beyond the hardware, where a deadlock or a missed wake
+//! would hang the suite rather than merely slow it down.
+
+use parlo::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A thread count that is oversubscribed on any machine this suite runs on.
+fn oversubscribed_threads() -> usize {
+    (hardware_threads() * 4).clamp(8, 32)
+}
+
+#[test]
+fn park_policy_completes_loops_when_heavily_oversubscribed() {
+    let threads = oversubscribed_threads();
+    let mut pool = FineGrainPool::new(Config::builder(threads).wait(WaitPolicy::park()).build());
+    assert_eq!(pool.config().wait.mode, WaitMode::Park);
+    for round in 0..20 {
+        let hits: Vec<AtomicUsize> = (0..512).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..512, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "round {round}: some index not executed exactly once"
+        );
+    }
+}
+
+#[test]
+fn park_policy_is_exact_for_every_barrier_kind() {
+    let threads = oversubscribed_threads();
+    // Integer-valued f64 sum: exact in any combine order, so any lost or doubled
+    // index under any barrier flavor shows up as an exact mismatch.
+    let expected: f64 = (4000 * 3999 / 2) as f64;
+    for kind in BarrierKind::ALL {
+        let mut pool = FineGrainPool::new(
+            Config::builder(threads)
+                .barrier(kind)
+                .wait(WaitPolicy::park())
+                .build(),
+        );
+        let got = pool.parallel_sum(0..4000, |i| i as f64);
+        assert_eq!(
+            got, expected,
+            "barrier {kind:?} under Park diverged from the exact sum"
+        );
+        let hits: Vec<AtomicUsize> = (0..300).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..300, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "barrier {kind:?} under Park missed or repeated an index"
+        );
+    }
+}
+
+/// Two parked pools alternating on one executor: every switch detaches the
+/// leaving pool's workers (which may be parked on the hub, waiting for that
+/// pool's next fork) and re-attaches them to the other pool.  The detach path
+/// must wake parked waiters or the switch deadlocks.
+#[test]
+fn park_policy_wakes_cleanly_across_lease_detach_and_reattach() {
+    let threads = oversubscribed_threads();
+    let placement = PlacementConfig::default();
+    let executor = Executor::for_placement(&placement);
+    let config = || {
+        Config::builder(threads)
+            .placement(&placement)
+            .wait(WaitPolicy::park())
+            .build()
+    };
+    let mut a = FineGrainPool::new_on(config(), &executor);
+    let mut b = FineGrainPool::new_on(config(), &executor);
+    for round in 0..30 {
+        let sum_a = a.parallel_sum(0..1000, |i| i as f64);
+        let sum_b = b.parallel_sum(0..1000, |i| i as f64);
+        assert_eq!(sum_a, 499_500.0, "pool a, round {round}");
+        assert_eq!(sum_b, 499_500.0, "pool b, round {round}");
+    }
+    let stats = executor.stats();
+    assert_eq!(stats.leases, 2);
+    assert!(
+        stats.switches >= 2,
+        "lease must have switched between the pools: {stats:?}"
+    );
+}
+
+/// Master-side pauses longer than the maximum park interval force workers all
+/// the way down the wait ladder (spin → yield → repeated timed parks) before
+/// each fork.  The next loop must still start promptly and compute correctly —
+/// this is the lost-wake backstop working as designed.
+#[test]
+fn park_policy_survives_master_pauses_longer_than_max_park() {
+    let threads = oversubscribed_threads();
+    let mut pool = FineGrainPool::new(Config::builder(threads).wait(WaitPolicy::park()).build());
+    for _ in 0..5 {
+        // 12 ms > 2 * MAX_PARK (5 ms): every worker is deep in timed-park when
+        // the fork arrives.
+        std::thread::sleep(std::time::Duration::from_millis(12));
+        let got = pool.parallel_sum(0..2000, |i| i as f64);
+        assert_eq!(got, 1_999_000.0);
+    }
+}
+
+/// `auto`-selected policies never pick Park when the pool is not oversubscribed
+/// relative to the machine, and always pick it when it clearly is; an explicit
+/// `PARLO_WAIT` would override this, so the test uses the pure constructor.
+#[test]
+fn auto_policy_parks_only_when_oversubscribed() {
+    let hw = hardware_threads();
+    let over = WaitPolicy::auto_for(hw * 4 + 1);
+    if std::env::var("PARLO_WAIT").is_err() {
+        assert_eq!(over.mode, WaitMode::Park, "{}x hw threads must park", 4);
+        if hw > 1 {
+            let under = WaitPolicy::auto_for(1);
+            assert_ne!(under.mode, WaitMode::Park, "undersubscribed must not park");
+        }
+    }
+}

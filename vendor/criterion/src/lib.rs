@@ -14,10 +14,14 @@
 //! indicative numbers, and `cargo bench` stays dependency-free and offline.
 //!
 //! One machine-readable hook exists for CI: when the `CRITERION_JSON` environment
-//! variable names a file, every completed benchmark's **median** per-iteration time is
-//! collected and written there as JSON when the `criterion_main!`-generated `main`
-//! returns (`--quick` runs included), so perf gates can consume bench output without
-//! scraping the human-readable lines.
+//! variable names a file, every completed benchmark's **median** per-iteration time
+//! (plus its **median absolute deviation**, the robust dispersion estimate
+//! `perfgate --measured` builds its noise thresholds from) is collected and written
+//! there as JSON when the `criterion_main!`-generated `main` returns (`--quick` runs
+//! included), so perf gates can consume bench output without scraping the
+//! human-readable lines.  The report also records a **host fingerprint** (cpu count
+//! and `PARLO_THREADS`), which the measured gate uses to refuse comparing numbers
+//! taken on differently shaped machines.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -34,6 +38,8 @@ pub struct BenchResult {
     pub name: String,
     /// Median per-iteration time over the collected samples, in seconds.
     pub median_s: f64,
+    /// Median absolute deviation of the samples around their median, in seconds.
+    pub mad_s: f64,
     /// Number of samples the median was taken over.
     pub samples: usize,
 }
@@ -51,6 +57,14 @@ fn median(samples: &[f64]) -> f64 {
     }
 }
 
+/// Median absolute deviation of a sample set around its median (raw, unscaled).
+fn mad(samples: &[f64]) -> f64 {
+    debug_assert!(!samples.is_empty());
+    let m = median(samples);
+    let deviations: Vec<f64> = samples.iter().map(|s| (s - m).abs()).collect();
+    median(&deviations)
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control characters).
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -65,20 +79,32 @@ fn escape_json(s: &str) -> String {
     out
 }
 
-/// Serializes results as `{"benches":[{"name":...,"median_s":...,"samples":...}]}`.
+/// Serializes results as
+/// `{"host":{"cpus":...,"parlo_threads":...},"benches":[{"name":...,"median_s":...,"mad_s":...,"samples":...}]}`.
 fn results_to_json(results: &[BenchResult]) -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let parlo_threads: usize = std::env::var("PARLO_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let rows: Vec<String> = results
         .iter()
         .map(|r| {
             format!(
-                "{{\"name\":\"{}\",\"median_s\":{:e},\"samples\":{}}}",
+                "{{\"name\":\"{}\",\"median_s\":{:e},\"mad_s\":{:e},\"samples\":{}}}",
                 escape_json(&r.name),
                 r.median_s,
+                r.mad_s,
                 r.samples
             )
         })
         .collect();
-    format!("{{\"benches\":[{}]}}\n", rows.join(","))
+    format!(
+        "{{\"host\":{{\"cpus\":{cpus},\"parlo_threads\":{parlo_threads}}},\"benches\":[{}]}}\n",
+        rows.join(",")
+    )
 }
 
 /// Writes the collected results of this process to `path` as JSON.
@@ -290,6 +316,7 @@ fn run_bench(
         .push(BenchResult {
             name: record_name.to_string(),
             median_s: median(&b.samples),
+            mad_s: mad(&b.samples),
             samples: b.samples.len(),
         });
 }
@@ -343,23 +370,36 @@ mod tests {
     }
 
     #[test]
+    fn mad_measures_dispersion_around_the_median() {
+        assert_eq!(mad(&[5.0]), 0.0);
+        assert_eq!(mad(&[2.0, 2.0, 2.0]), 0.0);
+        // median = 3, |deviations| = [2, 1, 0, 1, 2], median of those = 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 5.0]), 1.0);
+    }
+
+    #[test]
     fn json_output_is_well_formed_and_escaped() {
         let results = vec![
             BenchResult {
                 name: "group/bench \"a\"".into(),
                 median_s: 1.5e-6,
+                mad_s: 2.0e-8,
                 samples: 3,
             },
             BenchResult {
                 name: "plain".into(),
                 median_s: 2.0e-3,
+                mad_s: 0.0,
                 samples: 10,
             },
         ];
         let json = results_to_json(&results);
-        assert!(json.starts_with("{\"benches\":["));
+        assert!(json.starts_with("{\"host\":{\"cpus\":"));
+        assert!(json.contains("\"parlo_threads\":"));
+        assert!(json.contains("\"benches\":["));
         assert!(json.contains("\\\"a\\\""));
         assert!(json.contains("\"samples\":10"));
+        assert!(json.contains("\"mad_s\":2e-8") || json.contains("\"mad_s\":2e-08"));
         assert!(json.contains("1.5e-6") || json.contains("1.5e-06"));
         // Balanced braces/brackets (a cheap well-formedness check without a parser).
         assert_eq!(
