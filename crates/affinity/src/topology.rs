@@ -228,6 +228,44 @@ impl Topology {
         }
         groups
     }
+
+    /// The socket that worker index `worker` occupies under the compact layout —
+    /// the same `(worker / cores_per_socket) % sockets` rule [`Topology::worker_groups`]
+    /// and the hierarchical barrier use, so every layer classifies a worker pair as
+    /// local or remote identically.
+    pub fn socket_of_worker(&self, worker: usize) -> SocketId {
+        let cps = self.cores_per_socket().max(1);
+        (worker / cps) % self.num_sockets().max(1)
+    }
+
+    /// NUMA tier distance between two compactly placed workers: `0` when they share a
+    /// socket, `1` when a cache line between them crosses the interconnect.  (The
+    /// machines modelled here have a flat socket interconnect, so every remote pair is
+    /// one tier apart; a deeper hierarchy would extend this.)
+    pub fn worker_tier_distance(&self, a: usize, b: usize) -> usize {
+        usize::from(self.socket_of_worker(a) != self.socket_of_worker(b))
+    }
+
+    /// The steal-victim tiers of `worker` in a compactly placed team of `nthreads`:
+    /// `tiers[0]` lists the same-socket peers (the cheap victims), and each following
+    /// tier lists one remote socket's workers, remote sockets in ring order starting
+    /// from the worker's own.  `worker` itself is never listed, and empty tiers are
+    /// dropped, so a sweep can walk the tiers outward and fall back to the next one
+    /// only when the current tier is dry.
+    pub fn victim_tiers(&self, worker: usize, nthreads: usize) -> Vec<Vec<usize>> {
+        let groups = self.worker_groups(nthreads);
+        let nsockets = groups.len();
+        let home = self.socket_of_worker(worker);
+        let mut tiers = Vec::with_capacity(nsockets);
+        for step in 0..nsockets {
+            let s = (home + step) % nsockets;
+            let tier: Vec<usize> = groups[s].iter().copied().filter(|&w| w != worker).collect();
+            if !tier.is_empty() {
+                tiers.push(tier);
+            }
+        }
+        tiers
+    }
 }
 
 impl Default for Topology {
@@ -292,6 +330,64 @@ mod tests {
         let mut all: Vec<usize> = groups.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, (0..48).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn socket_of_worker_matches_worker_groups() {
+        for (sockets, cores) in [(1usize, 4usize), (2, 4), (4, 8), (4, 12)] {
+            let t = Topology::synthetic(sockets, cores).unwrap();
+            let nthreads = sockets * cores;
+            for (s, group) in t.worker_groups(nthreads).iter().enumerate() {
+                for &w in group {
+                    assert_eq!(t.socket_of_worker(w), s, "{sockets}x{cores} worker {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tier_distance_is_zero_within_a_socket_and_one_across() {
+        let t = Topology::synthetic(2, 4).unwrap();
+        assert_eq!(t.worker_tier_distance(0, 3), 0);
+        assert_eq!(t.worker_tier_distance(0, 4), 1);
+        assert_eq!(t.worker_tier_distance(5, 7), 0);
+        assert_eq!(t.worker_tier_distance(5, 2), 1);
+    }
+
+    #[test]
+    fn victim_tiers_are_local_first_cover_everyone_and_skip_self() {
+        let t = Topology::synthetic(4, 8).unwrap();
+        for worker in 0..32 {
+            let tiers = t.victim_tiers(worker, 32);
+            // Local tier: the 7 same-socket peers.
+            assert_eq!(tiers[0].len(), 7);
+            assert!(tiers[0]
+                .iter()
+                .all(|&v| t.worker_tier_distance(worker, v) == 0));
+            // Remote tiers: one per other socket, all cross-socket.
+            for tier in &tiers[1..] {
+                assert_eq!(tier.len(), 8);
+                assert!(tier.iter().all(|&v| t.worker_tier_distance(worker, v) == 1));
+            }
+            let mut all: Vec<usize> = tiers.into_iter().flatten().collect();
+            all.sort_unstable();
+            let expected: Vec<usize> = (0..32).filter(|&w| w != worker).collect();
+            assert_eq!(all, expected, "worker {worker}");
+        }
+    }
+
+    #[test]
+    fn victim_tiers_drop_empty_tiers_on_small_teams() {
+        // 3 workers on a 2x4 machine all land on socket 0: one local tier, no remote.
+        let t = Topology::synthetic(2, 4).unwrap();
+        let tiers = t.victim_tiers(0, 3);
+        assert_eq!(tiers, vec![vec![1, 2]]);
+        // A lone worker has no victims at all.
+        assert!(t.victim_tiers(0, 1).is_empty());
+        // 5 workers spill one onto socket 1: that worker's local tier is empty and
+        // dropped, so its first (and only) tier is the remote socket.
+        let tiers = t.victim_tiers(4, 5);
+        assert_eq!(tiers, vec![vec![0, 1, 2, 3]]);
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Irregular-workload figure: speedup of every roster scheduler on the two
 //! load-imbalanced kernels (skewed-geometric iteration cost and the triangular loop
-//! nest), one series per scheduler per workload — the companion figure to Table 1's
-//! uniform micro-benchmark, showing where the balancing runtimes (dynamic chunks,
-//! stealing) earn their larger burden back.
+//! nest) plus the cache-hostile probe kernel, one series per scheduler per workload —
+//! the companion figure to Table 1's uniform micro-benchmark, showing where the
+//! balancing runtimes (dynamic chunks, stealing) earn their larger burden back and
+//! where data placement (locality-aware stealing) matters.
 //!
 //! ```text
 //! irregular [--threads N] [--reps N] [--n ITERS] [--units U] [--csv] [--json <path>]
-//!           [--trace <path>] [--topology detect|paper|SxC]
+//!           [--trace <path>] [--steal-local] [--topology detect|paper|SxC]
 //!           [--pin compact|scatter|none] [--flat-sync]
 //! ```
 //!
@@ -17,8 +18,8 @@
 use parlo_analysis::Table;
 use parlo_bench::{
     arg_value, has_flag, json_path_arg, measure_roster_entry, parallel_time_of, placement_args,
-    sequential_time_of, sweep_roster, threads_arg, trace_finish, trace_setup, write_json_report,
-    BenchReport, RosterContext, SweepRow, WorkloadKind,
+    sequential_time_of, steal_local_arg, sweep_roster, threads_arg, trace_finish, trace_setup,
+    write_json_report, BenchReport, RosterContext, SweepRow, WorkloadKind,
 };
 use parlo_workloads::microbench::SweepPoint;
 use parlo_workloads::LoopRuntime;
@@ -27,8 +28,13 @@ use parlo_workloads::LoopRuntime;
 /// enough for a quick run).
 const DEFAULT_ITERS: usize = 2048;
 
-/// The two irregular kernels, in column order.
-const KINDS: [WorkloadKind; 2] = [WorkloadKind::SkewedGeometric, WorkloadKind::TriangularNest];
+/// The measured kernels, in column order: the two load-imbalanced ones, then the
+/// cache-hostile probe kernel (uniform cost, placement-sensitive traffic).
+const KINDS: [WorkloadKind; 3] = [
+    WorkloadKind::SkewedGeometric,
+    WorkloadKind::TriangularNest,
+    WorkloadKind::CacheHostile,
+];
 
 /// Measures one scheduler on both kernels; returns its speedup columns.
 fn measure(
@@ -73,7 +79,12 @@ fn main() {
         format!(
             "Irregular workloads ({threads} threads, n = {iterations}): speedup over sequential"
         ),
-        &["scheduler", "skewed-geometric", "triangular-nest"],
+        &[
+            "scheduler",
+            "skewed-geometric",
+            "triangular-nest",
+            "cache-hostile",
+        ],
     );
     // The rows mix both kernels (keys are qualified `key@workload`), so the report's
     // workload marker is the bin's own.
@@ -84,7 +95,7 @@ fn main() {
         .collect();
 
     // One substrate for the whole run (see `RosterContext`).
-    let ctx = RosterContext::new(threads, placement);
+    let ctx = RosterContext::new(threads, placement).with_steal_local(steal_local_arg(&args));
     for entry in sweep_roster() {
         // The stealing entry is measured through its concrete type so its StealStats
         // land in the report next to the timings.

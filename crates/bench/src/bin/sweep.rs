@@ -4,16 +4,19 @@
 //!
 //! Flags: `--threads N`, `--reps N`, `--quick`, `--runtime NAME` (run one scheduler
 //! only — `adaptive` selects the online scheduler-selection runtime), `--workload
-//! micro|skewed|triangular` (loop body: uniform micro-benchmark or one of the
-//! irregular kernels), `--json <path>` (machine-readable report of the measured
-//! points, including the stealing runtime's `StealStats`), `--trace <path>` (Chrome
-//! trace-event timeline), `--topology detect|paper|SxC`,
-//! `--pin compact|scatter|none`, `--flat-sync` (worker placement).
+//! micro|skewed|triangular|cache` (loop body: uniform micro-benchmark, one of the
+//! irregular kernels, or the cache-hostile probe kernel), `--steal-local` (base
+//! stealing entry uses the locality-aware tiered sweep), `--json <path>`
+//! (machine-readable report of the measured points, including the stealing runtime's
+//! `StealStats`), `--trace <path>` (Chrome trace-event timeline),
+//! `--topology detect|paper|SxC`, `--pin compact|scatter|none`, `--flat-sync`
+//! (worker placement).
 
 use parlo_bench::{
     arg_str, arg_value, has_flag, json_path_arg, measure_roster_entry, parallel_time_of,
-    placement_args, sequential_time_of, sweep_roster, threads_arg, trace_finish, trace_setup,
-    workload_arg, write_json_report, BenchReport, RosterContext, SweepRow, DEFAULT_REPS,
+    placement_args, sequential_time_of, steal_local_arg, sweep_roster, threads_arg, trace_finish,
+    trace_setup, workload_arg, write_json_report, BenchReport, RosterContext, SweepRow,
+    DEFAULT_REPS,
 };
 use parlo_workloads::microbench::SweepPoint;
 use parlo_workloads::{microbench, LoopRuntime};
@@ -81,7 +84,7 @@ fn main() {
     println!("scheduler,iterations,units,t_seq_s,t_par_s,speedup");
     // One substrate for the whole run: every measured runtime leases the same
     // workers, so the sweep never oversubscribes the machine against itself.
-    let ctx = RosterContext::new(threads, placement);
+    let ctx = RosterContext::new(threads, placement).with_steal_local(steal_local_arg(&args));
     for entry in roster {
         // The stealing entry is measured through its concrete type so its StealStats
         // (steal attempts/hits, per-worker chunk counts) ride along in the report.

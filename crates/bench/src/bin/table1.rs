@@ -13,9 +13,11 @@
 //! `--json <path>` (machine-readable report of the fitted burdens),
 //! `--trace <path>` (Chrome trace-event timeline of the whole run, one track per
 //! worker; load it in Perfetto or `chrome://tracing`),
-//! `--workload micro|skewed|triangular` (native loop body: the uniform
-//! micro-benchmark or one of the irregular kernels, whose straggler time inflates a
-//! static schedule's *effective* burden), `--topology detect|paper|SxC`,
+//! `--workload micro|skewed|triangular|cache` (native loop body: the uniform
+//! micro-benchmark, one of the irregular kernels — whose straggler time inflates a
+//! static schedule's *effective* burden — or the cache-hostile probe kernel),
+//! `--steal-local` (make the base stealing entry use the locality-aware tiered
+//! sweep instead of the flat random-victim ring), `--topology detect|paper|SxC`,
 //! `--pin compact|scatter|none`, `--flat-sync` (worker placement, see
 //! `parlo_bench::placement_args`), `--wait spin|spinyield|yield|park|auto` (wait
 //! policy of every constructed pool, exported as `PARLO_WAIT`; see
@@ -24,8 +26,8 @@
 use parlo_analysis::Table;
 use parlo_bench::{
     arg_value, fixed_roster, hardware_threads, has_flag, json_path_arg, measure_burden_of,
-    placement_args, threads_arg, trace_finish, trace_setup, workload_arg, write_json_report,
-    BenchReport, BurdenRow, RosterContext, DEFAULT_REPS,
+    placement_args, steal_local_arg, threads_arg, trace_finish, trace_setup, workload_arg,
+    write_json_report, BenchReport, BurdenRow, RosterContext, DEFAULT_REPS,
 };
 use parlo_sim::SimMachine;
 use parlo_workloads::microbench;
@@ -59,7 +61,7 @@ fn native(args: &[String]) {
     // The shared roster (see `parlo_bench::fixed_roster`): each runtime is built
     // lazily and leases its workers from the run's one substrate, so measuring the
     // whole table keeps at most `threads - 1` worker threads alive.
-    let ctx = RosterContext::new(threads, placement);
+    let ctx = RosterContext::new(threads, placement).with_steal_local(steal_local_arg(args));
     for entry in fixed_roster() {
         let label = entry.label;
         let mut runtime = (entry.build)(&ctx);

@@ -21,7 +21,7 @@ use parlo_affinity::{parse_pin_policy, TopologySource};
 use parlo_analysis::{fit_burden, BurdenFit, BurdenMeasurement};
 use parlo_exec::Executor;
 use parlo_workloads::microbench::{self, SweepPoint};
-use parlo_workloads::{irregular, LoopRuntime, PlacementConfig};
+use parlo_workloads::{cache, irregular, LoopRuntime, PlacementConfig};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
@@ -38,9 +38,9 @@ pub const DEFAULT_REPS: usize = 15;
 /// executions rather than calibration probes.
 pub const WARMUP_RUNS: usize = 10;
 
-/// Which loop body a sweep point runs: the uniform granularity micro-benchmark or one
-/// of the irregular (load-imbalanced) kernels.  Selected on `table1`/`sweep` with
-/// `--workload micro|skewed|triangular`.
+/// Which loop body a sweep point runs: the uniform granularity micro-benchmark, one
+/// of the irregular (load-imbalanced) kernels, or the cache-hostile probe kernel.
+/// Selected on `table1`/`sweep` with `--workload micro|skewed|triangular|cache`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WorkloadKind {
     /// Uniform per-iteration cost (the Table-1 micro-benchmark; the default).
@@ -51,14 +51,20 @@ pub enum WorkloadKind {
     /// Triangular loop nest (`parlo_workloads::irregular::triangular_row`); the sweep
     /// point's `units` are ignored — the row index alone sets the cost.
     TriangularNest,
+    /// Cache-hostile probes into the shared large table
+    /// (`parlo_workloads::cache::global_table`): `units` probes per iteration.  The
+    /// workload that discriminates data placement — the locality-aware steal sweep
+    /// and sticky affinity are measured against it.
+    CacheHostile,
 }
 
 impl WorkloadKind {
     /// Every workload, with its `--workload` selector key.
-    pub const ALL: [(WorkloadKind, &'static str); 3] = [
+    pub const ALL: [(WorkloadKind, &'static str); 4] = [
         (WorkloadKind::Micro, "micro"),
         (WorkloadKind::SkewedGeometric, "skewed"),
         (WorkloadKind::TriangularNest, "triangular"),
+        (WorkloadKind::CacheHostile, "cache"),
     ];
 
     /// Parses a `--workload` selector.
@@ -68,7 +74,10 @@ impl WorkloadKind {
             .find(|(_, key)| *key == spec)
             .map(|&(kind, _)| kind)
             .ok_or_else(|| {
-                format!("invalid workload `{spec}`; expected `micro`, `skewed`, or `triangular`")
+                format!(
+                    "invalid workload `{spec}`; expected `micro`, `skewed`, `triangular`, \
+                     or `cache`"
+                )
             })
     }
 
@@ -89,6 +98,7 @@ impl WorkloadKind {
             WorkloadKind::Micro => microbench::work_unit(i, units),
             WorkloadKind::SkewedGeometric => irregular::skewed_term(i, n, units),
             WorkloadKind::TriangularNest => irregular::triangular_row(i),
+            WorkloadKind::CacheHostile => cache::global_table().term(i, units),
         }
     }
 }
@@ -204,6 +214,13 @@ pub fn arg_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 /// Returns `true` if the flag is present.
 pub fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Returns `true` if `--steal-local` is present: the ablation switch that makes the
+/// base [`STEAL_ROSTER_KEY`] entry use the locality-aware sweep (see
+/// [`RosterContext::with_steal_local`]).
+pub fn steal_local_arg(args: &[String]) -> bool {
+    has_flag(args, "--steal-local")
 }
 
 /// Collects every value of a repeatable string-valued flag, in order
@@ -426,6 +443,11 @@ pub struct RosterContext {
     pub placement: PlacementConfig,
     /// The substrate every runtime leases its workers from.
     pub executor: Arc<Executor>,
+    /// Build the base [`STEAL_ROSTER_KEY`] entry with the locality-aware sweep
+    /// instead of the flat random-victim ring (the `--steal-local` flag).  The
+    /// dedicated [`STEAL_LOCAL_ROSTER_KEY`] entry is always locality-aware; this
+    /// switch exists so an A/B ablation can flip the baseline itself.
+    pub steal_local: bool,
 }
 
 impl RosterContext {
@@ -435,7 +457,14 @@ impl RosterContext {
             threads,
             executor: Executor::for_placement(&placement),
             placement,
+            steal_local: false,
         }
+    }
+
+    /// Returns the context with the base stealing entry's locality switch set.
+    pub fn with_steal_local(mut self, steal_local: bool) -> Self {
+        self.steal_local = steal_local;
+        self
     }
 
     /// One-line thread-accounting summary for a bin's stderr trailer.
@@ -464,16 +493,32 @@ pub struct RosterEntry {
     pub build: fn(&RosterContext) -> Box<dyn LoopRuntime>,
 }
 
-/// Roster key of the work-stealing chunk runtime.  The bins that need the concrete
-/// pool (to collect [`StealStats`](parlo_steal::StealStats) for the JSON report)
-/// match on this constant instead of a string literal.
+/// Roster key of the work-stealing chunk runtime (random-victim sweep unless the
+/// context's `steal_local` switch is set).  The bins that need the concrete pool (to
+/// collect [`StealStats`](parlo_steal::StealStats) for the JSON report) match on this
+/// constant instead of a string literal.
 pub const STEAL_ROSTER_KEY: &str = "fine-grain-steal";
+
+/// Roster key of the locality-aware stealing entry: the same pool with the tiered
+/// socket-local-first sweep and remote steal batching enabled.  Measured alongside
+/// [`STEAL_ROSTER_KEY`] so one report carries the locality A/B.
+pub const STEAL_LOCAL_ROSTER_KEY: &str = "fine-grain-steal-local";
 
 /// Builds the stealing pool behind the [`STEAL_ROSTER_KEY`] roster entry — the single
 /// construction point shared by the roster's build closure and the bins that need the
-/// concrete type, so every binary measures an identically configured pool.
+/// concrete type, so every binary measures an identically configured pool.  The sweep
+/// is the flat random-victim ring unless the context's `steal_local` switch is set.
 pub fn build_steal_pool(ctx: &RosterContext) -> parlo_steal::StealPool {
-    parlo_steal::StealPool::with_placement_on(ctx.threads, &ctx.placement, &ctx.executor)
+    let config = parlo_steal::StealConfig::from_placement(ctx.threads, &ctx.placement)
+        .with_locality(ctx.steal_local);
+    parlo_steal::StealPool::new_on(config, &ctx.executor)
+}
+
+/// Builds the locality-aware stealing pool behind [`STEAL_LOCAL_ROSTER_KEY`].
+pub fn build_steal_local_pool(ctx: &RosterContext) -> parlo_steal::StealPool {
+    let config =
+        parlo_steal::StealConfig::from_placement(ctx.threads, &ctx.placement).with_locality(true);
+    parlo_steal::StealPool::new_on(config, &ctx.executor)
 }
 
 fn fine_grain_runtime(
@@ -525,6 +570,11 @@ pub fn fixed_roster() -> Vec<RosterEntry> {
             build: |ctx| Box::new(build_steal_pool(ctx)),
         },
         RosterEntry {
+            key: STEAL_LOCAL_ROSTER_KEY,
+            label: "Fine-grain steal-local",
+            build: |ctx| Box::new(build_steal_local_pool(ctx)),
+        },
+        RosterEntry {
             key: "openmp-static",
             label: "OpenMP static",
             build: |ctx| {
@@ -571,8 +621,12 @@ pub fn measure_roster_entry<R>(
     ctx: &RosterContext,
     measure: impl FnOnce(&mut dyn LoopRuntime) -> R,
 ) -> (R, Option<StealStatsRow>) {
-    if entry.key == STEAL_ROSTER_KEY {
-        let mut pool = build_steal_pool(ctx);
+    if entry.key == STEAL_ROSTER_KEY || entry.key == STEAL_LOCAL_ROSTER_KEY {
+        let mut pool = if entry.key == STEAL_LOCAL_ROSTER_KEY {
+            build_steal_local_pool(ctx)
+        } else {
+            build_steal_pool(ctx)
+        };
         let out = measure(&mut pool);
         let stats = StealStatsRow::from_stats(entry.key, &pool.stats());
         (out, Some(stats))
@@ -682,6 +736,10 @@ pub struct StealStatsRow {
     pub steals_attempted: u64,
     /// Successful steals.
     pub steals_hit: u64,
+    /// Successful steals from a victim on the thief's own socket.
+    pub local_steals: u64,
+    /// Successful steals that crossed a socket boundary.
+    pub remote_steals: u64,
     /// Total chunks executed.
     pub chunks_executed: u64,
     /// Chunks executed by each participant (index 0 is the master).
@@ -695,6 +753,8 @@ impl StealStatsRow {
             scheduler: scheduler.to_string(),
             steals_attempted: stats.steals_attempted,
             steals_hit: stats.steals_hit,
+            local_steals: stats.local_steals,
+            remote_steals: stats.remote_steals,
             chunks_executed: stats.chunks_executed(),
             chunks_per_worker: stats.chunks_per_worker.clone(),
         }
@@ -797,6 +857,23 @@ pub fn read_json_report(path: &str) -> std::io::Result<BenchReport> {
         for (key, default) in defaults {
             if !entries.iter().any(|(k, _)| k == key) {
                 entries.push((key.to_string(), default));
+            }
+        }
+        // The steal rows themselves also grew fields (`local_steals`,
+        // `remote_steals`); patch older rows with zero counters the same way.
+        if let Some(serde::Value::Seq(rows)) = entries
+            .iter_mut()
+            .find(|(k, _)| k == "steal")
+            .map(|(_, v)| v)
+        {
+            for row in rows {
+                if let serde::Value::Map(fields) = row {
+                    for key in ["local_steals", "remote_steals"] {
+                        if !fields.iter().any(|(k, _)| k == key) {
+                            fields.push((key.to_string(), serde::Value::U64(0)));
+                        }
+                    }
+                }
             }
         }
     }
@@ -1108,6 +1185,11 @@ mod tests {
         assert_eq!(row.chunks_per_worker.len(), 2);
         assert_eq!(row.steals_hit, stats.steals_hit);
         assert!(row.steals_attempted >= row.steals_hit);
+        assert_eq!(
+            row.local_steals + row.remote_steals,
+            row.steals_hit,
+            "every hit is classified local or remote"
+        );
     }
 
     #[test]
@@ -1146,6 +1228,7 @@ mod tests {
         assert!(keys.contains(&"adaptive"));
         assert!(keys.contains(&"fine-grain-hier"));
         assert!(keys.contains(&"fine-grain-steal"));
+        assert!(keys.contains(&"fine-grain-steal-local"));
         for entry in roster {
             let mut runtime = (entry.build)(&ctx);
             assert_eq!(runtime.threads(), 2, "entry {}", entry.key);
@@ -1314,6 +1397,21 @@ mod tests {
             report.workload, "micro",
             "missing workload defaults to micro"
         );
+
+        // Steal rows written before the local/remote tier counters existed parse
+        // with those counters defaulted to zero.
+        let mid = r#"{"bench":"sweep","threads":4,"workload":"micro","burdens":[],
+            "points":[],"serve":[],"steal":[{"scheduler":"fine-grain-steal",
+            "steals_attempted":9,"steals_hit":4,"chunks_executed":32,
+            "chunks_per_worker":[20,12]}]}"#
+            .replace('\n', "");
+        let path = dir.join("mid.json");
+        std::fs::write(&path, mid).unwrap();
+        let report = read_json_report(path.to_str().unwrap()).expect("mid format parses");
+        assert_eq!(report.steal.len(), 1);
+        assert_eq!(report.steal[0].steals_hit, 4);
+        assert_eq!(report.steal[0].local_steals, 0);
+        assert_eq!(report.steal[0].remote_steals, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1363,6 +1461,8 @@ mod tests {
             scheduler: "fine-grain-steal".into(),
             steals_attempted: 12,
             steals_hit: 7,
+            local_steals: 5,
+            remote_steals: 2,
             chunks_executed: 64,
             chunks_per_worker: vec![40, 12, 8, 4],
         });

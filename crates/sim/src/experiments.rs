@@ -116,13 +116,14 @@ mod tests {
     }
 
     #[test]
-    fn table1_has_all_eight_rows_in_order() {
+    fn table1_has_all_nine_rows_in_order() {
         let t = table1(&m());
-        assert_eq!(t.rows.len(), 8);
+        assert_eq!(t.rows.len(), 9);
         assert_eq!(t.rows[0].0, "Fine-grain hierarchical");
         assert_eq!(t.rows[1].0, "Fine-grain tree");
         assert_eq!(t.rows[4].0, "Fine-grain stealing");
-        assert_eq!(t.rows[7].0, "Cilk");
+        assert_eq!(t.rows[5].0, "Fine-grain steal-local");
+        assert_eq!(t.rows[8].0, "Cilk");
         // Every burden is positive and the hierarchical fine-grain row is the smallest
         // (in particular no worse than the flat tree half-barrier).
         let values: Vec<f64> = t.rows.iter().map(|(_, v)| v[0]).collect();

@@ -71,6 +71,43 @@ pub fn worker_run_rev(
     })
 }
 
+/// The number of chunks the **global grid** pre-split of `range` produces:
+/// `ceil(len / chunk)`.  Sticky-affinity loops use this grid instead of the per-block
+/// split of [`worker_run_rev`] so a chunk's index (and therefore its remembered
+/// owner) is stable across invocations regardless of which worker seeds it.
+pub fn grid_chunks(range: &Range<usize>, chunk: usize) -> usize {
+    range.len().div_ceil(chunk.max(1))
+}
+
+/// Chunk `k` of the global grid over `range`: iterations
+/// `[start + k·chunk, min(start + (k+1)·chunk, end))`.
+pub fn grid_chunk(range: &Range<usize>, chunk: usize, k: usize) -> ChunkRange {
+    let chunk = chunk.max(1);
+    let lo = range.start + k * chunk;
+    ChunkRange {
+        start: lo.min(range.end),
+        end: (lo + chunk).min(range.end),
+    }
+}
+
+/// The grid chunks assigned to worker `tid` by the `owners` table (one owner per grid
+/// chunk), in **descending** iteration order — the same push order as
+/// [`worker_run_rev`], so owner-LIFO pops still execute the assigned set front to
+/// back and thieves take from its tail.
+pub fn assigned_run_rev<'a>(
+    range: &Range<usize>,
+    chunk: usize,
+    owners: &'a [u32],
+    tid: usize,
+) -> impl Iterator<Item = ChunkRange> + 'a {
+    let range = range.clone();
+    let chunk = chunk.max(1);
+    (0..owners.len().min(grid_chunks(&range, chunk)))
+        .rev()
+        .filter(move |&k| owners[k] as usize == tid)
+        .map(move |k| grid_chunk(&range, chunk, k))
+}
+
 /// The total number of chunks a pre-split of `range` into per-worker runs produces
 /// (the exact chunk-coverage count the tests account against).
 pub fn total_chunks(range: &Range<usize>, nthreads: usize, chunk: usize) -> u64 {
@@ -125,6 +162,51 @@ mod tests {
             assert!(covered.iter().all(|&c| c == 1), "{len}/{threads}/{chunk}");
             assert_eq!(chunks, total_chunks(&range, threads, chunk));
         }
+    }
+
+    #[test]
+    fn grid_chunks_tile_the_range_exactly() {
+        for (start, len, chunk) in [
+            (0usize, 97usize, 7usize),
+            (11, 64, 64),
+            (5, 13, 1),
+            (3, 0, 4),
+        ] {
+            let range = start..start + len;
+            let n = grid_chunks(&range, chunk);
+            assert_eq!(n, len.div_ceil(chunk));
+            let mut covered = vec![0usize; len];
+            for k in 0..n {
+                let c = grid_chunk(&range, chunk, k);
+                assert!(!c.is_empty());
+                assert!(c.len() <= chunk);
+                for i in c.start..c.end {
+                    covered[i - start] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "{start}/{len}/{chunk}");
+        }
+    }
+
+    #[test]
+    fn assigned_runs_partition_the_grid_by_owner() {
+        let range = 10..107; // 97 iterations, chunk 8 -> 13 grid chunks
+        let chunk = 8;
+        let owners: Vec<u32> = (0..13).map(|k| (k % 3) as u32).collect();
+        let mut covered = vec![0usize; 97];
+        for tid in 0..3 {
+            let mut prev_start = usize::MAX;
+            for c in assigned_run_rev(&range, chunk, &owners, tid) {
+                assert!(c.start < prev_start, "descending within a run");
+                prev_start = c.start;
+                for i in c.start..c.end {
+                    covered[i - 10] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+        // A worker with no assigned chunks gets an empty run.
+        assert_eq!(assigned_run_rev(&range, chunk, &owners, 7).count(), 0);
     }
 
     #[test]

@@ -18,11 +18,21 @@
 //!   exactly `P − 1` combines per merged reduction, keeping the burden comparison with
 //!   the rest of the roster structural, not incidental.
 //!
+//! Stealing is **locality-aware** by default: sweeps walk the topology's victim tiers
+//! socket-local-first (randomized within each tier, falling outward only when the
+//! nearer tier is dry), cross-socket hits take [`REMOTE_STEAL_BATCH`] chunks per bite,
+//! and the site-keyed entry points ([`StealPool::steal_for_at`]) add **sticky
+//! chunk→worker affinity** — each grid chunk re-seeds the deque of whichever
+//! participant executed it last time (see the invalidation contract in the `sticky`
+//! module docs).  [`StealConfig::with_locality`]`(false)` restores the flat
+//! random-victim ring the locality ablation compares against.
+//!
 //! The schedule is nondeterministic by nature, so the crate also exposes the hooks the
 //! test battery is built on: [`SchedulePerturbation`] lets a test drive the pool
-//! through seeded steal schedules, and [`StealStats`] accounts every chunk (per
-//! worker) and every steal attempt/hit, so "no chunk lost or duplicated" is checkable
-//! exactly.
+//! through seeded steal schedules (and [`ScriptedOrder`] scripts exact victim visit
+//! orders), and [`StealStats`] accounts every chunk (per worker) and every steal
+//! attempt/hit — split into local and remote — so "no chunk lost or duplicated" is
+//! checkable exactly.
 //!
 //! ```
 //! use parlo_steal::StealPool;
@@ -42,11 +52,18 @@ mod deque;
 mod perturb;
 mod pool;
 mod runtime;
+mod sticky;
 
-pub use chunk::{default_chunk, total_chunks, worker_run_rev, ChunkRange, CHUNKS_PER_WORKER};
+pub use chunk::{
+    assigned_run_rev, default_chunk, grid_chunk, grid_chunks, total_chunks, worker_run_rev,
+    ChunkRange, CHUNKS_PER_WORKER,
+};
 pub use deque::{ChunkDeque, Full, Steal};
-pub use perturb::{SchedulePerturbation, SeededPerturbation, SweepPlan, MAX_PERTURB_SPINS};
-pub use pool::{StealConfig, StealPool, StealStats};
+pub use perturb::{
+    SchedulePerturbation, ScriptedOrder, SeededPerturbation, SweepPlan, MAX_PERTURB_SPINS,
+};
+pub use pool::{StealConfig, StealPool, StealStats, REMOTE_STEAL_BATCH};
+pub use sticky::StealSite;
 
 // Re-export the trait so depending on `parlo-steal` alone is enough to drive the pool
 // generically.

@@ -28,6 +28,26 @@ pub struct SweepPlan {
 pub trait SchedulePerturbation: Send + Sync {
     /// Plans the `attempt`-th steal sweep of `worker` within loop `epoch`.
     fn steal_sweep(&self, worker: usize, epoch: u64, attempt: u64) -> SweepPlan;
+
+    /// Scripts the exact victim visit order of the `attempt`-th sweep of `worker`,
+    /// overriding both the tiered locality order and the plan's `victim_seed`
+    /// rotation.  The pool visits the returned victims in order (entries equal to
+    /// `worker` or `>= nthreads` are skipped); victims not listed are not probed at
+    /// all in that sweep.  Return `None` (the default) to keep the planned order.
+    ///
+    /// A [`SweepPlan`] can only *delay* a worker relative to the others; this hook is
+    /// what lets a test script schedules like "the local tier is observed empty
+    /// first, forcing the fall-back to a remote socket" deterministically.
+    fn victim_order(
+        &self,
+        worker: usize,
+        epoch: u64,
+        attempt: u64,
+        nthreads: usize,
+    ) -> Option<Vec<usize>> {
+        let _ = (worker, epoch, attempt, nthreads);
+        None
+    }
 }
 
 /// Maximum delay a [`SeededPerturbation`] inserts before one sweep, in spin iterations.
@@ -71,6 +91,48 @@ impl SchedulePerturbation for SeededPerturbation {
     }
 }
 
+/// A perturbation that scripts each worker's victim visit order verbatim: worker `w`
+/// probes exactly `orders[w]` on every sweep (falling back to the seeded rotation when
+/// `orders[w]` is absent or empty).  Delays still come from the wrapped
+/// [`SeededPerturbation`], so a test can combine a fixed probe order with seeded
+/// timing skew — the deterministic "local tier empty first" schedules the locality
+/// battery is built on.
+#[derive(Debug, Clone)]
+pub struct ScriptedOrder {
+    orders: Vec<Vec<usize>>,
+    timing: SeededPerturbation,
+}
+
+impl ScriptedOrder {
+    /// Scripts `orders[w]` as worker `w`'s victim visit order, with sweep delays
+    /// drawn from a [`SeededPerturbation`] over `seed`.
+    pub fn new(orders: Vec<Vec<usize>>, seed: u64) -> Self {
+        ScriptedOrder {
+            orders,
+            timing: SeededPerturbation::new(seed),
+        }
+    }
+}
+
+impl SchedulePerturbation for ScriptedOrder {
+    fn steal_sweep(&self, worker: usize, epoch: u64, attempt: u64) -> SweepPlan {
+        self.timing.steal_sweep(worker, epoch, attempt)
+    }
+
+    fn victim_order(
+        &self,
+        worker: usize,
+        _epoch: u64,
+        _attempt: u64,
+        _nthreads: usize,
+    ) -> Option<Vec<usize>> {
+        match self.orders.get(worker) {
+            Some(order) if !order.is_empty() => Some(order.clone()),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +156,27 @@ mod tests {
             let plan = p.steal_sweep(0, 1, attempt);
             assert!(plan.delay_spins < MAX_PERTURB_SPINS);
         }
+    }
+
+    #[test]
+    fn seeded_perturbation_scripts_no_order() {
+        let p = SeededPerturbation::new(7);
+        assert_eq!(p.victim_order(0, 1, 2, 4), None);
+    }
+
+    #[test]
+    fn scripted_order_replays_its_script_and_falls_back() {
+        let p = ScriptedOrder::new(vec![vec![2, 1], vec![]], 9);
+        // Worker 0 always probes 2 then 1, on every sweep.
+        assert_eq!(p.victim_order(0, 1, 1, 4), Some(vec![2, 1]));
+        assert_eq!(p.victim_order(0, 5, 9, 4), Some(vec![2, 1]));
+        // Empty and unlisted workers fall back to the seeded rotation.
+        assert_eq!(p.victim_order(1, 1, 1, 4), None);
+        assert_eq!(p.victim_order(3, 1, 1, 4), None);
+        // Delays still come from the wrapped seeded perturbation.
+        assert_eq!(
+            p.steal_sweep(2, 3, 4),
+            SeededPerturbation::new(9).steal_sweep(2, 3, 4)
+        );
     }
 }

@@ -22,9 +22,10 @@
 //! after every deque it can see is empty, and whoever claimed a chunk executes it
 //! before arriving — so when the master's join completes, every chunk has run.
 
-use crate::chunk::{default_chunk, worker_run_rev, ChunkRange};
+use crate::chunk::{assigned_run_rev, default_chunk, grid_chunks, worker_run_rev, ChunkRange};
 use crate::deque::ChunkDeque;
 use crate::perturb::{SchedulePerturbation, SweepPlan, MAX_PERTURB_SPINS};
+use crate::sticky::{balanced_owners, StealSite, StickyEntry, StickyLoop, StickyTable};
 use crossbeam::utils::CachePadded;
 use parlo_affinity::{PinPolicy, Topology};
 use parlo_barrier::{Epoch, HalfBarrier, TreeShape, WaitPolicy};
@@ -32,8 +33,15 @@ use parlo_cilk::Steal;
 use parlo_exec::{ClientHooks, Executor, Lease};
 use std::cell::{Cell, UnsafeCell};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// How many chunks a successful **cross-socket** steal takes from its victim in one
+/// bite (when the pool is locality-aware): the thief pays the interconnect transfer
+/// once and amortizes it over a larger span of iterations, which is the NUMA-tier
+/// chunk sizing of the locality design — local steals keep taking single chunks, so
+/// rebalancing granularity inside a socket stays fine.
+pub const REMOTE_STEAL_BATCH: usize = 2;
 
 /// Configuration of a [`StealPool`].
 #[derive(Clone)]
@@ -52,6 +60,12 @@ pub struct StealConfig {
     /// Explicit chunk size for every loop; `None` derives one per loop from
     /// [`default_chunk`].
     pub chunk: Option<usize>,
+    /// Order steal sweeps socket-local-first over the topology's victim tiers
+    /// (randomized within each tier, falling outward only when the current tier is
+    /// dry) and take [`REMOTE_STEAL_BATCH`] chunks per cross-socket steal.  When
+    /// `false` the pool keeps the flat randomized ring sweep — the random-victim
+    /// baseline the locality ablation compares against.
+    pub locality: bool,
     /// Schedule-perturbation hook consulted before every steal sweep (`None` uses a
     /// per-worker xorshift victim rotation with no injected delays).
     pub perturb: Option<Arc<dyn SchedulePerturbation>>,
@@ -64,6 +78,7 @@ impl std::fmt::Debug for StealConfig {
             .field("pin", &self.pin)
             .field("hierarchical", &self.hierarchical)
             .field("chunk", &self.chunk)
+            .field("locality", &self.locality)
             .field("perturbed", &self.perturb.is_some())
             .finish()
     }
@@ -79,6 +94,7 @@ impl Default for StealConfig {
             wait: WaitPolicy::auto_for(num_threads),
             hierarchical: true,
             chunk: None,
+            locality: true,
             perturb: None,
             topology,
         }
@@ -119,6 +135,13 @@ impl StealConfig {
         self.chunk = Some(chunk.max(1));
         self
     }
+
+    /// Enables or disables the locality-aware (tiered, socket-local-first) steal
+    /// sweep; disabling it restores the flat random-victim ring.
+    pub fn with_locality(mut self, locality: bool) -> Self {
+        self.locality = locality;
+        self
+    }
 }
 
 parlo_core::stats_family! {
@@ -138,6 +161,26 @@ parlo_core::stats_family! {
         /// Successful steals; every hit transfers exactly one chunk, so this is also
         /// the number of chunks executed away from their pre-split owner.
         pub steals_hit: u64,
+        /// Successful steals whose victim shares the thief's socket
+        /// (`local_steals + remote_steals == steals_hit`).
+        pub local_steals: u64,
+        /// Successful steals that crossed a socket boundary — the traffic the
+        /// locality-aware sweep exists to minimize.
+        pub remote_steals: u64,
+        /// Loops executed through a site-keyed entry point
+        /// ([`StealPool::steal_for_at`] and friends).
+        pub sticky_loops: u64,
+        /// Site-keyed loops whose deque seeding replayed a remembered
+        /// chunk→worker assignment (as opposed to a cold or invalidated site).
+        pub sticky_hits: u64,
+        /// Remembered assignments dropped because the site's range or chunk size
+        /// changed (see the `sticky` module's invalidation contract).
+        pub sticky_invalidations: u64,
+        /// Of the grid chunks executed in sticky-hit loops, how many ran on the same
+        /// participant as the previous invocation — the affinity-reuse numerator.
+        pub sticky_chunks_reused: u64,
+        /// Grid chunks executed in sticky-hit loops — the affinity-reuse denominator.
+        pub sticky_chunks_total: u64,
         /// Chunks executed by each participant (index 0 is the master).  The sum
         /// equals the pre-split chunk count of every loop executed — the
         /// exact-coverage account.
@@ -150,15 +193,29 @@ impl StealStats {
     pub fn chunks_executed(&self) -> u64 {
         self.chunks_per_worker.iter().sum()
     }
+
+    /// Fraction of sticky-hit grid chunks that re-ran on the participant of the
+    /// previous invocation (`NaN`-free: `1.0` when no sticky loop ran yet).
+    pub fn sticky_reuse_fraction(&self) -> f64 {
+        if self.sticky_chunks_total == 0 {
+            1.0
+        } else {
+            self.sticky_chunks_reused as f64 / self.sticky_chunks_total as f64
+        }
+    }
 }
 
 /// One participant's private hot-path counters, padded to a cache line so the steal
 /// tail (one attempt bump per victim probe) never bounces a line between workers.
+/// The local/remote tier split of the hits lives on the same line for the same
+/// reason: a hit's classification store must stay core-local.
 #[derive(Debug, Default)]
 struct WorkerCounters {
     chunks: AtomicU64,
     steals_attempted: AtomicU64,
     steals_hit: AtomicU64,
+    local_steals: AtomicU64,
+    remote_steals: AtomicU64,
 }
 
 /// Internal counters (relaxed atomics).  Everything a worker touches while executing
@@ -171,6 +228,11 @@ struct StealCounters {
     reductions: AtomicU64,
     barrier_phases: AtomicU64,
     combine_ops: AtomicU64,
+    sticky_loops: AtomicU64,
+    sticky_hits: AtomicU64,
+    sticky_invalidations: AtomicU64,
+    sticky_chunks_reused: AtomicU64,
+    sticky_chunks_total: AtomicU64,
     per_worker: Vec<CachePadded<WorkerCounters>>,
 }
 
@@ -181,6 +243,11 @@ impl StealCounters {
             reductions: AtomicU64::new(0),
             barrier_phases: AtomicU64::new(0),
             combine_ops: AtomicU64::new(0),
+            sticky_loops: AtomicU64::new(0),
+            sticky_hits: AtomicU64::new(0),
+            sticky_invalidations: AtomicU64::new(0),
+            sticky_chunks_reused: AtomicU64::new(0),
+            sticky_chunks_total: AtomicU64::new(0),
             per_worker: (0..nthreads)
                 .map(|_| CachePadded::new(WorkerCounters::default()))
                 .collect(),
@@ -193,6 +260,11 @@ impl StealCounters {
             reductions: self.reductions.load(Ordering::Relaxed),
             barrier_phases: self.barrier_phases.load(Ordering::Relaxed),
             combine_ops: self.combine_ops.load(Ordering::Relaxed),
+            sticky_loops: self.sticky_loops.load(Ordering::Relaxed),
+            sticky_hits: self.sticky_hits.load(Ordering::Relaxed),
+            sticky_invalidations: self.sticky_invalidations.load(Ordering::Relaxed),
+            sticky_chunks_reused: self.sticky_chunks_reused.load(Ordering::Relaxed),
+            sticky_chunks_total: self.sticky_chunks_total.load(Ordering::Relaxed),
             steals_attempted: self
                 .per_worker
                 .iter()
@@ -202,6 +274,16 @@ impl StealCounters {
                 .per_worker
                 .iter()
                 .map(|w| w.steals_hit.load(Ordering::Relaxed))
+                .sum(),
+            local_steals: self
+                .per_worker
+                .iter()
+                .map(|w| w.local_steals.load(Ordering::Relaxed))
+                .sum(),
+            remote_steals: self
+                .per_worker
+                .iter()
+                .map(|w| w.remote_steals.load(Ordering::Relaxed))
                 .sum(),
             chunks_per_worker: self
                 .per_worker
@@ -225,6 +307,10 @@ struct StealJob {
     end: usize,
     /// Chunk size of the pre-split.
     chunk: usize,
+    /// Sticky-affinity state of a site-keyed loop (null for plain loops): the
+    /// chunk→worker assignment driving the deque seeding and the per-chunk execution
+    /// record.  Owned by the master's stack frame, alive until the join completes.
+    sticky: *const StickyLoop,
 }
 
 impl StealJob {
@@ -237,6 +323,7 @@ impl StealJob {
             start: 0,
             end: 0,
             chunk: 1,
+            sticky: std::ptr::null(),
         }
     }
 }
@@ -258,6 +345,13 @@ struct StealShared {
     policy: WaitPolicy,
     stats: StealCounters,
     perturb: Option<Arc<dyn SchedulePerturbation>>,
+    /// `socket_of[w]` = socket of participant `w` under the compact layout; used to
+    /// classify every steal hit as local or remote (in both sweep modes).
+    socket_of: Vec<usize>,
+    /// Per-participant victim tiers (`tiers[w][0]` = same-socket peers, then remote
+    /// sockets outward), precomputed at build so the tiered sweep is array walks.
+    /// Consulted only when `config.locality` is set.
+    tiers: Vec<Vec<Vec<usize>>>,
     config: StealConfig,
 }
 
@@ -308,6 +402,9 @@ pub struct StealPool {
     /// The pool's claim on the shared worker substrate (the pool spawns no threads).
     lease: Lease,
     rng: Cell<u64>,
+    /// Remembered per-site chunk→worker assignments (see the `sticky` module for the
+    /// invalidation contract).  Master-only: loop entry points take `&mut self`.
+    sticky: StickyTable,
 }
 
 impl std::fmt::Debug for StealPool {
@@ -426,6 +523,12 @@ impl StealPool {
             policy: config.wait,
             stats: StealCounters::new(nthreads),
             perturb: config.perturb.clone(),
+            socket_of: (0..nthreads)
+                .map(|w| config.topology.socket_of_worker(w))
+                .collect(),
+            tiers: (0..nthreads)
+                .map(|w| config.topology.victim_tiers(w, nthreads))
+                .collect(),
             config: config.clone(),
         });
         if partition.is_none() {
@@ -455,6 +558,7 @@ impl StealPool {
             shared,
             lease,
             rng: Cell::new(0xD1B5_4A32_D192_ED03),
+            sticky: StickyTable::default(),
         }
     }
 
@@ -548,21 +652,29 @@ impl StealPool {
     }
 }
 
-/// One participant's share of one loop: seed the own deque with the pre-split run,
-/// drain it LIFO, then steal FIFO from randomized victims until a full sweep finds
-/// every deque empty.
+/// One participant's share of one loop: seed the own deque with the pre-split run
+/// (or the sticky assignment of a site-keyed loop), drain it LIFO, then steal FIFO
+/// from victims — socket-local tiers first when the pool is locality-aware — until a
+/// full sweep finds every deque empty.
 fn participate(shared: &StealShared, id: usize, epoch: Epoch, job: &StealJob, rng: &mut u64) {
     let n = shared.nthreads;
     let deque = &shared.deques[id];
     let range = job.start..job.end;
+    // SAFETY (sticky): the master's stack frame keeps the `StickyLoop` alive until
+    // its join phase completes, and participants only dereference it in between.
+    let sticky = unsafe { job.sticky.as_ref() };
     // Seed the own run, back to front, so owner-LIFO pops execute it front to back and
     // thieves take from the back.  A full deque (pathologically small explicit chunk
     // size) degrades gracefully: the overflowing chunk runs inline right away.
-    for c in worker_run_rev(&range, n, id, job.chunk) {
+    let seed = |c: ChunkRange| {
         // SAFETY: deque `id` is owned by this participant.
         if unsafe { deque.push(c) }.is_err() {
             execute_chunk(shared, id, job, c);
         }
+    };
+    match sticky {
+        Some(s) => assigned_run_rev(&range, job.chunk, &s.owners, id).for_each(seed),
+        None => worker_run_rev(&range, n, id, job.chunk).for_each(seed),
     }
     let mut attempt: u64 = 0;
     loop {
@@ -575,7 +687,7 @@ fn participate(shared: &StealShared, id: usize, epoch: Epoch, job: &StealJob, rn
         if n == 1 {
             break;
         }
-        // One perturbed randomized-victim sweep.
+        // One perturbed steal sweep.
         attempt += 1;
         let plan = match &shared.perturb {
             Some(p) => {
@@ -594,31 +706,89 @@ fn participate(shared: &StealShared, id: usize, epoch: Epoch, job: &StealJob, rn
             std::hint::spin_loop();
         }
         parlo_trace::instant(parlo_trace::Phase::StealSweep, id as u64, attempt);
-        let start = (plan.victim_seed % n as u64) as usize;
-        let mut stolen = None;
+        let mut stolen: Option<(ChunkRange, usize)> = None;
         let mut saw_retry = false;
         // Probe counters live on this worker's own padded line, so the per-probe
         // bumps stay core-local even while every idle worker sweeps at once.
         let my_counters = &*shared.stats.per_worker[id];
-        for k in 0..n {
-            let victim = (start + k) % n;
-            if victim == id {
-                continue;
-            }
+        let probe = |victim: usize, saw_retry: &mut bool| -> Option<ChunkRange> {
             my_counters.steals_attempted.fetch_add(1, Ordering::Relaxed);
             match shared.deques[victim].steal() {
-                Steal::Success(c) => {
-                    my_counters.steals_hit.fetch_add(1, Ordering::Relaxed);
-                    parlo_trace::instant(parlo_trace::Phase::StealHit, id as u64, victim as u64);
-                    stolen = Some(c);
+                Steal::Success(c) => Some(c),
+                Steal::Retry => {
+                    *saw_retry = true;
+                    None
+                }
+                Steal::Empty => None,
+            }
+        };
+        let scripted = shared
+            .perturb
+            .as_ref()
+            .and_then(|p| p.victim_order(id, epoch, attempt, n));
+        if let Some(order) = scripted {
+            // Scripted sweep: probe exactly the scripted victims, in order.
+            for victim in order {
+                if victim == id || victim >= n {
+                    continue;
+                }
+                if let Some(c) = probe(victim, &mut saw_retry) {
+                    stolen = Some((c, victim));
                     break;
                 }
-                Steal::Retry => saw_retry = true,
-                Steal::Empty => {}
+            }
+        } else if shared.config.locality {
+            // Tiered sweep: same-socket victims first (rotated within the tier by
+            // the plan's seed), falling one socket outward only when every deque in
+            // the nearer tier came up dry.
+            'tiers: for (t, tier) in shared.tiers[id].iter().enumerate() {
+                let rot = plan.victim_seed.rotate_right(t as u32 * 7) as usize % tier.len();
+                for k in 0..tier.len() {
+                    let victim = tier[(rot + k) % tier.len()];
+                    if let Some(c) = probe(victim, &mut saw_retry) {
+                        stolen = Some((c, victim));
+                        break 'tiers;
+                    }
+                }
+            }
+        } else {
+            // Flat randomized ring: the random-victim baseline the ablation runs.
+            let start = (plan.victim_seed % n as u64) as usize;
+            for k in 0..n {
+                let victim = (start + k) % n;
+                if victim == id {
+                    continue;
+                }
+                if let Some(c) = probe(victim, &mut saw_retry) {
+                    stolen = Some((c, victim));
+                    break;
+                }
             }
         }
         match stolen {
-            Some(c) => execute_chunk(shared, id, job, c),
+            Some((first, victim)) => {
+                let remote = record_hit(shared, id, victim);
+                let mut batch = [first; REMOTE_STEAL_BATCH];
+                let mut taken = 1;
+                // NUMA-tier chunk sizing: a cross-socket hit takes up to
+                // `REMOTE_STEAL_BATCH` chunks from the same victim in one bite,
+                // amortizing the interconnect transfer; local hits stay single-chunk.
+                if remote && shared.config.locality {
+                    while taken < REMOTE_STEAL_BATCH {
+                        match probe(victim, &mut saw_retry) {
+                            Some(c) => {
+                                record_hit(shared, id, victim);
+                                batch[taken] = c;
+                                taken += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                for &c in &batch[..taken] {
+                    execute_chunk(shared, id, job, c);
+                }
+            }
             // A Retry means another participant claimed a chunk concurrently (top
             // moved under our CAS), so the loop is still live: sweep again.  Chunks
             // are finite and never re-pushed, so this terminates.
@@ -630,11 +800,36 @@ fn participate(shared: &StealShared, id: usize, epoch: Epoch, job: &StealJob, rn
     }
 }
 
+/// Records one successful steal on the thief's padded counter line, classifies it by
+/// tier distance, and emits the hit and tier instants.  Returns `true` for a
+/// cross-socket steal.
+#[inline]
+fn record_hit(shared: &StealShared, id: usize, victim: usize) -> bool {
+    let my_counters = &*shared.stats.per_worker[id];
+    my_counters.steals_hit.fetch_add(1, Ordering::Relaxed);
+    let remote = shared.socket_of[id] != shared.socket_of[victim];
+    if remote {
+        my_counters.remote_steals.fetch_add(1, Ordering::Relaxed);
+    } else {
+        my_counters.local_steals.fetch_add(1, Ordering::Relaxed);
+    }
+    parlo_trace::instant(parlo_trace::Phase::StealHit, id as u64, victim as u64);
+    parlo_trace::instant(parlo_trace::Phase::StealTier, id as u64, remote as u64);
+    remote
+}
+
 #[inline]
 fn execute_chunk(shared: &StealShared, id: usize, job: &StealJob, c: ChunkRange) {
     shared.stats.per_worker[id]
         .chunks
         .fetch_add(1, Ordering::Relaxed);
+    // SAFETY (sticky): see `participate` — alive until the join completes.
+    if let Some(s) = unsafe { job.sticky.as_ref() } {
+        let k = (c.start - job.start) / job.chunk.max(1);
+        if let Some(slot) = s.exec.get(k) {
+            slot.store(id as u32, Ordering::Relaxed);
+        }
+    }
     // SAFETY: contract of `run_job` — the harness outlives the loop.
     unsafe { (job.run_chunk)(job.data, id, c.start, c.end) };
 }
@@ -756,6 +951,7 @@ impl StealPool {
                 start: range.start,
                 end: range.end,
                 chunk: chunk.max(1),
+                sticky: std::ptr::null(),
             });
         }
     }
@@ -818,11 +1014,243 @@ impl StealPool {
                 start: range.start,
                 end: range.end,
                 chunk: chunk.max(1),
+                sticky: std::ptr::null(),
             });
         }
         // After the join the master's view holds the full fold.
         let result = unsafe { (*harness.views[0].get()).take() };
         result.expect("master view present after the join phase")
+    }
+
+    /// [`StealPool::steal_for`] keyed by a loop [`StealSite`], with **sticky
+    /// chunk→worker affinity**: the deques are seeded from the site's remembered
+    /// assignment — whichever participant *executed* each grid chunk on the previous
+    /// invocation of this site, steals included — so a repeated loop re-runs each
+    /// chunk where its data is already cached.  A cold site (or one whose remembered
+    /// range/chunk no longer matches — see the invalidation contract on the `sticky`
+    /// module) falls back to the balanced contiguous grid assignment.
+    pub fn steal_for_at<F>(&mut self, site: StealSite, range: Range<usize>, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let chunk = self.effective_chunk(range.end.saturating_sub(range.start));
+        self.steal_for_at_with_chunk(site, range, chunk, body);
+    }
+
+    /// [`StealPool::steal_for_at`] with an explicit chunk size.
+    pub fn steal_for_at_with_chunk<F>(
+        &mut self,
+        site: StealSite,
+        range: Range<usize>,
+        chunk: usize,
+        body: F,
+    ) where
+        F: Fn(usize) + Sync,
+    {
+        if range.end <= range.start {
+            return;
+        }
+        let chunk = chunk.max(1);
+        let (sticky_loop, hit) = self.prepare_sticky(site, &range, chunk);
+        let harness = ForHarness { body: &body };
+        self.shared.stats.loops.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the harness and the sticky state outlive the loop (both live on
+        // this frame until past `run_job`'s join); the entry point matches the type.
+        unsafe {
+            self.run_job(StealJob {
+                data: &harness as *const _ as *const (),
+                run_chunk: exec_for_chunk::<F>,
+                combine: None,
+                start: range.start,
+                end: range.end,
+                chunk,
+                sticky: &sticky_loop,
+            });
+        }
+        self.finish_sticky(site, &range, chunk, sticky_loop, hit);
+    }
+
+    /// [`StealPool::steal_reduce`] keyed by a loop [`StealSite`] — sticky affinity
+    /// exactly as in [`StealPool::steal_for_at`].
+    pub fn steal_reduce_at<T, Init, Fold, Comb>(
+        &mut self,
+        site: StealSite,
+        range: Range<usize>,
+        init: Init,
+        fold: Fold,
+        comb: Comb,
+    ) -> T
+    where
+        T: Send,
+        Init: Fn() -> T,
+        Fold: Fn(T, usize) -> T + Sync,
+        Comb: Fn(T, T) -> T + Sync,
+    {
+        let chunk = self.effective_chunk(range.end.saturating_sub(range.start));
+        self.steal_reduce_at_with_chunk(site, range, chunk, init, fold, comb)
+    }
+
+    /// [`StealPool::steal_reduce_at`] with an explicit chunk size.
+    pub fn steal_reduce_at_with_chunk<T, Init, Fold, Comb>(
+        &mut self,
+        site: StealSite,
+        range: Range<usize>,
+        chunk: usize,
+        init: Init,
+        fold: Fold,
+        comb: Comb,
+    ) -> T
+    where
+        T: Send,
+        Init: Fn() -> T,
+        Fold: Fn(T, usize) -> T + Sync,
+        Comb: Fn(T, T) -> T + Sync,
+    {
+        if range.end <= range.start {
+            return init();
+        }
+        let chunk = chunk.max(1);
+        let (sticky_loop, hit) = self.prepare_sticky(site, &range, chunk);
+        let harness = ReduceHarness {
+            views: (0..self.num_threads())
+                .map(|_| CachePadded::new(UnsafeCell::new(Some(init()))))
+                .collect(),
+            fold: &fold,
+            comb: &comb,
+        };
+        self.shared.stats.loops.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.reductions.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the harness and the sticky state outlive the loop; the entry
+        // points match the harness type.
+        unsafe {
+            self.run_job(StealJob {
+                data: &harness as *const _ as *const (),
+                run_chunk: exec_reduce_chunk::<T, Fold, Comb>,
+                combine: Some(combine_views::<T, Fold, Comb>),
+                start: range.start,
+                end: range.end,
+                chunk,
+                sticky: &sticky_loop,
+            });
+        }
+        self.finish_sticky(site, &range, chunk, sticky_loop, hit);
+        let result = unsafe { (*harness.views[0].get()).take() };
+        result.expect("master view present after the join phase")
+    }
+
+    /// Installs an explicit chunk→worker assignment for `site`, as if a previous
+    /// invocation of the given loop shape had ended with grid chunk `k` executed by
+    /// participant `owners[k]`.  `owners` must hold exactly one valid participant id
+    /// per grid chunk.  Primarily a test and tuning hook: it scripts exactly which
+    /// deques the next site-keyed loop of this shape seeds.
+    pub fn seed_affinity(
+        &mut self,
+        site: StealSite,
+        range: Range<usize>,
+        chunk: usize,
+        owners: &[usize],
+    ) {
+        let chunk = chunk.max(1);
+        assert_eq!(
+            owners.len(),
+            grid_chunks(&range, chunk),
+            "one owner per grid chunk"
+        );
+        assert!(
+            owners.iter().all(|&w| w < self.shared.nthreads),
+            "owner out of range"
+        );
+        self.sticky.remember(
+            site,
+            StickyEntry {
+                start: range.start,
+                end: range.end,
+                chunk,
+                owners: owners.iter().map(|&w| w as u32).collect(),
+            },
+        );
+    }
+
+    /// Number of sites with a remembered sticky assignment.
+    pub fn remembered_sites(&self) -> usize {
+        self.sticky.len()
+    }
+
+    /// Resolves the assignment driving a site-keyed loop (remembered on a valid hit,
+    /// balanced otherwise) and builds the per-loop sticky state.
+    fn prepare_sticky(
+        &mut self,
+        site: StealSite,
+        range: &Range<usize>,
+        chunk: usize,
+    ) -> (StickyLoop, bool) {
+        let nchunks = grid_chunks(range, chunk);
+        let stats = &self.shared.stats;
+        stats.sticky_loops.fetch_add(1, Ordering::Relaxed);
+        let (owners, hit) = match self.sticky.lookup(site, range.start, range.end, chunk) {
+            Some(Ok(owners)) => {
+                stats.sticky_hits.fetch_add(1, Ordering::Relaxed);
+                (owners, true)
+            }
+            Some(Err(())) => {
+                stats.sticky_invalidations.fetch_add(1, Ordering::Relaxed);
+                (balanced_owners(nchunks, self.shared.nthreads), false)
+            }
+            None => (balanced_owners(nchunks, self.shared.nthreads), false),
+        };
+        let exec = (0..nchunks).map(|_| AtomicU32::new(u32::MAX)).collect();
+        (StickyLoop { owners, exec }, hit)
+    }
+
+    /// Reads back who executed each grid chunk, accounts affinity reuse against the
+    /// seeding assignment (hit loops only), and remembers the execution as the
+    /// site's next assignment.
+    fn finish_sticky(
+        &mut self,
+        site: StealSite,
+        range: &Range<usize>,
+        chunk: usize,
+        sticky: StickyLoop,
+        hit: bool,
+    ) {
+        let exec: Vec<u32> = sticky
+            .exec
+            .iter()
+            .zip(&sticky.owners)
+            .map(|(slot, &owner)| {
+                let w = slot.load(Ordering::Relaxed);
+                // Unreachable in practice (every chunk executes before the join),
+                // but stay total: an unrecorded chunk keeps its seeded owner.
+                if w == u32::MAX {
+                    owner
+                } else {
+                    w
+                }
+            })
+            .collect();
+        if hit {
+            let stats = &self.shared.stats;
+            let reused = exec
+                .iter()
+                .zip(&sticky.owners)
+                .filter(|(a, b)| a == b)
+                .count();
+            stats
+                .sticky_chunks_reused
+                .fetch_add(reused as u64, Ordering::Relaxed);
+            stats
+                .sticky_chunks_total
+                .fetch_add(exec.len() as u64, Ordering::Relaxed);
+        }
+        self.sticky.remember(
+            site,
+            StickyEntry {
+                start: range.start,
+                end: range.end,
+                chunk,
+                owners: exec,
+            },
+        );
     }
 }
 
@@ -1027,6 +1455,143 @@ mod tests {
         let s = p.stats();
         assert!(s.steals_attempted >= s.steals_hit);
         assert_eq!(s.chunks_executed(), 10 * total_chunks(&(0..512), 4, 4));
+    }
+
+    /// A body with a heavy tail block, so idle workers have something to steal.
+    fn heavy_tail(i: usize) {
+        if i >= 384 {
+            let mut x = i as f64;
+            for _ in 0..1000 {
+                x = x.mul_add(1.000_000_1, 1e-9);
+            }
+            std::hint::black_box(x);
+        }
+    }
+
+    #[test]
+    fn saturated_local_tier_never_steals_remotely() {
+        use parlo_affinity::PlacementConfig;
+        // All four participants land on socket 0 of the synthetic 2×4 box, so the
+        // local tier covers every victim and the tiered sweep never falls outward.
+        let placement = PlacementConfig::synthetic(2, 4).with_pin(PinPolicy::None);
+        let mut p = StealPool::with_placement(4, &placement);
+        assert!(p.config().locality);
+        let total = AtomicUsize::new(0);
+        for _ in 0..10 {
+            p.steal_for_with_chunk(0..512, 4, |i| {
+                heavy_tail(i);
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 5120);
+        let s = p.stats();
+        assert_eq!(
+            s.remote_steals, 0,
+            "no remote victim while the local tier lives"
+        );
+        assert_eq!(s.local_steals, s.steals_hit);
+    }
+
+    #[test]
+    fn flat_ring_ablation_still_classifies_hits() {
+        let mut p = StealPool::new(
+            StealConfig::with_threads(4)
+                .with_chunk(4)
+                .with_locality(false),
+        );
+        let total = AtomicUsize::new(0);
+        for _ in 0..5 {
+            p.steal_for_with_chunk(0..512, 4, |i| {
+                heavy_tail(i);
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 2560);
+        let s = p.stats();
+        assert_eq!(s.local_steals + s.remote_steals, s.steals_hit);
+        assert_eq!(s.chunks_executed(), 5 * total_chunks(&(0..512), 4, 4));
+    }
+
+    #[test]
+    fn scripted_victim_order_preserves_results() {
+        use crate::perturb::ScriptedOrder;
+        let config = StealConfig::with_threads(3)
+            .with_chunk(4)
+            .with_perturbation(Arc::new(ScriptedOrder::new(
+                vec![vec![], vec![0, 2], vec![0]],
+                11,
+            )));
+        let mut p = StealPool::new(config);
+        let hits: Vec<AtomicUsize> = (0..301).map(|_| AtomicUsize::new(0)).collect();
+        p.steal_for(0..301, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(p.stats().chunks_executed(), total_chunks(&(0..301), 3, 4));
+    }
+
+    #[test]
+    fn sticky_sites_replay_and_invalidate() {
+        let mut p = StealPool::new(StealConfig::with_threads(4).with_chunk(8));
+        let site = StealSite::new(1);
+        let hits: Vec<AtomicUsize> = (0..256).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..3 {
+            p.steal_for_at(site, 0..256, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 3));
+        let s = p.stats();
+        assert_eq!(s.sticky_loops, 3);
+        assert_eq!(s.sticky_hits, 2, "loops 2 and 3 replay the remembered site");
+        assert_eq!(s.sticky_invalidations, 0);
+        assert_eq!(p.remembered_sites(), 1);
+        // 256 / 8 = 32 grid chunks; reuse is accounted on the two hit loops only.
+        assert_eq!(s.sticky_chunks_total, 64);
+        assert!(s.sticky_chunks_reused <= s.sticky_chunks_total);
+        // A different range at the same site drops the entry and is not a hit.
+        p.steal_for_at(site, 0..128, |_| {});
+        let s = p.stats();
+        assert_eq!(s.sticky_invalidations, 1);
+        assert_eq!(s.sticky_hits, 2, "a shape change is never a hit");
+    }
+
+    #[test]
+    fn single_thread_sticky_reuse_is_total() {
+        let mut p = StealPool::new(StealConfig::with_threads(1).with_chunk(4));
+        let site = StealSite::new(9);
+        let mut got = 0u64;
+        for _ in 0..2 {
+            got = p.steal_reduce_at(site, 0..64, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+        }
+        assert_eq!(got, (0..64u64).sum());
+        let s = p.stats();
+        assert_eq!(s.sticky_hits, 1);
+        assert_eq!(s.sticky_chunks_total, 16);
+        assert_eq!(
+            s.sticky_chunks_reused, 16,
+            "one participant: reuse is total"
+        );
+        assert!((s.sticky_reuse_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(s.reductions, 2);
+    }
+
+    #[test]
+    fn seeded_affinity_scripts_the_next_seeding() {
+        let mut p = StealPool::new(StealConfig::with_threads(2).with_chunk(4));
+        let site = StealSite::new(3);
+        // All eight grid chunks assigned to the master: the next site-keyed loop is
+        // a hit that seeds only deque 0.
+        p.seed_affinity(site, 0..32, 4, &[0; 8]);
+        assert_eq!(p.remembered_sites(), 1);
+        let count = AtomicUsize::new(0);
+        p.steal_for_at_with_chunk(site, 0..32, 4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 32);
+        let s = p.stats();
+        assert_eq!(s.sticky_hits, 1);
+        assert_eq!(s.sticky_chunks_total, 8);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Sticky per-site chunk→worker affinity.
+//!
+//! A repeated loop usually touches the same data on every invocation, so the cheapest
+//! schedule for invocation *k+1* is whatever assignment invocation *k* converged to:
+//! chunk `i` should seed the deque of the worker whose cache is already warm with its
+//! iterations.  This module remembers, per [`StealSite`], the **final** chunk→worker
+//! assignment of the previous invocation (who actually *executed* each chunk, steals
+//! included — the same per-site memoization shape `AdaptivePool` uses for routing) and
+//! replays it as the next invocation's deque seeding.
+//!
+//! # Invalidation contract
+//!
+//! A remembered assignment is only meaningful while the loop and the team it ran on
+//! keep their shape.  An entry is dropped — and the loop falls back to the balanced
+//! grid assignment — when any of these change:
+//!
+//! * the **iteration range** (`start..end`) or the **chunk size**, because the grid
+//!   chunk indices the assignment is keyed by would no longer describe the same
+//!   iterations ([`StealStats::sticky_invalidations`] counts these drops);
+//! * the **roster placement** or the **lease partition**, structurally: the table is
+//!   owned by one [`StealPool`], whose placement and partition are fixed at
+//!   construction, so a pool built over a different placement or worker partition
+//!   starts from an empty table and can never replay an assignment recorded on
+//!   another team shape.
+//!
+//! [`StealPool`]: crate::StealPool
+//! [`StealStats::sticky_invalidations`]: crate::StealStats
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU32;
+
+/// Identifies one stealing loop site — a static location whose invocations share
+/// data-placement characteristics and therefore one remembered chunk→worker
+/// assignment.  Plain 64-bit ids, like `parlo_adaptive::LoopSite` (which this crate
+/// cannot depend on — the dependency runs the other way); any stable number works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StealSite(pub u64);
+
+impl StealSite {
+    /// A site with an explicit id.
+    pub const fn new(id: u64) -> Self {
+        StealSite(id)
+    }
+}
+
+/// One remembered assignment: the shape key it is valid for and the owner of every
+/// grid chunk at the end of the previous invocation.
+#[derive(Debug, Clone)]
+pub(crate) struct StickyEntry {
+    pub start: usize,
+    pub end: usize,
+    pub chunk: usize,
+    /// `owners[k]` = participant that executed grid chunk `k` last time.
+    pub owners: Vec<u32>,
+}
+
+/// The per-pool site table.  Only the driving master touches it (loop entry points
+/// take `&mut self`), so it needs no synchronization.
+#[derive(Debug, Default)]
+pub(crate) struct StickyTable {
+    entries: HashMap<u64, StickyEntry>,
+}
+
+impl StickyTable {
+    /// Looks up the remembered assignment for `site` if it matches the loop shape;
+    /// returns `Some(Err(()))` when an entry existed but was invalidated (and
+    /// dropped) by a shape change.
+    pub fn lookup(
+        &mut self,
+        site: StealSite,
+        start: usize,
+        end: usize,
+        chunk: usize,
+    ) -> Option<Result<Vec<u32>, ()>> {
+        let entry = self.entries.get(&site.0)?;
+        if entry.start == start && entry.end == end && entry.chunk == chunk {
+            Some(Ok(entry.owners.clone()))
+        } else {
+            self.entries.remove(&site.0);
+            Some(Err(()))
+        }
+    }
+
+    /// Remembers `owners` as the site's assignment for the given loop shape.
+    pub fn remember(&mut self, site: StealSite, entry: StickyEntry) {
+        self.entries.insert(site.0, entry);
+    }
+
+    /// Number of sites with a remembered assignment.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Per-loop sticky state handed to the participants through the job descriptor: the
+/// assignment driving this loop's deque seeding, and the recording of who actually
+/// executed each grid chunk (written by whichever participant runs the chunk, read by
+/// the master after the join).
+#[derive(Debug)]
+pub(crate) struct StickyLoop {
+    /// `owners[k]` = participant whose deque grid chunk `k` is seeded into.
+    pub owners: Vec<u32>,
+    /// `exec[k]` = participant that executed grid chunk `k` this invocation.
+    pub exec: Vec<AtomicU32>,
+}
+
+/// The balanced fallback assignment used when no (valid) entry is remembered:
+/// contiguous runs of the grid, `owners[k] = k·nthreads / nchunks` — the same
+/// even-contiguous shape as the static pre-split, expressed on the grid.
+pub(crate) fn balanced_owners(nchunks: usize, nthreads: usize) -> Vec<u32> {
+    let nthreads = nthreads.max(1);
+    (0..nchunks)
+        .map(|k| ((k * nthreads) / nchunks.max(1)) as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_owners_are_contiguous_and_cover_all_workers() {
+        let owners = balanced_owners(13, 4);
+        assert_eq!(owners.len(), 13);
+        // Monotone non-decreasing contiguous runs.
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(owners.first(), Some(&0));
+        assert_eq!(owners.last(), Some(&3));
+        // Fewer chunks than workers: the low workers get one each.
+        assert_eq!(balanced_owners(2, 4), vec![0, 2]);
+        assert_eq!(balanced_owners(0, 4), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn table_invalidates_on_any_shape_change() {
+        let mut t = StickyTable::default();
+        let site = StealSite::new(7);
+        assert!(t.lookup(site, 0, 100, 10,).is_none());
+        t.remember(
+            site,
+            StickyEntry {
+                start: 0,
+                end: 100,
+                chunk: 10,
+                owners: vec![1; 10],
+            },
+        );
+        assert_eq!(t.lookup(site, 0, 100, 10), Some(Ok(vec![1; 10])));
+        assert_eq!(t.len(), 1);
+        // A changed range drops the entry entirely: the next lookup is a cold miss.
+        assert_eq!(t.lookup(site, 0, 101, 10), Some(Err(())));
+        assert_eq!(t.lookup(site, 0, 100, 10), None);
+        assert_eq!(t.len(), 0);
+        // Same for a changed chunk size.
+        t.remember(
+            site,
+            StickyEntry {
+                start: 0,
+                end: 100,
+                chunk: 10,
+                owners: vec![0; 10],
+            },
+        );
+        assert_eq!(t.lookup(site, 0, 100, 20), Some(Err(())));
+        assert_eq!(t.len(), 0);
+    }
+}

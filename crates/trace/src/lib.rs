@@ -151,11 +151,15 @@ pub enum Phase {
     Complete = 19,
     /// Serve queue depth gauge (`parlo-serve`).  Counter; `a` = depth.
     QueueDepth = 20,
+    /// NUMA tier of a successful steal (`parlo-steal`).  Instant; `a` = thief
+    /// id, `b` = tier distance to the victim (0 = same socket, 1 = cross
+    /// socket), so a timeline shows local vs remote steal traffic directly.
+    StealTier = 21,
 }
 
 impl Phase {
     /// Every phase, for iteration in tests and exporters.
-    pub const ALL: [Phase; 20] = [
+    pub const ALL: [Phase; 21] = [
         Phase::Loop,
         Phase::Dispatch,
         Phase::Arrival,
@@ -176,6 +180,7 @@ impl Phase {
         Phase::Batch,
         Phase::Complete,
         Phase::QueueDepth,
+        Phase::StealTier,
     ];
 
     /// The stable timeline name of this phase.
@@ -201,6 +206,7 @@ impl Phase {
             Phase::Batch => "batch",
             Phase::Complete => "complete",
             Phase::QueueDepth => "queue-depth",
+            Phase::StealTier => "steal-tier",
         }
     }
 

@@ -1,0 +1,166 @@
+//! Cache-hostile large-array workload.
+//!
+//! The irregular kernels stress *load balance*; this one stresses *data placement*.
+//! Every iteration performs a handful of pseudo-random probes into a table sized well
+//! past the last-level cache, so an iteration's cost is dominated by where the probed
+//! lines currently live: a chunk that re-runs on the worker whose cache (or socket)
+//! served it last time hits warm lines, while a chunk migrated across the machine
+//! pays the full miss-and-transfer price.  That makes it the discriminating workload
+//! for the locality-aware steal sweep and the sticky chunk→worker affinity of
+//! `parlo-steal` — schedules that move chunks around look identical here in result
+//! but not in traffic.
+//!
+//! The table entries are small integers stored as `f64`
+//! (`(j mod 251) + 1`), so every partial sum is **exactly representable** and
+//! cross-runtime equality holds bit-for-bit regardless of the schedule, exactly like
+//! the [`irregular`](crate::irregular) kernels.
+
+use parlo_core::LoopRuntime;
+
+/// Smallest table the workload allocates (entries), so tiny test loops still probe a
+/// non-degenerate table.
+pub const MIN_TABLE_LEN: usize = 1 << 10;
+
+/// Largest table the workload allocates (entries, 32 MiB of `f64`) — enough to dwarf
+/// any last-level cache without making test allocation costs silly.
+pub const MAX_TABLE_LEN: usize = 1 << 22;
+
+/// One splitmix64 scrambling step (the probe-index mixer).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The probe table: a power-of-two array of integer-valued `f64` entries,
+/// deterministic in its length alone (`table[j] = (j mod 251) + 1`).
+#[derive(Debug, Clone)]
+pub struct CacheTable {
+    data: Vec<f64>,
+}
+
+impl CacheTable {
+    /// A table sized for a loop of `n` iterations: `8 n` entries rounded up to a
+    /// power of two, clamped to `[MIN_TABLE_LEN, MAX_TABLE_LEN]` — large enough that
+    /// the probes of different chunks touch mostly disjoint lines.
+    pub fn for_iters(n: usize) -> Self {
+        Self::with_len(
+            (n.saturating_mul(8))
+                .next_power_of_two()
+                .clamp(MIN_TABLE_LEN, MAX_TABLE_LEN),
+        )
+    }
+
+    /// A table of exactly `len` entries (`len` must be a power of two, so probe
+    /// indices can be masked instead of divided).
+    pub fn with_len(len: usize) -> Self {
+        assert!(len.is_power_of_two(), "table length must be a power of two");
+        CacheTable {
+            data: (0..len).map(|j| ((j % 251) + 1) as f64).collect(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the table holds no entries (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// One iteration of the workload: `units` dependent probes at splitmix-mixed
+    /// indices (each probe's index mixes in the previous probe's value, so the loads
+    /// cannot be batched or predicted), summed.  Integer-valued, schedule-independent.
+    pub fn term(&self, i: usize, units: usize) -> f64 {
+        let mask = (self.data.len() - 1) as u64;
+        let mut h = (i as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut acc = 0.0f64;
+        for p in 0..units {
+            h = splitmix64(h ^ (p as u64).rotate_left(32));
+            let v = self.data[(h & mask) as usize];
+            acc += v;
+            h ^= v as u64;
+        }
+        acc
+    }
+}
+
+/// Length of the process-wide shared table behind [`global_table`] (8 MiB of `f64`
+/// — past any last-level cache this reproduction runs on, small enough to allocate
+/// without ceremony).
+pub const GLOBAL_TABLE_LEN: usize = 1 << 20;
+
+/// A process-wide shared probe table, for callers whose loop body must be a plain
+/// `fn(i) -> f64` with no room to thread a table through (the bench harness's
+/// workload dispatch).  Initialized on first use, read-only afterwards, so concurrent
+/// access from every participant is free.
+pub fn global_table() -> &'static CacheTable {
+    static TABLE: std::sync::OnceLock<CacheTable> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| CacheTable::with_len(GLOBAL_TABLE_LEN))
+}
+
+/// Sequential reference sum of the cache-hostile workload.
+pub fn cache_hostile_sequential(table: &CacheTable, n: usize, units: usize) -> f64 {
+    (0..n).map(|i| table.term(i, units)).sum()
+}
+
+/// The cache-hostile workload on any [`LoopRuntime`]: sums [`CacheTable::term`] over
+/// `0..n`.  Must equal [`cache_hostile_sequential`] exactly on every runtime.
+pub fn cache_hostile_sum(
+    runtime: &mut dyn LoopRuntime,
+    table: &CacheTable,
+    n: usize,
+    units: usize,
+) -> f64 {
+    runtime.parallel_sum(0..n, &move |i| table.term(i, units))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlo_core::Sequential;
+
+    #[test]
+    fn table_sizes_clamp_to_power_of_two_bounds() {
+        assert_eq!(CacheTable::for_iters(0).len(), MIN_TABLE_LEN);
+        assert_eq!(CacheTable::for_iters(10).len(), MIN_TABLE_LEN);
+        assert_eq!(CacheTable::for_iters(1000).len(), 8192);
+        assert_eq!(CacheTable::for_iters(usize::MAX / 16).len(), MAX_TABLE_LEN);
+        assert!(CacheTable::for_iters(1000).len().is_power_of_two());
+    }
+
+    #[test]
+    fn terms_are_integer_valued_and_deterministic() {
+        let t = CacheTable::for_iters(64);
+        for i in [0usize, 1, 17, 63] {
+            let a = t.term(i, 5);
+            assert_eq!(a, t.term(i, 5), "deterministic");
+            assert_eq!(a.fract(), 0.0, "integer-valued");
+            assert!((5.0..=5.0 * 251.0).contains(&a), "5 probes of 1..=251");
+        }
+        // Different iterations probe different lines.
+        assert_ne!(t.term(0, 8), t.term(1, 8));
+    }
+
+    #[test]
+    fn global_table_is_shared_and_sized_as_declared() {
+        let a = global_table();
+        let b = global_table();
+        assert!(std::ptr::eq(a, b), "one table per process");
+        assert_eq!(a.len(), GLOBAL_TABLE_LEN);
+        assert_eq!(a.term(11, 3), b.term(11, 3));
+    }
+
+    #[test]
+    fn parallel_entry_point_matches_sequential_reference() {
+        let t = CacheTable::for_iters(300);
+        let mut seq = Sequential;
+        let got = cache_hostile_sum(&mut seq, &t, 300, 4);
+        assert_eq!(got, cache_hostile_sequential(&t, 300, 4), "bit-identical");
+        assert_eq!(got.fract(), 0.0);
+        assert_eq!(cache_hostile_sum(&mut seq, &t, 0, 4), 0.0);
+    }
+}

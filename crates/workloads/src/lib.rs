@@ -9,6 +9,9 @@
 //!   histogram and k-means;
 //! * [`irregular`] — load-imbalanced kernels (skewed-geometric iteration cost and a
 //!   triangular loop nest) where balancing schedulers earn their burden back;
+//! * [`cache`] — a cache-hostile large-array kernel (pseudo-random probes into a
+//!   table far beyond the last-level cache) that discriminates data-placement
+//!   quality: the proving ground for locality-aware stealing and sticky affinity;
 //! * [`runner`] — runtime dispatch: the workloads program against the unified
 //!   [`LoopRuntime`] trait from `parlo-core`, so the same code runs on the fine-grain
 //!   scheduler, the OpenMP-like team, the Cilk-like pool, the adaptive runtime or
@@ -17,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod irregular;
 pub mod mesh;
 pub mod microbench;

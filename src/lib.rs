@@ -52,7 +52,8 @@ pub mod prelude {
     pub use parlo_omp::{OmpTeam, Schedule, ScheduledTeam};
     pub use parlo_serve::{GangSizing, LoopRequest, ServeConfig, Server};
     pub use parlo_steal::{
-        SchedulePerturbation, SeededPerturbation, StealConfig, StealPool, StealStats,
+        SchedulePerturbation, ScriptedOrder, SeededPerturbation, StealConfig, StealPool, StealSite,
+        StealStats,
     };
     pub use parlo_workloads::{all_runtimes, all_runtimes_with_placement};
 }

@@ -7,6 +7,7 @@
 
 use parlo::prelude::*;
 use parlo_steal::total_chunks;
+use parlo_workloads::cache::{self, CacheTable};
 use parlo_workloads::phoenix::{histogram, kmeans, linear_regression as linreg};
 use parlo_workloads::{irregular, Mpdata, Sequential};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -256,6 +257,79 @@ fn stealing_runtime_accounts_every_chunk_and_steal_on_irregular_workloads() {
 }
 
 #[test]
+fn cache_hostile_workload_is_runtime_independent_across_the_full_roster() {
+    // The cache-hostile probe kernel sums integer-valued f64 terms, so — like the
+    // irregular kernels — every runtime must agree with sequential execution
+    // bit-for-bit, on the flat machine and on a synthetic multi-socket shape.
+    let n = 400;
+    let units = 6;
+    let table = CacheTable::for_iters(n);
+    let expected = cache::cache_hostile_sequential(&table, n, units);
+    let placements = [
+        None,
+        Some(PlacementConfig::synthetic(2, 4).with_pin(PinPolicy::None)),
+    ];
+    for placement in placements {
+        let mut roster = match placement {
+            None => runtimes(4),
+            Some(p) => all_runtimes_with_placement(4, &p),
+        };
+        for r in roster.iter_mut() {
+            assert_eq!(
+                cache::cache_hostile_sum(r.as_mut(), &table, n, units),
+                expected,
+                "cache-hostile on {} ({placement:?})",
+                r.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn steal_local_ablation_is_bit_equal_with_exact_chunk_accounting() {
+    // The locality switch changes only the victim order and steal batching, never
+    // the results or the chunk accounting: both modes produce bit-identical sums
+    // and execute exactly the pre-split chunk count.
+    let n = 600;
+    let units = 4;
+    let chunk = 7;
+    let threads = 4;
+    let table = CacheTable::for_iters(n);
+    let expected = cache::cache_hostile_sequential(&table, n, units);
+    let skewed_expected = irregular::skewed_sequential(n, 2);
+    let placement = PlacementConfig::synthetic(2, 2).with_pin(PinPolicy::None);
+    for locality in [false, true] {
+        let mut pool = StealPool::new(
+            StealConfig::from_placement(threads, &placement)
+                .with_chunk(chunk)
+                .with_locality(locality),
+        );
+        #[cfg(not(feature = "stats-off"))]
+        let before = pool.stats();
+        assert_eq!(
+            cache::cache_hostile_sum(&mut pool, &table, n, units),
+            expected,
+            "locality = {locality}"
+        );
+        assert_eq!(irregular::skewed_sum(&mut pool, n, 2), skewed_expected);
+        #[cfg(not(feature = "stats-off"))]
+        {
+            let d = pool.stats().since(&before);
+            assert_eq!(
+                d.chunks_executed(),
+                2 * total_chunks(&(0..n), threads, chunk),
+                "exact chunk coverage with locality = {locality}"
+            );
+            assert_eq!(
+                d.local_steals + d.remote_steals,
+                d.steals_hit,
+                "every hit classified exactly once with locality = {locality}"
+            );
+        }
+    }
+}
+
+#[test]
 fn hierarchical_sync_preserves_results_on_synthetic_topologies() {
     // The whole roster runs on synthetic multi-socket shapes with the hierarchical
     // half-barrier enabled; every runtime must still agree with sequential execution.
@@ -314,24 +388,27 @@ fn simulated_experiments_reproduce_the_paper_shape() {
     // particular no worse than the flat tree half-barrier), Cilk the highest.
     let t1 = experiments::table1(&m);
     let burdens: Vec<f64> = t1.rows.iter().map(|(_, v)| v[0]).collect();
-    assert_eq!(t1.rows.len(), 8);
+    assert_eq!(t1.rows.len(), 9);
     assert_eq!(t1.rows[0].0, "Fine-grain hierarchical");
     assert_eq!(t1.rows[1].0, "Fine-grain tree");
     assert_eq!(t1.rows[4].0, "Fine-grain stealing");
+    assert_eq!(t1.rows[5].0, "Fine-grain steal-local");
     assert!(
         burdens[0] <= burdens[1],
         "hierarchical must not regress the flat half-barrier"
     );
     assert!(burdens[1..].iter().all(|&d| d >= burdens[0]));
-    assert_eq!(t1.rows[7].0, "Cilk");
+    assert_eq!(t1.rows[8].0, "Cilk");
     assert!(
-        burdens[7]
-            >= *burdens[..7]
+        burdens[8]
+            >= *burdens[..8]
                 .iter()
                 .fold(&0.0, |a, b| if b > a { b } else { a })
     );
     // The stealing runtime's per-worker deques stay far below the shared chunk
-    // dispenser (OpenMP dynamic) and the recursive splitter (Cilk).
+    // dispenser (OpenMP dynamic) and the recursive splitter (Cilk), and the
+    // locality-aware sweep shaves the cross-socket steal premium off the random
+    // sweep without ever costing more.
     let dynamic = burdens[t1
         .rows
         .iter()
@@ -339,8 +416,12 @@ fn simulated_experiments_reproduce_the_paper_shape() {
         .unwrap()];
     assert!(burdens[4] < dynamic, "stealing beats the shared dispenser");
     assert!(
-        burdens[4] < burdens[7],
+        burdens[4] < burdens[8],
         "stealing beats recursive splitting"
+    );
+    assert!(
+        burdens[5] <= burdens[4],
+        "the tiered sweep never costs more than random-victim stealing"
     );
 
     // Figure 2 shape: the fine-grain scheduler beats OpenMP at 48 threads.

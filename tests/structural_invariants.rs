@@ -291,19 +291,34 @@ fn stealing_reduction_performs_exactly_p_minus_1_combines_and_no_extra_barrier()
 
 #[test]
 fn stealing_pool_chunk_accounting_is_exact_across_thread_counts() {
-    for threads in 1..=4usize {
-        for chunk in [1usize, 7, 64] {
-            let mut pool = StealPool::new(StealConfig::with_threads(threads).with_chunk(chunk));
-            let before = pool.stats();
-            pool.steal_for(0..613, |_| {});
-            let d = pool.stats().since(&before);
-            assert_eq!(
-                d.chunks_executed(),
-                total_chunks(&(0..613), threads, chunk),
-                "{threads}T chunk {chunk}: every pre-split chunk executed exactly once"
-            );
-            assert_eq!(d.chunks_per_worker.len(), threads);
-            assert!(d.steals_hit <= d.steals_attempted);
+    // Both sweep modes — the flat random-victim ring and the tiered locality-aware
+    // order — must account every pre-split chunk exactly once and classify every
+    // hit as either same-socket or cross-socket.
+    for locality in [false, true] {
+        for threads in 1..=4usize {
+            for chunk in [1usize, 7, 64] {
+                let mut pool = StealPool::new(
+                    StealConfig::with_threads(threads)
+                        .with_chunk(chunk)
+                        .with_locality(locality),
+                );
+                let before = pool.stats();
+                pool.steal_for(0..613, |_| {});
+                let d = pool.stats().since(&before);
+                assert_eq!(
+                    d.chunks_executed(),
+                    total_chunks(&(0..613), threads, chunk),
+                    "{threads}T chunk {chunk} locality {locality}: every pre-split chunk \
+                     executed exactly once"
+                );
+                assert_eq!(d.chunks_per_worker.len(), threads);
+                assert!(d.steals_hit <= d.steals_attempted);
+                assert_eq!(
+                    d.local_steals + d.remote_steals,
+                    d.steals_hit,
+                    "every hit classified exactly once (locality {locality})"
+                );
+            }
         }
     }
 }
@@ -331,7 +346,52 @@ fn stealing_pool_keeps_hierarchical_invariants_on_synthetic_topologies() {
             LOOPS * (threads as u64 - 1),
             "every worker arrives exactly once per loop"
         );
-        assert_eq!(pool.stats().barrier_phases, LOOPS * 2);
+        let s = pool.stats();
+        assert_eq!(s.barrier_phases, LOOPS * 2);
+        // The sweep is locality-aware by default, and every hit lands in exactly
+        // one tier bucket of the padded per-worker counter lines.
+        assert_eq!(s.local_steals + s.remote_steals, s.steals_hit);
+    }
+}
+
+#[test]
+fn sticky_site_loops_keep_the_synchronization_and_chunk_invariants() {
+    // Site-keyed (sticky-affinity) loops pay exactly the same synchronization as
+    // plain stealing loops — one half-barrier cycle per loop, P-1 combines per
+    // reduction — and the affinity table replay never changes the chunk accounting.
+    use parlo_steal::{grid_chunks, StealSite};
+    const REPS: u64 = 4;
+    for threads in 1..=4usize {
+        let mut pool = StealPool::new(StealConfig::with_threads(threads).with_chunk(11));
+        let before = pool.stats();
+        let site = StealSite(7);
+        for _ in 0..REPS {
+            let sum =
+                pool.steal_reduce_at(site, 0..500, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(sum, (0..500u64).sum());
+        }
+        let d = pool.stats().since(&before);
+        assert_eq!(d.loops, REPS, "{threads}T");
+        assert_eq!(d.reductions, REPS);
+        assert_eq!(
+            d.barrier_phases,
+            REPS * 2,
+            "one half-barrier cycle per loop"
+        );
+        assert_eq!(d.combine_ops, REPS * (threads as u64 - 1));
+        assert_eq!(
+            d.chunks_executed(),
+            REPS * grid_chunks(&(0..500), 11) as u64,
+            "sticky replay preserves exact coverage of the chunk grid at {threads}T"
+        );
+        assert_eq!(d.sticky_loops, REPS);
+        assert_eq!(
+            d.sticky_hits,
+            REPS - 1,
+            "first visit is cold, the rest replay"
+        );
+        assert_eq!(d.sticky_invalidations, 0);
+        assert!(d.sticky_chunks_reused <= d.sticky_chunks_total);
     }
 }
 
