@@ -710,7 +710,7 @@ impl LoopRuntime for AdaptivePool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use parlo_sync::{AtomicUsize, Ordering};
 
     #[test]
     fn gang_size_hint_follows_the_burden_model() {
@@ -846,7 +846,7 @@ mod tests {
 
     #[test]
     fn drift_triggers_early_recalibration() {
-        use std::sync::atomic::AtomicU64;
+        use parlo_sync::AtomicU64;
         /// Cost model whose per-iteration work can be changed mid-run (femtoseconds,
         /// so the atomic holds an integer).
         struct ScaledModel {
@@ -954,7 +954,7 @@ mod tests {
 
     #[test]
     fn drift_is_not_scored_on_wildly_different_iteration_counts() {
-        use std::sync::atomic::AtomicU64;
+        use parlo_sync::AtomicU64;
         /// A model whose per-iteration cost is 10x higher beyond 1k iterations —
         /// linear scaling from a small-n calibration under-predicts large-n calls by
         /// far more than DRIFT_FACTOR, but the workload itself never changes.

@@ -8,7 +8,7 @@
 
 use crate::{Barrier, Epoch, WaitPolicy};
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parlo_sync::{AtomicU64, Ordering};
 
 /// Release (fork) phase through a single broadcast epoch word.
 ///
@@ -96,7 +96,12 @@ impl CentralizedJoin {
     /// [`CentralizedJoin::wait_all`].
     #[inline]
     pub fn arrive(&self) {
-        self.arrivals.fetch_add(1, Ordering::AcqRel);
+        // ordering: Release publishes the worker's pre-arrival writes to the
+        // master's Acquire load in `wait_all`; release sequences through the
+        // RMW chain carry every earlier arriver's writes along.  The arriving
+        // worker reads nothing here, so an Acquire half would buy nothing —
+        // the model battery's barrier cycle test verifies this downgrade.
+        self.arrivals.fetch_add(1, Ordering::Release);
         crate::wake_parked();
     }
 

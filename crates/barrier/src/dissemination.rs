@@ -8,7 +8,7 @@
 
 use crate::{Barrier, Epoch, WaitPolicy};
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parlo_sync::{AtomicU64, Ordering};
 
 /// Dissemination barrier for a fixed number of participants.
 #[derive(Debug)]

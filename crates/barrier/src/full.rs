@@ -160,7 +160,7 @@ impl FullBarrier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use parlo_sync::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     fn run_cycles(fb: Arc<FullBarrier>, cycles: u64) {
@@ -174,16 +174,21 @@ mod tests {
             let counters = counters.clone();
             handles.push(std::thread::spawn(move || {
                 for epoch in 1..=cycles {
+                    // ordering: SeqCst keeps the harness counter's visibility
+                    // independent of the orderings of the barrier under test.
                     counters[(epoch - 1) as usize].fetch_add(1, Ordering::SeqCst);
                     fb.worker_wait(id, epoch, &policy);
-                    // A full barrier releases workers only after all arrivals.
+                    // ordering: as above — a full barrier releases workers only
+                    // after all arrivals, and SeqCst makes the check sharp.
                     assert_eq!(counters[(epoch - 1) as usize].load(Ordering::SeqCst), n);
                 }
             }));
         }
         for epoch in 1..=cycles {
+            // ordering: SeqCst harness counter, independent of the barrier under test.
             counters[(epoch - 1) as usize].fetch_add(1, Ordering::SeqCst);
             fb.master_wait(epoch, &policy);
+            // ordering: as above.
             assert_eq!(counters[(epoch - 1) as usize].load(Ordering::SeqCst), n);
         }
         for h in handles {

@@ -247,7 +247,7 @@ impl HalfBarrier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use parlo_sync::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     fn run_cycles(hb: Arc<HalfBarrier>, cycles: u64) {
@@ -261,6 +261,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for epoch in 1..=cycles {
                     hb.wait_release(id, epoch, &policy);
+                    // ordering: SeqCst keeps the harness counter's visibility
+                    // independent of the orderings of the barrier under test.
                     work.fetch_add(1, Ordering::SeqCst);
                     hb.arrive(id, epoch, &policy, |_| {});
                 }
@@ -268,11 +270,13 @@ mod tests {
         }
         for epoch in 1..=cycles {
             hb.release(epoch);
+            // ordering: SeqCst harness counter, independent of the barrier under test.
             work.fetch_add(1, Ordering::SeqCst);
             let mut combines = 0;
             hb.join(epoch, &policy, |_| combines += 1);
             assert_eq!(combines, hb.combine_children(0).len());
-            // After the join phase every participant has contributed for this epoch.
+            // ordering: after the join phase every participant has contributed for
+            // this epoch; SeqCst makes the check independent of the join's orderings.
             assert_eq!(work.load(Ordering::SeqCst) as u64, epoch * n as u64);
         }
         for h in handles {

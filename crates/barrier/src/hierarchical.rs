@@ -34,17 +34,20 @@
 use crate::{Epoch, WaitPolicy};
 use crossbeam::utils::CachePadded;
 use parlo_affinity::Topology;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parlo_sync::{AtomicU64, Ordering};
 
 /// Best-effort prefetch of the cache line holding `line`, ahead of a store to it.
 /// A pure performance hint: no-op on architectures without a stable intrinsic.
 #[inline(always)]
 fn prefetch_line(line: &CachePadded<AtomicU64>) {
     let p = line as *const CachePadded<AtomicU64> as *const i8;
+    // SAFETY: `p` points at a live `CachePadded<AtomicU64>`; prefetch is a pure
+    // hint with no memory effects, valid for any mapped address.
     #[cfg(target_arch = "x86_64")]
     unsafe {
         core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p);
     }
+    // SAFETY: as above — `prfm` is a hint instruction; it cannot fault or write.
     #[cfg(target_arch = "aarch64")]
     unsafe {
         core::arch::asm!("prfm pstl1keep, [{0}]", in(reg) p);
@@ -379,7 +382,7 @@ impl HierarchicalHalfBarrier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use parlo_sync::AtomicUsize;
     use std::sync::Arc;
 
     fn run_cycles(hb: Arc<HierarchicalHalfBarrier>, cycles: u64) {
@@ -393,6 +396,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for epoch in 1..=cycles {
                     hb.wait_release(id, epoch, &policy);
+                    // ordering: SeqCst keeps the harness counter's visibility
+                    // independent of the orderings of the barrier under test.
                     work.fetch_add(1, Ordering::SeqCst);
                     hb.arrive(id, epoch, &policy, |_| {});
                 }
@@ -400,10 +405,12 @@ mod tests {
         }
         for epoch in 1..=cycles {
             hb.release(epoch);
+            // ordering: SeqCst harness counter, independent of the barrier under test.
             work.fetch_add(1, Ordering::SeqCst);
             let mut combines = 0;
             hb.join(epoch, &policy, |_| combines += 1);
             assert_eq!(combines, hb.combine_children(0).len());
+            // ordering: as above — sharp post-join visibility check.
             assert_eq!(work.load(Ordering::SeqCst) as u64, epoch * n as u64);
             assert!(hb.poll_join(epoch));
         }

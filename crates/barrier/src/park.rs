@@ -26,8 +26,7 @@
 //!   any waker that did observe a non-zero parked count (those notify under the same
 //!   lock).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use parlo_sync::{AtomicU64, Condvar, Mutex, Ordering};
 use std::time::Duration;
 
 /// First park timeout; doubled per consecutive unfruitful park up to [`MAX_PARK`].
@@ -47,18 +46,21 @@ static WAKE: Condvar = Condvar::new();
 /// again after waking), so callers can stop as soon as it reports `true`.
 pub(crate) fn park_timeout(timeout: Duration, cond: &mut impl FnMut() -> bool) -> bool {
     let guard = HUB.lock().unwrap_or_else(|e| e.into_inner());
-    PARKED.fetch_add(1, Ordering::SeqCst);
+    // Relaxed suffices on the parked count: the sleep/notify handshake is ordered by
+    // the hub mutex, and the lock-free fast path in `wake_parked` tolerates a stale
+    // value by design (parks are timed; see the module docs).
+    PARKED.fetch_add(1, Ordering::Relaxed);
     // Re-check under the lock: a waker that saw our registration notifies under this
     // same lock, so the condition cannot flip between this check and `wait_timeout`.
     if cond() {
-        PARKED.fetch_sub(1, Ordering::SeqCst);
+        PARKED.fetch_sub(1, Ordering::Relaxed);
         return true;
     }
     let (guard, _timed_out) = WAKE
         .wait_timeout(guard, timeout)
         .unwrap_or_else(|e| e.into_inner());
     drop(guard);
-    PARKED.fetch_sub(1, Ordering::SeqCst);
+    PARKED.fetch_sub(1, Ordering::Relaxed);
     cond()
 }
 
@@ -80,7 +82,7 @@ pub fn wake_parked() {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use parlo_sync::AtomicBool;
     use std::sync::Arc;
     use std::time::Instant;
 

@@ -6,7 +6,7 @@
 
 use crate::{Barrier, WaitPolicy};
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use parlo_sync::{AtomicBool, AtomicUsize, Ordering};
 
 /// Centralized sense-reversing barrier for a fixed number of participants.
 #[derive(Debug)]

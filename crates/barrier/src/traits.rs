@@ -27,7 +27,7 @@ pub(crate) mod harness {
     //! of the slowest participant across many episodes.
 
     use super::Barrier;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use parlo_sync::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     /// Runs `episodes` barrier episodes on `nthreads` threads.  Each thread increments a
@@ -44,8 +44,11 @@ pub(crate) mod harness {
             let counters = counters.clone();
             handles.push(std::thread::spawn(move || {
                 for e in 0..episodes {
+                    // ordering: SeqCst keeps the harness counter's visibility
+                    // independent of the orderings of the barrier under test.
                     counters[e].fetch_add(1, Ordering::SeqCst);
                     b.wait(id);
+                    // ordering: as above — sharp post-barrier visibility check.
                     let seen = counters[e].load(Ordering::SeqCst);
                     assert_eq!(
                         seen, nthreads,

@@ -18,7 +18,7 @@
 use crate::{Barrier, Epoch, WaitPolicy};
 use crossbeam::utils::CachePadded;
 use parlo_affinity::Topology;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parlo_sync::{AtomicU64, Ordering};
 
 /// The static structure of a synchronization tree over participants `0..n` with
 /// participant 0 at the root (the master).

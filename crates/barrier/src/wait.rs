@@ -195,7 +195,7 @@ impl WaitPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use parlo_sync::{AtomicBool, Ordering};
     use std::sync::Arc;
 
     #[test]

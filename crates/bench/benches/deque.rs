@@ -14,6 +14,7 @@ fn bench_deque(c: &mut Criterion) {
 
     let deque: WorkStealingDeque<usize> = WorkStealingDeque::new(4096);
     group.bench_function("push_pop_pair", |b| {
+        // SAFETY: the bench thread is the deque's owner; no thieves are running.
         b.iter(|| unsafe {
             deque.push(criterion::black_box(7usize)).unwrap();
             criterion::black_box(deque.pop())
@@ -22,6 +23,7 @@ fn bench_deque(c: &mut Criterion) {
 
     group.bench_function("push_steal_pair", |b| {
         b.iter(|| {
+            // SAFETY: the bench thread is the deque's owner; no thieves are running.
             unsafe { deque.push(criterion::black_box(7usize)).unwrap() };
             criterion::black_box(deque.steal().success())
         })

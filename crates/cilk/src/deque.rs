@@ -9,9 +9,8 @@
 //! of a few thousand entries is ample and keeps the hot paths allocation-free.
 
 use crossbeam::utils::CachePadded;
-use std::cell::UnsafeCell;
+use parlo_sync::{fence, AtomicIsize, Ordering, UnsafeCell};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicIsize, Ordering};
 
 /// Result of a steal attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +53,8 @@ pub struct WorkStealingDeque<T: Copy> {
 // and owner-local program order for pops), and items are `Copy` so duplication through
 // failed CAS paths never double-drops.
 unsafe impl<T: Copy + Send> Sync for WorkStealingDeque<T> {}
+// SAFETY: same argument as Sync above — the protocol hands values across
+// threads only through synchronised cursor updates.
 unsafe impl<T: Copy + Send> Send for WorkStealingDeque<T> {}
 
 impl<T: Copy> WorkStealingDeque<T> {
@@ -98,8 +99,8 @@ impl<T: Copy> WorkStealingDeque<T> {
     }
 
     #[inline]
-    fn slot(&self, index: isize) -> *mut MaybeUninit<T> {
-        self.buffer[(index & self.mask) as usize].get()
+    fn cell(&self, index: isize) -> &UnsafeCell<MaybeUninit<T>> {
+        &self.buffer[(index & self.mask) as usize]
     }
 
     /// Owner: push an item onto the bottom of the deque.
@@ -114,7 +115,7 @@ impl<T: Copy> WorkStealingDeque<T> {
         }
         // SAFETY: the capacity check above guarantees the slot is not being read by a
         // concurrent steal (steals only read indices in [top, bottom)).
-        unsafe { (*self.slot(b)).write(item) };
+        self.cell(b).with_mut(|p| unsafe { (*p).write(item) });
         self.bottom.store(b + 1, Ordering::Release);
         Ok(())
     }
@@ -126,17 +127,23 @@ impl<T: Copy> WorkStealingDeque<T> {
     pub unsafe fn pop(&self) -> Option<T> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         self.bottom.store(b, Ordering::Relaxed);
+        // ordering: the SeqCst fence orders the bottom decrement before the
+        // top read against the mirrored fence in `steal` — Acquire/Release
+        // cannot arbitrate this store/load race (Lê et al., PPoPP 2013).
         fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t <= b {
             // Non-empty (at least one item before our decrement).
             // SAFETY: slot `b` was written by a previous push of this owner.
-            let item = unsafe { (*self.slot(b)).assume_init_read() };
+            let item = self.cell(b).with(|p| unsafe { (*p).assume_init_read() });
             if t == b {
                 // Last item: race with thieves for it.
+                // ordering: SeqCst keeps the arbitration CAS in the single
+                // total order with both SeqCst fences, so exactly one of
+                // owner and thief can win the last item.
                 let won = self
                     .top
-                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed) // ordering: see above
                     .is_ok();
                 self.bottom.store(b + 1, Ordering::Relaxed);
                 if won {
@@ -158,16 +165,21 @@ impl<T: Copy> WorkStealingDeque<T> {
     /// this.
     pub fn steal(&self) -> Steal<T> {
         let t = self.top.load(Ordering::Acquire);
+        // ordering: the SeqCst fence pairs with the fence in `pop`, keeping
+        // the top read ordered before the bottom read so a concurrent pop's
+        // decrement cannot hide the last item from both sides.
         fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
         if t < b {
             // SAFETY: `t < b` implies the slot was initialised by a push that is ordered
             // before our read of `bottom`; if the slot is being reused concurrently the
             // CAS below fails and the value is discarded (it is `Copy`, nothing leaks).
-            let item = unsafe { (*self.slot(t)).assume_init_read() };
+            let item = self.cell(t).with(|p| unsafe { (*p).assume_init_read() });
+            // ordering: SeqCst for the same arbitration reason as in `pop` —
+            // the claiming CAS must totally order against both fences.
             if self
                 .top
-                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed) // ordering: see above
                 .is_ok()
             {
                 Steal::Success(item)
@@ -192,8 +204,8 @@ impl<T: Copy> std::fmt::Debug for WorkStealingDeque<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parlo_sync::AtomicBool;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
 
     #[test]
@@ -209,6 +221,7 @@ mod tests {
     #[test]
     fn lifo_for_owner() {
         let d = WorkStealingDeque::new(16);
+        // SAFETY: this test thread is the deque's owner.
         unsafe {
             d.push(1).unwrap();
             d.push(2).unwrap();
@@ -225,6 +238,7 @@ mod tests {
     #[test]
     fn fifo_for_thief() {
         let d = WorkStealingDeque::new(16);
+        // SAFETY: this test thread is the deque's owner.
         unsafe {
             d.push(1).unwrap();
             d.push(2).unwrap();
@@ -237,6 +251,7 @@ mod tests {
     #[test]
     fn push_full_reports_error() {
         let d = WorkStealingDeque::new(2);
+        // SAFETY: this test thread is the deque's owner.
         unsafe {
             d.push(1).unwrap();
             d.push(2).unwrap();
@@ -251,6 +266,7 @@ mod tests {
     fn wraparound_reuses_slots() {
         let d = WorkStealingDeque::new(4);
         for round in 0..100usize {
+            // SAFETY: this test thread is the deque's owner.
             unsafe {
                 d.push(round).unwrap();
                 assert_eq!(d.pop(), Some(round));
@@ -288,6 +304,8 @@ mod tests {
             }));
         }
         let mut owner_got = Vec::new();
+        // SAFETY: this test thread is the deque's owner; the thieves above
+        // only steal.
         unsafe {
             for i in 0..N {
                 d.push(i).unwrap();
@@ -317,9 +335,11 @@ mod tests {
         // Repeatedly race one thief against the owner popping the single last item.
         for _ in 0..200 {
             let d = Arc::new(WorkStealingDeque::<u64>::new(4));
+            // SAFETY: this test thread is the deque's owner.
             unsafe { d.push(7).unwrap() };
             let d2 = d.clone();
             let thief = std::thread::spawn(move || d2.steal().success());
+            // SAFETY: this test thread is the deque's owner.
             let owner = unsafe { d.pop() };
             let stolen = thief.join().unwrap();
             let winners = usize::from(owner.is_some()) + usize::from(stolen.is_some());

@@ -19,9 +19,9 @@ use crate::scheduler::{CilkPool, FineJob, LoopDescriptor};
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use parlo_core::static_block;
+use parlo_sync::Ordering;
 use std::cell::UnsafeCell;
 use std::ops::Range;
-use std::sync::atomic::Ordering;
 
 // ----------------------------------------------------------------------------------
 // Baseline Cilk reducers
@@ -40,6 +40,7 @@ impl<'a, T, Id: Fn() -> T, Fold> CilkReduceHarness<'a, T, Id, Fold> {
     /// # Safety
     /// Only worker `id` may access view `id`.
     unsafe fn with_view<R>(&self, id: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        // SAFETY: the caller guarantees exclusive access to view `id`.
         let slot = unsafe { &mut *self.views[id].get() };
         if slot.is_none() {
             *slot = Some((self.identity)());
@@ -50,6 +51,7 @@ impl<'a, T, Id: Fn() -> T, Fold> CilkReduceHarness<'a, T, Id, Fold> {
     /// # Safety
     /// Only worker `id` may access view `id`.
     unsafe fn retire_view(&self, id: usize) {
+        // SAFETY: the caller guarantees exclusive access to view `id`.
         let slot = unsafe { &mut *self.views[id].get() };
         if let Some(v) = slot.take() {
             self.retired.lock().push(v);
@@ -63,6 +65,8 @@ where
     Fold: Fn(T, usize) -> T + Sync,
     T: Send,
 {
+    // SAFETY: the caller passes a pointer to a harness the master keeps alive
+    // until the loop's join completes.
     let h = unsafe { &*(data as *const CilkReduceHarness<'_, T, Id, Fold>) };
     // SAFETY: `worker` is the calling worker; only it touches its view.
     unsafe {
@@ -84,6 +88,8 @@ where
     Fold: Fn(T, usize) -> T + Sync,
     T: Send,
 {
+    // SAFETY: the caller passes a pointer to a harness the master keeps alive
+    // until the loop's join completes.
     let h = unsafe { &*(data as *const CilkReduceHarness<'_, T, Id, Fold>) };
     // SAFETY: `worker` is the calling worker.
     unsafe { h.retire_view(worker) };
@@ -104,11 +110,13 @@ struct FineReduceHarness<'a, T, Id, Fold, Comb> {
 
 impl<'a, T, Id: Fn() -> T, Fold, Comb> FineReduceHarness<'a, T, Id, Fold, Comb> {
     unsafe fn take_view(&self, id: usize) -> T {
+        // SAFETY: the caller guarantees exclusive access to view `id`.
         let slot = unsafe { &mut *self.views[id].get() };
         slot.take().unwrap_or_else(|| (self.identity)())
     }
 
     unsafe fn put_view(&self, id: usize, value: T) {
+        // SAFETY: the caller guarantees exclusive access to view `id`.
         let slot = unsafe { &mut *self.views[id].get() };
         *slot = Some(value);
     }
@@ -121,6 +129,8 @@ where
     Comb: Fn(T, T) -> T + Sync,
     T: Send,
 {
+    // SAFETY: the caller passes a pointer to a harness the master keeps alive
+    // until the loop's join completes.
     let h = unsafe { &*(data as *const FineReduceHarness<'_, T, Id, Fold, Comb>) };
     let mut acc = (h.identity)();
     for i in static_block(&h.range, h.nthreads, id) {
@@ -137,6 +147,8 @@ where
     Comb: Fn(T, T) -> T + Sync,
     T: Send,
 {
+    // SAFETY: the caller passes a pointer to a harness the master keeps alive
+    // until the loop's join completes.
     let h = unsafe { &*(data as *const FineReduceHarness<'_, T, Id, Fold, Comb>) };
     // SAFETY: serialized by the join-phase protocol of the half-barrier.
     unsafe {

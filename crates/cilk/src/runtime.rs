@@ -115,7 +115,7 @@ impl LoopRuntime for CilkFineGrain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use parlo_sync::{AtomicUsize, Ordering};
 
     #[test]
     fn both_paths_work_behind_dyn_loop_runtime() {

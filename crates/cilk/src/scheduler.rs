@@ -23,9 +23,9 @@ use parlo_affinity::{PinPolicy, Topology};
 use parlo_barrier::{Epoch, HalfBarrier, TreeShape, WaitPolicy};
 use parlo_core::static_block;
 use parlo_exec::{ClientHooks, Executor, Lease};
+use parlo_sync::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::cell::{Cell, UnsafeCell};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Configuration of a [`CilkPool`].
@@ -223,6 +223,7 @@ fn detach_workers(shared: &CilkShared) {
 // the release edge workers synchronize on (the `remaining` release store for cilk loops,
 // the half-barrier release for fine-grain loops); everything else is atomic or immutable.
 unsafe impl Sync for CilkShared {}
+// SAFETY: same release-edge argument as Sync above.
 unsafe impl Send for CilkShared {}
 
 /// A Cilk-like work-stealing pool with the paper's hybrid fine-grain extension.
@@ -445,7 +446,9 @@ impl CilkPool {
              master thread (see the parlo-exec multi-driver contract)"
         );
         self.ensure_workers();
-        // Publish the descriptor, then open the loop by making `remaining` non-zero.
+        // SAFETY: the previous loop fully drained (`remaining` hit zero), so no
+        // worker reads the descriptor cell; publish it before opening the loop by
+        // making `remaining` non-zero.
         unsafe { *shared.descriptor.get() = descriptor };
         shared.remaining.store(n, Ordering::Release);
         // The master processes the root task, then keeps helping until the loop drains.
@@ -461,8 +464,10 @@ impl CilkPool {
         while shared.remaining.load(Ordering::Acquire) > 0 {
             if let Some((task, stolen)) = obtain_task(shared, 0, &mut rng) {
                 if stolen {
+                    // SAFETY: a task exists, so the descriptor is the current loop's.
                     let desc = unsafe { *shared.descriptor.get() };
                     if let Some(f) = desc.on_steal {
+                        // SAFETY: the harness behind `desc.data` outlives the loop.
                         unsafe { f(desc.data, 0) };
                     }
                 }
@@ -493,8 +498,12 @@ impl CilkPool {
         let epoch = self.fine_epoch.get() + 1;
         self.fine_epoch.set(epoch);
         let has_combine = job.combine.is_some();
+        // SAFETY: the previous fine epoch's join completed, so no worker reads the
+        // cell; publish before the half-barrier release.
         unsafe { *shared.fine_job.get() = job };
         shared.fine.release(epoch);
+        // SAFETY: the master executes its share; the harness behind `job.data`
+        // lives on this stack frame until the join below completes.
         unsafe { (job.execute)(job.data, 0) };
         shared.fine.join(epoch, &shared.policy, |from| {
             if has_combine {
@@ -590,6 +599,8 @@ fn worker_body(shared: &CilkShared, id: usize) {
             shared.fine.forward_release(id, fine_epoch);
             // SAFETY: ordered by the half-barrier release.
             let job = unsafe { *shared.fine_job.get() };
+            // SAFETY: the master keeps the harness behind `job.data` alive until the
+            // join phase, which this worker has not yet arrived at.
             unsafe { (job.execute)(job.data, id) };
             let has_combine = job.combine.is_some();
             shared.fine.arrive(id, fine_epoch, &shared.policy, |from| {
@@ -614,6 +625,7 @@ fn worker_body(shared: &CilkShared, id: usize) {
                     // SAFETY: a task exists, so the descriptor is the current loop's.
                     let desc = unsafe { *shared.descriptor.get() };
                     if let Some(f) = desc.on_steal {
+                        // SAFETY: the harness behind `desc.data` outlives the loop.
                         unsafe { f(desc.data, id) };
                     }
                 }
@@ -647,6 +659,8 @@ unsafe fn exec_cilk_range<F: Fn(usize) + Sync>(
     lo: usize,
     hi: usize,
 ) {
+    // SAFETY: the caller passes a pointer to a harness the master keeps alive
+    // until the loop drains.
     let h = unsafe { &*(data as *const CilkForHarness<'_, F>) };
     for i in lo..hi {
         (h.body)(i);
@@ -660,6 +674,8 @@ struct FineForHarness<'a, F> {
 }
 
 unsafe fn exec_fine_for<F: Fn(usize) + Sync>(data: *const (), id: usize) {
+    // SAFETY: the caller passes a pointer to a harness the master keeps alive
+    // until the loop's join completes.
     let h = unsafe { &*(data as *const FineForHarness<'_, F>) };
     for i in static_block(&h.range, h.nthreads, id) {
         (h.body)(i);
@@ -735,7 +751,7 @@ impl CilkPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use parlo_sync::AtomicUsize;
 
     #[test]
     fn grain_heuristic() {

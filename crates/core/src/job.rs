@@ -92,6 +92,7 @@ pub(crate) struct JobSlot {
 // SAFETY: see the ordering argument above — the slot is only accessed under the
 // happens-before edges established by the pool's fork/join barrier phases.
 unsafe impl Sync for JobSlot {}
+// SAFETY: same barrier-ordering argument as Sync above.
 unsafe impl Send for JobSlot {}
 
 impl JobSlot {
@@ -124,12 +125,13 @@ impl JobSlot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use parlo_sync::{AtomicUsize, Ordering};
 
     #[test]
     fn noop_job_is_harmless() {
         let j = Job::noop();
         assert!(!j.has_combine());
+        // SAFETY: a noop job dereferences nothing.
         unsafe {
             j.execute(0);
             j.execute(7);
@@ -144,40 +146,46 @@ mod tests {
             combines: AtomicUsize,
         }
         unsafe fn exec(data: *const (), _id: usize) {
+            // SAFETY: the caller passes a pointer to a live Harness.
             let h = unsafe { &*(data as *const Harness) };
-            h.hits.fetch_add(1, Ordering::SeqCst);
+            h.hits.fetch_add(1, Ordering::Relaxed);
         }
         unsafe fn comb(data: *const (), _into: usize, _from: usize) {
+            // SAFETY: the caller passes a pointer to a live Harness.
             let h = unsafe { &*(data as *const Harness) };
-            h.combines.fetch_add(1, Ordering::SeqCst);
+            h.combines.fetch_add(1, Ordering::Relaxed);
         }
         let h = Harness {
             hits: AtomicUsize::new(0),
             combines: AtomicUsize::new(0),
         };
+        // SAFETY: `h` outlives the job and the hook signatures match.
         let job = unsafe { Job::new(&h as *const Harness as *const (), exec, Some(comb)) };
         assert!(job.has_combine());
+        // SAFETY: `h` is still alive; this test is single-threaded.
         unsafe {
             job.execute(0);
             job.execute(1);
             job.combine(0, 1);
         }
-        assert_eq!(h.hits.load(Ordering::SeqCst), 2);
-        assert_eq!(h.combines.load(Ordering::SeqCst), 1);
+        assert_eq!(h.hits.load(Ordering::Relaxed), 2);
+        assert_eq!(h.combines.load(Ordering::Relaxed), 1);
     }
 
     #[test]
     fn slot_roundtrip() {
         static HITS: AtomicUsize = AtomicUsize::new(0);
         unsafe fn exec(_data: *const (), id: usize) {
-            HITS.fetch_add(id + 1, Ordering::SeqCst);
+            HITS.fetch_add(id + 1, Ordering::Relaxed);
         }
         let slot = JobSlot::new();
+        // SAFETY: `exec` never dereferences its data pointer.
         let job = unsafe { Job::new(std::ptr::null(), exec, None) };
+        // SAFETY: single-threaded publish/read — no concurrent worker.
         unsafe {
             slot.publish(job);
             slot.read().execute(4);
         }
-        assert_eq!(HITS.load(Ordering::SeqCst), 5);
+        assert_eq!(HITS.load(Ordering::Relaxed), 5);
     }
 }

@@ -21,6 +21,8 @@ struct BroadcastHarness<'a, F> {
 }
 
 unsafe fn exec_broadcast<F: Fn(WorkerInfo) + Sync>(data: *const (), id: usize) {
+    // SAFETY: the caller passes a pointer to a live harness (the master's
+    // stack frame keeps it alive until the loop's join phase completes).
     let h = unsafe { &*(data as *const BroadcastHarness<'_, F>) };
     (h.body)(WorkerInfo {
         id,
@@ -37,6 +39,8 @@ struct ForHarness<'a, F> {
 }
 
 unsafe fn exec_for<F: Fn(usize) + Sync>(data: *const (), id: usize) {
+    // SAFETY: the caller passes a pointer to a live harness (the master's
+    // stack frame keeps it alive until the loop's join phase completes).
     let h = unsafe { &*(data as *const ForHarness<'_, F>) };
     for i in static_block(&h.range, h.nthreads, id) {
         (h.body)(i);
@@ -44,6 +48,8 @@ unsafe fn exec_for<F: Fn(usize) + Sync>(data: *const (), id: usize) {
 }
 
 unsafe fn exec_for_block<F: Fn(Range<usize>) + Sync>(data: *const (), id: usize) {
+    // SAFETY: the caller passes a pointer to a live harness (the master's
+    // stack frame keeps it alive until the loop's join phase completes).
     let h = unsafe { &*(data as *const ForHarness<'_, F>) };
     let block = static_block(&h.range, h.nthreads, id);
     if !block.is_empty() {
@@ -60,6 +66,8 @@ struct ChunkedHarness<'a, F> {
 }
 
 unsafe fn exec_for_chunked<F: Fn(usize) + Sync>(data: *const (), id: usize) {
+    // SAFETY: the caller passes a pointer to a live harness (the master's
+    // stack frame keeps it alive until the loop's join phase completes).
     let h = unsafe { &*(data as *const ChunkedHarness<'_, F>) };
     for chunk in static_chunks(&h.range, h.nthreads, id, h.chunk) {
         for i in chunk {
@@ -76,6 +84,8 @@ struct DynamicHarness<'a, F> {
 }
 
 unsafe fn exec_for_dynamic<F: Fn(usize) + Sync>(data: *const (), _id: usize) {
+    // SAFETY: the caller passes a pointer to a live harness (the master's
+    // stack frame keeps it alive until the loop's join phase completes).
     let h = unsafe { &*(data as *const DynamicHarness<'_, F>) };
     while let Some(chunk) = h.chunks.next_chunk() {
         h.stats.record_dynamic_chunk();
@@ -253,7 +263,7 @@ impl FineGrainPool {
 mod tests {
     use super::*;
     use crate::config::{BarrierKind, Config};
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use parlo_sync::{AtomicUsize, Ordering};
 
     fn pools() -> Vec<FineGrainPool> {
         BarrierKind::ALL

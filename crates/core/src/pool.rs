@@ -22,7 +22,7 @@ use crate::stats::{PoolStats, StatsSnapshot};
 use crossbeam::utils::CachePadded;
 use parlo_barrier::{Epoch, FullBarrier, HalfBarrier, TreeShape, WaitPolicy};
 use parlo_exec::{ClientHooks, Executor, Lease};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use parlo_sync::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identity of a participant inside a parallel region.
@@ -366,11 +366,12 @@ impl FineGrainPool {
         parlo_trace::span_begin(parlo_trace::Phase::Loop, epoch, shared.nthreads as u64);
         let has_combine = job.has_combine();
         // Publish the work description, then perform the fork-side synchronization.
-        // SAFETY (slot): the previous loop's join phase has completed (run_job is not
+        // SAFETY: the previous loop's join phase has completed (run_job is not
         // reentrant: the swap above claimed the pool), so no worker reads the slot.
         unsafe { shared.slot.publish(job) };
         shared.sync.master_fork(epoch, &shared.policy);
-        // The master executes its own share like any other participant.
+        // SAFETY: the master executes its own share like any other participant; the
+        // harness behind `job` lives on this stack frame until the join completes.
         unsafe { job.execute(0) };
         // Completion-side synchronization: collect arrivals, folding reduction views.
         shared.sync.master_join(epoch, &shared.policy, |from| {
@@ -422,7 +423,7 @@ fn worker_body(shared: &PoolShared, id: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use parlo_sync::AtomicUsize;
 
     fn pool(kind: BarrierKind, threads: usize) -> FineGrainPool {
         FineGrainPool::new(Config::builder(threads).barrier(kind).build())
@@ -446,12 +447,12 @@ mod tests {
             let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
             for _ in 0..25 {
                 p.broadcast(|info| {
-                    hits[info.id].fetch_add(1, Ordering::SeqCst);
+                    hits[info.id].fetch_add(1, Ordering::Relaxed);
                     assert_eq!(info.num_threads, 4);
                 });
             }
             for h in &hits {
-                assert_eq!(h.load(Ordering::SeqCst), 25, "kind {kind:?}");
+                assert_eq!(h.load(Ordering::Relaxed), 25, "kind {kind:?}");
             }
         }
     }
@@ -519,7 +520,7 @@ mod tests {
         let mut p = FineGrainPool::with_default_config();
         let n = p.num_threads();
         assert!(n >= 1);
-        let sum = std::sync::atomic::AtomicUsize::new(0);
+        let sum = parlo_sync::AtomicUsize::new(0);
         p.parallel_for(0..1000, |i| {
             sum.fetch_add(i, Ordering::Relaxed);
         });

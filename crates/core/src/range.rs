@@ -5,8 +5,8 @@
 //! the default; a chunked (block-cyclic) partition is provided for load-imbalanced
 //! bodies, and a dynamic chunk iterator backs the `schedule(dynamic)`-style modes.
 
+use parlo_sync::{AtomicUsize, Ordering};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How a statically scheduled loop divides its iteration range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -54,6 +54,7 @@ where
     /// # Safety
     /// `id` must identify a view that is not concurrently accessed.
     unsafe fn take_view(&self, id: usize) -> T {
+        // SAFETY: the caller guarantees exclusive access to view `id`.
         let slot = unsafe { &mut *self.views[id].0.get() };
         slot.take().unwrap_or_else(|| (self.identity)())
     }
@@ -61,6 +62,7 @@ where
     /// # Safety
     /// As for `take_view`.
     unsafe fn put_view(&self, id: usize, value: T) {
+        // SAFETY: the caller guarantees exclusive access to view `id`.
         let slot = unsafe { &mut *self.views[id].0.get() };
         *slot = Some(value);
     }
@@ -72,6 +74,8 @@ where
     Fold: Fn(T, usize) -> T + Sync,
     Comb: Fn(T, T) -> T + Sync,
 {
+    // SAFETY: the caller passes a pointer to a live harness (the master's stack
+    // frame keeps it alive until the loop's join phase completes).
     let h = unsafe { &*(data as *const ReduceHarness<'_, T, Id, Fold, Comb>) };
     let mut acc = (h.identity)();
     for i in static_block(&h.range, h.nthreads, id) {
@@ -87,6 +91,8 @@ where
     Fold: Fn(T, usize) -> T + Sync,
     Comb: Fn(T, T) -> T + Sync,
 {
+    // SAFETY: the caller passes a pointer to a live harness (the master's stack
+    // frame keeps it alive until the loop's join phase completes).
     let h = unsafe { &*(data as *const ReduceHarness<'_, T, Id, Fold, Comb>) };
     // SAFETY: the join phase guarantees `from` has arrived (its view is final and its
     // owner no longer touches it) and that only the parent accesses both views here.

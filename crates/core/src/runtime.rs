@@ -162,7 +162,7 @@ impl LoopRuntime for FineGrainPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use parlo_sync::{AtomicUsize, Ordering};
 
     #[test]
     fn sequential_runtime_covers_range_and_reduces() {

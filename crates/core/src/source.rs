@@ -352,7 +352,7 @@ mod tests {
 
     #[test]
     fn registry_re_snapshots_on_render() {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use parlo_sync::{AtomicU64, Ordering};
         use std::sync::Arc;
         let live = Arc::new(AtomicU64::new(1));
         let mut reg = StatsRegistry::new();

@@ -12,7 +12,7 @@
 //! Scheduling behaviour and results are identical — only the accounting is gone.
 
 #[cfg(not(feature = "stats-off"))]
-use std::sync::atomic::{AtomicU64, Ordering};
+use parlo_sync::{AtomicU64, Ordering};
 
 /// Instrumentation counters of a pool.  All counters are monotonically increasing.
 #[cfg(not(feature = "stats-off"))]

@@ -59,7 +59,7 @@
 #![warn(missing_docs)]
 
 use parlo_affinity::{PinPolicy, PlacementConfig, Topology};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use parlo_sync::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -678,7 +678,7 @@ pub fn process_thread_count() -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use parlo_sync::{AtomicBool, AtomicUsize};
 
     /// A minimal client: its "scheduling loop" parks on a flag and counts entries.
     struct FlagClient {
@@ -702,7 +702,7 @@ mod tests {
                 name: name.to_string(),
                 participants,
                 body: Arc::new(move |id| {
-                    entered.fetch_add(1, Ordering::SeqCst);
+                    entered.fetch_add(1, Ordering::Relaxed);
                     ids.lock().unwrap().push(id);
                     while !body_detach.load(Ordering::Acquire) {
                         std::thread::yield_now();
@@ -765,10 +765,10 @@ mod tests {
             // body-side counter may trail the rendezvous by an instant: the worker
             // bumps the count under the lock just before running the closure).
             let expected = 3 * round as usize;
-            while client.entered.load(Ordering::SeqCst) < expected {
+            while client.entered.load(Ordering::Relaxed) < expected {
                 std::thread::yield_now();
             }
-            assert_eq!(client.entered.load(Ordering::SeqCst), expected);
+            assert_eq!(client.entered.load(Ordering::Relaxed), expected);
             // Force a detach by activating another client.
             let (other_hooks, other) = FlagClient::hooks("other", 2);
             let other_lease = exec.register(other_hooks);
@@ -833,7 +833,7 @@ mod tests {
             vec!["part-a".to_string(), "part-b".to_string()]
         );
         // Partition bodies receive pool-local participant ids, not substrate ids.
-        while b.entered.load(Ordering::SeqCst) < 2 {
+        while b.entered.load(Ordering::Relaxed) < 2 {
             std::thread::yield_now();
         }
         let mut ids = b.ids.lock().unwrap().clone();

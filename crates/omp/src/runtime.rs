@@ -99,7 +99,7 @@ impl LoopRuntime for ScheduledTeam {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use parlo_sync::{AtomicUsize, Ordering};
 
     #[test]
     fn all_schedules_work_behind_dyn_loop_runtime() {

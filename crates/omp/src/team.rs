@@ -19,9 +19,9 @@ use crossbeam::utils::CachePadded;
 use parlo_affinity::{PinPolicy, Topology};
 use parlo_barrier::{Epoch, FullBarrier, TreeShape, WaitPolicy};
 use parlo_exec::{ClientHooks, Executor, Lease};
+use parlo_sync::{AtomicBool, AtomicU64, Ordering};
 use std::cell::UnsafeCell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Configuration of an [`OmpTeam`].
@@ -176,6 +176,7 @@ fn detach_workers(shared: &TeamShared) {
 // release phase and read by workers strictly after it; all other fields are atomics or
 // immutable.
 unsafe impl Sync for TeamShared {}
+// SAFETY: same barrier-ordering argument as Sync above.
 unsafe impl Send for TeamShared {}
 
 /// An OpenMP-like persistent thread team.
@@ -355,11 +356,13 @@ impl OmpTeam {
         );
         self.ensure_workers();
         let fork_e = shared.next_episode();
-        // Publish the work description, then the full fork barrier (join + release).
+        // SAFETY: the previous episode's barrier completed, so no worker reads the
+        // job cell; publish the work description before the fork barrier's release.
         unsafe { *shared.job.get() = job };
         shared.barrier.master_wait(fork_e, &shared.policy);
         shared.stats.barrier_phases.fetch_add(2, Ordering::Relaxed);
-        // The master executes its share like every team member.
+        // SAFETY: the master executes its share like every team member; the harness
+        // behind `job.data` lives on this stack frame until the team joins.
         unsafe { (job.execute)(job.data, 0) };
         if with_reduction {
             let red_e = shared.next_episode();
@@ -368,9 +371,9 @@ impl OmpTeam {
                 .barrier
                 .master_wait_combine(red_e, &shared.policy, |from| {
                     shared.stats.combine_ops.fetch_add(1, Ordering::Relaxed);
-                    // SAFETY: `from` has arrived with a final view; only this thread
-                    // accesses both views during the combine.
                     if let Some(comb) = job.combine {
+                        // SAFETY: `from` has arrived with a final view; only this
+                        // thread accesses both views during the combine.
                         unsafe { comb(job.data, 0, from) };
                     }
                 });
@@ -433,6 +436,8 @@ fn worker_body(shared: &TeamShared, id: usize) {
         }
         // SAFETY: ordered by the fork barrier.
         let job = unsafe { *shared.job.get() };
+        // SAFETY: the master keeps the harness behind `job.data` alive until the
+        // episode's closing barrier, which this worker has not yet reached.
         unsafe { (job.execute)(job.data, id) };
         if let Some(comb) = job.combine {
             episode += 1;
@@ -510,6 +515,8 @@ fn run_schedule<F: Fn(usize)>(
 }
 
 unsafe fn exec_for<F: Fn(usize) + Sync>(data: *const (), id: usize) {
+    // SAFETY: the caller passes a pointer to a live harness (the master's stack
+    // frame keeps it alive until the episode's closing barrier).
     let h = unsafe { &*(data as *const ForHarness<'_, F>) };
     run_schedule(
         h.schedule, &h.range, h.nthreads, id, &h.dynamic, &h.guided, h.stats, h.body,
@@ -532,11 +539,13 @@ struct ReduceHarness<'a, T, Id, Fold, Comb> {
 
 impl<'a, T, Id: Fn() -> T, Fold, Comb> ReduceHarness<'a, T, Id, Fold, Comb> {
     unsafe fn take_view(&self, id: usize) -> T {
+        // SAFETY: the caller guarantees exclusive access to view `id`.
         let slot = unsafe { &mut *self.views[id].get() };
         slot.take().unwrap_or_else(|| (self.identity)())
     }
 
     unsafe fn put_view(&self, id: usize, value: T) {
+        // SAFETY: the caller guarantees exclusive access to view `id`.
         let slot = unsafe { &mut *self.views[id].get() };
         *slot = Some(value);
     }
@@ -548,6 +557,8 @@ where
     Fold: Fn(T, usize) -> T + Sync,
     Comb: Fn(T, T) -> T + Sync,
 {
+    // SAFETY: the caller passes a pointer to a live harness (the master's stack
+    // frame keeps it alive until the episode's closing barrier).
     let h = unsafe { &*(data as *const ReduceHarness<'_, T, Id, Fold, Comb>) };
     let acc = std::cell::Cell::new(Some((h.identity)()));
     run_schedule(
@@ -573,6 +584,8 @@ where
     Fold: Fn(T, usize) -> T + Sync,
     Comb: Fn(T, T) -> T + Sync,
 {
+    // SAFETY: the caller passes a pointer to a live harness (the master's stack
+    // frame keeps it alive until the episode's closing barrier).
     let h = unsafe { &*(data as *const ReduceHarness<'_, T, Id, Fold, Comb>) };
     // SAFETY: serialized by the reduction barrier's join phase.
     unsafe {
@@ -687,7 +700,7 @@ impl OmpTeam {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use parlo_sync::AtomicUsize;
 
     #[test]
     fn team_creation_and_teardown() {

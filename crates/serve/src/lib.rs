@@ -50,7 +50,7 @@
 //! ```
 //! use parlo_serve::{LoopRequest, Server, ServeConfig};
 //! use parlo_adaptive::LoopSite;
-//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use parlo_sync::{AtomicU64, Ordering};
 //! use std::sync::Arc;
 //!
 //! let server = Server::new(ServeConfig::default().with_workers(3));
@@ -73,5 +73,5 @@ mod queue;
 mod server;
 
 pub use parlo_adaptive::LoopSite;
-pub use queue::{JobHandle, Rejected};
+pub use queue::{completion_pair, Completer, JobHandle, Rejected};
 pub use server::{GangSizing, LoopRequest, ServeConfig, ServeStats, Server};

@@ -9,9 +9,9 @@
 
 use crate::server::LoopKind;
 use parlo_adaptive::LoopSite;
+use parlo_sync::{AtomicBool, Condvar, Mutex, MutexGuard, Ordering};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// Spin iterations before a waiter starts yielding.
 const SPIN_LIMIT: u32 = 128;
@@ -108,6 +108,30 @@ impl JobHandle {
             .unwrap_or_else(|p| p.into_inner())
             .expect("done implies a published result")
     }
+}
+
+/// The producing side of a detached completion, created by [`completion_pair`].
+///
+/// This is the model-checking hook for the serve hand-off: the model battery
+/// drives a raw `complete` against a concurrent [`JobHandle::wait`] without
+/// standing up a whole [`crate::Server`].  The server's gang drivers use the
+/// same underlying completion state internally.
+pub struct Completer {
+    inner: Arc<Completion>,
+}
+
+impl Completer {
+    /// Publishes the result and wakes every waiter on the paired handle.
+    pub fn complete(&self, value: f64) {
+        self.inner.complete(value);
+    }
+}
+
+/// Creates a connected ([`JobHandle`], [`Completer`]) pair over a fresh
+/// completion slot — the exact primitive a submitted job rides on.
+pub fn completion_pair() -> (JobHandle, Completer) {
+    let inner = Completion::new();
+    (JobHandle::new(Arc::clone(&inner)), Completer { inner })
 }
 
 /// One queued request: the loop to run and where to publish its result.

@@ -5,8 +5,8 @@ use crate::queue::{Completion, JobHandle, QueuedJob, Rejected, ServeQueue};
 use parlo_adaptive::{gang_size_hint, LoopSite};
 use parlo_core::{Config, FineGrainPool, StatsRegistry};
 use parlo_exec::{ClientHooks, Executor, Lease};
+use parlo_sync::{AtomicBool, AtomicU64, Ordering};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// How the server picks the gang size (workers per concurrently served loop).
@@ -522,7 +522,7 @@ impl Drop for Server {
 mod tests {
     use super::*;
     use parlo_affinity::{PinPolicy, Topology};
-    use std::sync::atomic::AtomicUsize;
+    use parlo_sync::AtomicUsize;
 
     fn executor(cores: usize) -> Arc<Executor> {
         Executor::new(&Topology::flat(cores).unwrap(), PinPolicy::None)

@@ -31,9 +31,9 @@ use parlo_affinity::{PinPolicy, Topology};
 use parlo_barrier::{Epoch, HalfBarrier, TreeShape, WaitPolicy};
 use parlo_cilk::Steal;
 use parlo_exec::{ClientHooks, Executor, Lease};
+use parlo_sync::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::cell::{Cell, UnsafeCell};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How many chunks a successful **cross-socket** steal takes from its victim in one
@@ -390,6 +390,7 @@ fn detach_workers(shared: &StealShared) {
 // popped only by participant `i` (its owner) and stolen from by any participant, which
 // is exactly the Chase–Lev contract.
 unsafe impl Sync for StealShared {}
+// SAFETY: same per-field argument as Sync above.
 unsafe impl Send for StealShared {}
 
 /// The work-stealing chunk scheduler.
@@ -627,7 +628,7 @@ impl StealPool {
         let has_combine = job.combine.is_some();
         shared.stats.barrier_phases.fetch_add(2, Ordering::Relaxed);
         // Publish the loop descriptor, then perform the release phase of the fork.
-        // SAFETY (job cell): the previous loop's join completed (run_job is not
+        // SAFETY: the previous loop's join completed (run_job is not
         // reentrant thanks to the &mut self public API), so no worker reads the cell.
         unsafe { *shared.job.get() = job };
         shared.sync.release(epoch);
@@ -660,7 +661,7 @@ fn participate(shared: &StealShared, id: usize, epoch: Epoch, job: &StealJob, rn
     let n = shared.nthreads;
     let deque = &shared.deques[id];
     let range = job.start..job.end;
-    // SAFETY (sticky): the master's stack frame keeps the `StickyLoop` alive until
+    // SAFETY: the master's stack frame keeps the `StickyLoop` alive until
     // its join phase completes, and participants only dereference it in between.
     let sticky = unsafe { job.sticky.as_ref() };
     // Seed the own run, back to front, so owner-LIFO pops execute it front to back and
@@ -823,7 +824,7 @@ fn execute_chunk(shared: &StealShared, id: usize, job: &StealJob, c: ChunkRange)
     shared.stats.per_worker[id]
         .chunks
         .fetch_add(1, Ordering::Relaxed);
-    // SAFETY (sticky): see `participate` — alive until the join completes.
+    // SAFETY: the sticky loop outlives the join; see `participate`.
     if let Some(s) = unsafe { job.sticky.as_ref() } {
         let k = (c.start - job.start) / job.chunk.max(1);
         if let Some(slot) = s.exec.get(k) {
@@ -879,6 +880,7 @@ unsafe fn exec_for_chunk<F: Fn(usize) + Sync>(
     lo: usize,
     hi: usize,
 ) {
+    // SAFETY: the master keeps the harness alive until its join completes.
     let h = unsafe { &*(data as *const ForHarness<'_, F>) };
     for i in lo..hi {
         (h.body)(i);
@@ -897,6 +899,7 @@ where
     Fold: Fn(T, usize) -> T + Sync,
     Comb: Fn(T, T) -> T + Sync,
 {
+    // SAFETY: the master keeps the harness alive until its join completes.
     let h = unsafe { &*(data as *const ReduceHarness<'_, T, Fold, Comb>) };
     // SAFETY: view `worker` is accessed only by participant `worker` until it arrives.
     let view = unsafe { &mut *h.views[worker].get() };
@@ -913,11 +916,14 @@ where
     Fold: Fn(T, usize) -> T + Sync,
     Comb: Fn(T, T) -> T + Sync,
 {
+    // SAFETY: the master keeps the harness alive until its join completes.
     let h = unsafe { &*(data as *const ReduceHarness<'_, T, Fold, Comb>) };
     // SAFETY: the half-barrier guarantees `from` has arrived (its view is final) and
     // that `to` is the unique combiner touching either view at this point.
     let a = unsafe { (*h.views[to].get()).take().expect("to-view present") };
+    // SAFETY: same combiner-exclusivity argument as the take above.
     let b = unsafe { (*h.views[from].get()).take().expect("from-view present") };
+    // SAFETY: same combiner-exclusivity argument as the take above.
     unsafe { *h.views[to].get() = Some((h.comb)(a, b)) };
 }
 
@@ -1018,6 +1024,7 @@ impl StealPool {
             });
         }
         // After the join the master's view holds the full fold.
+        // SAFETY: the join completed, so no participant touches any view.
         let result = unsafe { (*harness.views[0].get()).take() };
         result.expect("master view present after the join phase")
     }
@@ -1134,6 +1141,7 @@ impl StealPool {
             });
         }
         self.finish_sticky(site, &range, chunk, sticky_loop, hit);
+        // SAFETY: the join completed, so no participant touches any view.
         let result = unsafe { (*harness.views[0].get()).take() };
         result.expect("master view present after the join phase")
     }
@@ -1259,7 +1267,7 @@ mod tests {
     use super::*;
     use crate::chunk::total_chunks;
     use crate::perturb::SeededPerturbation;
-    use std::sync::atomic::AtomicUsize;
+    use parlo_sync::AtomicUsize;
 
     #[test]
     fn xorshift_escapes_the_zero_fixed_point() {

@@ -45,7 +45,7 @@ impl LoopRuntime for StealPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use parlo_sync::{AtomicUsize, Ordering};
 
     #[test]
     fn works_behind_dyn_loop_runtime() {

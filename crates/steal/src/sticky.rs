@@ -26,8 +26,8 @@
 //! [`StealPool`]: crate::StealPool
 //! [`StealStats::sticky_invalidations`]: crate::StealStats
 
+use parlo_sync::AtomicU32;
 use std::collections::HashMap;
-use std::sync::atomic::AtomicU32;
 
 /// Identifies one stealing loop site — a static location whose invocations share
 /// data-placement characteristics and therefore one remembered chunk→worker

@@ -1,0 +1,41 @@
+//! Workspace concurrency lint: `cargo run -p parlo-sync --bin synclint`.
+//!
+//! Lints every `.rs` file in the workspace (skipping `vendor/` and `target/`)
+//! against the rules in [`parlo_sync::lint`] and exits non-zero when any
+//! finding remains.  An optional argument overrides the root to lint.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/sync -> crates -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(workspace_root);
+    let findings = match parlo_sync::lint::lint_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("synclint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("synclint: clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("synclint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,94 @@
+//! The facade's [`UnsafeCell`]: loom-style scoped access so the model build
+//! can observe every non-atomic read and write.
+//!
+//! Code ported onto the facade accesses cell contents through
+//! [`UnsafeCell::with`] (shared read) and [`UnsafeCell::with_mut`] (exclusive
+//! write) instead of calling `get()` and dereferencing at leisure.  In the
+//! default build both are `#[inline(always)]` pass-throughs over
+//! `std::cell::UnsafeCell`, so the scoping costs nothing; under
+//! `--cfg parlo_model` each access is checked against the happens-before
+//! relation and a conflicting pair is reported as a data race.
+
+/// A cell whose reads and writes are visible to the model checker.
+///
+/// The `with`/`with_mut` closures receive a raw pointer that must not escape
+/// the closure — the access is considered finished when the closure returns.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct UnsafeCell<T: ?Sized> {
+    inner: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: same contract as `std::cell::UnsafeCell` — the wrapper adds no
+// state, so sending the cell is sending the value.
+unsafe impl<T: ?Sized + Send> Send for UnsafeCell<T> {}
+
+// SAFETY: like the standard library's `SyncUnsafeCell`, sharing the cell only
+// hands out raw pointers; dereferencing them is the caller's `unsafe`
+// obligation (and under the model cfg every access is checked for races).
+unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Creates a cell holding `value`.
+    #[inline(always)]
+    pub const fn new(value: T) -> Self {
+        UnsafeCell {
+            inner: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the cell and returns the value.
+    #[inline(always)]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    /// Immutable (shared) access to the contents.
+    ///
+    /// # Safety contract (delegated to the caller, as with `get`)
+    /// The caller must guarantee no concurrent mutable access; under the model
+    /// cfg that guarantee is *checked* instead of assumed.
+    #[inline(always)]
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        #[cfg(parlo_model)]
+        crate::model::sched::cell_read(self.inner.get() as *const T as *const ());
+        f(self.inner.get())
+    }
+
+    /// Mutable (exclusive) access to the contents.
+    ///
+    /// # Safety contract (delegated to the caller, as with `get`)
+    /// The caller must guarantee exclusivity; under the model cfg that
+    /// guarantee is *checked* instead of assumed.
+    #[inline(always)]
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        #[cfg(parlo_model)]
+        crate::model::sched::cell_write(self.inner.get() as *const T as *const ());
+        f(self.inner.get())
+    }
+
+    /// Raw pointer to the contents, as in `std::cell::UnsafeCell::get`.
+    ///
+    /// Accesses through this pointer are invisible to the model checker;
+    /// facade users should prefer [`Self::with`]/[`Self::with_mut`].
+    #[inline(always)]
+    pub fn get(&self) -> *mut T {
+        self.inner.get()
+    }
+
+    /// Exclusive access through a unique reference (statically race-free).
+    #[inline(always)]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T> From<T> for UnsafeCell<T> {
+    fn from(value: T) -> Self {
+        UnsafeCell::new(value)
+    }
+}

@@ -1,0 +1,399 @@
+//! The `synclint` engine: token-level source lints that keep the facade
+//! honest, with no parser dependency (plain line/token scanning).
+//!
+//! Rules:
+//!
+//! * **`direct-atomics`** — `std::sync::atomic` / `core::sync::atomic` must
+//!   not be referenced outside `crates/sync/src`; everything goes through the
+//!   facade so the model build sees every access.
+//! * **`seqcst-rationale`** — every `SeqCst` in code needs an adjacent
+//!   `// ordering:` comment explaining why the strongest ordering is
+//!   required (same line or the contiguous comment block above).  The facade
+//!   internals are exempt: the model backs every access with `SeqCst` by
+//!   construction.
+//! * **`safety-comment`** — every `unsafe` block and `unsafe impl` needs a
+//!   `// SAFETY:` comment (same line or the contiguous comment/attribute
+//!   block above).
+//!
+//! Any rule can be waived for one site with `// synclint: allow(<rule>)` on
+//! the same line or in the comment block above it.
+//!
+//! The scanner strips `//` line comments before matching, so mentioning a
+//! banned token in a comment is fine.  Block comments and string literals
+//! are *not* parsed; the patterns below are spelled via `concat!` so this
+//! file does not flag itself.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Pattern constants assembled so the lint never matches its own source.
+const SEQCST: &str = concat!("Seq", "Cst");
+const STD_ATOMIC: &str = concat!("std::sync::", "atomic");
+const CORE_ATOMIC: &str = concat!("core::sync::", "atomic");
+const ORDERING_TAG: &str = concat!("ordering", ":");
+const SAFETY_TAG: &str = concat!("SAFETY", ":");
+const ALLOW_TAG: &str = concat!("synclint", ": allow(");
+const UNSAFE_KW: &str = concat!("un", "safe");
+
+/// The lint rules, by the names used in `allow(...)` waivers.
+pub const RULES: [&str; 3] = ["direct-atomics", "seqcst-rationale", "safety-comment"];
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as reported (relative to the linted root).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Code before any `//` comment on the line.
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Comment text on the line (after `//`), if any.
+fn comment_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[i..],
+        None => "",
+    }
+}
+
+fn is_comment_or_attr(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")
+}
+
+/// `true` when `tag` appears on the given line's comment or anywhere in the
+/// contiguous comment/attribute block immediately above `idx`.
+fn tag_nearby(lines: &[&str], idx: usize, tag: &str) -> bool {
+    if comment_part(lines[idx]).contains(tag) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        if !is_comment_or_attr(lines[i]) {
+            break;
+        }
+        if lines[i].contains(tag) {
+            return true;
+        }
+    }
+    false
+}
+
+fn allowed(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let needle = format!("{ALLOW_TAG}{rule})");
+    if lines[idx].contains(&needle) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        if !is_comment_or_attr(lines[i]) {
+            break;
+        }
+        if lines[i].contains(&needle) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Occurrences of the word `unsafe` in `code` that open a block or an impl
+/// (declarations like `unsafe fn` / `unsafe trait` are not flagged — their
+/// obligations sit at the call site / impl site).
+fn unsafe_use_sites(code: &str) -> usize {
+    let bytes = code.as_bytes();
+    let mut count = 0;
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(UNSAFE_KW) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let c = bytes[at - 1] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let rest = code[at + UNSAFE_KW.len()..].trim_start();
+        if before_ok && (rest.starts_with('{') || rest.starts_with("impl")) {
+            count += 1;
+        }
+        start = at + UNSAFE_KW.len();
+    }
+    count
+}
+
+/// `true` when the facade crate's own sources are being linted — they are
+/// exempt from `direct-atomics` (they *implement* the facade) and from
+/// `seqcst-rationale` (the model backs every access with the strongest
+/// ordering by construction).
+fn facade_internal(rel: &Path) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s.contains("crates/sync/src")
+}
+
+/// Lints one file's source, reporting findings against `rel` (the path shown
+/// in reports and used for the facade exemption).
+pub fn lint_source(rel: &Path, source: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let internal = facade_internal(rel);
+    let mut findings = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let code = code_part(raw);
+        if !internal && (code.contains(STD_ATOMIC) || code.contains(CORE_ATOMIC)) {
+            let rule = "direct-atomics";
+            if !allowed(&lines, idx, rule) {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    rule,
+                    message: format!(
+                        "direct use of {STD_ATOMIC}; import from parlo_sync so the model \
+                         build can observe the access"
+                    ),
+                });
+            }
+        }
+        if !internal && code.contains(SEQCST) {
+            let rule = "seqcst-rationale";
+            if !tag_nearby(&lines, idx, ORDERING_TAG) && !allowed(&lines, idx, rule) {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    rule,
+                    message: format!(
+                        "{SEQCST} without an adjacent `// {ORDERING_TAG}` rationale comment"
+                    ),
+                });
+            }
+        }
+        if unsafe_use_sites(code) > 0 {
+            let rule = "safety-comment";
+            if !tag_nearby(&lines, idx, SAFETY_TAG) && !allowed(&lines, idx, rule) {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    rule,
+                    message: format!(
+                        "`{UNSAFE_KW}` block or impl without an adjacent `// {SAFETY_TAG}` comment"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "vendor" || name.starts_with('.')
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<Finding>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                walk(&path, root, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let source = std::fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.extend(lint_source(&rel, &source));
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `root`, skipping `target/`, `vendor/` and
+/// dot-directories.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    walk(root, root, &mut findings)?;
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(rel: &str, src: &str) -> Vec<Finding> {
+        lint_source(Path::new(rel), src)
+    }
+
+    fn rules_of(fs: &[Finding]) -> Vec<&'static str> {
+        fs.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_direct_atomic_import() {
+        let src = format!("use {STD_ATOMIC}::AtomicUsize;\n");
+        let fs = findings("crates/steal/src/lib.rs", &src);
+        assert_eq!(rules_of(&fs), ["direct-atomics"]);
+        assert_eq!(fs[0].line, 1);
+    }
+
+    #[test]
+    fn flags_core_atomic_path_inline() {
+        let src = format!("let x = {CORE_ATOMIC}::AtomicU64::new(0);\n");
+        assert_eq!(rules_of(&findings("src/main.rs", &src)), ["direct-atomics"]);
+    }
+
+    #[test]
+    fn facade_sources_may_use_std_atomics() {
+        let src = format!("use {STD_ATOMIC}::AtomicUsize;\n");
+        assert!(findings("crates/sync/src/model/atomic.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn comment_mentions_are_not_flagged() {
+        let src = format!("// re-exports {STD_ATOMIC} for the default build\nfn f() {{}}\n");
+        assert!(findings("crates/cilk/src/deque.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn flags_bare_seqcst() {
+        let src = format!("a.store(1, Ordering::{SEQCST});\n");
+        assert_eq!(
+            rules_of(&findings("crates/cilk/src/deque.rs", &src)),
+            ["seqcst-rationale"]
+        );
+    }
+
+    #[test]
+    fn seqcst_with_same_line_rationale_passes() {
+        let src =
+            format!("a.store(1, Ordering::{SEQCST}); // {ORDERING_TAG} total order with steal\n");
+        assert!(findings("crates/cilk/src/deque.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_with_preceding_block_rationale_passes() {
+        let src = format!(
+            "// {ORDERING_TAG} the CAS must totally order against the fence in steal().\n\
+             // See Le et al. for the proof.\n\
+             a.compare_exchange(t, t + 1, Ordering::{SEQCST}, Ordering::Relaxed);\n"
+        );
+        assert!(findings("crates/cilk/src/deque.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn rationale_does_not_leak_past_code_lines() {
+        let src = format!(
+            "// {ORDERING_TAG} justified here\n\
+             a.store(1, Ordering::{SEQCST});\n\
+             let x = 3;\n\
+             b.store(1, Ordering::{SEQCST});\n"
+        );
+        let fs = findings("crates/cilk/src/deque.rs", &src);
+        assert_eq!(rules_of(&fs), ["seqcst-rationale"]);
+        assert_eq!(fs[0].line, 4);
+    }
+
+    #[test]
+    fn flags_unsafe_block_without_safety() {
+        let src = format!("let v = {UNSAFE_KW} {{ *ptr }};\n");
+        assert_eq!(
+            rules_of(&findings("crates/cilk/src/deque.rs", &src)),
+            ["safety-comment"]
+        );
+    }
+
+    #[test]
+    fn flags_unsafe_impl_without_safety() {
+        let src = format!("{UNSAFE_KW} impl Send for Foo {{}}\n");
+        assert_eq!(
+            rules_of(&findings("crates/cilk/src/deque.rs", &src)),
+            ["safety-comment"]
+        );
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_passes() {
+        let src = format!(
+            "// {SAFETY_TAG} index is in bounds by the mask invariant.\n\
+             let v = {UNSAFE_KW} {{ *ptr }};\n"
+        );
+        assert!(findings("crates/cilk/src/deque.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_with_safety_through_attributes_passes() {
+        let src = format!(
+            "// {SAFETY_TAG} the wrapper adds no state.\n\
+             #[allow(dead_code)]\n\
+             {UNSAFE_KW} impl Send for Foo {{}}\n"
+        );
+        assert!(findings("crates/x/src/lib.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_declaration_is_not_flagged() {
+        let src = format!("{UNSAFE_KW} fn poke(ptr: *mut u8) {{}}\n");
+        assert!(findings("crates/x/src/lib.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn allow_waiver_suppresses_each_rule() {
+        let src = format!(
+            "// {ALLOW_TAG}direct-atomics)\n\
+             use {STD_ATOMIC}::AtomicUsize;\n\
+             a.store(1, Ordering::{SEQCST}); // {ALLOW_TAG}seqcst-rationale)\n\
+             // {ALLOW_TAG}safety-comment)\n\
+             let v = {UNSAFE_KW} {{ *p }};\n"
+        );
+        assert!(findings("crates/x/src/lib.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn waiver_for_one_rule_does_not_cover_another() {
+        let src = format!(
+            "// {ALLOW_TAG}seqcst-rationale)\n\
+             use {STD_ATOMIC}::AtomicUsize;\n"
+        );
+        assert_eq!(
+            rules_of(&findings("crates/x/src/lib.rs", &src)),
+            ["direct-atomics"]
+        );
+    }
+
+    #[test]
+    fn multiple_findings_report_correct_lines() {
+        let src = format!(
+            "use {STD_ATOMIC}::AtomicU64;\n\
+             fn f(a: &AtomicU64) {{\n\
+                 a.store(1, Ordering::{SEQCST});\n\
+                 let _ = {UNSAFE_KW} {{ core::ptr::null::<u8>().read() }};\n\
+             }}\n"
+        );
+        let fs = findings("tests/foo.rs", &src);
+        assert_eq!(
+            rules_of(&fs),
+            ["direct-atomics", "seqcst-rationale", "safety-comment"]
+        );
+        assert_eq!(fs.iter().map(|f| f.line).collect::<Vec<_>>(), [1, 3, 4]);
+    }
+}

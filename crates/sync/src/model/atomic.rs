@@ -1,0 +1,418 @@
+//! Model-checked doubles of `std::sync::atomic` types.
+//!
+//! Each wrapper holds a real `std` atomic (so `const fn new` works and
+//! `static`s are expressible) and routes every access through
+//! [`sched::atomic_op`], which inserts a schedule point and maintains the
+//! happens-before clocks for the *declared* ordering.  The backing operation
+//! always runs `SeqCst` under the scheduler lock — interleavings are
+//! sequentially consistent by construction; ordering strength only affects
+//! the happens-before relation used for race checking.
+
+use super::sched::{self, AtomicOp};
+use core::sync::atomic::Ordering;
+
+macro_rules! int_atomic {
+    ($(#[$meta:meta])* $name:ident, $std:ident, $ty:ty) => {
+        $(#[$meta])*
+        #[derive(Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates the atomic (usable in `const`/`static` contexts).
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    inner: std::sync::atomic::$std::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            /// Consumes the atomic, returning the value (no schedule point).
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+
+            /// Exclusive access (statically race-free, no schedule point).
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.inner.get_mut()
+            }
+
+            /// Model-checked load.
+            #[track_caller]
+            pub fn load(&self, order: Ordering) -> $ty {
+                sched::atomic_op(
+                    self.addr(),
+                    AtomicOp::Load(order),
+                    concat!(stringify!($name), "::load"),
+                    || (self.inner.load(Ordering::SeqCst), false),
+                )
+            }
+
+            /// Model-checked store.
+            #[track_caller]
+            pub fn store(&self, val: $ty, order: Ordering) {
+                sched::atomic_op(
+                    self.addr(),
+                    AtomicOp::Store(order),
+                    concat!(stringify!($name), "::store"),
+                    || (self.inner.store(val, Ordering::SeqCst), true),
+                )
+            }
+
+            /// Model-checked swap.
+            #[track_caller]
+            pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                sched::atomic_op(
+                    self.addr(),
+                    AtomicOp::Rmw(order),
+                    concat!(stringify!($name), "::swap"),
+                    || (self.inner.swap(val, Ordering::SeqCst), true),
+                )
+            }
+
+            /// Model-checked compare-exchange.
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                sched::atomic_op(
+                    self.addr(),
+                    AtomicOp::Cas { success, failure },
+                    concat!(stringify!($name), "::compare_exchange"),
+                    || {
+                        let r = self
+                            .inner
+                            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+                        let ok = r.is_ok();
+                        (r, ok)
+                    },
+                )
+            }
+
+            /// Model-checked compare-exchange; never fails spuriously under
+            /// the model (behaves like the strong variant — see the crate
+            /// contract).
+            #[track_caller]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            int_atomic!(@fetch $name, $ty, fetch_add);
+            int_atomic!(@fetch $name, $ty, fetch_sub);
+            int_atomic!(@fetch $name, $ty, fetch_and);
+            int_atomic!(@fetch $name, $ty, fetch_or);
+            int_atomic!(@fetch $name, $ty, fetch_xor);
+            int_atomic!(@fetch $name, $ty, fetch_max);
+            int_atomic!(@fetch $name, $ty, fetch_min);
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Raw read, no schedule point: Debug must not perturb the
+                // exploration.
+                f.debug_tuple(stringify!($name))
+                    .field(&self.inner.load(Ordering::SeqCst))
+                    .finish()
+            }
+        }
+
+        impl From<$ty> for $name {
+            fn from(v: $ty) -> Self {
+                Self::new(v)
+            }
+        }
+    };
+    (@fetch $name:ident, $ty:ty, $method:ident) => {
+        /// Model-checked read-modify-write.
+        #[track_caller]
+        pub fn $method(&self, val: $ty, order: Ordering) -> $ty {
+            sched::atomic_op(
+                self.addr(),
+                AtomicOp::Rmw(order),
+                concat!(stringify!($name), "::", stringify!($method)),
+                || (self.inner.$method(val, Ordering::SeqCst), true),
+            )
+        }
+    };
+}
+
+int_atomic!(
+    /// Model-checked `AtomicU8`.
+    AtomicU8, AtomicU8, u8
+);
+int_atomic!(
+    /// Model-checked `AtomicU32`.
+    AtomicU32, AtomicU32, u32
+);
+int_atomic!(
+    /// Model-checked `AtomicU64`.
+    AtomicU64, AtomicU64, u64
+);
+int_atomic!(
+    /// Model-checked `AtomicUsize`.
+    AtomicUsize, AtomicUsize, usize
+);
+int_atomic!(
+    /// Model-checked `AtomicIsize`.
+    AtomicIsize, AtomicIsize, isize
+);
+
+/// Model-checked `AtomicBool`.
+#[derive(Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates the atomic (usable in `const`/`static` contexts).
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Consumes the atomic, returning the value (no schedule point).
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+
+    /// Exclusive access (statically race-free, no schedule point).
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+
+    /// Model-checked load.
+    #[track_caller]
+    pub fn load(&self, order: Ordering) -> bool {
+        sched::atomic_op(
+            self.addr(),
+            AtomicOp::Load(order),
+            "AtomicBool::load",
+            || (self.inner.load(Ordering::SeqCst), false),
+        )
+    }
+
+    /// Model-checked store.
+    #[track_caller]
+    pub fn store(&self, val: bool, order: Ordering) {
+        sched::atomic_op(
+            self.addr(),
+            AtomicOp::Store(order),
+            "AtomicBool::store",
+            || (self.inner.store(val, Ordering::SeqCst), true),
+        )
+    }
+
+    /// Model-checked swap.
+    #[track_caller]
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        sched::atomic_op(
+            self.addr(),
+            AtomicOp::Rmw(order),
+            "AtomicBool::swap",
+            || (self.inner.swap(val, Ordering::SeqCst), true),
+        )
+    }
+
+    /// Model-checked compare-exchange.
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        sched::atomic_op(
+            self.addr(),
+            AtomicOp::Cas { success, failure },
+            "AtomicBool::compare_exchange",
+            || {
+                let r =
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+                let ok = r.is_ok();
+                (r, ok)
+            },
+        )
+    }
+
+    /// Model-checked compare-exchange (strong under the model).
+    #[track_caller]
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// Model-checked read-modify-write OR.
+    #[track_caller]
+    pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+        sched::atomic_op(
+            self.addr(),
+            AtomicOp::Rmw(order),
+            "AtomicBool::fetch_or",
+            || (self.inner.fetch_or(val, Ordering::SeqCst), true),
+        )
+    }
+
+    /// Model-checked read-modify-write AND.
+    #[track_caller]
+    pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+        sched::atomic_op(
+            self.addr(),
+            AtomicOp::Rmw(order),
+            "AtomicBool::fetch_and",
+            || (self.inner.fetch_and(val, Ordering::SeqCst), true),
+        )
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.inner.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl From<bool> for AtomicBool {
+    fn from(v: bool) -> Self {
+        Self::new(v)
+    }
+}
+
+/// Model-checked `AtomicPtr`.
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates the atomic (usable in `const`/`static` contexts).
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Consumes the atomic, returning the pointer (no schedule point).
+    pub fn into_inner(self) -> *mut T {
+        self.inner.into_inner()
+    }
+
+    /// Exclusive access (statically race-free, no schedule point).
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.inner.get_mut()
+    }
+
+    /// Model-checked load.
+    #[track_caller]
+    pub fn load(&self, order: Ordering) -> *mut T {
+        sched::atomic_op(
+            self.addr(),
+            AtomicOp::Load(order),
+            "AtomicPtr::load",
+            || (self.inner.load(Ordering::SeqCst), false),
+        )
+    }
+
+    /// Model-checked store.
+    #[track_caller]
+    pub fn store(&self, p: *mut T, order: Ordering) {
+        sched::atomic_op(
+            self.addr(),
+            AtomicOp::Store(order),
+            "AtomicPtr::store",
+            || (self.inner.store(p, Ordering::SeqCst), true),
+        )
+    }
+
+    /// Model-checked swap.
+    #[track_caller]
+    pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+        sched::atomic_op(self.addr(), AtomicOp::Rmw(order), "AtomicPtr::swap", || {
+            (self.inner.swap(p, Ordering::SeqCst), true)
+        })
+    }
+
+    /// Model-checked compare-exchange.
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        sched::atomic_op(
+            self.addr(),
+            AtomicOp::Cas { success, failure },
+            "AtomicPtr::compare_exchange",
+            || {
+                let r =
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+                let ok = r.is_ok();
+                (r, ok)
+            },
+        )
+    }
+
+    /// Model-checked compare-exchange (strong under the model).
+    #[track_caller]
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicPtr")
+            .field(&self.inner.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}
+
+/// Model-checked memory fence.
+#[track_caller]
+pub fn fence(order: Ordering) {
+    sched::fence_op(order);
+}

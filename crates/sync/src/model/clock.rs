@@ -1,0 +1,58 @@
+//! Fixed-size vector clocks indexed by model thread id.
+
+use super::MAX_THREADS;
+
+/// A vector clock over the model's thread slots.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct VClock([u64; MAX_THREADS]);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub const ZERO: VClock = VClock([0; MAX_THREADS]);
+
+    /// Component for thread `t`.
+    #[inline]
+    pub fn get(&self, t: usize) -> u64 {
+        self.0[t]
+    }
+
+    /// Advances thread `t`'s own component.
+    #[inline]
+    pub fn tick(&mut self, t: usize) {
+        self.0[t] += 1;
+    }
+
+    /// Overwrites thread `t`'s component (epoch-style last-access tracking).
+    #[inline]
+    pub fn set(&mut self, t: usize, v: u64) {
+        self.0[t] = v;
+    }
+
+    /// Component-wise maximum (join) with `other`.
+    #[inline]
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `true` when every component of `self` is `<=` the matching component of
+    /// `other` — i.e. everything recorded in `self` happens-before `other`.
+    #[inline]
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+
+    /// First thread whose component in `self` exceeds `other`'s view, if any.
+    /// Used to name the conflicting thread in a race report.
+    #[inline]
+    pub fn first_exceeding(&self, other: &VClock) -> Option<usize> {
+        self.0.iter().zip(other.0.iter()).position(|(a, b)| a > b)
+    }
+}
+
+impl std::fmt::Debug for VClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}

@@ -1,0 +1,183 @@
+//! The bounded model checker behind `--cfg parlo_model`.
+//!
+//! [`Builder::check`] runs a closed concurrent program (a closure that spawns
+//! up to [`MAX_THREADS`] − 1 helper threads through [`thread::spawn`]) once
+//! per distinct thread interleaving.  Scheduling is cooperative: model
+//! threads are real OS threads, but exactly one is runnable at a time and
+//! control transfers only at *visible operations* (facade atomic accesses,
+//! fences, mutex/condvar calls, spawn/join/yield).  The exploration is a
+//! depth-first enumeration of scheduling choices, optionally preemption-
+//! bounded, fully deterministic and therefore replayable: every violation
+//! reports the comma-separated choice string that reproduces it via
+//! [`Builder::replay`].
+//!
+//! Along each interleaving the checker maintains vector clocks (see
+//! [`clock::VClock`]) deriving happens-before from the *declared* memory
+//! orderings; non-atomic [`crate::UnsafeCell`] accesses are checked against
+//! that relation, so a missing `Release`/`Acquire` edge in a publication
+//! chain surfaces as a reported data race even though the sequentially
+//! consistent execution read the right value.  See the crate-level
+//! "Model-checking contract" for what is and is not explored.
+
+pub mod atomic;
+pub(crate) mod clock;
+pub mod sched;
+pub mod sync_prim;
+pub mod thread;
+
+use std::sync::Arc;
+
+/// Maximum number of concurrently live model threads (main + spawned).
+pub const MAX_THREADS: usize = 4;
+
+/// What went wrong in a checked execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Conflicting non-atomic accesses without a happens-before edge.
+    DataRace,
+    /// Every live thread is blocked (includes lost wakeups and spin loops
+    /// whose writer never arrives).
+    Deadlock,
+    /// A model thread panicked (assertion failure in the checked closure).
+    Panic,
+    /// One execution exceeded the per-execution step budget — usually a
+    /// livelock or an unbounded loop in the checked closure.
+    StepLimit,
+}
+
+/// A violation found by the checker, with a replayable schedule.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Classification of the failure.
+    pub kind: ViolationKind,
+    /// Human-readable description (access locations for races, blocked
+    /// reasons for deadlocks, the panic message for panics).
+    pub message: String,
+    /// Comma-separated choice indices; feed to [`Builder::replay`] to
+    /// re-execute the exact interleaving.
+    pub schedule: String,
+    /// Per-operation trace of the violating execution (`t<id>: <op>` lines).
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model violation: {:?}: {}", self.kind, self.message)?;
+        writeln!(f, "schedule (replayable): {}", self.schedule)?;
+        writeln!(f, "trace of the violating execution:")?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a completed (violation-free) exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of executions (distinct interleavings) explored.
+    pub executions: u64,
+    /// `true` when the exploration exhausted every interleaving within the
+    /// configured bounds; `false` when it stopped at `max_executions` or was
+    /// a single replay.
+    pub complete: bool,
+}
+
+/// Configuration for one bounded model-checking run.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum number of forced preemptions per interleaving (`None` =
+    /// unbounded, i.e. full exhaustive exploration).  Defaults to 3 —
+    /// empirically, almost all concurrency bugs need very few preemptions.
+    pub preemption_bound: Option<u32>,
+    /// Hard cap on explored interleavings; exceeding it yields an incomplete
+    /// [`Report`], not a violation.
+    pub max_executions: u64,
+    /// Per-execution visible-operation budget; exceeding it is reported as
+    /// [`ViolationKind::StepLimit`].
+    pub max_steps: usize,
+    /// Permutes the exploration order (not the explored set).  Defaults to
+    /// `PARLO_MODEL_SEED` when set, else 0 (canonical order).
+    pub seed: u64,
+    replay: Option<Vec<u16>>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(3),
+            max_executions: 500_000,
+            max_steps: 20_000,
+            seed: std::env::var("PARLO_MODEL_SEED")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0),
+            replay: None,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with default bounds (preemption bound 3).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the preemption bound (`None` = unbounded exhaustive search).
+    pub fn preemption_bound(mut self, bound: Option<u32>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Sets the interleaving cap.
+    pub fn max_executions(mut self, n: u64) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Sets the per-execution step budget.
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Sets the exploration-order seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replays exactly one interleaving from a [`Violation::schedule`] string
+    /// instead of exploring.
+    pub fn replay(mut self, schedule: &str) -> Self {
+        self.replay = Some(
+            schedule
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| s.trim().parse().expect("malformed schedule element"))
+                .collect(),
+        );
+        self
+    }
+
+    /// Explores the closure and panics (with the full report) on the first
+    /// violation.
+    pub fn check<F: Fn() + Send + Sync + 'static>(self, f: F) -> Report {
+        match self.try_check(f) {
+            Ok(report) => report,
+            Err(v) => panic!("{v}"),
+        }
+    }
+
+    /// Explores the closure, returning the violation instead of panicking.
+    /// This is what the mutation self-tests use to assert the checker *does*
+    /// catch seeded bugs.
+    pub fn try_check<F: Fn() + Send + Sync + 'static>(self, f: F) -> Result<Report, Violation> {
+        sched::explore(self, Arc::new(f))
+    }
+}
+
+/// Checks `f` under the default bounds, panicking on any violation.
+pub fn check<F: Fn() + Send + Sync + 'static>(f: F) -> Report {
+    Builder::new().check(f)
+}

@@ -1,0 +1,1143 @@
+//! The cooperative scheduler and exploration engine.
+//!
+//! Model threads are real OS threads serialized through one global mutex:
+//! exactly one thread owns the "active" slot at any moment, and ownership is
+//! transferred only at visible operations.  Each transfer point records a
+//! [`Choice`]; depth-first search backtracks by re-running the closure with a
+//! prefix of forced choice indices and taking the next untried alternative at
+//! the deepest incompletely-explored point.  Everything is deterministic, so
+//! any recorded choice string replays the exact interleaving.
+
+use super::clock::VClock;
+use super::{Builder, Report, Violation, ViolationKind, MAX_THREADS};
+use core::sync::atomic::Ordering;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe, Location};
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock,
+    PoisonError,
+};
+
+/// Panic payload used to unwind model threads when an execution aborts.
+/// Never user-visible: the panic hook suppresses it and `run_thread` catches
+/// it.
+pub(crate) struct Abort;
+
+/// Why a model thread is not runnable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Block {
+    /// Waiting to acquire the mutex at this address.
+    Mutex(usize),
+    /// Waiting on the condvar at this address.
+    Condvar(usize),
+    /// Waiting for this thread id to finish.
+    Join(usize),
+    /// Spin-loop stall: re-loading the atomic at this address with no
+    /// intervening store; parked until somebody writes it.
+    Stall(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Ready,
+    Blocked(Block),
+    Finished,
+}
+
+struct Thr {
+    status: Status,
+    clock: VClock,
+    /// Release-fence clock: what a subsequent `Relaxed` store publishes.
+    fence_rel: VClock,
+    /// Knowledge gathered by `Relaxed` loads, applied at an acquire fence.
+    acq_pending: VClock,
+    /// `(address, consecutive same-address loads)` for the stall rule.
+    last_load: Option<(usize, u32)>,
+}
+
+impl Thr {
+    fn new() -> Thr {
+        Thr {
+            status: Status::Ready,
+            clock: VClock::ZERO,
+            fence_rel: VClock::ZERO,
+            acq_pending: VClock::ZERO,
+            last_load: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct AtomObj {
+    /// The synchronization message carried by the current value: joined into
+    /// the reader's clock on an acquire load.
+    msg: VClock,
+}
+
+struct CellObj {
+    writes: VClock,
+    reads: VClock,
+    write_locs: [Option<&'static Location<'static>>; MAX_THREADS],
+    read_locs: [Option<&'static Location<'static>>; MAX_THREADS],
+}
+
+impl CellObj {
+    fn new() -> CellObj {
+        CellObj {
+            writes: VClock::ZERO,
+            reads: VClock::ZERO,
+            write_locs: [None; MAX_THREADS],
+            read_locs: [None; MAX_THREADS],
+        }
+    }
+}
+
+#[derive(Default)]
+struct MutexObj {
+    locked_by: Option<usize>,
+    msg: VClock,
+}
+
+#[derive(Default)]
+struct CvObj {
+    msg: VClock,
+}
+
+/// One recorded scheduling decision.
+struct Choice {
+    /// Candidate thread ids, in the (seed-rotated) order they were offered.
+    enabled: Vec<u16>,
+    /// Index into `enabled` that was taken.
+    chosen: u16,
+    /// `true` at yield/block/finish points, where switching away costs no
+    /// preemption; `false` at operation points, where it costs one.
+    voluntary: bool,
+    /// Preemptions spent before this choice (for bound-aware backtracking).
+    preempts_before: u32,
+}
+
+struct Exec {
+    threads: Vec<Thr>,
+    active: usize,
+    atoms: HashMap<usize, AtomObj>,
+    cells: HashMap<usize, CellObj>,
+    mutexes: HashMap<usize, MutexObj>,
+    condvars: HashMap<usize, CvObj>,
+    sc_fence: VClock,
+    choices: Vec<Choice>,
+    prefix: Vec<u16>,
+    steps: usize,
+    max_steps: usize,
+    seed: u64,
+    preemptions: u32,
+    aborting: bool,
+    violation: Option<(ViolationKind, String)>,
+    tracing: bool,
+    trace: Vec<String>,
+    finished: usize,
+    /// OS threads that have not yet run their `run_thread` epilogue; the next
+    /// execution must not start until this drains to zero.
+    live_os: usize,
+}
+
+struct Shared {
+    exec: StdMutex<Option<Exec>>,
+    cv: StdCondvar,
+}
+
+fn shared() -> &'static Shared {
+    static S: OnceLock<Shared> = OnceLock::new();
+    S.get_or_init(|| Shared {
+        exec: StdMutex::new(None),
+        cv: StdCondvar::new(),
+    })
+}
+
+/// Serializes whole `check` runs (the scheduler state is global).
+static CHECK_GATE: StdMutex<()> = StdMutex::new(());
+/// Message stashed by the panic hook for the most recent non-`Abort` panic.
+static LAST_PANIC: StdMutex<Option<String>> = StdMutex::new(None);
+
+thread_local! {
+    static TID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+type Guard = StdMutexGuard<'static, Option<Exec>>;
+
+fn cur() -> usize {
+    TID.with(|t| t.get())
+        .expect("parlo-sync model primitive used outside model::check")
+}
+
+fn lock() -> Guard {
+    shared().exec.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn exec_mut(g: &mut Guard) -> &mut Exec {
+    g.as_mut().expect("no active model execution")
+}
+
+/// Unwinds the current model thread as part of an execution abort.
+fn abort_unwind(g: Guard) -> ! {
+    drop(g);
+    shared().cv.notify_all();
+    panic::panic_any(Abort);
+}
+
+/// Records a violation (first one wins), aborts the execution, unwinds.
+fn raise(mut g: Guard, kind: ViolationKind, message: String) -> ! {
+    {
+        let exec = exec_mut(&mut g);
+        if exec.violation.is_none() {
+            exec.violation = Some((kind, message));
+        }
+        exec.aborting = true;
+    }
+    abort_unwind(g)
+}
+
+/// Abort check + step accounting shared by every transfer point.
+fn checkpoint(mut g: Guard) -> Guard {
+    let over = {
+        let exec = exec_mut(&mut g);
+        if exec.aborting {
+            None
+        } else {
+            exec.steps += 1;
+            Some(exec.steps > exec.max_steps)
+        }
+    };
+    match over {
+        None => abort_unwind(g),
+        Some(true) => raise(
+            g,
+            ViolationKind::StepLimit,
+            "execution exceeded the step budget (livelock or unbounded loop?)".to_string(),
+        ),
+        Some(false) => g,
+    }
+}
+
+/// Abort check without step accounting (cell accesses are free).
+fn ensure_live(mut g: Guard) -> Guard {
+    if exec_mut(&mut g).aborting {
+        abort_unwind(g)
+    }
+    g
+}
+
+fn wait_turn(mut g: Guard, me: usize) -> Guard {
+    loop {
+        {
+            let exec = exec_mut(&mut g);
+            if exec.aborting {
+                abort_unwind(g);
+            }
+            if exec.active == me && exec.threads[me].status == Status::Ready {
+                return g;
+            }
+        }
+        g = shared().cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Runnable threads other than `me`, ascending, then seed-rotated.  The
+/// rotation permutes *exploration order* only — DFS still visits every
+/// alternative — and is a pure function of (seed, choice index) so replays
+/// with the same seed reproduce the same candidate order.
+fn ready_others(exec: &Exec, me: usize) -> Vec<u16> {
+    let mut v: Vec<u16> = exec
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| *i != me && t.status == Status::Ready)
+        .map(|(i, _)| i as u16)
+        .collect();
+    if exec.seed != 0 && v.len() > 1 {
+        let r = (splitmix(exec.seed ^ exec.choices.len() as u64) as usize) % v.len();
+        v.rotate_left(r);
+    }
+    v
+}
+
+/// Next choice index: forced by the replay prefix, else 0 (free run).
+fn pick(exec: &Exec, n: usize) -> usize {
+    let i = exec.choices.len();
+    if i < exec.prefix.len() {
+        (exec.prefix[i] as usize).min(n - 1)
+    } else {
+        0
+    }
+}
+
+fn deadlock_message(exec: &Exec) -> String {
+    let mut parts = vec!["all live threads are blocked:".to_string()];
+    for (i, t) in exec.threads.iter().enumerate() {
+        let d = match t.status {
+            Status::Ready => format!("t{i}: runnable"),
+            Status::Blocked(Block::Mutex(a)) => format!("t{i}: waiting to lock mutex@{a:#x}"),
+            Status::Blocked(Block::Condvar(a)) => format!(
+                "t{i}: waiting on condvar@{a:#x} with no remaining notifier (lost wakeup?)"
+            ),
+            Status::Blocked(Block::Join(t2)) => format!("t{i}: joining t{t2}"),
+            Status::Blocked(Block::Stall(a)) => format!(
+                "t{i}: spinning on atomic@{a:#x} with no remaining writer (lost wakeup / missed store?)"
+            ),
+            Status::Finished => format!("t{i}: finished"),
+        };
+        parts.push(d);
+    }
+    parts.join("; ")
+}
+
+/// An operation point: the current thread is about to perform a visible
+/// operation; the scheduler may preempt it first.
+fn op_point(mut g: Guard, me: usize) -> Guard {
+    g = checkpoint(g);
+    let switch = {
+        let exec = exec_mut(&mut g);
+        let others = ready_others(exec, me);
+        if others.is_empty() {
+            false
+        } else {
+            let mut enabled = Vec::with_capacity(others.len() + 1);
+            enabled.push(me as u16);
+            enabled.extend(others);
+            let idx = pick(exec, enabled.len());
+            let chosen = enabled[idx] as usize;
+            let before = exec.preemptions;
+            if idx > 0 {
+                exec.preemptions += 1;
+            }
+            exec.choices.push(Choice {
+                enabled,
+                chosen: idx as u16,
+                voluntary: false,
+                preempts_before: before,
+            });
+            if chosen != me {
+                exec.active = chosen;
+                true
+            } else {
+                false
+            }
+        }
+    };
+    if switch {
+        shared().cv.notify_all();
+        g = wait_turn(g, me);
+    }
+    g
+}
+
+/// A voluntary reschedule point (`yield_now`): other threads are offered
+/// first and switching costs no preemption.
+pub(crate) fn yield_point() {
+    let me = cur();
+    let mut g = lock();
+    g = checkpoint(g);
+    let switch = {
+        let exec = exec_mut(&mut g);
+        let mut enabled = ready_others(exec, me);
+        if enabled.is_empty() {
+            false
+        } else {
+            enabled.push(me as u16);
+            let idx = pick(exec, enabled.len());
+            let chosen = enabled[idx] as usize;
+            let before = exec.preemptions;
+            exec.choices.push(Choice {
+                enabled,
+                chosen: idx as u16,
+                voluntary: true,
+                preempts_before: before,
+            });
+            if exec.tracing {
+                exec.trace.push(format!("t{me}: yield_now"));
+            }
+            if chosen != me {
+                exec.active = chosen;
+                true
+            } else {
+                false
+            }
+        }
+    };
+    if switch {
+        shared().cv.notify_all();
+        let g = wait_turn(g, me);
+        drop(g);
+    }
+}
+
+/// Blocks the current thread and hands control to a runnable one; raises a
+/// deadlock violation when none exists.  Returns after the thread has been
+/// made ready again *and* rescheduled.
+fn block_point(mut g: Guard, me: usize, b: Block) -> Guard {
+    g = checkpoint(g);
+    {
+        let exec = exec_mut(&mut g);
+        exec.threads[me].status = Status::Blocked(b);
+        if exec.tracing {
+            exec.trace.push(format!("t{me}: blocks on {b:?}"));
+        }
+        let others = ready_others(exec, me);
+        if others.is_empty() {
+            let msg = deadlock_message(exec);
+            raise(g, ViolationKind::Deadlock, msg);
+        }
+        let idx = pick(exec, others.len());
+        let chosen = others[idx] as usize;
+        if others.len() > 1 {
+            let before = exec.preemptions;
+            exec.choices.push(Choice {
+                enabled: others,
+                chosen: idx as u16,
+                voluntary: true,
+                preempts_before: before,
+            });
+        }
+        exec.active = chosen;
+    }
+    shared().cv.notify_all();
+    wait_turn(g, me)
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Wakes stalled spinners and resets everyone's consecutive-load count for a
+/// written address (their next load genuinely observes something new).
+fn note_write(threads: &mut [Thr], addr: usize) {
+    for t in threads.iter_mut() {
+        if t.status == Status::Blocked(Block::Stall(addr)) {
+            t.status = Status::Ready;
+        }
+        if matches!(t.last_load, Some((a, _)) if a == addr) {
+            t.last_load = None;
+        }
+    }
+}
+
+/// Kind of atomic access, with its declared orderings.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AtomicOp {
+    Load(Ordering),
+    Store(Ordering),
+    Rmw(Ordering),
+    Cas {
+        success: Ordering,
+        failure: Ordering,
+    },
+}
+
+/// Executes one atomic access under the scheduler.  `action` performs the
+/// real operation on the backing `std` atomic (while the scheduler lock is
+/// held, so it is globally ordered) and reports whether it wrote.
+#[track_caller]
+pub(crate) fn atomic_op<R: std::fmt::Debug>(
+    addr: usize,
+    op: AtomicOp,
+    name: &str,
+    action: impl FnOnce() -> (R, bool),
+) -> R {
+    let loc = Location::caller();
+    let me = cur();
+    let mut g = lock();
+    g = ensure_live(g);
+    // Stall rule: a third consecutive load of the same address (with no
+    // intervening write by anyone) cannot observe anything new under SC —
+    // park the spinner until somebody stores to the address.
+    if matches!(op, AtomicOp::Load(_)) {
+        let stalled = matches!(
+            exec_mut(&mut g).threads[me].last_load,
+            Some((a, n)) if a == addr && n >= 2
+        );
+        if stalled {
+            g = block_point(g, me, Block::Stall(addr));
+        }
+    }
+    g = op_point(g, me);
+    let (val, wrote) = action();
+    {
+        let exec = exec_mut(&mut g);
+        exec.threads[me].clock.tick(me);
+        let clock = exec.threads[me].clock;
+        let fence_rel = exec.threads[me].fence_rel;
+        let obj = exec.atoms.entry(addr).or_default();
+        let msg = obj.msg;
+        let effective = match op {
+            AtomicOp::Load(o) => {
+                if is_acquire(o) {
+                    exec.threads[me].clock.join(&msg);
+                } else {
+                    exec.threads[me].acq_pending.join(&msg);
+                }
+                o
+            }
+            AtomicOp::Store(o) => {
+                // A release store *replaces* the message; a relaxed store
+                // publishes only what a prior release fence covered.
+                obj.msg = if is_release(o) { clock } else { fence_rel };
+                o
+            }
+            AtomicOp::Rmw(o) => {
+                if is_acquire(o) {
+                    exec.threads[me].clock.join(&msg);
+                } else {
+                    exec.threads[me].acq_pending.join(&msg);
+                }
+                // RMWs continue the release sequence: join, don't replace.
+                let base = if is_release(o) { clock } else { fence_rel };
+                obj.msg.join(&base);
+                o
+            }
+            AtomicOp::Cas { success, failure } => {
+                let o = if wrote { success } else { failure };
+                if is_acquire(o) {
+                    exec.threads[me].clock.join(&msg);
+                } else {
+                    exec.threads[me].acq_pending.join(&msg);
+                }
+                if wrote {
+                    let base = if is_release(o) { clock } else { fence_rel };
+                    let obj = exec.atoms.entry(addr).or_default();
+                    obj.msg.join(&base);
+                }
+                o
+            }
+        };
+        if wrote {
+            note_write(&mut exec.threads, addr);
+            exec.threads[me].last_load = None;
+        } else {
+            // Loads and failed CASes count toward the stall rule.
+            exec.threads[me].last_load = Some(match exec.threads[me].last_load {
+                Some((a, n)) if a == addr => (addr, n + 1),
+                _ => (addr, 1),
+            });
+        }
+        if exec.tracing {
+            exec.trace.push(format!(
+                "t{me}: {name}({effective:?}) @{addr:#x} -> {val:?} [{loc}]"
+            ));
+        }
+    }
+    drop(g);
+    val
+}
+
+/// A standalone memory fence.
+#[track_caller]
+pub(crate) fn fence_op(order: Ordering) {
+    let loc = Location::caller();
+    let me = cur();
+    let mut g = lock();
+    g = op_point(g, me);
+    {
+        let exec = exec_mut(&mut g);
+        exec.threads[me].clock.tick(me);
+        if is_acquire(order) {
+            let pending = exec.threads[me].acq_pending;
+            exec.threads[me].clock.join(&pending);
+            exec.threads[me].acq_pending = VClock::ZERO;
+        }
+        if order == Ordering::SeqCst {
+            let sc = exec.sc_fence;
+            exec.threads[me].clock.join(&sc);
+        }
+        if is_release(order) {
+            let clock = exec.threads[me].clock;
+            exec.threads[me].fence_rel = clock;
+        }
+        if order == Ordering::SeqCst {
+            let clock = exec.threads[me].clock;
+            exec.sc_fence.join(&clock);
+        }
+        exec.threads[me].last_load = None;
+        if exec.tracing {
+            exec.trace.push(format!("t{me}: fence({order:?}) [{loc}]"));
+        }
+    }
+    drop(g);
+}
+
+/// Non-atomic read of an [`crate::UnsafeCell`]: checked against every prior
+/// write's happens-before edge.
+#[track_caller]
+pub fn cell_read(addr: *const ()) {
+    let loc = Location::caller();
+    let addr = addr as usize;
+    let me = cur();
+    let mut g = lock();
+    g = ensure_live(g);
+    let race = {
+        let exec = exec_mut(&mut g);
+        exec.threads[me].clock.tick(me);
+        let clock = exec.threads[me].clock;
+        exec.threads[me].last_load = None;
+        let cell = exec.cells.entry(addr).or_insert_with(CellObj::new);
+        if !cell.writes.le(&clock) {
+            let u = cell.writes.first_exceeding(&clock).expect("racy writer");
+            Some(format!(
+                "data race on cell @{addr:#x}: read by t{me} at {loc} is concurrent with write by t{u}{}",
+                cell.write_locs[u]
+                    .map(|l| format!(" at {l}"))
+                    .unwrap_or_default()
+            ))
+        } else {
+            let own = clock.get(me);
+            cell.reads.set(me, own);
+            cell.read_locs[me] = Some(loc);
+            None
+        }
+    };
+    if let Some(msg) = race {
+        raise(g, ViolationKind::DataRace, msg);
+    }
+    let exec = exec_mut(&mut g);
+    if exec.tracing {
+        exec.trace
+            .push(format!("t{me}: cell read @{addr:#x} [{loc}]"));
+    }
+}
+
+/// Non-atomic write of an [`crate::UnsafeCell`]: checked against every prior
+/// read *and* write.
+#[track_caller]
+pub fn cell_write(addr: *const ()) {
+    let loc = Location::caller();
+    let addr = addr as usize;
+    let me = cur();
+    let mut g = lock();
+    g = ensure_live(g);
+    let race = {
+        let exec = exec_mut(&mut g);
+        exec.threads[me].clock.tick(me);
+        let clock = exec.threads[me].clock;
+        exec.threads[me].last_load = None;
+        let cell = exec.cells.entry(addr).or_insert_with(CellObj::new);
+        if !cell.writes.le(&clock) {
+            let u = cell.writes.first_exceeding(&clock).expect("racy writer");
+            Some(format!(
+                "data race on cell @{addr:#x}: write by t{me} at {loc} is concurrent with write by t{u}{}",
+                cell.write_locs[u]
+                    .map(|l| format!(" at {l}"))
+                    .unwrap_or_default()
+            ))
+        } else if !cell.reads.le(&clock) {
+            let u = cell.reads.first_exceeding(&clock).expect("racy reader");
+            Some(format!(
+                "data race on cell @{addr:#x}: write by t{me} at {loc} is concurrent with read by t{u}{}",
+                cell.read_locs[u]
+                    .map(|l| format!(" at {l}"))
+                    .unwrap_or_default()
+            ))
+        } else {
+            let own = clock.get(me);
+            cell.writes.set(me, own);
+            cell.write_locs[me] = Some(loc);
+            None
+        }
+    };
+    if let Some(msg) = race {
+        raise(g, ViolationKind::DataRace, msg);
+    }
+    let exec = exec_mut(&mut g);
+    if exec.tracing {
+        exec.trace
+            .push(format!("t{me}: cell write @{addr:#x} [{loc}]"));
+    }
+}
+
+/// Model mutex acquire (blocking, with the mutex's clock joined on success).
+#[track_caller]
+pub(crate) fn mutex_lock(addr: usize) {
+    let loc = Location::caller();
+    let me = cur();
+    let mut g = lock();
+    g = ensure_live(g);
+    loop {
+        g = op_point(g, me);
+        let acquired = {
+            let exec = exec_mut(&mut g);
+            let obj = exec.mutexes.entry(addr).or_default();
+            if obj.locked_by.is_none() {
+                obj.locked_by = Some(me);
+                let msg = obj.msg;
+                exec.threads[me].clock.tick(me);
+                exec.threads[me].clock.join(&msg);
+                exec.threads[me].last_load = None;
+                if exec.tracing {
+                    exec.trace
+                        .push(format!("t{me}: mutex lock @{addr:#x} [{loc}]"));
+                }
+                true
+            } else {
+                false
+            }
+        };
+        if acquired {
+            return;
+        }
+        g = block_point(g, me, Block::Mutex(addr));
+    }
+}
+
+/// Model mutex release: publishes the holder's clock and wakes contenders.
+#[track_caller]
+pub(crate) fn mutex_unlock(addr: usize) {
+    let loc = Location::caller();
+    let me = cur();
+    let mut g = lock();
+    if std::thread::panicking() {
+        // Guard drop during an unwind (a user panic or an execution abort):
+        // release the lock with no schedule point and, crucially, without
+        // ever panicking again — a second panic would abort the process.
+        if let Some(exec) = g.as_mut() {
+            let obj = exec.mutexes.entry(addr).or_default();
+            if obj.locked_by == Some(me) {
+                obj.locked_by = None;
+                let clock = exec.threads[me].clock;
+                obj.msg = clock;
+                for t in exec.threads.iter_mut() {
+                    if t.status == Status::Blocked(Block::Mutex(addr)) {
+                        t.status = Status::Ready;
+                    }
+                }
+            }
+        }
+        drop(g);
+        shared().cv.notify_all();
+        return;
+    }
+    g = op_point(g, me);
+    {
+        let exec = exec_mut(&mut g);
+        exec.threads[me].clock.tick(me);
+        let clock = exec.threads[me].clock;
+        let obj = exec.mutexes.entry(addr).or_default();
+        assert_eq!(
+            obj.locked_by,
+            Some(me),
+            "model mutex @{addr:#x} unlocked by a thread that does not hold it"
+        );
+        obj.locked_by = None;
+        obj.msg = clock;
+        for t in exec.threads.iter_mut() {
+            if t.status == Status::Blocked(Block::Mutex(addr)) {
+                t.status = Status::Ready;
+            }
+        }
+        exec.threads[me].last_load = None;
+        if exec.tracing {
+            exec.trace
+                .push(format!("t{me}: mutex unlock @{addr:#x} [{loc}]"));
+        }
+    }
+    drop(g);
+    shared().cv.notify_all();
+}
+
+/// Condvar wait: atomically releases the mutex and blocks; re-acquires the
+/// mutex after being notified.  No timeouts, no spurious wakeups.
+#[track_caller]
+pub(crate) fn condvar_wait(cv_addr: usize, mutex_addr: usize) {
+    let loc = Location::caller();
+    let me = cur();
+    let mut g = lock();
+    g = op_point(g, me);
+    {
+        // Release the mutex (same bookkeeping as `mutex_unlock`, inline so
+        // the unlock and the block are one atomic transition).
+        let exec = exec_mut(&mut g);
+        exec.threads[me].clock.tick(me);
+        let clock = exec.threads[me].clock;
+        let obj = exec.mutexes.entry(mutex_addr).or_default();
+        assert_eq!(
+            obj.locked_by,
+            Some(me),
+            "condvar wait with a mutex the waiter does not hold"
+        );
+        obj.locked_by = None;
+        obj.msg = clock;
+        for t in exec.threads.iter_mut() {
+            if t.status == Status::Blocked(Block::Mutex(mutex_addr)) {
+                t.status = Status::Ready;
+            }
+        }
+        exec.threads[me].last_load = None;
+        if exec.tracing {
+            exec.trace.push(format!(
+                "t{me}: condvar wait @{cv_addr:#x} (releases mutex @{mutex_addr:#x}) [{loc}]"
+            ));
+        }
+    }
+    shared().cv.notify_all();
+    g = block_point(g, me, Block::Condvar(cv_addr));
+    {
+        // Notified: inherit the notifier's published clock.
+        let exec = exec_mut(&mut g);
+        exec.threads[me].clock.tick(me);
+        let msg = exec.condvars.entry(cv_addr).or_default().msg;
+        exec.threads[me].clock.join(&msg);
+    }
+    drop(g);
+    mutex_lock(mutex_addr);
+}
+
+/// Condvar notify: publishes the notifier's clock and readies waiter(s).
+/// `notify_one` deterministically wakes the lowest-id waiter.
+#[track_caller]
+pub(crate) fn condvar_notify(cv_addr: usize, all: bool) {
+    let loc = Location::caller();
+    let me = cur();
+    let mut g = lock();
+    g = op_point(g, me);
+    {
+        let exec = exec_mut(&mut g);
+        exec.threads[me].clock.tick(me);
+        let clock = exec.threads[me].clock;
+        exec.condvars.entry(cv_addr).or_default().msg.join(&clock);
+        let mut woken = 0usize;
+        for t in exec.threads.iter_mut() {
+            if t.status == Status::Blocked(Block::Condvar(cv_addr)) && (all || woken == 0) {
+                t.status = Status::Ready;
+                woken += 1;
+            }
+        }
+        exec.threads[me].last_load = None;
+        if exec.tracing {
+            let kind = if all { "notify_all" } else { "notify_one" };
+            exec.trace.push(format!(
+                "t{me}: condvar {kind} @{cv_addr:#x} (woke {woken}) [{loc}]"
+            ));
+        }
+    }
+    drop(g);
+    shared().cv.notify_all();
+}
+
+/// Registers a new model thread (child clock = parent clock) and returns its
+/// id.  The caller then spawns the OS thread running [`run_thread`].
+#[track_caller]
+pub(crate) fn spawn_thread() -> usize {
+    let loc = Location::caller();
+    let me = cur();
+    let mut g = lock();
+    g = op_point(g, me);
+    let tid = {
+        let exec = exec_mut(&mut g);
+        assert!(
+            exec.threads.len() < MAX_THREADS,
+            "the model supports at most {MAX_THREADS} threads"
+        );
+        exec.threads[me].clock.tick(me);
+        let tid = exec.threads.len();
+        let mut child = Thr::new();
+        child.clock = exec.threads[me].clock;
+        child.clock.tick(tid);
+        exec.threads.push(child);
+        exec.live_os += 1;
+        exec.threads[me].last_load = None;
+        if exec.tracing {
+            exec.trace.push(format!("t{me}: spawns t{tid} [{loc}]"));
+        }
+        tid
+    };
+    drop(g);
+    tid
+}
+
+/// Blocks until `tid` finishes, then joins its final clock.
+#[track_caller]
+pub(crate) fn join_thread(tid: usize) {
+    let loc = Location::caller();
+    let me = cur();
+    let mut g = lock();
+    g = ensure_live(g);
+    loop {
+        if exec_mut(&mut g).threads[tid].status == Status::Finished {
+            break;
+        }
+        g = block_point(g, me, Block::Join(tid));
+    }
+    {
+        let exec = exec_mut(&mut g);
+        exec.threads[me].clock.tick(me);
+        let child = exec.threads[tid].clock;
+        exec.threads[me].clock.join(&child);
+        exec.threads[me].last_load = None;
+        if exec.tracing {
+            exec.trace.push(format!("t{me}: joined t{tid} [{loc}]"));
+        }
+    }
+    drop(g);
+}
+
+/// Body run by every model OS thread: waits to be scheduled, runs the
+/// closure, then marks itself finished and hands control onward.
+pub(crate) fn run_thread(tid: usize, body: impl FnOnce()) {
+    TID.with(|t| t.set(Some(tid)));
+    let res = panic::catch_unwind(AssertUnwindSafe(|| {
+        let g = lock();
+        let g = wait_turn(g, tid);
+        drop(g);
+        body();
+    }));
+    let mut g = lock();
+    let Some(exec) = g.as_mut() else {
+        return;
+    };
+    exec.threads[tid].status = Status::Finished;
+    exec.finished += 1;
+    if let Err(payload) = res {
+        if payload.downcast_ref::<Abort>().is_none() {
+            let msg = LAST_PANIC
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .unwrap_or_else(|| payload_msg(payload.as_ref()));
+            if exec.violation.is_none() {
+                exec.violation = Some((ViolationKind::Panic, msg));
+            }
+            exec.aborting = true;
+        }
+    }
+    for t in exec.threads.iter_mut() {
+        if t.status == Status::Blocked(Block::Join(tid)) {
+            t.status = Status::Ready;
+        }
+    }
+    if exec.tracing {
+        exec.trace.push(format!("t{tid}: finished"));
+    }
+    if !exec.aborting {
+        let others = ready_others(exec, tid);
+        if !others.is_empty() {
+            let idx = pick(exec, others.len());
+            let chosen = others[idx] as usize;
+            if others.len() > 1 {
+                let before = exec.preemptions;
+                exec.choices.push(Choice {
+                    enabled: others,
+                    chosen: idx as u16,
+                    voluntary: true,
+                    preempts_before: before,
+                });
+            }
+            exec.active = chosen;
+        } else if exec.finished < exec.threads.len() {
+            let msg = deadlock_message(exec);
+            if exec.violation.is_none() {
+                exec.violation = Some((ViolationKind::Deadlock, msg));
+            }
+            exec.aborting = true;
+        }
+    }
+    exec.live_os -= 1;
+    drop(g);
+    shared().cv.notify_all();
+}
+
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+struct RunOutcome {
+    choices: Vec<Choice>,
+    violation: Option<(ViolationKind, String)>,
+    trace: Vec<String>,
+}
+
+/// Runs the closure once under a forced choice prefix (free-running past its
+/// end) and returns what happened.
+fn run_one(
+    builder: &Builder,
+    prefix: Vec<u16>,
+    f: Arc<dyn Fn() + Send + Sync>,
+    tracing: bool,
+) -> RunOutcome {
+    let sh = shared();
+    {
+        let mut g = lock();
+        assert!(g.is_none(), "model executions may not nest");
+        *g = Some(Exec {
+            threads: vec![Thr::new()],
+            active: 0,
+            atoms: HashMap::new(),
+            cells: HashMap::new(),
+            mutexes: HashMap::new(),
+            condvars: HashMap::new(),
+            sc_fence: VClock::ZERO,
+            choices: Vec::new(),
+            prefix,
+            steps: 0,
+            max_steps: builder.max_steps,
+            seed: builder.seed,
+            preemptions: 0,
+            aborting: false,
+            violation: None,
+            tracing,
+            trace: Vec::new(),
+            finished: 0,
+            live_os: 1,
+        });
+    }
+    let main = std::thread::Builder::new()
+        .name("parlo-model-0".to_string())
+        .spawn(move || run_thread(0, move || f()))
+        .expect("failed to spawn the model main thread");
+    let outcome = {
+        let mut g = lock();
+        loop {
+            {
+                let exec = exec_mut(&mut g);
+                if exec.finished == exec.threads.len() && exec.live_os == 0 {
+                    break;
+                }
+            }
+            g = sh.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        let exec = g.take().expect("execution vanished");
+        RunOutcome {
+            choices: exec.choices,
+            violation: exec.violation,
+            trace: exec.trace,
+        }
+    };
+    main.join().expect("model main thread never unwinds");
+    outcome
+}
+
+/// Deepest-first backtracking: find the deepest choice with an untried
+/// alternative that respects the preemption bound, and force it.
+fn next_prefix(choices: &[Choice], bound: Option<u32>) -> Option<Vec<u16>> {
+    for i in (0..choices.len()).rev() {
+        let c = &choices[i];
+        let next = c.chosen as usize + 1;
+        if next >= c.enabled.len() {
+            continue;
+        }
+        let extra = u32::from(!c.voluntary);
+        if let Some(b) = bound {
+            if c.preempts_before + extra > b {
+                continue;
+            }
+        }
+        let mut p: Vec<u16> = choices[..i].iter().map(|c| c.chosen).collect();
+        p.push(next as u16);
+        return Some(p);
+    }
+    None
+}
+
+/// Restores the previous panic hook on drop; during a check the hook
+/// suppresses `Abort` unwinds entirely and stashes real panic messages for
+/// the violation report instead of printing backtraces per execution.
+struct HookGuard {
+    prev: Option<Box<dyn Fn(&panic::PanicHookInfo<'_>) + Send + Sync>>,
+}
+
+impl HookGuard {
+    fn install() -> HookGuard {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(|info| {
+            if info.payload().downcast_ref::<Abort>().is_some() {
+                return;
+            }
+            let msg = payload_msg(info.payload());
+            let loc = info
+                .location()
+                .map(|l| format!(" at {l}"))
+                .unwrap_or_default();
+            *LAST_PANIC.lock().unwrap_or_else(PoisonError::into_inner) =
+                Some(format!("{msg}{loc}"));
+        }));
+        HookGuard { prev: Some(prev) }
+    }
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            panic::set_hook(prev);
+        }
+    }
+}
+
+/// The exploration driver behind [`Builder::try_check`].
+pub(crate) fn explore(
+    builder: Builder,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> Result<Report, Violation> {
+    let _gate = CHECK_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let _hook = HookGuard::install();
+    let replay_only = builder.replay.is_some();
+    let mut prefix: Vec<u16> = builder.replay.clone().unwrap_or_default();
+    let mut executions: u64 = 0;
+    loop {
+        executions += 1;
+        let done = run_one(&builder, prefix.clone(), Arc::clone(&f), false);
+        if done.violation.is_some() {
+            // Deterministic re-run of the exact violating schedule with
+            // tracing enabled, to build the rich report only when needed.
+            let full: Vec<u16> = done.choices.iter().map(|c| c.chosen).collect();
+            let traced = run_one(&builder, full.clone(), Arc::clone(&f), true);
+            let (kind, message) = traced
+                .violation
+                .or(done.violation)
+                .expect("violation vanished on replay");
+            let schedule = full
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            return Err(Violation {
+                kind,
+                message,
+                schedule,
+                trace: traced.trace,
+            });
+        }
+        if replay_only {
+            return Ok(Report {
+                executions,
+                complete: false,
+            });
+        }
+        match next_prefix(&done.choices, builder.preemption_bound) {
+            Some(p) => prefix = p,
+            None => {
+                return Ok(Report {
+                    executions,
+                    complete: true,
+                })
+            }
+        }
+        if executions >= builder.max_executions {
+            return Ok(Report {
+                executions,
+                complete: false,
+            });
+        }
+    }
+}

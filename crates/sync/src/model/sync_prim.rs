@@ -1,0 +1,181 @@
+//! Model-checked `Mutex` and `Condvar` doubles.
+//!
+//! Semantics under the model (see the crate-level contract):
+//!
+//! * Locks never poison: `lock()` always returns `Ok`, so call sites written
+//!   for `std` (`.unwrap()` / `.unwrap_or_else(|e| e.into_inner())`) work
+//!   unchanged.
+//! * `Condvar::wait` atomically releases the mutex and blocks; there are no
+//!   spurious wakeups.
+//! * `Condvar::wait_timeout` **never times out** — a waiter that only its
+//!   timed backstop would save shows up as a lost-wakeup deadlock, which is
+//!   exactly the bug the check is for.
+
+use super::sched;
+use std::sync::LockResult;
+use std::time::Duration;
+
+/// Model-checked mutex.  Lock ordering and hand-off happen in the scheduler;
+/// the data lives in a plain cell exempt from the race check because the
+/// scheduler enforces mutual exclusion directly.
+#[derive(Default)]
+pub struct Mutex<T> {
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the model scheduler serializes guard lifetimes exactly like a real
+// mutex serializes critical sections, so `Mutex<T>` grants the same `Send` /
+// `Sync` guarantees as `std::sync::Mutex<T>`.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: see above — exclusive access is enforced by the scheduler.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex (usable in `const`/`static` contexts).
+    pub const fn new(data: T) -> Self {
+        Mutex {
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Acquires the lock, blocking the model thread until it is free.
+    /// Never poisons.
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        sched::mutex_lock(self.addr());
+        Ok(MutexGuard { lock: self })
+    }
+
+    /// Consumes the mutex, returning the data.  Never poisons.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+
+    /// Exclusive access through a unique reference.  Never poisons.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases on drop through the scheduler.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the scheduler granted this thread exclusive ownership of
+        // the mutex until the guard drops.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above — exclusive ownership for the guard's lifetime.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        sched::mutex_unlock(self.lock.addr());
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`]; under the model it never reports a
+/// timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    /// Always `false` under the model.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model-checked condition variable.  The marker byte gives every condvar a
+/// unique address for scheduler bookkeeping (a ZST would not).
+pub struct Condvar {
+    _marker: std::sync::atomic::AtomicU8,
+}
+
+impl Condvar {
+    /// Creates the condvar (usable in `const`/`static` contexts).
+    pub const fn new() -> Self {
+        Condvar {
+            _marker: std::sync::atomic::AtomicU8::new(0),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified; the
+    /// mutex is re-acquired (possibly contending) before returning.
+    #[track_caller]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        // The scheduler performs unlock-and-block as one transition; the
+        // guard's normal drop (a second unlock) must not run.
+        std::mem::forget(guard);
+        sched::condvar_wait(self.addr(), lock.addr());
+        Ok(MutexGuard { lock })
+    }
+
+    /// [`Condvar::wait`] that pretends to honor a timeout: under the model
+    /// the timeout never fires, making lost-wakeup detection strict.
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let guard = self.wait(guard).unwrap_or_else(|e| e.into_inner());
+        Ok((guard, WaitTimeoutResult(false)))
+    }
+
+    /// Wakes the lowest-id model thread waiting on this condvar, if any.
+    #[track_caller]
+    pub fn notify_one(&self) {
+        sched::condvar_notify(self.addr(), false);
+    }
+
+    /// Wakes every model thread waiting on this condvar.
+    #[track_caller]
+    pub fn notify_all(&self) {
+        sched::condvar_notify(self.addr(), true);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

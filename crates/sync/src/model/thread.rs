@@ -1,0 +1,76 @@
+//! Model-checked thread spawn/join/yield.
+//!
+//! Model threads are real OS threads whose execution is serialized by the
+//! scheduler; spawning registers a new model thread id (child inherits the
+//! parent's clock) and joining blocks until the child finishes, joining its
+//! final clock — both are happens-before edges, exactly as in `std`.
+
+use super::sched;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+/// Yields control: other runnable model threads are offered the slot first,
+/// and switching away costs no preemption budget.
+pub fn yield_now() {
+    sched::yield_point();
+}
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawns a model thread (at most [`super::MAX_THREADS`] may be live).
+#[track_caller]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = sched::spawn_thread();
+    let result = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let os = std::thread::Builder::new()
+        .name(format!("parlo-model-{tid}"))
+        .spawn(move || {
+            sched::run_thread(tid, move || {
+                let v = f();
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            });
+        })
+        .expect("failed to spawn a model thread");
+    JoinHandle {
+        tid,
+        result,
+        os: Some(os),
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks the calling model thread until the child finishes, then
+    /// returns its value.  Never returns `Err` under the model: a panicking
+    /// child aborts the whole execution as a violation first.
+    #[track_caller]
+    pub fn join(mut self) -> std::thread::Result<T> {
+        sched::join_thread(self.tid);
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        let v = self
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("joined model thread produced no value");
+        Ok(v)
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.tid)
+            .finish_non_exhaustive()
+    }
+}

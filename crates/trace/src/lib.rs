@@ -16,7 +16,7 @@
 //!   below are empty `#[inline(always)]` bodies: the instrumented hot paths
 //!   contain no atomics, no branches, nothing.
 //! * **Run time** — [`enable`]/[`disable`].  Instrumented code pays exactly one
-//!   branch on one cached [`std::sync::atomic::AtomicBool`] while tracing is
+//!   branch on one cached [`parlo_sync::AtomicBool`] while tracing is
 //!   compiled in but off.
 //!
 //! Snapshots ([`snapshot`]) are meant to be taken at quiescence (between loops,
@@ -37,6 +37,10 @@
 // produces without depending on the vendored crates directly.
 pub use serde;
 pub use serde_json;
+
+pub mod ring;
+
+pub use ring::EventRing;
 
 use std::fmt;
 
@@ -63,9 +67,6 @@ pub enum EventKind {
 }
 
 impl EventKind {
-    // Only the `enabled` recording path encodes/decodes; keep the codecs
-    // compiled (and warning-free) in both configurations.
-    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
     fn to_u64(self) -> u64 {
         match self {
             EventKind::Begin => 0,
@@ -75,7 +76,6 @@ impl EventKind {
         }
     }
 
-    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
     fn from_u64(v: u64) -> Option<Self> {
         match v {
             0 => Some(EventKind::Begin),
@@ -210,7 +210,6 @@ impl Phase {
         }
     }
 
-    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
     fn from_u64(v: u64) -> Option<Self> {
         Phase::ALL.iter().copied().find(|p| *p as u64 == v)
     }
@@ -317,97 +316,41 @@ impl TraceSnapshot {
 // ---------------------------------------------------------------------------
 
 #[cfg(feature = "enabled")]
-mod ring {
-    use super::{Event, EventKind, Phase, TraceSnapshot, TrackSnapshot};
-    use crossbeam::utils::CachePadded;
+mod rt {
+    use super::ring::EventRing;
+    use super::{EventKind, Phase, TraceSnapshot, TrackSnapshot};
+    use parlo_sync::{AtomicBool, Ordering};
     use std::cell::OnceCell;
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::{Arc, Mutex, OnceLock};
     use std::time::Instant;
-
-    /// One ring-buffer slot.  All words are atomics so a racy snapshot reads
-    /// stale data instead of causing undefined behaviour; the owning thread is
-    /// the only writer, so the stores themselves never contend.
-    struct Slot {
-        ts: AtomicU64,
-        /// `phase << 8 | kind`.
-        meta: AtomicU64,
-        a: AtomicU64,
-        b: AtomicU64,
-    }
 
     pub(super) struct Track {
         label: Mutex<String>,
         tid: u64,
-        /// Index mask; `slots.len()` is a power of two.
-        mask: u64,
-        /// Total events ever written.  Padded so the single writer never
-        /// false-shares its cursor with another track's.
-        head: CachePadded<AtomicU64>,
-        slots: Box<[Slot]>,
+        ring: EventRing,
     }
 
     impl Track {
         fn new(label: String, tid: u64, capacity: usize) -> Self {
-            let slots = (0..capacity)
-                .map(|_| Slot {
-                    ts: AtomicU64::new(0),
-                    meta: AtomicU64::new(0),
-                    a: AtomicU64::new(0),
-                    b: AtomicU64::new(0),
-                })
-                .collect::<Vec<_>>()
-                .into_boxed_slice();
             Track {
                 label: Mutex::new(label),
                 tid,
-                mask: capacity as u64 - 1,
-                head: CachePadded::new(AtomicU64::new(0)),
-                slots,
+                ring: EventRing::new(capacity),
             }
         }
 
         #[inline]
         fn record(&self, phase: Phase, kind: EventKind, a: u64, b: u64) {
-            // Single-writer ring: the owning thread is the only one that
-            // advances `head`, so a relaxed read-modify-write cycle is safe.
-            let h = self.head.load(Ordering::Relaxed);
-            let slot = &self.slots[(h & self.mask) as usize];
-            slot.ts.store(now_ns(), Ordering::Relaxed);
-            slot.meta
-                .store((phase as u64) << 8 | kind.to_u64(), Ordering::Relaxed);
-            slot.a.store(a, Ordering::Relaxed);
-            slot.b.store(b, Ordering::Relaxed);
-            // Publish the slot contents together with the new cursor.
-            self.head.store(h + 1, Ordering::Release);
+            self.ring.record(now_ns(), phase, kind, a, b);
         }
 
         fn snapshot(&self) -> TrackSnapshot {
-            let h = self.head.load(Ordering::Acquire);
-            let cap = self.slots.len() as u64;
-            let n = h.min(cap);
-            let mut events = Vec::with_capacity(n as usize);
-            for i in (h - n)..h {
-                let slot = &self.slots[(i & self.mask) as usize];
-                let meta = slot.meta.load(Ordering::Relaxed);
-                let (Some(phase), Some(kind)) =
-                    (Phase::from_u64(meta >> 8), EventKind::from_u64(meta & 0xff))
-                else {
-                    continue;
-                };
-                events.push(Event {
-                    ts_ns: slot.ts.load(Ordering::Relaxed),
-                    phase,
-                    kind,
-                    a: slot.a.load(Ordering::Relaxed),
-                    b: slot.b.load(Ordering::Relaxed),
-                });
-            }
+            let (events, dropped) = self.ring.snapshot_events();
             TrackSnapshot {
                 label: self.label.lock().unwrap().clone(),
                 tid: self.tid,
                 events,
-                dropped: h - n,
+                dropped,
             }
         }
     }
@@ -465,16 +408,18 @@ mod ring {
     pub(super) fn enable() {
         // Anchor the epoch before the first event so timestamps are small.
         let _ = EPOCH.get_or_init(Instant::now);
-        ENABLED.store(true, Ordering::SeqCst);
+        // Relaxed: a best-effort toggle — recorders poll it with a Relaxed load and
+        // events racing an enable/disable edge may land on either side.
+        ENABLED.store(true, Ordering::Relaxed);
     }
 
     pub(super) fn disable() {
-        ENABLED.store(false, Ordering::SeqCst);
+        ENABLED.store(false, Ordering::Relaxed);
     }
 
     pub(super) fn clear() {
         for track in REGISTRY.lock().unwrap().iter() {
-            track.head.store(0, Ordering::SeqCst);
+            track.ring.reset();
         }
     }
 
@@ -503,7 +448,7 @@ mod ring {
 }
 
 #[cfg(not(feature = "enabled"))]
-mod ring {
+mod rt {
     //! Compiled-out twin: every hook is an empty inline function, so the
     //! instrumented hot paths contain no trace code at all.
     use super::{EventKind, Phase, TraceSnapshot};
@@ -538,80 +483,80 @@ mod ring {
 
 /// Turns event recording on.  Idempotent; also anchors the timestamp epoch.
 pub fn enable() {
-    ring::enable();
+    rt::enable();
 }
 
 /// Turns event recording off.  Already-recorded events stay in their rings.
 pub fn disable() {
-    ring::disable();
+    rt::disable();
 }
 
 /// Whether events are currently being recorded.  Always `false` when the
 /// `enabled` feature is compiled out.
 #[inline]
 pub fn is_enabled() -> bool {
-    ring::is_enabled()
+    rt::is_enabled()
 }
 
 /// Resets every track's cursor, discarding all recorded events.  Call at
 /// quiescence (no thread mid-event); tracks and labels are kept.
 pub fn clear() {
-    ring::clear();
+    rt::clear();
 }
 
 /// Names the calling thread's track on the exported timeline.  Registers the
 /// track if the thread has none yet; works whether or not recording is
 /// enabled, so workers can label themselves at spawn time.
 pub fn set_thread_label(label: &str) {
-    ring::set_thread_label(label);
+    rt::set_thread_label(label);
 }
 
 /// Opens a span on the calling thread's track.
 #[inline]
 pub fn span_begin(phase: Phase, a: u64, b: u64) {
-    if !ring::is_enabled() {
+    if !rt::is_enabled() {
         return;
     }
-    ring::record(phase, EventKind::Begin, a, b);
+    rt::record(phase, EventKind::Begin, a, b);
 }
 
 /// Closes the innermost open span of `phase` on the calling thread's track.
 #[inline]
 pub fn span_end(phase: Phase) {
-    if !ring::is_enabled() {
+    if !rt::is_enabled() {
         return;
     }
-    ring::record(phase, EventKind::End, 0, 0);
+    rt::record(phase, EventKind::End, 0, 0);
 }
 
 /// Records a point event on the calling thread's track.
 #[inline]
 pub fn instant(phase: Phase, a: u64, b: u64) {
-    if !ring::is_enabled() {
+    if !rt::is_enabled() {
         return;
     }
-    ring::record(phase, EventKind::Instant, a, b);
+    rt::record(phase, EventKind::Instant, a, b);
 }
 
 /// Records a gauge sample on the calling thread's track.
 #[inline]
 pub fn counter(phase: Phase, value: u64) {
-    if !ring::is_enabled() {
+    if !rt::is_enabled() {
         return;
     }
-    ring::record(phase, EventKind::Counter, value, 0);
+    rt::record(phase, EventKind::Counter, value, 0);
 }
 
 /// Copies every track's events out of the rings.  Take at quiescence; see the
 /// crate docs for the (benign) race with in-flight writers.
 pub fn snapshot() -> TraceSnapshot {
-    ring::snapshot()
+    rt::snapshot()
 }
 
 /// The per-track ring capacity in events (`PARLO_TRACE_CAPACITY`, rounded up
 /// to a power of two; default 65536).  `0` when tracing is compiled out.
 pub fn track_capacity() -> usize {
-    ring::track_capacity()
+    rt::track_capacity()
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,183 @@
+//! The single-writer event ring backing each trace track.
+//!
+//! Extracted from the feature-gated recording machinery so the ring itself is
+//! always compiled: the model battery checks its cursor protocol (overwrite at
+//! wrap, drop accounting, `Release` publication of slot contents) under
+//! `--cfg parlo_model` without dragging in the process-global registry,
+//! thread-locals or timestamps.
+//!
+//! Contract: exactly one thread (the track owner) calls [`EventRing::record`];
+//! any thread may call [`EventRing::snapshot_events`].  All slot words are
+//! atomics, so a snapshot racing a writer reads stale data — never undefined
+//! behaviour — and a quiescent snapshot (no writer in flight) is exact.
+
+use crate::{Event, EventKind, Phase};
+use crossbeam::utils::CachePadded;
+use parlo_sync::{AtomicU64, Ordering};
+
+/// One ring slot.  All words are atomics so a racy snapshot reads stale data
+/// instead of causing undefined behaviour; the owning thread is the only
+/// writer, so the stores themselves never contend.
+struct Slot {
+    ts: AtomicU64,
+    /// `phase << 8 | kind`.
+    meta: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// A bounded, lock-free, single-writer event ring.  When full, the oldest
+/// events are overwritten; the cursor keeps counting so the number of dropped
+/// events is always known.
+pub struct EventRing {
+    /// Index mask; `slots.len()` is a power of two.
+    mask: u64,
+    /// Total events ever written.  Padded so the single writer never
+    /// false-shares its cursor with another ring's.
+    head: CachePadded<AtomicU64>,
+    slots: Box<[Slot]>,
+}
+
+impl EventRing {
+    /// Creates a ring whose capacity is `capacity` rounded up to a power of
+    /// two (minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                ts: AtomicU64::new(0),
+                meta: AtomicU64::new(0),
+                a: AtomicU64::new(0),
+                b: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EventRing {
+            mask: capacity as u64 - 1,
+            head: CachePadded::new(AtomicU64::new(0)),
+            slots,
+        }
+    }
+
+    /// Capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (monotonic; exceeds [`Self::capacity`] once
+    /// the ring has wrapped).
+    pub fn recorded(&self) -> u64 {
+        // ordering: cursor publication pairs with the Release in `record`.
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Records one event.  **Owner only** — see the module docs.
+    #[inline]
+    pub fn record(&self, ts_ns: u64, phase: Phase, kind: EventKind, a: u64, b: u64) {
+        // Single-writer ring: the owning thread is the only one that advances
+        // `head`, so a relaxed read-modify-write cycle is safe.
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h & self.mask) as usize];
+        slot.ts.store(ts_ns, Ordering::Relaxed);
+        slot.meta
+            .store((phase as u64) << 8 | kind.to_u64(), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        // Publish the slot contents together with the new cursor.
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Copies out the retained events (oldest first) and the count of older
+    /// events overwritten before this snapshot.  Exact at quiescence; see the
+    /// module docs for the benign race with an in-flight writer.
+    pub fn snapshot_events(&self) -> (Vec<Event>, u64) {
+        // ordering: Acquire on the cursor pairs with the writer's Release so
+        // every slot at index < h is fully initialised when read.
+        let h = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let n = h.min(cap);
+        let mut events = Vec::with_capacity(n as usize);
+        for i in (h - n)..h {
+            let slot = &self.slots[(i & self.mask) as usize];
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let (Some(phase), Some(kind)) =
+                (Phase::from_u64(meta >> 8), EventKind::from_u64(meta & 0xff))
+            else {
+                continue;
+            };
+            events.push(Event {
+                ts_ns: slot.ts.load(Ordering::Relaxed),
+                phase,
+                kind,
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+            });
+        }
+        (events, h - n)
+    }
+
+    /// Discards every recorded event by resetting the cursor.  Call at
+    /// quiescence (the owner must not be mid-`record`).
+    pub fn reset(&self) {
+        // ordering: SeqCst so a reset is never reordered around neighbouring
+        // snapshot reads during quiescent maintenance.
+        self.head.store(0, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up() {
+        assert_eq!(EventRing::new(0).capacity(), 2);
+        assert_eq!(EventRing::new(3).capacity(), 4);
+        assert_eq!(EventRing::new(16).capacity(), 16);
+    }
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let r = EventRing::new(4);
+        for i in 0..3 {
+            r.record(i, Phase::Probe, EventKind::Instant, i, 0);
+        }
+        let (events, dropped) = r.snapshot_events();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            events.iter().map(|e| e.a).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn overwrite_at_wrap_keeps_newest_and_counts_dropped() {
+        let r = EventRing::new(2);
+        for i in 0..5u64 {
+            r.record(i, Phase::Probe, EventKind::Instant, i, 0);
+        }
+        let (events, dropped) = r.snapshot_events();
+        assert_eq!(dropped, 3);
+        assert_eq!(events.iter().map(|e| e.a).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(r.recorded(), 5);
+    }
+
+    #[test]
+    fn reset_discards_everything() {
+        let r = EventRing::new(4);
+        r.record(1, Phase::Loop, EventKind::Begin, 0, 0);
+        r.reset();
+        let (events, dropped) = r.snapshot_events();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+    }
+}

@@ -91,7 +91,7 @@ pub fn all_runtimes_on(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use parlo_sync::{AtomicUsize, Ordering};
 
     #[test]
     fn every_runtime_covers_the_range() {

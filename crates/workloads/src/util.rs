@@ -19,6 +19,7 @@ pub struct UnsafeSlice<'a, T> {
 // SAFETY: all accesses go through `write`/`read`, whose contracts require disjointness
 // between concurrent accesses; the wrapper itself holds no interior state.
 unsafe impl<'a, T: Send + Sync> Sync for UnsafeSlice<'a, T> {}
+// SAFETY: same disjoint-access argument as Sync above.
 unsafe impl<'a, T: Send + Sync> Send for UnsafeSlice<'a, T> {}
 
 impl<'a, T> UnsafeSlice<'a, T> {
@@ -49,6 +50,7 @@ impl<'a, T> UnsafeSlice<'a, T> {
     #[inline]
     pub unsafe fn write(&self, index: usize, value: T) {
         debug_assert!(index < self.len);
+        // SAFETY: the caller guarantees `index` is in bounds and unaliased.
         unsafe { *self.ptr.add(index) = value };
     }
 
@@ -62,6 +64,7 @@ impl<'a, T> UnsafeSlice<'a, T> {
         T: Copy,
     {
         debug_assert!(index < self.len);
+        // SAFETY: the caller guarantees `index` is in bounds and race-free.
         unsafe { *self.ptr.add(index) }
     }
 }
@@ -78,9 +81,11 @@ mod tests {
             assert_eq!(s.len(), 8);
             assert!(!s.is_empty());
             for i in 0..8 {
+                // SAFETY: single-threaded, `i < 8`.
                 unsafe { s.write(i, (i * i) as u64) };
             }
             for i in 0..8 {
+                // SAFETY: single-threaded, `i < 8`.
                 assert_eq!(unsafe { s.read(i) }, (i * i) as u64);
             }
         }
@@ -97,6 +102,7 @@ mod tests {
                     let s = &s;
                     scope.spawn(move || {
                         for i in (t..1000).step_by(4) {
+                            // SAFETY: stride-4 partition — each index has one writer.
                             unsafe { s.write(i, i + 1) };
                         }
                     });

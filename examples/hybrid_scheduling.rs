@@ -6,7 +6,7 @@
 //! Run with `cargo run --release --example hybrid_scheduling`.
 
 use parlo::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use parlo_sync::{AtomicUsize, Ordering};
 
 /// An artificially imbalanced body: iteration cost grows with the index, which is the
 //  regime where dynamic scheduling pays off.

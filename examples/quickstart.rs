@@ -3,7 +3,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use parlo::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use parlo_sync::{AtomicUsize, Ordering};
 
 fn main() {
     // A pool with one thread per detected core, topology-aware tree half-barrier.

@@ -35,6 +35,7 @@ pub use parlo_omp as omp;
 pub use parlo_serve as serve;
 pub use parlo_sim as sim;
 pub use parlo_steal as steal;
+pub use parlo_sync as sync;
 pub use parlo_trace as trace;
 pub use parlo_workloads as workloads;
 

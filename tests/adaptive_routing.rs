@@ -11,8 +11,8 @@
 
 use parlo::prelude::*;
 use parlo_adaptive::{AdaptiveConfig, ProbeTimer};
+use parlo_sync::{AtomicBool, AtomicUsize, Ordering};
 use proptest::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Simulated thread count (the cost model's `P`).

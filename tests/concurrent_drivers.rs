@@ -22,8 +22,8 @@
 use parlo_affinity::PlacementConfig;
 use parlo_core::FineGrainPool;
 use parlo_exec::Executor;
+use parlo_sync::{AtomicBool, AtomicUsize, Ordering};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The pool size the CI matrix pins via `PARLO_THREADS` (same parsing as the rest of

@@ -7,10 +7,10 @@
 
 use parlo::prelude::*;
 use parlo_steal::total_chunks;
+use parlo_sync::{AtomicUsize, Ordering};
 use parlo_workloads::cache::{self, CacheTable};
 use parlo_workloads::phoenix::{histogram, kmeans, linear_regression as linreg};
 use parlo_workloads::{irregular, Mpdata, Sequential};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The full evaluation roster (including the adaptive runtime) as trait objects.
 fn runtimes(threads: usize) -> Vec<Box<dyn LoopRuntime>> {

@@ -20,8 +20,8 @@
 
 use parlo::prelude::*;
 use parlo_adaptive::AdaptiveConfig;
+use parlo_sync::{AtomicUsize, Ordering};
 use parlo_workloads::{all_runtimes_on, irregular};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 /// Serializes the tests of this binary: they all measure the process-wide thread

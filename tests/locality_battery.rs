@@ -30,10 +30,10 @@
 
 use parlo::prelude::*;
 use parlo_steal::total_chunks;
+use parlo_sync::{AtomicUsize, Ordering};
 use parlo_workloads::cache::{self, CacheTable};
 use parlo_workloads::irregular;
 use proptest::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The synthetic machine shapes the battery sweeps (sockets x cores-per-socket).

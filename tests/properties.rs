@@ -1,9 +1,9 @@
 //! Property-based tests (proptest) of the core invariants across the workspace.
 
 use parlo::prelude::*;
+use parlo_sync::{AtomicUsize, Ordering};
 use proptest::prelude::*;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -146,12 +146,14 @@ proptest! {
         for op in ops {
             match op {
                 0 => {
+                    // SAFETY: the proptest thread is the deque's sole owner.
                     if unsafe { deque.push(pushed) }.is_ok() {
                         expected.insert(pushed);
                     }
                     pushed += 1;
                 }
                 1 => {
+                    // SAFETY: the proptest thread is the deque's sole owner.
                     if let Some(v) = unsafe { deque.pop() } {
                         prop_assert!(expected.contains(&v));
                         prop_assert!(obtained.insert(v), "duplicate item {}", v);
@@ -166,6 +168,7 @@ proptest! {
             }
         }
         // Drain and verify everything pushed is obtained exactly once.
+        // SAFETY: the proptest thread is the deque's sole owner.
         while let Some(v) = unsafe { deque.pop() } {
             prop_assert!(obtained.insert(v));
         }

@@ -23,8 +23,8 @@
 use parlo_affinity::PinPolicy;
 use parlo_exec::Executor;
 use parlo_serve::{GangSizing, LoopRequest, LoopSite, Rejected, ServeConfig, Server};
+use parlo_sync::{AtomicBool, AtomicU64, Ordering};
 use proptest::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Serializes the tests of this binary: they all measure the process-wide thread

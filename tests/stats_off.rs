@@ -8,7 +8,7 @@
 #![cfg(feature = "stats-off")]
 
 use parlo_core::{BarrierKind, Config, FineGrainPool, LoopRuntime, Sequential, SyncStats};
-use std::sync::atomic::{AtomicU64, Ordering};
+use parlo_sync::{AtomicU64, Ordering};
 
 fn pool(kind: BarrierKind, threads: usize) -> FineGrainPool {
     FineGrainPool::new(Config::builder(threads).barrier(kind).build())

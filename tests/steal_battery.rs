@@ -15,9 +15,9 @@
 
 use parlo::prelude::*;
 use parlo::steal::{total_chunks, ChunkDeque, ChunkRange, Steal};
+use parlo_sync::{AtomicUsize, Ordering};
 use proptest::prelude::*;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Splitmix64, used to derive deterministic operation sequences from a sampled seed.
@@ -130,7 +130,7 @@ proptest! {
         pop_stride in 2usize..5,
     ) {
         let deque = Arc::new(ChunkDeque::new(chunks.next_power_of_two()));
-        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done = Arc::new(parlo_sync::AtomicBool::new(false));
         let mut handles = Vec::new();
         for _ in 0..thieves {
             let deque = deque.clone();

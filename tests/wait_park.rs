@@ -11,7 +11,7 @@
 //! would hang the suite rather than merely slow it down.
 
 use parlo::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use parlo_sync::{AtomicUsize, Ordering};
 
 fn hardware_threads() -> usize {
     std::thread::available_parallelism()
